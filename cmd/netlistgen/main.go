@@ -1,0 +1,55 @@
+// Command netlistgen emits any Table I benchmark as structural Verilog.
+//
+// Usage:
+//
+//	netlistgen -soc 3 [-o out.v] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/netlist"
+	"repro/internal/socgen"
+)
+
+func main() {
+	socIdx := flag.Int("soc", 1, "Table I benchmark index (1-10)")
+	out := flag.String("o", "", "output file (default stdout)")
+	stats := flag.Bool("stats", false, "print design statistics to stderr")
+	flag.Parse()
+
+	cfg, err := socgen.ConfigByIndex(*socIdx)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := socgen.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := netlist.WriteVerilog(w, d); err != nil {
+		fatal(err)
+	}
+	if *stats {
+		f, err := netlist.Flatten(d)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %s", cfg.Name, netlist.ComputeStats(f))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netlistgen:", err)
+	os.Exit(1)
+}

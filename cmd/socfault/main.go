@@ -1,0 +1,82 @@
+// Command socfault runs a single-particle fault-injection campaign on one
+// Table I benchmark and prints the soft-error report.
+//
+// Usage:
+//
+//	socfault -soc 1 [-engine EventSim|LevelSim] [-let 37] [-flux 5e8]
+//	         [-kn 5] [-ln 3] [-sample 0.2] [-seed 1] [-workload memcpy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fault"
+	"repro/internal/inject"
+	"repro/internal/riscv"
+	"repro/internal/sim"
+	"repro/internal/socgen"
+)
+
+func main() {
+	socIdx := flag.Int("soc", 1, "Table I benchmark index (1-10)")
+	engine := flag.String("engine", "EventSim", "simulation engine: EventSim (VCS role) or LevelSim (CVC role)")
+	let := flag.Float64("let", 37.0, "linear energy transfer (MeV·cm²/mg)")
+	flux := flag.Float64("flux", 5e8, "particle flux (particles/cm²/s)")
+	kn := flag.Int("kn", 0, "cluster count KN (0 = paper's value for the benchmark)")
+	ln := flag.Int("ln", 3, "cluster layer depth LN")
+	sample := flag.Float64("sample", 0.2, "per-cluster sampling fraction")
+	seed := flag.Uint64("seed", 1, "campaign random seed")
+	workload := flag.String("workload", "memcpy", "workload kernel: memcpy, dot, crc, sort, fib")
+	flag.Parse()
+
+	cfg, err := socgen.ConfigByIndex(*socIdx)
+	if err != nil {
+		fatal(err)
+	}
+	opts := inject.DefaultOptions()
+	opts.Engine = sim.EngineKind(*engine)
+	opts.LET = *let
+	opts.Flux = *flux
+	opts.LN = *ln
+	opts.SampleFrac = *sample
+	opts.Seed = *seed
+	if *kn > 0 {
+		opts.KN = *kn
+	} else {
+		paperKN := []int{5, 6, 8, 9, 14, 15, 18, 19, 21, 23}
+		opts.KN = paperKN[*socIdx-1]
+	}
+
+	prog, err := workloadByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	run, err := inject.RunSoC(cfg, prog, fault.DefaultDB(), opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(run.Result.String())
+}
+
+func workloadByName(name string) (riscv.Program, error) {
+	switch name {
+	case "memcpy":
+		return riscv.MemcpyProgram(16), nil
+	case "dot":
+		return riscv.DotProductProgram(16), nil
+	case "crc":
+		return riscv.CRCProgram(12), nil
+	case "sort":
+		return riscv.SortProgram(12), nil
+	case "fib":
+		return riscv.FibProgram(20), nil
+	}
+	return riscv.Program{}, fmt.Errorf("unknown workload %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "socfault:", err)
+	os.Exit(1)
+}

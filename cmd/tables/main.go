@@ -1,0 +1,97 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation section in one run.
+//
+// Usage:
+//
+//	tables              # everything, full sampling
+//	tables -quick       # reduced sampling (fast smoke run)
+//	tables -table 1     # only Table I
+//	tables -fig 5       # only Fig. 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/socgen"
+	"repro/internal/ssresf"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sampling for a fast run")
+	table := flag.Int("table", 0, "regenerate only this table (1-3)")
+	fig := flag.Int("fig", 0, "regenerate only this figure (5-7)")
+	flag.Parse()
+
+	ec := ssresf.DefaultExperimentConfig(*quick)
+	all := *table == 0 && *fig == 0
+	out := os.Stdout
+
+	if all || *table == 1 {
+		rows, err := ssresf.TableI(ec)
+		if err != nil {
+			fatal(err)
+		}
+		ssresf.RenderTableI(out, rows)
+		fmt.Fprintln(out)
+	}
+	if all || *table == 2 {
+		rows, avg, err := ssresf.TableII(ec, nil)
+		if err != nil {
+			fatal(err)
+		}
+		ssresf.RenderTableII(out, rows, avg)
+		fmt.Fprintln(out)
+	}
+	if all || *fig == 5 || *fig == 6 {
+		cfg, err := socgen.ConfigByIndex(1)
+		if err != nil {
+			fatal(err)
+		}
+		an, err := ssresf.AnalyzeSoC(cfg, ec.Workload, ec.DB, ec.OptionsFor(1))
+		if err != nil {
+			fatal(err)
+		}
+		if all || *fig == 5 {
+			pts, err := ssresf.Fig5(an.Dataset, ec.Train.Folds, ec.Train.Seed)
+			if err != nil {
+				fatal(err)
+			}
+			ssresf.RenderFig5(out, pts)
+			fmt.Fprintln(out)
+		}
+		if all || *fig == 6 {
+			cls, err := ssresf.Train(an.Dataset, ec.Train)
+			if err != nil {
+				fatal(err)
+			}
+			curve, auc, err := ssresf.Fig6(cls, an)
+			if err != nil {
+				fatal(err)
+			}
+			ssresf.RenderFig6(out, curve, auc)
+			fmt.Fprintln(out)
+		}
+	}
+	if all || *table == 3 {
+		rows, avg, err := ssresf.TableIII(ec, nil)
+		if err != nil {
+			fatal(err)
+		}
+		ssresf.RenderTableIII(out, rows, avg)
+		fmt.Fprintln(out)
+	}
+	if all || *fig == 7 {
+		rows, err := ssresf.Fig7(ec, nil)
+		if err != nil {
+			fatal(err)
+		}
+		ssresf.RenderFig7(out, rows)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tables:", err)
+	os.Exit(1)
+}

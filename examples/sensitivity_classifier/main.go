@@ -1,0 +1,57 @@
+// sensitivity_classifier reproduces the machine-learning experiments on
+// PULP SoC1: the Fig. 5 feature-selection sweep, Table II-style
+// cross-validated classification metrics, and the Fig. 6 ROC curve.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/socgen"
+	"repro/internal/ssresf"
+)
+
+func main() {
+	ec := ssresf.DefaultExperimentConfig(false)
+	cfg, err := socgen.ConfigByIndex(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("running fault-injection campaign (dynamic simulation phase)...")
+	an, err := ssresf.AnalyzeSoC(cfg, ec.Workload, ec.DB, ec.OptionsFor(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d nodes, %d labeled highly sensitive\n\n",
+		len(an.Dataset.Y), an.Dataset.PositiveCount())
+
+	// Fig. 5: cross-validation score vs feature count.
+	pts, err := ssresf.Fig5(an.Dataset, 10, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ssresf.RenderFig5(os.Stdout, pts)
+	fmt.Println()
+
+	// Train with the best feature count and grid-searched (C, γ).
+	cls, err := ssresf.Train(an.Dataset, ssresf.TrainOptions{
+		FeatureCount: ssresf.BestFeatureCount(pts),
+		Folds:        10,
+		GridSearch:   true,
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected features: %v\n", cls.Selected)
+	fmt.Printf("kernel %s  C=%g\n", cls.Config.Kernel.Name(), cls.Config.C)
+	fmt.Printf("10-fold CV: %s\n\n", cls.TrainCV.String())
+
+	// Fig. 6: ROC curve.
+	curve, auc, err := ssresf.Fig6(cls, an)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ssresf.RenderFig6(os.Stdout, curve, auc)
+}

@@ -1,0 +1,22 @@
+// soc_sweep reproduces Table I: soft-error campaigns across all ten PULP
+// SoC configurations, reporting per-module SER, cluster counts and total
+// SET/SEU cross-sections. Expect the paper's trends: bus and memory above
+// CPU logic, SER growing with memory size / bus width / core count, and
+// the rad-hard SRAM of SoC10 collapsing the memory column.
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro/internal/ssresf"
+)
+
+func main() {
+	ec := ssresf.DefaultExperimentConfig(false)
+	rows, err := ssresf.TableI(ec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ssresf.RenderTableI(os.Stdout, rows)
+}

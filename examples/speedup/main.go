@@ -1,0 +1,32 @@
+// speedup reproduces Table III and Fig. 7 on PULP SoC1: fault-injection
+// campaigns on both simulation engines (EventSim in the VCS role, LevelSim
+// in the CVC role) under five flux conditions, against the SVM model's
+// prediction time; then the distribution of highly sensitive nodes across
+// memory, bus, and CPU logic per source.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/ssresf"
+)
+
+func main() {
+	ec := ssresf.DefaultExperimentConfig(false)
+	fluxes := []float64{4e8, 5e8, 6e8, 7e8, 8e8}
+
+	rows, avg, err := ssresf.TableIII(ec, fluxes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ssresf.RenderTableIII(os.Stdout, rows, avg)
+	fmt.Println()
+
+	figRows, err := ssresf.Fig7(ec, fluxes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ssresf.RenderFig7(os.Stdout, figRows)
+}

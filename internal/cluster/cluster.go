@@ -1,0 +1,267 @@
+// Package cluster implements Algorithm 1 of the paper: k-medoids-style
+// clustering of netlist cells using the layer-weighted hierarchical distance
+// of Eq. (1). Cells that share deep module ancestry are close; cells that
+// diverge near the top of the hierarchy are far apart. The fault-injection
+// campaign samples each resulting cluster in equal proportion.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/netlist"
+	"repro/internal/xrand"
+)
+
+// Distance computes Eq. (1):
+//
+//	D(A,B) = Σ_{Li=1..LN} Compare(Module_A_Li, Module_B_Li) · 2^(LN−Li)
+//
+// where layer Li is the Li-th segment of the instance trail and Compare is
+// 0 for identical modules, 1 otherwise. Trails shorter than LN compare as
+// empty segments, so two cells directly in a shallow module still agree on
+// the missing deeper layers.
+func Distance(a, b []string, ln int) int {
+	d := 0
+	for li := 1; li <= ln; li++ {
+		var ma, mb string
+		if li-1 < len(a) {
+			ma = a[li-1]
+		}
+		if li-1 < len(b) {
+			mb = b[li-1]
+		}
+		if ma != mb {
+			d += 1 << uint(ln-li)
+		}
+	}
+	return d
+}
+
+// Result is the output of ClusterCells: cluster index per cell plus the
+// grouped members and per-cluster medoid trails.
+type Result struct {
+	KN         int
+	LN         int
+	Assign     []int   // cluster index for each input cell position
+	Members    [][]int // cell positions per cluster
+	Medoids    []string
+	Iterations int
+}
+
+// MeanIntraDistance is the average distance from each cell to its cluster
+// medoid — the compactness metric used by the depth-ablation bench.
+func (r *Result) MeanIntraDistance(trails [][]string) float64 {
+	if len(trails) == 0 {
+		return 0
+	}
+	var sum float64
+	for ci, members := range r.Members {
+		med := strings.Split(r.Medoids[ci], "\x00")
+		for _, idx := range members {
+			sum += float64(Distance(trails[idx], med, r.LN))
+		}
+	}
+	return sum / float64(len(trails))
+}
+
+// group is a set of cells sharing one hierarchical trail.
+type group struct {
+	trail   []string
+	key     string
+	members []int
+	weight  int
+}
+
+// ClusterCells runs Algorithm 1 over the cells of a flattened design.
+// kn is the number of clusters, ln the layer depth of Eq. (1); rng drives
+// the initial center selection. Cells sharing an identical trail are
+// deduplicated first, which preserves the algorithm's result exactly (their
+// pairwise distance is zero, so they always travel together) while keeping
+// the medoid update tractable on memory-dominated SoCs.
+func ClusterCells(f *netlist.Flat, kn, ln int, rng *xrand.RNG) (*Result, error) {
+	trails := make([][]string, len(f.Cells))
+	for i, c := range f.Cells {
+		trails[i] = c.Trail
+	}
+	return ClusterTrails(trails, kn, ln, rng)
+}
+
+// ClusterTrails is ClusterCells for pre-extracted trails.
+func ClusterTrails(trails [][]string, kn, ln int, rng *xrand.RNG) (*Result, error) {
+	if kn < 1 {
+		return nil, fmt.Errorf("cluster: KN must be >= 1, got %d", kn)
+	}
+	if ln < 1 {
+		return nil, fmt.Errorf("cluster: LN must be >= 1, got %d", ln)
+	}
+	if len(trails) == 0 {
+		return nil, fmt.Errorf("cluster: no cells to cluster")
+	}
+	// Deduplicate by trail.
+	byKey := map[string]*group{}
+	var groups []*group
+	for i, tr := range trails {
+		key := strings.Join(tr, "\x00")
+		g, ok := byKey[key]
+		if !ok {
+			g = &group{trail: tr, key: key}
+			byKey[key] = g
+			groups = append(groups, g)
+		}
+		g.members = append(g.members, i)
+		g.weight++
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].key < groups[j].key })
+	if kn > len(groups) {
+		kn = len(groups)
+	}
+
+	// Pairwise distances between unique trails.
+	n := len(groups)
+	dist := make([][]int, n)
+	for i := range dist {
+		dist[i] = make([]int, n)
+		for j := 0; j < i; j++ {
+			d := Distance(groups[i].trail, groups[j].trail, ln)
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	}
+
+	// Initial centers: random distinct groups (Algorithm 1 line 2).
+	centers := rng.Sample(n, kn)
+	sort.Ints(centers)
+
+	assign := make([]int, n)
+	const maxIter = 200
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		// assign_cells (lines 9-16): nearest center, ties to lowest index.
+		for gi := range groups {
+			best, bestD := 0, dist[gi][centers[0]]
+			for ci := 1; ci < kn; ci++ {
+				if d := dist[gi][centers[ci]]; d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			assign[gi] = best
+		}
+		// update_centers (lines 17-24): weighted medoid per cluster.
+		newCenters := make([]int, kn)
+		isCenter := map[int]bool{}
+		for ci := 0; ci < kn; ci++ {
+			bestG, bestSum := -1, 0
+			for gi := range groups {
+				if assign[gi] != ci {
+					continue
+				}
+				sum := 0
+				for gj := range groups {
+					if assign[gj] == ci {
+						sum += dist[gi][gj] * groups[gj].weight
+					}
+				}
+				if bestG < 0 || sum < bestSum || (sum == bestSum && gi < bestG) {
+					bestG, bestSum = gi, sum
+				}
+			}
+			if bestG >= 0 {
+				newCenters[ci] = bestG
+				isCenter[bestG] = true
+			} else {
+				newCenters[ci] = -1 // repaired below
+			}
+		}
+		// Empty-cluster repair: reseed each empty cluster at the group
+		// farthest from its assigned center, so every cluster stays
+		// populated and the configured KN is honored.
+		for ci := 0; ci < kn; ci++ {
+			if newCenters[ci] >= 0 {
+				continue
+			}
+			farG, farD := -1, -1
+			for gi := range groups {
+				if isCenter[gi] {
+					continue
+				}
+				// Weighted distance from the group to its present center.
+				cur := assign[gi]
+				dd := 0
+				if newCenters[cur] >= 0 {
+					dd = dist[gi][newCenters[cur]] * groups[gi].weight
+				}
+				if dd > farD {
+					farG, farD = gi, dd
+				}
+			}
+			if farG < 0 {
+				farG = centers[ci]
+			}
+			newCenters[ci] = farG
+			isCenter[farG] = true
+		}
+		same := true
+		for ci := range centers {
+			if centers[ci] != newCenters[ci] {
+				same = false
+				break
+			}
+		}
+		centers = newCenters
+		if same {
+			break
+		}
+	}
+
+	res := &Result{
+		KN:      kn,
+		LN:      ln,
+		Assign:  make([]int, len(trails)),
+		Members: make([][]int, kn),
+		Medoids: make([]string, kn),
+	}
+	res.Iterations = iter + 1
+	for ci := 0; ci < kn; ci++ {
+		res.Medoids[ci] = groups[centers[ci]].key
+	}
+	for gi, g := range groups {
+		for _, idx := range g.members {
+			res.Assign[idx] = assign[gi]
+			res.Members[assign[gi]] = append(res.Members[assign[gi]], idx)
+		}
+	}
+	for ci := range res.Members {
+		sort.Ints(res.Members[ci])
+	}
+	return res, nil
+}
+
+// SampleProportional draws an equal-proportion random sample from every
+// cluster (the paper's "equal-proportional random sampling strategy"):
+// ceil(frac·|cluster|) members of each, at least minPer when the cluster is
+// at least that large.
+func SampleProportional(r *Result, frac float64, minPer int, rng *xrand.RNG) [][]int {
+	out := make([][]int, len(r.Members))
+	for ci, members := range r.Members {
+		if len(members) == 0 {
+			continue
+		}
+		k := int(frac*float64(len(members)) + 0.999999)
+		if k < minPer {
+			k = minPer
+		}
+		if k > len(members) {
+			k = len(members)
+		}
+		idxs := rng.Sample(len(members), k)
+		sort.Ints(idxs)
+		picked := make([]int, 0, k)
+		for _, i := range idxs {
+			picked = append(picked, members[i])
+		}
+		out[ci] = picked
+	}
+	return out
+}

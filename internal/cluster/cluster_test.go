@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestDistanceEq1(t *testing.T) {
+	// LN=3, weights are 2^(3-1)=4, 2^(3-2)=2, 2^(3-3)=1 for layers 1..3.
+	a := []string{"top", "cpu", "alu"}
+	b := []string{"top", "cpu", "regfile"}
+	if d := Distance(a, b, 3); d != 1 {
+		t.Errorf("differ only at layer 3: d = %d, want 1", d)
+	}
+	c := []string{"top", "bus", "arb"}
+	if d := Distance(a, c, 3); d != 3 {
+		t.Errorf("differ at layers 2,3: d = %d, want 2+1=3", d)
+	}
+	e := []string{"other", "bus", "alu"}
+	if d := Distance(a, e, 3); d != 6 {
+		t.Errorf("differ at layers 1,2: d = %d, want 4+2=6", d)
+	}
+	if d := Distance(a, a, 3); d != 0 {
+		t.Errorf("self distance = %d", d)
+	}
+}
+
+func TestDistanceShortTrails(t *testing.T) {
+	a := []string{"top"}
+	b := []string{"top"}
+	if d := Distance(a, b, 5); d != 0 {
+		t.Errorf("identical short trails: d = %d", d)
+	}
+	c := []string{"top", "mem"}
+	// Layers 3..5 are empty for both; layer 2 differs ("" vs "mem").
+	if d := Distance(a, c, 5); d != 8 {
+		t.Errorf("d = %d, want 2^(5-2)=8", d)
+	}
+}
+
+func TestDistanceSymmetricTriangleFuzz(t *testing.T) {
+	rng := xrand.New(5)
+	mods := []string{"a", "b", "c", ""}
+	mk := func() []string {
+		tr := make([]string, 1+rng.Intn(4))
+		for i := range tr {
+			tr[i] = mods[rng.Intn(len(mods))]
+		}
+		return tr
+	}
+	for i := 0; i < 2000; i++ {
+		x, y, z := mk(), mk(), mk()
+		ln := 1 + rng.Intn(5)
+		if Distance(x, y, ln) != Distance(y, x, ln) {
+			t.Fatalf("not symmetric: %v %v", x, y)
+		}
+		if Distance(x, z, ln) > Distance(x, y, ln)+Distance(y, z, ln) {
+			t.Fatalf("triangle inequality violated: %v %v %v", x, y, z)
+		}
+	}
+}
+
+// synthTrails builds cells spread over three functional blocks with
+// sub-blocks, mimicking an SoC hierarchy.
+func synthTrails() [][]string {
+	var trails [][]string
+	blocks := map[string][]string{
+		"u_cpu": {"u_alu", "u_regfile", "u_decode"},
+		"u_bus": {"u_arb", "u_mux"},
+		"u_mem": {"u_bank0", "u_bank1"},
+	}
+	for blk, subs := range blocks {
+		for _, sub := range subs {
+			for i := 0; i < 20; i++ {
+				trails = append(trails, []string{"soc", blk, sub})
+			}
+		}
+	}
+	return trails
+}
+
+func TestClusterGroupsByBlock(t *testing.T) {
+	trails := synthTrails()
+	res, err := ClusterTrails(trails, 3, 3, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KN != 3 {
+		t.Fatalf("KN = %d", res.KN)
+	}
+	// Cells within the same sub-block must land in the same cluster.
+	seen := map[string]int{}
+	for i, tr := range trails {
+		key := tr[1] + "/" + tr[2]
+		if prev, ok := seen[key]; ok {
+			if res.Assign[i] != prev {
+				t.Fatalf("identical trails split across clusters: %v", tr)
+			}
+		} else {
+			seen[key] = res.Assign[i]
+		}
+	}
+	// With k=3 and LN=3, the dominant split should separate top blocks:
+	// all cpu sub-blocks share a cluster iff block distance dominates.
+	blockCluster := map[string]map[int]bool{}
+	for i, tr := range trails {
+		if blockCluster[tr[1]] == nil {
+			blockCluster[tr[1]] = map[int]bool{}
+		}
+		blockCluster[tr[1]][res.Assign[i]] = true
+	}
+	distinct := map[int]bool{}
+	for _, cs := range blockCluster {
+		for c := range cs {
+			distinct[c] = true
+		}
+	}
+	if len(distinct) != 3 {
+		t.Errorf("expected all 3 clusters used, got %d", len(distinct))
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	trails := synthTrails()
+	a, err := ClusterTrails(trails, 4, 3, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ClusterTrails(trails, 4, 3, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("same seed produced different clustering at %d", i)
+		}
+	}
+}
+
+func TestClusterKExceedsGroups(t *testing.T) {
+	trails := [][]string{{"a"}, {"a"}, {"b"}}
+	res, err := ClusterTrails(trails, 10, 2, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KN != 2 {
+		t.Errorf("KN must clamp to unique-trail count 2, got %d", res.KN)
+	}
+	if res.Assign[0] != res.Assign[1] {
+		t.Error("identical trails must share a cluster")
+	}
+	if res.Assign[0] == res.Assign[2] {
+		t.Error("distinct trails with k=2 must separate")
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	if _, err := ClusterTrails(nil, 3, 3, xrand.New(1)); err == nil {
+		t.Error("empty input must fail")
+	}
+	tr := [][]string{{"a"}}
+	if _, err := ClusterTrails(tr, 0, 3, xrand.New(1)); err == nil {
+		t.Error("KN=0 must fail")
+	}
+	if _, err := ClusterTrails(tr, 1, 0, xrand.New(1)); err == nil {
+		t.Error("LN=0 must fail")
+	}
+}
+
+func TestMembersPartition(t *testing.T) {
+	trails := synthTrails()
+	res, err := ClusterTrails(trails, 5, 3, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	seen := make([]bool, len(trails))
+	for _, members := range res.Members {
+		for _, m := range members {
+			if seen[m] {
+				t.Fatalf("cell %d in two clusters", m)
+			}
+			seen[m] = true
+			count++
+		}
+	}
+	if count != len(trails) {
+		t.Fatalf("partition covers %d of %d cells", count, len(trails))
+	}
+}
+
+func TestMeanIntraDistanceImprovesWithK(t *testing.T) {
+	trails := synthTrails()
+	r1, _ := ClusterTrails(trails, 1, 3, xrand.New(9))
+	r7, _ := ClusterTrails(trails, 7, 3, xrand.New(9))
+	d1 := r1.MeanIntraDistance(trails)
+	d7 := r7.MeanIntraDistance(trails)
+	if !(d7 < d1) {
+		t.Errorf("more clusters must reduce intra distance: k=1 %g vs k=7 %g", d1, d7)
+	}
+	if d7 != 0 {
+		t.Errorf("7 clusters over 7 unique trails must be exact, got %g", d7)
+	}
+}
+
+func TestSampleProportional(t *testing.T) {
+	trails := synthTrails()
+	res, _ := ClusterTrails(trails, 3, 3, xrand.New(11))
+	rng := xrand.New(13)
+	samples := SampleProportional(res, 0.25, 2, rng)
+	if len(samples) != len(res.Members) {
+		t.Fatal("one sample set per cluster expected")
+	}
+	for ci, s := range samples {
+		size := len(res.Members[ci])
+		if size == 0 {
+			continue
+		}
+		want := int(0.25*float64(size) + 0.999999)
+		if want < 2 {
+			want = 2
+		}
+		if want > size {
+			want = size
+		}
+		if len(s) != want {
+			t.Errorf("cluster %d: sampled %d, want %d of %d", ci, len(s), want, size)
+		}
+		seen := map[int]bool{}
+		inCluster := map[int]bool{}
+		for _, m := range res.Members[ci] {
+			inCluster[m] = true
+		}
+		for _, m := range s {
+			if seen[m] {
+				t.Errorf("cluster %d: duplicate sample %d", ci, m)
+			}
+			seen[m] = true
+			if !inCluster[m] {
+				t.Errorf("cluster %d: sample %d not a member", ci, m)
+			}
+		}
+	}
+}
+
+func TestSampleProportionalFullCoverage(t *testing.T) {
+	trails := [][]string{{"a"}, {"a"}, {"b"}, {"b"}}
+	res, _ := ClusterTrails(trails, 2, 1, xrand.New(1))
+	samples := SampleProportional(res, 1.0, 1, xrand.New(2))
+	total := 0
+	for _, s := range samples {
+		total += len(s)
+	}
+	if total != 4 {
+		t.Errorf("frac=1 must sample every cell, got %d", total)
+	}
+}

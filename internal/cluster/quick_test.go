@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// trailFrom decodes a compact seed into a bounded random trail.
+func trailFrom(seed uint32) []string {
+	mods := []string{"a", "b", "c", "d"}
+	depth := 1 + int(seed%4)
+	tr := make([]string, depth)
+	s := seed / 4
+	for i := range tr {
+		tr[i] = mods[s%uint32(len(mods))]
+		s /= uint32(len(mods))
+	}
+	return tr
+}
+
+// TestQuickDistanceMetricAxioms: Eq. (1) is a metric on bounded trails —
+// non-negative, zero iff prefix-equal up to LN, symmetric, triangular.
+func TestQuickDistanceMetricAxioms(t *testing.T) {
+	f := func(sa, sb, sc uint32, lnRaw uint8) bool {
+		ln := 1 + int(lnRaw%5)
+		a, b, c := trailFrom(sa), trailFrom(sb), trailFrom(sc)
+		dab, dba := Distance(a, b, ln), Distance(b, a, ln)
+		if dab != dba || dab < 0 {
+			return false
+		}
+		if Distance(a, a, ln) != 0 {
+			return false
+		}
+		if Distance(a, c, ln) > Distance(a, b, ln)+Distance(b, c, ln) {
+			return false
+		}
+		// Identity of indiscernibles over the LN window: zero distance
+		// means the first LN layers agree (padding with empty segments).
+		if dab == 0 {
+			for li := 0; li < ln; li++ {
+				var ma, mb string
+				if li < len(a) {
+					ma = a[li]
+				}
+				if li < len(b) {
+					mb = b[li]
+				}
+				if ma != mb {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickClusterPartition: for arbitrary trail multisets and parameters,
+// ClusterTrails yields a complete partition with identical trails always
+// co-clustered, and exactly KN (clamped) populated clusters.
+func TestQuickClusterPartition(t *testing.T) {
+	f := func(seeds []uint32, knRaw, lnRaw, seed uint8) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 60 {
+			seeds = seeds[:60]
+		}
+		kn := 1 + int(knRaw%8)
+		ln := 1 + int(lnRaw%4)
+		trails := make([][]string, len(seeds))
+		unique := map[string]bool{}
+		classes := map[string]bool{} // distance-0 equivalence classes at LN
+		for i, s := range seeds {
+			trails[i] = trailFrom(s)
+			unique[strings.Join(trails[i], "\x00")] = true
+			cls := trails[i]
+			if len(cls) > ln {
+				cls = cls[:ln]
+			}
+			classes[strings.Join(cls, "\x00")] = true
+		}
+		res, err := ClusterTrails(trails, kn, ln, xrand.New(uint64(seed)))
+		if err != nil {
+			return false
+		}
+		wantK := kn
+		if wantK > len(unique) {
+			wantK = len(unique)
+		}
+		if res.KN != wantK {
+			return false
+		}
+		// Partition: every index in exactly one cluster.
+		seen := make([]bool, len(trails))
+		populated := 0
+		for _, members := range res.Members {
+			if len(members) > 0 {
+				populated++
+			}
+			for _, m := range members {
+				if seen[m] {
+					return false
+				}
+				seen[m] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		// Only classes distinguishable under Eq. (1) at depth LN can form
+		// separate populated clusters; beyond that, clusters stay empty.
+		maxPopulated := wantK
+		if len(classes) < maxPopulated {
+			maxPopulated = len(classes)
+		}
+		if populated > wantK || populated < 1 || populated < min(maxPopulated, wantK) {
+			return false
+		}
+		// Identical trails share clusters.
+		byKey := map[string]int{}
+		for i, tr := range trails {
+			key := strings.Join(tr, "\x00")
+			if prev, ok := byKey[key]; ok && prev != res.Assign[i] {
+				return false
+			}
+			byKey[key] = res.Assign[i]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSampleProportionalBounds: samples stay inside their cluster,
+// unique, and within [min, cluster size].
+func TestQuickSampleProportionalBounds(t *testing.T) {
+	f := func(seeds []uint32, fracRaw, minRaw, seed uint8) bool {
+		if len(seeds) < 2 {
+			return true
+		}
+		if len(seeds) > 50 {
+			seeds = seeds[:50]
+		}
+		trails := make([][]string, len(seeds))
+		for i, s := range seeds {
+			trails[i] = trailFrom(s)
+		}
+		res, err := ClusterTrails(trails, 3, 3, xrand.New(7))
+		if err != nil {
+			return false
+		}
+		frac := 0.05 + float64(fracRaw%90)/100
+		minPer := 1 + int(minRaw%4)
+		samples := SampleProportional(res, frac, minPer, xrand.New(uint64(seed)))
+		for ci, sample := range samples {
+			if len(sample) > len(res.Members[ci]) {
+				return false
+			}
+			inCluster := map[int]bool{}
+			for _, m := range res.Members[ci] {
+				inCluster[m] = true
+			}
+			seen := map[int]bool{}
+			for _, m := range sample {
+				if !inCluster[m] || seen[m] {
+					return false
+				}
+				seen[m] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

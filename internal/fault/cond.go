@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EvalCond evaluates a database condition string such as
+// "(q==1) & (qn==0)" against a node-value environment. The grammar is the
+// small subset Fig. 3 of the paper uses:
+//
+//	expr   := clause (('&' | '|') clause)*
+//	clause := '(' ident '==' digit ')'
+//
+// '&' binds no tighter than '|'; evaluation is strict left-to-right, which
+// is sufficient for the single-operator conditions the database contains.
+// Unknown node values make the condition false (an upset cannot be
+// classified against an X state).
+func EvalCond(cond string, env map[string]int) (bool, error) {
+	cond = strings.TrimSpace(cond)
+	if cond == "" {
+		return true, nil
+	}
+	p := condParser{s: cond}
+	v, err := p.parseExpr(env)
+	if err != nil {
+		return false, fmt.Errorf("fault: condition %q: %v", cond, err)
+	}
+	p.skipSpace()
+	if p.pos != len(p.s) {
+		return false, fmt.Errorf("fault: condition %q: trailing input at %d", cond, p.pos)
+	}
+	return v, nil
+}
+
+type condParser struct {
+	s   string
+	pos int
+}
+
+func (p *condParser) skipSpace() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *condParser) parseExpr(env map[string]int) (bool, error) {
+	v, err := p.parseClause(env)
+	if err != nil {
+		return false, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.s) {
+			return v, nil
+		}
+		op := p.s[p.pos]
+		if op != '&' && op != '|' {
+			return v, nil
+		}
+		p.pos++
+		rhs, err := p.parseClause(env)
+		if err != nil {
+			return false, err
+		}
+		if op == '&' {
+			v = v && rhs
+		} else {
+			v = v || rhs
+		}
+	}
+}
+
+func (p *condParser) parseClause(env map[string]int) (bool, error) {
+	p.skipSpace()
+	if p.pos >= len(p.s) || p.s[p.pos] != '(' {
+		return false, fmt.Errorf("expected '(' at %d", p.pos)
+	}
+	p.pos++
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.s) && isCondIdent(p.s[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return false, fmt.Errorf("expected identifier at %d", start)
+	}
+	name := p.s[start:p.pos]
+	p.skipSpace()
+	if !strings.HasPrefix(p.s[p.pos:], "==") {
+		return false, fmt.Errorf("expected '==' at %d", p.pos)
+	}
+	p.pos += 2
+	p.skipSpace()
+	if p.pos >= len(p.s) || (p.s[p.pos] != '0' && p.s[p.pos] != '1') {
+		return false, fmt.Errorf("expected 0 or 1 at %d", p.pos)
+	}
+	want := int(p.s[p.pos] - '0')
+	p.pos++
+	p.skipSpace()
+	if p.pos >= len(p.s) || p.s[p.pos] != ')' {
+		return false, fmt.Errorf("expected ')' at %d", p.pos)
+	}
+	p.pos++
+	got, ok := env[name]
+	if !ok {
+		return false, nil // unknown/X node: condition cannot hold
+	}
+	return got == want, nil
+}
+
+func isCondIdent(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+// MatchSub returns the first sub-cross-section of the entry at the given
+// LET whose condition holds in env, which selects between "SEU 1->0" and
+// "SEU 0->1" for a storage cell in a known state. The boolean reports
+// whether any matched.
+func (c *CellEntry) MatchSub(let float64, env map[string]int) (SubXsect, bool, error) {
+	var best *LETEntry
+	for i := range c.SoftErrors {
+		if c.SoftErrors[i].LET == let {
+			best = &c.SoftErrors[i]
+			break
+		}
+	}
+	if best == nil && len(c.SoftErrors) > 0 {
+		// Fall back to the nearest tabulated LET.
+		bd := -1.0
+		for i := range c.SoftErrors {
+			d := c.SoftErrors[i].LET - let
+			if d < 0 {
+				d = -d
+			}
+			if bd < 0 || d < bd {
+				bd = d
+				best = &c.SoftErrors[i]
+			}
+		}
+	}
+	if best == nil {
+		return SubXsect{}, false, nil
+	}
+	for _, sub := range best.Sub {
+		ok, err := EvalCond(sub.Cond, env)
+		if err != nil {
+			return SubXsect{}, false, err
+		}
+		if ok {
+			return sub, true, nil
+		}
+	}
+	return SubXsect{}, false, nil
+}

@@ -1,0 +1,174 @@
+package fault
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Marshal writes the database in the YAML-like text layout of the paper's
+// Fig. 3, one cell entry after another in sorted cell order.
+func Marshal(w io.Writer, db *DB) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range db.CellNames() {
+		e := db.Entries[name]
+		fmt.Fprintf(bw, "CellName: %s\n", e.CellName)
+		fmt.Fprintf(bw, "  Ports: [%s]\n", strings.Join(e.Ports, ", "))
+		fmt.Fprintf(bw, "  InputDataPorts: [%s]\n", strings.Join(e.InputDataPorts, ", "))
+		fmt.Fprintf(bw, "  OutputDataPorts: [%s]\n", strings.Join(e.OutputDataPorts, ", "))
+		fmt.Fprintf(bw, "  Model: %s\n", e.Model)
+		if e.PulseBasePS > 0 {
+			fmt.Fprintf(bw, "  PulseBasePS: %g\n", e.PulseBasePS)
+		}
+		fmt.Fprintf(bw, "  Nodes:\n")
+		nodeKeys := make([]string, 0, len(e.Nodes))
+		for k := range e.Nodes {
+			nodeKeys = append(nodeKeys, k)
+		}
+		sort.Strings(nodeKeys)
+		for _, k := range nodeKeys {
+			fmt.Fprintf(bw, "    %s: %s\n", k, e.Nodes[k])
+		}
+		fmt.Fprintf(bw, "  SoftErrors:\n")
+		for _, le := range e.SoftErrors {
+			fmt.Fprintf(bw, "    - LET: %g\n", le.LET)
+			fmt.Fprintf(bw, "      subXsect:\n")
+			for _, s := range le.Sub {
+				fmt.Fprintf(bw, "      - name: %s\n", s.Name)
+				if s.Cond != "" {
+					fmt.Fprintf(bw, "        cond: %s\n", s.Cond)
+				}
+				fmt.Fprintf(bw, "        xsect: %.6e\n", s.Xsect)
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Unmarshal reads the format Marshal produces back into a database.
+func Unmarshal(r io.Reader) (*DB, error) {
+	db := &DB{Entries: map[string]*CellEntry{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var cur *CellEntry
+	var curLET *LETEntry
+	var curSub *SubXsect
+	lineNo := 0
+	flushSub := func() {
+		if curSub != nil && curLET != nil {
+			curLET.Sub = append(curLET.Sub, *curSub)
+			curSub = nil
+		}
+	}
+	flushLET := func() {
+		flushSub()
+		if curLET != nil && cur != nil {
+			cur.SoftErrors = append(cur.SoftErrors, *curLET)
+			curLET = nil
+		}
+	}
+	flushCell := func() {
+		flushLET()
+		if cur != nil {
+			db.Entries[cur.CellName] = cur
+			cur = nil
+		}
+	}
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, hasColon := cutKV(line)
+		switch {
+		case key == "CellName" && hasColon:
+			flushCell()
+			cur = &CellEntry{CellName: val, Nodes: map[string]string{}}
+		case cur == nil:
+			return nil, fmt.Errorf("fault: line %d: %q outside a cell entry", lineNo, line)
+		case key == "Ports" && hasColon:
+			cur.Ports = parseList(val)
+		case key == "InputDataPorts" && hasColon:
+			cur.InputDataPorts = parseList(val)
+		case key == "OutputDataPorts" && hasColon:
+			cur.OutputDataPorts = parseList(val)
+		case key == "Model" && hasColon:
+			cur.Model = val
+		case key == "PulseBasePS" && hasColon:
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: line %d: bad PulseBasePS %q", lineNo, val)
+			}
+			cur.PulseBasePS = f
+		case key == "Nodes" && hasColon && val == "":
+			// Following indented "name: path" lines are handled by the
+			// default case below via indentation depth.
+		case key == "SoftErrors" && hasColon && val == "":
+			flushLET()
+		case strings.HasPrefix(line, "- LET") || strings.HasPrefix(line, "- LET:"):
+			flushLET()
+			_, letVal, _ := cutKV(strings.TrimSpace(strings.TrimPrefix(line, "-")))
+			f, err := strconv.ParseFloat(letVal, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: line %d: bad LET %q", lineNo, letVal)
+			}
+			curLET = &LETEntry{LET: f}
+		case key == "subXsect" && hasColon:
+			// marker line; sub entries follow
+		case strings.HasPrefix(line, "- name") || strings.HasPrefix(line, "- name:"):
+			flushSub()
+			_, nameVal, _ := cutKV(strings.TrimSpace(strings.TrimPrefix(line, "-")))
+			curSub = &SubXsect{Name: nameVal}
+		case key == "cond" && hasColon && curSub != nil:
+			curSub.Cond = val
+		case key == "xsect" && hasColon && curSub != nil:
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: line %d: bad xsect %q", lineNo, val)
+			}
+			curSub.Xsect = f
+		case hasColon && curLET == nil:
+			// A node mapping line inside Nodes:.
+			cur.Nodes[key] = val
+		default:
+			return nil, fmt.Errorf("fault: line %d: cannot parse %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flushCell()
+	if len(db.Entries) == 0 {
+		return nil, fmt.Errorf("fault: no entries found")
+	}
+	return db, nil
+}
+
+func cutKV(line string) (key, val string, ok bool) {
+	i := strings.IndexByte(line, ':')
+	if i < 0 {
+		return line, "", false
+	}
+	return strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:]), true
+}
+
+func parseList(val string) []string {
+	val = strings.TrimSpace(val)
+	val = strings.TrimPrefix(val, "[")
+	val = strings.TrimSuffix(val, "]")
+	if strings.TrimSpace(val) == "" {
+		return nil
+	}
+	parts := strings.Split(val, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}

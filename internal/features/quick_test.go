@@ -1,0 +1,122 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickScalerRange: transformed training data always lies in [0,1] and
+// the transform is monotone within each column.
+func TestQuickScalerRange(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 120 {
+			raw = raw[:120]
+		}
+		m := &Matrix{Names: []string{"v"}}
+		for _, r := range raw {
+			m.Rows = append(m.Rows, []float64{float64(r)})
+		}
+		s := FitScaler(m)
+		out := s.Transform(m)
+		for i, row := range out.Rows {
+			if row[0] < 0 || row[0] > 1 || math.IsNaN(row[0]) {
+				return false
+			}
+			for j := range out.Rows {
+				if m.Rows[i][0] < m.Rows[j][0] && out.Rows[i][0] > out.Rows[j][0]+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCleanNeverInventsRows: cleaning returns a subset with aligned
+// labels for any NaN/Inf contamination pattern.
+func TestQuickCleanNeverInventsRows(t *testing.T) {
+	f := func(raw []uint8) bool {
+		m := &Matrix{Names: []string{"v"}}
+		labels := make([]bool, len(raw))
+		dirty := 0
+		for i, r := range raw {
+			v := float64(r)
+			switch r % 5 {
+			case 0:
+				v = math.NaN()
+				dirty++
+			case 1:
+				v = math.Inf(1)
+				dirty++
+			}
+			m.Rows = append(m.Rows, []float64{v})
+			labels[i] = r%2 == 0
+		}
+		out, keptLabels, kept := Clean(m, labels)
+		if len(out.Rows) != len(raw)-dirty {
+			return false
+		}
+		if len(keptLabels) != len(out.Rows) || len(kept) != len(out.Rows) {
+			return false
+		}
+		for i, idx := range kept {
+			if keptLabels[i] != labels[idx] {
+				return false
+			}
+			if math.IsNaN(out.Rows[i][0]) || math.IsInf(out.Rows[i][0], 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRankPermutation: the correlation ranking is always a
+// permutation of the column indices.
+func TestQuickRankPermutation(t *testing.T) {
+	f := func(raw []uint16, cols uint8) bool {
+		d := 1 + int(cols%6)
+		n := len(raw) / d
+		if n < 3 {
+			return true
+		}
+		if n > 50 {
+			n = 50
+		}
+		m := &Matrix{Names: make([]string, d)}
+		labels := make([]bool, n)
+		for i := 0; i < n; i++ {
+			row := make([]float64, d)
+			for j := 0; j < d; j++ {
+				row[j] = float64(raw[i*d+j])
+			}
+			m.Rows = append(m.Rows, row)
+			labels[i] = raw[i*d]%2 == 0
+		}
+		rank := RankByCorrelation(m, labels)
+		if len(rank) != d {
+			return false
+		}
+		seen := make([]bool, d)
+		for _, r := range rank {
+			if r < 0 || r >= d || seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

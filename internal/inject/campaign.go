@@ -1,0 +1,519 @@
+// Package inject implements the paper's fault-injection campaign: cluster
+// the netlist cells (Algorithm 1), draw an equal-proportion sample from
+// every cluster, inject one single-particle fault per sampled cell at a
+// random time through the VPI layer (SEU state flips for storage cells, SET
+// pulses for combinational outputs, per the Fig. 2 models), simulate, and
+// classify the run as a soft error when the main outputs diverge from the
+// golden run. Cluster and chip soft-error rates follow Eq. 2; module-level
+// exposure rates use the soft-error database and the representation weights
+// of the scaled platform.
+package inject
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/socgen"
+	"repro/internal/vcd"
+	"repro/internal/vpi"
+	"repro/internal/xrand"
+)
+
+// Options configures a campaign.
+type Options struct {
+	Engine sim.EngineKind
+	// LET of the simulated heavy-ion environment (MeV·cm²/mg).
+	LET float64
+	// Flux in particles/cm²/s.
+	Flux float64
+	// ExposureS is the real exposure window the simulated run stands for,
+	// in seconds. It calibrates upset-per-cell probabilities.
+	ExposureS float64
+	// KN and LN are Algorithm 1's cluster count and layer depth.
+	KN, LN int
+	// SampleFrac and MinPerCluster control equal-proportion sampling.
+	SampleFrac    float64
+	MinPerCluster int
+	// Seed drives the campaign's sampling and strike-time choices.
+	Seed uint64
+	// ClusterSeed drives Algorithm 1's initial center selection. Zero
+	// derives it from the design name, so the clustering of a given
+	// netlist is identical across campaigns — the paper clusters the
+	// netlist once and then runs fault injection under varying conditions.
+	ClusterSeed uint64
+	// CellWeight returns the representation weight of a cell (physical
+	// elements per simulated cell); nil means weight 1.
+	CellWeight func(c *netlist.FlatCell) float64
+	// ModuleOf groups cells into report modules; nil uses socgen.ModuleOf.
+	ModuleOf func(c *netlist.FlatCell) string
+	// CompareVCD switches the soft-error detector from the fast cycle
+	// signature to a full VCD diff (the paper's method); both yield the
+	// same verdicts, which TestSignatureMatchesVCD verifies.
+	CompareVCD bool
+	// Workers is the number of concurrent injection simulations. Fault
+	// runs are independent, and all random choices are drawn before the
+	// fan-out, so any worker count produces identical results. 0 uses
+	// GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions returns the options used throughout the paper
+// reproduction: LET 37, flux 5e8, EventSim, 25% sampling.
+func DefaultOptions() Options {
+	return Options{
+		Engine:        sim.KindEvent,
+		LET:           37.0,
+		Flux:          5e8,
+		ExposureS:     4e-10,
+		KN:            5,
+		LN:            4,
+		SampleFrac:    0.25,
+		MinPerCluster: 3,
+		Seed:          1,
+	}
+}
+
+// Injection records one fault injection and its outcome.
+type Injection struct {
+	CellID    int
+	Path      string
+	Kind      fault.Kind
+	TimePS    uint64
+	PulsePS   uint64 // SET only
+	Cluster   int
+	SoftError bool
+}
+
+// ClusterStats aggregates one cluster's campaign outcome.
+type ClusterStats struct {
+	Index      int
+	Cells      int
+	Sampled    int
+	SoftErrors int
+	// SER is the sampled soft-error ratio of the cluster (Eq. 2 operand).
+	SER float64
+}
+
+// ModuleStats aggregates a functional module (Memory / Bus / CPU Logic).
+type ModuleStats struct {
+	Name       string
+	Cells      int
+	Sampled    int
+	SoftErrors int
+	// Manifest is the sampled probability that an upset in the module
+	// produces an output error.
+	Manifest float64
+	// Lambda is the expected number of physical upsets in the module over
+	// the exposure window (flux · Σ σ·w · T).
+	Lambda float64
+	// SER is the module soft-error probability over the window:
+	// 1 - exp(-Manifest·Lambda), in percent.
+	SERPercent float64
+}
+
+// Result is the full campaign outcome.
+type Result struct {
+	Design     string
+	Engine     string
+	Options    Options
+	Clusters   []ClusterStats
+	Modules    map[string]*ModuleStats
+	Injections []Injection
+	// ChipSER is Eq. 2: Σ CellN_i·SER_i / Σ CellN_i.
+	ChipSER float64
+	// SETXsect and SEUXsect are the chip's total weighted cross-sections
+	// (cm²) split by fault kind — Table I's last two columns.
+	SETXsect, SEUXsect float64
+	// ClusterOf maps every cell ID to its cluster.
+	ClusterOf []int
+	// GoldenWall and InjectWall are wall-clock durations (Table III).
+	GoldenWall, InjectWall time.Duration
+	// GoldenEvals and InjectEvals count simulator cell evaluations.
+	GoldenEvals, InjectEvals uint64
+}
+
+// Campaign holds the prepared state for running injections on one design.
+type Campaign struct {
+	flat *netlist.Flat
+	plan *socgen.StimulusPlan
+	opts Options
+	db   *fault.DB
+
+	clusters  *cluster.Result
+	golden    *signature
+	goldenVCD *vcd.Trace
+	rng       *xrand.RNG
+	lastEvals uint64
+}
+
+// New prepares a campaign: validates options, clusters the cells, and
+// captures the golden signature.
+func New(f *netlist.Flat, plan *socgen.StimulusPlan, db *fault.DB, opts Options) (*Campaign, *Result, error) {
+	if opts.KN < 1 || opts.LN < 1 {
+		return nil, nil, fmt.Errorf("inject: KN/LN must be positive")
+	}
+	if opts.SampleFrac <= 0 || opts.SampleFrac > 1 {
+		return nil, nil, fmt.Errorf("inject: SampleFrac %g out of (0,1]", opts.SampleFrac)
+	}
+	if opts.Flux < 0 || opts.ExposureS < 0 {
+		return nil, nil, fmt.Errorf("inject: negative flux or exposure")
+	}
+	if opts.ModuleOf == nil {
+		opts.ModuleOf = socgen.ModuleOf
+	}
+	if opts.CellWeight == nil {
+		opts.CellWeight = func(*netlist.FlatCell) float64 { return 1 }
+	}
+	rng := xrand.New(opts.Seed)
+	clusterSeed := opts.ClusterSeed
+	if clusterSeed == 0 {
+		// Stable per-design default: clustering reflects the netlist's
+		// structure, not the campaign's stochastic choices.
+		clusterSeed = 0xcbf29ce484222325
+		for _, b := range []byte(f.Name) {
+			clusterSeed = (clusterSeed ^ uint64(b)) * 0x100000001b3
+		}
+	}
+	cl, err := cluster.ClusterCells(f, opts.KN, opts.LN, xrand.New(clusterSeed))
+	if err != nil {
+		return nil, nil, err
+	}
+	c := &Campaign{flat: f, plan: plan, opts: opts, db: db, clusters: cl, rng: rng}
+
+	res := &Result{
+		Design:    f.Name,
+		Engine:    string(opts.Engine),
+		Options:   opts,
+		Modules:   map[string]*ModuleStats{},
+		ClusterOf: cl.Assign,
+	}
+	start := time.Now()
+	golden, evals, err := c.runOnce(nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("inject: golden run: %v", err)
+	}
+	res.GoldenWall = time.Since(start)
+	res.GoldenEvals = evals
+	c.golden = golden
+	return c, res, nil
+}
+
+// signature is the cycle-sampled value matrix of the monitored outputs:
+// one row per clock cycle, sampled just before each rising edge.
+type signature struct {
+	rows [][]logic.V
+}
+
+func (s *signature) equal(o *signature) bool {
+	if len(s.rows) != len(o.rows) {
+		return false
+	}
+	for i := range s.rows {
+		for j := range s.rows[i] {
+			if s.rows[i][j] != o.rows[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// faultAction schedules the fault during a run; nil means golden.
+type faultAction func(v *vpi.Interface) error
+
+// runOnce simulates the full workload, applying the fault action, and
+// returns the output signature.
+func (c *Campaign) runOnce(fa faultAction) (*signature, uint64, error) {
+	eng, err := sim.New(c.opts.Engine, c.flat)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := c.plan.Apply(eng); err != nil {
+		return nil, 0, err
+	}
+	v := vpi.New(eng)
+	if fa != nil {
+		if err := fa(v); err != nil {
+			return nil, 0, err
+		}
+	}
+	sig := &signature{}
+	cycles := int(c.plan.DurationPS / c.plan.PeriodPS)
+	for k := 2; k <= cycles; k++ {
+		tm := uint64(k)*c.plan.PeriodPS - 20
+		eng.At(tm, func() {
+			row := make([]logic.V, len(c.plan.Monitors))
+			for i, nid := range c.plan.Monitors {
+				row[i] = eng.Value(nid)
+			}
+			sig.rows = append(sig.rows, row)
+		})
+	}
+	if err := eng.Run(c.plan.DurationPS); err != nil {
+		return nil, 0, err
+	}
+	return sig, eng.CellEvals(), nil
+}
+
+// injectionWindow returns a random fault time away from reset and the
+// final cycles, avoiding ±80ps around clock edges so both engines see the
+// same capture behaviour.
+func (c *Campaign) injectionWindow() uint64 {
+	period := c.plan.PeriodPS
+	lo := 3 * period
+	hi := c.plan.DurationPS - 2*period
+	t := lo + uint64(c.rng.Intn(int(hi-lo)))
+	if m := t % period; m < 80 {
+		t += 80 - m
+	} else if m > period-80 {
+		t -= m - (period - 80)
+	}
+	return t
+}
+
+// Run executes the full campaign and fills the result. Injection runs are
+// independent simulations; they fan out over Options.Workers goroutines.
+// Every random decision (sample membership, strike times) is drawn before
+// the fan-out, so the result is identical for any worker count.
+func (c *Campaign) Run(res *Result) error {
+	samples := cluster.SampleProportional(c.clusters, c.opts.SampleFrac, c.opts.MinPerCluster, c.rng.Split())
+	type job struct {
+		cellID, cluster int
+		timePS          uint64
+	}
+	var jobs []job
+	for ci, cells := range samples {
+		for _, cellID := range cells {
+			jobs = append(jobs, job{cellID: cellID, cluster: ci, timePS: c.injectionWindow()})
+		}
+	}
+	if c.opts.CompareVCD && c.goldenVCD == nil {
+		// Materialize the golden VCD before the fan-out so workers share it.
+		g, err := c.runOnceVCD(nil)
+		if err != nil {
+			return err
+		}
+		c.goldenVCD = g
+	}
+
+	workers := c.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	start := time.Now()
+	injections := make([]Injection, len(jobs))
+	errs := make([]error, len(jobs))
+	var evals atomic.Uint64
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				j := jobs[idx]
+				inj, n, err := c.injectOne(j.cellID, j.cluster, j.timePS)
+				if err != nil {
+					errs[idx] = err
+					continue
+				}
+				evals.Add(n)
+				injections[idx] = *inj
+			}
+		}()
+	}
+	for idx := range jobs {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	res.Injections = append(res.Injections, injections...)
+	res.InjectWall = time.Since(start)
+	c.lastEvals = evals.Load()
+	c.aggregate(res)
+	return nil
+}
+
+// injectOne performs a single fault injection run on one cell at the given
+// strike time, returning the outcome and the simulator work performed. It
+// is safe for concurrent use: each call builds its own engine.
+func (c *Campaign) injectOne(cellID, clusterIdx int, t uint64) (*Injection, uint64, error) {
+	fc := c.flat.Cells[cellID]
+	entry, err := c.db.Entry(fc.Def.Name)
+	if err != nil {
+		return nil, 0, err
+	}
+	inj := &Injection{
+		CellID:  cellID,
+		Path:    fc.Path,
+		Cluster: clusterIdx,
+		TimePS:  t,
+	}
+	var fa faultAction
+	if fc.Def.IsSequential() {
+		inj.Kind = fault.SEU
+		fa = seuAction(cellID, t)
+	} else {
+		inj.Kind = fault.SET
+		width := entry.PulseWidthPS(c.opts.LET)
+		if width == 0 {
+			width = 40
+		}
+		inj.PulsePS = width
+		fa = setAction(fc.Out[0], t, width)
+	}
+	if c.opts.CompareVCD {
+		diverged, err := c.compareVCDRun(fa)
+		if err != nil {
+			return nil, 0, fmt.Errorf("inject: cell %s: %v", fc.Path, err)
+		}
+		inj.SoftError = diverged
+		return inj, 0, nil
+	}
+	sig, evals, err := c.runOnce(fa)
+	if err != nil {
+		return nil, 0, fmt.Errorf("inject: cell %s: %v", fc.Path, err)
+	}
+	inj.SoftError = !sig.equal(c.golden)
+	return inj, evals, nil
+}
+
+// seuAction builds the SEU fault action of Fig. 2: invert the storage
+// node at the strike time.
+func seuAction(cellID int, t uint64) faultAction {
+	return func(v *vpi.Interface) error {
+		h, err := v.RegHandle(cellID)
+		if err != nil {
+			return err
+		}
+		return v.FlipReg(h, t)
+	}
+}
+
+// setAction builds the SET fault action of Fig. 2: an equivalent square
+// wave forced onto the struck cell's output net for the pulse width, with
+// the polarity opposing the value present at strike time.
+func setAction(outNet int, t, width uint64) faultAction {
+	return func(v *vpi.Interface) error {
+		h, err := v.NetHandle(outNet)
+		if err != nil {
+			return err
+		}
+		v.CbAtTime(t, func() {
+			cur, _ := v.GetValue(h)
+			pulse := cur.Not()
+			if !cur.IsKnown() {
+				pulse = logic.L1
+			}
+			_ = v.Force(h, t+1, pulse)
+			_ = v.Release(h, t+1+width)
+		})
+		return nil
+	}
+}
+
+// compareVCDRun runs the fault through the full-VCD path against a cached
+// golden VCD trace.
+func (c *Campaign) compareVCDRun(fa faultAction) (bool, error) {
+	if c.goldenVCD == nil {
+		g, err := c.runOnceVCD(nil)
+		if err != nil {
+			return false, err
+		}
+		c.goldenVCD = g
+	}
+	faulty, err := c.runOnceVCD(fa)
+	if err != nil {
+		return false, err
+	}
+	return c.compareCaptured(c.goldenVCD, faulty), nil
+}
+
+// aggregate computes cluster, module and chip statistics from the raw
+// injection outcomes.
+func (c *Campaign) aggregate(res *Result) {
+	res.InjectEvals = c.lastEvals
+	nClusters := len(c.clusters.Members)
+	cs := make([]ClusterStats, nClusters)
+	for ci := range cs {
+		cs[ci] = ClusterStats{Index: ci, Cells: len(c.clusters.Members[ci])}
+	}
+	moduleOf := c.opts.ModuleOf
+	weight := c.opts.CellWeight
+	for _, inj := range res.Injections {
+		cs[inj.Cluster].Sampled++
+		if inj.SoftError {
+			cs[inj.Cluster].SoftErrors++
+		}
+		m := c.module(res, moduleOf(c.flat.Cells[inj.CellID]))
+		m.Sampled++
+		if inj.SoftError {
+			m.SoftErrors++
+		}
+	}
+	var wsum, cells float64
+	for ci := range cs {
+		if cs[ci].Sampled > 0 {
+			cs[ci].SER = float64(cs[ci].SoftErrors) / float64(cs[ci].Sampled)
+		}
+		wsum += float64(cs[ci].Cells) * cs[ci].SER
+		cells += float64(cs[ci].Cells)
+	}
+	res.Clusters = cs
+	if cells > 0 {
+		res.ChipSER = wsum / cells
+	}
+
+	// Per-module exposure: λ = flux · Σ σ(LET)·w · T, manifest from the
+	// module's sampled injections, SER% = 100·(1 − e^{−manifest·λ}).
+	for _, fc := range c.flat.Cells {
+		entry, err := c.db.Entry(fc.Def.Name)
+		if err != nil {
+			continue
+		}
+		m := c.module(res, moduleOf(fc))
+		m.Cells++
+		sigma := entry.XsectAt(c.opts.LET) * weight(fc)
+		m.Lambda += c.opts.Flux * sigma * c.opts.ExposureS
+		if fc.Def.IsSequential() {
+			res.SEUXsect += entry.XsectAt(c.opts.LET) * weight(fc)
+		} else {
+			res.SETXsect += entry.XsectAt(c.opts.LET) * weight(fc)
+		}
+	}
+	for _, m := range res.Modules {
+		if m.Sampled > 0 {
+			m.Manifest = float64(m.SoftErrors) / float64(m.Sampled)
+		}
+		m.SERPercent = 100 * (1 - math.Exp(-m.Manifest*m.Lambda))
+	}
+}
+
+func (c *Campaign) module(res *Result, name string) *ModuleStats {
+	m, ok := res.Modules[name]
+	if !ok {
+		m = &ModuleStats{Name: name}
+		res.Modules[name] = m
+	}
+	return m
+}

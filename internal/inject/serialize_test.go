@@ -1,0 +1,81 @@
+package inject
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	run := prep(t, 1, testOptions())
+	if err := run.Campaign.Run(run.Result); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run.Result.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := run.Result
+	if got.Design != r.Design || got.Engine != r.Engine {
+		t.Errorf("identity fields lost: %s/%s", got.Design, got.Engine)
+	}
+	if got.ChipSER != r.ChipSER {
+		t.Errorf("chip SER %v -> %v", r.ChipSER, got.ChipSER)
+	}
+	if len(got.Injections) != len(r.Injections) {
+		t.Fatalf("injections %d -> %d", len(r.Injections), len(got.Injections))
+	}
+	for i := range got.Injections {
+		a, b := r.Injections[i], got.Injections[i]
+		if a.CellID != b.CellID || a.Kind != b.Kind || a.SoftError != b.SoftError || a.TimePS != b.TimePS {
+			t.Errorf("injection %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if len(got.Clusters) != len(r.Clusters) {
+		t.Fatalf("clusters %d -> %d", len(r.Clusters), len(got.Clusters))
+	}
+	for i := range got.Clusters {
+		if got.Clusters[i].SER != r.Clusters[i].SER {
+			t.Errorf("cluster %d SER differs", i)
+		}
+	}
+	if len(got.Modules) != len(r.Modules) {
+		t.Fatalf("modules %d -> %d", len(r.Modules), len(got.Modules))
+	}
+	for name, m := range r.Modules {
+		gm, ok := got.Modules[name]
+		if !ok {
+			t.Fatalf("module %s lost", name)
+		}
+		if gm.SERPercent != m.SERPercent || gm.Lambda != m.Lambda {
+			t.Errorf("module %s stats differ", name)
+		}
+	}
+	// Labels must be recomputable from the loaded result.
+	labels := got.LabelCellsRefined(got.ChipSER)
+	origLabels := r.LabelCellsRefined(r.ChipSER)
+	if len(labels) != len(origLabels) {
+		t.Fatal("label vector length differs after round trip")
+	}
+	for i := range labels {
+		if labels[i] != origLabels[i] {
+			t.Fatalf("label %d differs after round trip", i)
+		}
+	}
+	if got.GoldenWall != r.GoldenWall || got.InjectWall != r.InjectWall {
+		t.Error("wall-clock fields lost")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON must fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"schema_version": 99}`)); err == nil {
+		t.Error("unknown schema version must fail")
+	}
+}

@@ -1,0 +1,99 @@
+package inject
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/vcd"
+	"repro/internal/vpi"
+)
+
+// runOnceVCD simulates like runOnce but dumps the monitored outputs to a
+// full VCD trace — the paper's original soft-error detection path. It is
+// slower than the cycle-signature comparison and exists both as the
+// faithful method (Options.CompareVCD) and as the cross-check oracle the
+// tests use to validate the fast path.
+func (c *Campaign) runOnceVCD(fa faultAction) (*vcd.Trace, error) {
+	eng, err := sim.New(c.opts.Engine, c.flat)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	w := vcd.NewWriter(&buf)
+	if err := sim.AttachVCD(eng, w, c.plan.Monitors); err != nil {
+		return nil, err
+	}
+	if err := c.plan.Apply(eng); err != nil {
+		return nil, err
+	}
+	v := vpi.New(eng)
+	if fa != nil {
+		if err := fa(v); err != nil {
+			return nil, err
+		}
+	}
+	if err := eng.Run(c.plan.DurationPS); err != nil {
+		return nil, err
+	}
+	if err := w.Close(c.plan.DurationPS); err != nil {
+		return nil, err
+	}
+	return vcd.Parse(&buf)
+}
+
+// VerifyWithVCD re-executes one recorded injection using full VCD diffing
+// and reports whether the faulty trace diverges from a golden VCD trace.
+// The verdict must agree with the recorded Injection.SoftError up to
+// intra-cycle glitches: the VCD path also sees transients between clock
+// edges, so a nil error with a differing verdict means the divergence was
+// a glitch that never got captured — callers treating captured state as
+// the soft-error criterion should compare at cycle boundaries, which is
+// what CompareCaptured does.
+func (c *Campaign) VerifyWithVCD(inj Injection) (bool, error) {
+	fa, err := c.rebuildAction(inj)
+	if err != nil {
+		return false, err
+	}
+	golden, err := c.runOnceVCD(nil)
+	if err != nil {
+		return false, err
+	}
+	faulty, err := c.runOnceVCD(fa)
+	if err != nil {
+		return false, err
+	}
+	return c.compareCaptured(golden, faulty), nil
+}
+
+// compareCaptured diffs two VCD traces at the pre-edge sampling instants,
+// matching the signature detector's cycle-boundary semantics.
+func (c *Campaign) compareCaptured(golden, faulty *vcd.Trace) bool {
+	cycles := int(c.plan.DurationPS / c.plan.PeriodPS)
+	for name, gs := range golden.Signals {
+		fs, ok := faulty.Signals[name]
+		if !ok {
+			return true
+		}
+		for k := 2; k <= cycles; k++ {
+			tm := uint64(k)*c.plan.PeriodPS - 20
+			if !gs.At(tm).Equal(fs.At(tm)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rebuildAction reconstructs the fault action of a recorded injection so
+// it can be replayed.
+func (c *Campaign) rebuildAction(inj Injection) (faultAction, error) {
+	fc := c.flat.Cells[inj.CellID]
+	if fc.Def.IsSequential() {
+		return seuAction(inj.CellID, inj.TimePS), nil
+	}
+	if inj.PulsePS == 0 {
+		return nil, fmt.Errorf("inject: SET injection for %s lacks a pulse width", inj.Path)
+	}
+	return setAction(fc.Out[0], inj.TimePS, inj.PulsePS), nil
+}

@@ -1,0 +1,167 @@
+// Package mlmetrics provides the binary-classification metrics the paper
+// evaluates its SVM with (Table II): TPR, TNR, precision, accuracy, F1, and
+// the ROC curve with its AUC (Fig. 6).
+package mlmetrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Confusion is a binary confusion matrix. Positive means "highly
+// sensitive" throughout the framework.
+type Confusion struct {
+	TP, TN, FP, FN int
+}
+
+// Count accumulates one prediction into the matrix.
+func (c *Confusion) Count(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case !predicted && !actual:
+		c.TN++
+	case predicted && !actual:
+		c.FP++
+	default:
+		c.FN++
+	}
+}
+
+// Total returns the number of counted examples.
+func (c Confusion) Total() int { return c.TP + c.TN + c.FP + c.FN }
+
+// TPR is the true positive rate (recall, sensitivity).
+func (c Confusion) TPR() float64 { return ratio(c.TP, c.TP+c.FN) }
+
+// TNR is the true negative rate (specificity).
+func (c Confusion) TNR() float64 { return ratio(c.TN, c.TN+c.FP) }
+
+// FPR is the false positive rate, 1−TNR.
+func (c Confusion) FPR() float64 { return ratio(c.FP, c.FP+c.TN) }
+
+// Precision is TP/(TP+FP).
+func (c Confusion) Precision() float64 { return ratio(c.TP, c.TP+c.FP) }
+
+// Accuracy is (TP+TN)/total.
+func (c Confusion) Accuracy() float64 { return ratio(c.TP+c.TN, c.Total()) }
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.TPR()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix and headline metrics.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d TN=%d FP=%d FN=%d | TNR=%.2f%% TPR=%.2f%% P=%.2f%% Acc=%.2f%% F1=%.2f",
+		c.TP, c.TN, c.FP, c.FN, 100*c.TNR(), 100*c.TPR(), 100*c.Precision(), 100*c.Accuracy(), c.F1())
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// ROCPoint is one operating point of the ROC curve.
+type ROCPoint struct {
+	Threshold float64
+	FPR, TPR  float64
+}
+
+// ROC sweeps a decision threshold over the scores and returns the curve
+// from (0,0) to (1,1), sorted by ascending FPR. scores[i] is the decision
+// value of example i; labels[i] its ground truth.
+func ROC(scores []float64, labels []bool) []ROCPoint {
+	if len(scores) != len(labels) || len(scores) == 0 {
+		return nil
+	}
+	type pair struct {
+		s   float64
+		pos bool
+	}
+	pairs := make([]pair, len(scores))
+	var posTotal, negTotal int
+	for i := range scores {
+		pairs[i] = pair{scores[i], labels[i]}
+		if labels[i] {
+			posTotal++
+		} else {
+			negTotal++
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].s > pairs[j].s })
+	curve := []ROCPoint{{Threshold: pairs[0].s + 1, FPR: 0, TPR: 0}}
+	tp, fp := 0, 0
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j].s == pairs[i].s {
+			if pairs[j].pos {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		curve = append(curve, ROCPoint{
+			Threshold: pairs[i].s,
+			FPR:       ratio(fp, negTotal),
+			TPR:       ratio(tp, posTotal),
+		})
+		i = j
+	}
+	return curve
+}
+
+// AUC integrates the ROC curve with the trapezoid rule.
+func AUC(curve []ROCPoint) float64 {
+	var area float64
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}
+
+// Metrics bundles the Table II row for one benchmark.
+type Metrics struct {
+	TNR, TPR, Precision, Accuracy, F1 float64
+}
+
+// FromConfusion extracts the Table II metrics from a confusion matrix.
+func FromConfusion(c Confusion) Metrics {
+	return Metrics{
+		TNR:       c.TNR(),
+		TPR:       c.TPR(),
+		Precision: c.Precision(),
+		Accuracy:  c.Accuracy(),
+		F1:        c.F1(),
+	}
+}
+
+// Mean averages a set of metric rows (the Table II "Average" row).
+func Mean(ms []Metrics) Metrics {
+	if len(ms) == 0 {
+		return Metrics{}
+	}
+	var out Metrics
+	for _, m := range ms {
+		out.TNR += m.TNR
+		out.TPR += m.TPR
+		out.Precision += m.Precision
+		out.Accuracy += m.Accuracy
+		out.F1 += m.F1
+	}
+	n := float64(len(ms))
+	out.TNR /= n
+	out.TPR /= n
+	out.Precision /= n
+	out.Accuracy /= n
+	out.F1 /= n
+	return out
+}

@@ -1,0 +1,139 @@
+package mlmetrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfusionCounting(t *testing.T) {
+	var c Confusion
+	c.Count(true, true)   // TP
+	c.Count(true, true)   // TP
+	c.Count(false, false) // TN
+	c.Count(true, false)  // FP
+	c.Count(false, true)  // FN
+	if c.TP != 2 || c.TN != 1 || c.FP != 1 || c.FN != 1 {
+		t.Fatalf("matrix wrong: %+v", c)
+	}
+	if c.Total() != 5 {
+		t.Errorf("total = %d", c.Total())
+	}
+	if got := c.TPR(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("TPR = %v", got)
+	}
+	if got := c.TNR(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("TNR = %v", got)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Precision = %v", got)
+	}
+	if got := c.Accuracy(); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	wantF1 := 2 * (2.0 / 3) * (2.0 / 3) / (2.0/3 + 2.0/3)
+	if got := c.F1(); math.Abs(got-wantF1) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", got, wantF1)
+	}
+	if got := c.FPR(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("FPR = %v", got)
+	}
+}
+
+func TestEmptyConfusionSafe(t *testing.T) {
+	var c Confusion
+	for _, v := range []float64{c.TPR(), c.TNR(), c.Precision(), c.Accuracy(), c.F1()} {
+		if v != 0 {
+			t.Errorf("empty matrix metric = %v, want 0", v)
+		}
+	}
+}
+
+func TestPerfectClassifierROC(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	curve := ROC(scores, labels)
+	if auc := AUC(curve); math.Abs(auc-1.0) > 1e-12 {
+		t.Errorf("perfect AUC = %v", auc)
+	}
+}
+
+func TestWorstClassifierROC(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{false, false, true, true}
+	if auc := AUC(ROC(scores, labels)); math.Abs(auc-0) > 1e-12 {
+		t.Errorf("inverted AUC = %v", auc)
+	}
+}
+
+func TestRandomClassifierROC(t *testing.T) {
+	// Alternating scores/labels give AUC 0.5.
+	var scores []float64
+	var labels []bool
+	for i := 0; i < 100; i++ {
+		scores = append(scores, float64(100-i))
+		labels = append(labels, i%2 == 0)
+	}
+	auc := AUC(ROC(scores, labels))
+	if math.Abs(auc-0.5) > 0.02 {
+		t.Errorf("alternating AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	scores := []float64{0.7, 0.6, 0.6, 0.4, 0.3, 0.3, 0.2}
+	labels := []bool{true, false, true, true, false, false, true}
+	curve := ROC(scores, labels)
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR < curve[i-1].FPR || curve[i].TPR < curve[i-1].TPR {
+			t.Fatalf("ROC not monotone at %d: %+v", i, curve)
+		}
+	}
+	last := curve[len(curve)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("ROC must end at (1,1): %+v", last)
+	}
+	if curve[0].FPR != 0 || curve[0].TPR != 0 {
+		t.Errorf("ROC must start at (0,0): %+v", curve[0])
+	}
+}
+
+func TestROCTiedScoresGrouped(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5}
+	labels := []bool{true, false, true}
+	curve := ROC(scores, labels)
+	// One step from (0,0) to (1,1): all examples share a threshold.
+	if len(curve) != 2 {
+		t.Fatalf("tied scores must collapse to one step, got %d points", len(curve))
+	}
+}
+
+func TestROCDegenerate(t *testing.T) {
+	if ROC(nil, nil) != nil {
+		t.Error("empty ROC must be nil")
+	}
+	if ROC([]float64{1}, []bool{true, false}) != nil {
+		t.Error("length mismatch must be nil")
+	}
+}
+
+func TestMeanMetrics(t *testing.T) {
+	ms := []Metrics{
+		{TNR: 0.9, TPR: 0.8, Precision: 0.85, Accuracy: 0.87, F1: 0.82},
+		{TNR: 0.7, TPR: 0.6, Precision: 0.65, Accuracy: 0.67, F1: 0.62},
+	}
+	m := Mean(ms)
+	if math.Abs(m.TNR-0.8) > 1e-12 || math.Abs(m.TPR-0.7) > 1e-12 {
+		t.Errorf("mean wrong: %+v", m)
+	}
+	if Mean(nil) != (Metrics{}) {
+		t.Error("empty mean must be zero")
+	}
+}
+
+func TestFromConfusion(t *testing.T) {
+	c := Confusion{TP: 8, TN: 9, FP: 1, FN: 2}
+	m := FromConfusion(c)
+	if m.TPR != c.TPR() || m.TNR != c.TNR() || m.Accuracy != c.Accuracy() {
+		t.Errorf("FromConfusion mismatch: %+v", m)
+	}
+}

@@ -1,0 +1,122 @@
+package mlmetrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickConfusionIdentities: for arbitrary matrices, the derived rates
+// satisfy their defining identities and ranges.
+func TestQuickConfusionIdentities(t *testing.T) {
+	f := func(tp, tn, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp), TN: int(tn), FP: int(fp), FN: int(fn)}
+		for _, v := range []float64{c.TPR(), c.TNR(), c.FPR(), c.Precision(), c.Accuracy(), c.F1()} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		if c.FP+c.TN > 0 && math.Abs(c.FPR()+c.TNR()-1) > 1e-12 {
+			return false
+		}
+		if c.Total() != int(tp)+int(tn)+int(fp)+int(fn) {
+			return false
+		}
+		// F1 is bounded by min and max of precision and recall... more
+		// precisely the harmonic mean lies between them.
+		p, r := c.Precision(), c.TPR()
+		f1 := c.F1()
+		lo, hi := math.Min(p, r), math.Max(p, r)
+		return f1 >= lo-1e-12 && f1 <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCountConsistency: Count preserves the per-class tallies for any
+// prediction stream.
+func TestQuickCountConsistency(t *testing.T) {
+	f := func(bits []byte) bool {
+		var c Confusion
+		wantPos, wantNeg := 0, 0
+		for _, b := range bits {
+			predicted := b&1 == 1
+			actual := b&2 == 2
+			c.Count(predicted, actual)
+			if actual {
+				wantPos++
+			} else {
+				wantNeg++
+			}
+		}
+		return c.TP+c.FN == wantPos && c.TN+c.FP == wantNeg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAUCWithinUnit: AUC of any score/label set lies in [0,1], and
+// flipping all labels reflects it around 0.5.
+func TestQuickAUCWithinUnit(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		if len(raw) > 100 {
+			raw = raw[:100]
+		}
+		scores := make([]float64, len(raw))
+		labels := make([]bool, len(raw))
+		pos := 0
+		for i, r := range raw {
+			scores[i] = float64(r >> 1)
+			labels[i] = r&1 == 1
+			if labels[i] {
+				pos++
+			}
+		}
+		if pos == 0 || pos == len(labels) {
+			return true
+		}
+		auc := AUC(ROC(scores, labels))
+		if auc < -1e-12 || auc > 1+1e-12 {
+			return false
+		}
+		inv := make([]bool, len(labels))
+		for i := range labels {
+			inv[i] = !labels[i]
+		}
+		aucInv := AUC(ROC(scores, inv))
+		return math.Abs(auc+aucInv-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMeanBounds: the mean of metric rows is bounded by the rows'
+// extremes, component-wise.
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var ms []Metrics
+		for _, v := range vals {
+			x := float64(v) / 255
+			ms = append(ms, Metrics{TNR: x, TPR: 1 - x, Precision: x / 2, Accuracy: x, F1: x * x})
+		}
+		m := Mean(ms)
+		lo, hi := 1.0, 0.0
+		for _, r := range ms {
+			lo = math.Min(lo, r.Accuracy)
+			hi = math.Max(hi, r.Accuracy)
+		}
+		return m.Accuracy >= lo-1e-12 && m.Accuracy <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

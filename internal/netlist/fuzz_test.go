@@ -1,0 +1,159 @@
+package netlist
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/xrand"
+)
+
+// randomDesign builds a structurally valid random hierarchical design:
+// random combinational DAGs inside leaf modules, random instantiation one
+// level up, every net driven exactly once.
+func randomDesign(rng *xrand.RNG) *Design {
+	d := NewDesign("fuzz")
+	combCells := []string{"INVX1", "NAND2X1", "NOR2X1", "XOR2X1", "AND2X1", "MUX2X1"}
+
+	nLeaves := 1 + rng.Intn(3)
+	var leafNames []string
+	for li := 0; li < nLeaves; li++ {
+		name := fmt.Sprintf("leaf%d", li)
+		m := NewModule(name)
+		nIn := 2 + rng.Intn(3)
+		var avail []string
+		for i := 0; i < nIn; i++ {
+			avail = append(avail, m.AddPort(fmt.Sprintf("i%d", i), Input))
+		}
+		nGates := 1 + rng.Intn(6)
+		for g := 0; g < nGates; g++ {
+			cellName := combCells[rng.Intn(len(combCells))]
+			def := cell.MustLookup(cellName)
+			conns := map[string]string{}
+			for _, p := range def.Inputs {
+				conns[p] = avail[rng.Intn(len(avail))]
+			}
+			out := m.AddWire(fmt.Sprintf("w%d", g))
+			conns[def.Outputs[0]] = out
+			m.AddInstance(fmt.Sprintf("g%d", g), cellName, conns)
+			avail = append(avail, out)
+		}
+		// Expose the last wire as the output through a buffer.
+		y := m.AddPort("y", Output)
+		m.AddInstance("u_out", "BUFX2", map[string]string{"A": avail[len(avail)-1], "Y": y})
+		d.AddModule(m)
+		leafNames = append(leafNames, name)
+	}
+
+	top := NewModule("top")
+	nTopIn := 3 + rng.Intn(3)
+	var nets []string
+	for i := 0; i < nTopIn; i++ {
+		nets = append(nets, top.AddPort(fmt.Sprintf("pi%d", i), Input))
+	}
+	nInst := 1 + rng.Intn(4)
+	for ii := 0; ii < nInst; ii++ {
+		leaf := leafNames[rng.Intn(len(leafNames))]
+		lm := d.Modules[leaf]
+		conns := map[string]string{}
+		for _, p := range lm.Ports {
+			if p.Dir == Input {
+				conns[p.Name] = nets[rng.Intn(len(nets))]
+			} else {
+				out := top.AddWire(fmt.Sprintf("o%d", ii))
+				conns[p.Name] = out
+				nets = append(nets, out)
+			}
+		}
+		top.AddInstance(fmt.Sprintf("u%d", ii), leaf, conns)
+	}
+	po := top.AddPort("po", Output)
+	top.AddInstance("u_po", "BUFX2", map[string]string{"A": nets[len(nets)-1], "Y": po})
+	d.AddModule(top)
+	d.Top = "top"
+	return d
+}
+
+// TestFlattenInvariantsFuzz checks structural invariants of Flatten over
+// many random designs: single driver per net, consistent fanout back
+// pointers, complete indices, and monotone levels along driver edges.
+func TestFlattenInvariantsFuzz(t *testing.T) {
+	rng := xrand.New(20240612)
+	for trial := 0; trial < 200; trial++ {
+		d := randomDesign(rng)
+		f, err := Flatten(d)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, n := range f.Nets {
+			if n.Driver >= 0 {
+				c := f.Cells[n.Driver]
+				if c.Out[n.DrvPin] != n.ID {
+					t.Fatalf("trial %d: driver back-pointer broken for net %s", trial, n.Name)
+				}
+			}
+			for _, fo := range n.Fanout {
+				c := f.Cells[fo.Cell]
+				if c.In[fo.Pin] != n.ID {
+					t.Fatalf("trial %d: fanout back-pointer broken for net %s", trial, n.Name)
+				}
+			}
+		}
+		for _, c := range f.Cells {
+			if got := f.CellIndex[c.Path]; got != c.ID {
+				t.Fatalf("trial %d: cell index broken for %s", trial, c.Path)
+			}
+			if c.Def.IsSequential() {
+				continue
+			}
+			for _, nid := range c.In {
+				drv := f.Nets[nid].Driver
+				if drv >= 0 && !f.Cells[drv].Def.IsSequential() {
+					if f.Cells[drv].Level >= c.Level {
+						t.Fatalf("trial %d: levels not monotone: %s(%d) -> %s(%d)",
+							trial, f.Cells[drv].Path, f.Cells[drv].Level, c.Path, c.Level)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVerilogRoundTripFuzz checks that random designs survive the Verilog
+// writer/parser round trip with identical flattened structure.
+func TestVerilogRoundTripFuzz(t *testing.T) {
+	rng := xrand.New(777)
+	for trial := 0; trial < 100; trial++ {
+		d := randomDesign(rng)
+		var buf bytes.Buffer
+		if err := WriteVerilog(&buf, d); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		d2, err := ParseVerilog(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v", trial, err)
+		}
+		f1, err := Flatten(d)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		f2, err := Flatten(d2)
+		if err != nil {
+			t.Fatalf("trial %d: reparsed design invalid: %v", trial, err)
+		}
+		if len(f1.Cells) != len(f2.Cells) || len(f1.Nets) != len(f2.Nets) {
+			t.Fatalf("trial %d: structure changed: cells %d->%d nets %d->%d",
+				trial, len(f1.Cells), len(f2.Cells), len(f1.Nets), len(f2.Nets))
+		}
+		for path, id := range f1.CellIndex {
+			id2, ok := f2.CellIndex[path]
+			if !ok {
+				t.Fatalf("trial %d: cell %s lost in round trip", trial, path)
+			}
+			if f1.Cells[id].Def.Name != f2.Cells[id2].Def.Name {
+				t.Fatalf("trial %d: cell %s changed type", trial, path)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cell"
+)
+
+// Stats summarizes a flattened design.
+type Stats struct {
+	Cells       int
+	Nets        int
+	Sequential  int
+	Comb        int
+	MemoryBits  int
+	MaxLevel    int
+	MaxDepth    int
+	AreaUM2     float64
+	ByClass     map[cell.Class]int
+	ByCellName  map[string]int
+	ByTopModule map[string]int // cells grouped by the second trail segment (functional block)
+}
+
+// ComputeStats walks the flat design once and returns aggregate counts.
+func ComputeStats(f *Flat) Stats {
+	s := Stats{
+		Cells:       len(f.Cells),
+		Nets:        len(f.Nets),
+		MaxLevel:    f.MaxLevel,
+		ByClass:     map[cell.Class]int{},
+		ByCellName:  map[string]int{},
+		ByTopModule: map[string]int{},
+	}
+	for _, c := range f.Cells {
+		s.ByClass[c.Def.Class]++
+		s.ByCellName[c.Def.Name]++
+		s.AreaUM2 += c.Def.AreaUM2
+		switch c.Def.Class {
+		case cell.Sequential:
+			s.Sequential++
+		case cell.Memory:
+			s.MemoryBits++
+		default:
+			s.Comb++
+		}
+		if d := c.Depth(); d > s.MaxDepth {
+			s.MaxDepth = d
+		}
+		s.ByTopModule[c.FunctionalBlock()]++
+	}
+	return s
+}
+
+// FunctionalBlock returns the name of the top-level functional block the
+// cell sits in (the first instance segment below the top module), or "top"
+// for cells instantiated directly in the top module.
+func (c *FlatCell) FunctionalBlock() string {
+	if len(c.Trail) < 2 {
+		return "top"
+	}
+	return c.Trail[1]
+}
+
+// String renders the statistics as a small fixed-order report.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cells=%d nets=%d seq=%d comb=%d membits=%d maxlevel=%d maxdepth=%d area=%.1fum2\n",
+		s.Cells, s.Nets, s.Sequential, s.Comb, s.MemoryBits, s.MaxLevel, s.MaxDepth, s.AreaUM2)
+	blocks := make([]string, 0, len(s.ByTopModule))
+	for b := range s.ByTopModule {
+		blocks = append(blocks, b)
+	}
+	sort.Strings(blocks)
+	for _, b := range blocks {
+		fmt.Fprintf(&sb, "  block %-16s %6d cells\n", b, s.ByTopModule[b])
+	}
+	return sb.String()
+}

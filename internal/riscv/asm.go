@@ -1,0 +1,459 @@
+package riscv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates a small RV32I+M assembly dialect into a binary image
+// based at the given address. Supported syntax:
+//
+//	label:                     ; labels on their own line or before an op
+//	op rd, rs1, rs2            ; register ops
+//	op rd, rs1, imm            ; immediate ops
+//	lw rd, off(rs)             ; loads/stores
+//	beq rs1, rs2, label        ; branches to labels
+//	.word 0x1234               ; literal data
+//	# comment, // comment
+//
+// plus the pseudo-instructions nop, li, mv, j, jr, ret, call, beqz, bnez,
+// not, neg and halt (ecall). Registers accept x0..x31 and ABI names.
+func Assemble(src string, base uint32) ([]byte, error) {
+	lines := strings.Split(src, "\n")
+	type item struct {
+		label  string
+		op     string
+		args   []string
+		lineNo int
+	}
+	var items []item
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for {
+			if i := strings.Index(line, ":"); i >= 0 && !strings.ContainsAny(line[:i], " \t") {
+				items = append(items, item{label: strings.TrimSpace(line[:i]), lineNo: ln + 1})
+				line = strings.TrimSpace(line[i+1:])
+				if line == "" {
+					break
+				}
+				continue
+			}
+			fields := strings.SplitN(line, " ", 2)
+			it := item{op: strings.ToLower(fields[0]), lineNo: ln + 1}
+			if len(fields) > 1 {
+				for _, a := range strings.Split(fields[1], ",") {
+					it.args = append(it.args, strings.TrimSpace(a))
+				}
+			}
+			items = append(items, it)
+			break
+		}
+	}
+
+	// Pass 1: expand pseudo-ops to concrete sizes and assign addresses.
+	type rec struct {
+		op     string
+		args   []string
+		addr   uint32
+		lineNo int
+	}
+	var recs []rec
+	labels := map[string]uint32{}
+	pc := base
+	for _, it := range items {
+		if it.label != "" {
+			if _, dup := labels[it.label]; dup {
+				return nil, fmt.Errorf("asm: line %d: duplicate label %q", it.lineNo, it.label)
+			}
+			labels[it.label] = pc
+			continue
+		}
+		exp, err := expandPseudo(it.op, it.args, it.lineNo)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range exp {
+			recs = append(recs, rec{op: e.op, args: e.args, addr: pc, lineNo: it.lineNo})
+			pc += 4
+		}
+	}
+
+	// Pass 2: encode.
+	var out []byte
+	for _, r := range recs {
+		word, err := encode(r.op, r.args, r.addr, labels)
+		if err != nil {
+			return nil, fmt.Errorf("asm: line %d: %v", r.lineNo, err)
+		}
+		out = append(out, byte(word), byte(word>>8), byte(word>>16), byte(word>>24))
+	}
+	return out, nil
+}
+
+type pseudoOut struct {
+	op   string
+	args []string
+}
+
+func expandPseudo(op string, args []string, lineNo int) ([]pseudoOut, error) {
+	one := func(op string, args ...string) []pseudoOut { return []pseudoOut{{op: op, args: args}} }
+	switch op {
+	case "nop":
+		return one("addi", "x0", "x0", "0"), nil
+	case "halt", "ecall":
+		return one("_ecall"), nil
+	case "ebreak":
+		return one("_ecall"), nil
+	case "mv":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("asm: line %d: mv needs 2 args", lineNo)
+		}
+		return one("addi", args[0], args[1], "0"), nil
+	case "not":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("asm: line %d: not needs 2 args", lineNo)
+		}
+		return one("xori", args[0], args[1], "-1"), nil
+	case "neg":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("asm: line %d: neg needs 2 args", lineNo)
+		}
+		return one("sub", args[0], "x0", args[1]), nil
+	case "j":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("asm: line %d: j needs 1 arg", lineNo)
+		}
+		return one("jal", "x0", args[0]), nil
+	case "jr":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("asm: line %d: jr needs 1 arg", lineNo)
+		}
+		return one("jalr", "x0", args[0], "0"), nil
+	case "ret":
+		return one("jalr", "x0", "ra", "0"), nil
+	case "call":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("asm: line %d: call needs 1 arg", lineNo)
+		}
+		return one("jal", "ra", args[0]), nil
+	case "beqz":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("asm: line %d: beqz needs 2 args", lineNo)
+		}
+		return one("beq", args[0], "x0", args[1]), nil
+	case "bnez":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("asm: line %d: bnez needs 2 args", lineNo)
+		}
+		return one("bne", args[0], "x0", args[1]), nil
+	case "li":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("asm: line %d: li needs 2 args", lineNo)
+		}
+		v, err := parseImm(args[1])
+		if err != nil {
+			return nil, fmt.Errorf("asm: line %d: %v", lineNo, err)
+		}
+		if v >= -2048 && v <= 2047 {
+			return one("addi", args[0], "x0", args[1]), nil
+		}
+		uv := uint32(v)
+		hi := (uv + 0x800) >> 12
+		lo := int32(uv) - int32(hi<<12)
+		return []pseudoOut{
+			{op: "lui", args: []string{args[0], strconv.FormatUint(uint64(hi), 10)}},
+			{op: "addi", args: []string{args[0], args[0], strconv.FormatInt(int64(lo), 10)}},
+		}, nil
+	default:
+		return []pseudoOut{{op: op, args: args}}, nil
+	}
+}
+
+var abiRegs = map[string]uint32{
+	"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+	"t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+	"a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+	"s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23, "s8": 24, "s9": 25,
+	"s10": 26, "s11": 27, "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+func parseReg(s string) (uint32, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if n, ok := abiRegs[s]; ok {
+		return n, nil
+	}
+	if strings.HasPrefix(s, "x") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < 32 {
+			return uint32(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMemOperand splits "off(rs)" into offset and register.
+func parseMemOperand(s string) (int64, uint32, error) {
+	open := strings.IndexByte(s, '(')
+	close := strings.IndexByte(s, ')')
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	off, err := parseImm(offStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	reg, err := parseReg(s[open+1 : close])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, reg, nil
+}
+
+type encR struct{ funct7, funct3, opcode uint32 }
+
+var rOps = map[string]encR{
+	"add": {0x00, 0, 0x33}, "sub": {0x20, 0, 0x33}, "sll": {0x00, 1, 0x33},
+	"slt": {0x00, 2, 0x33}, "sltu": {0x00, 3, 0x33}, "xor": {0x00, 4, 0x33},
+	"srl": {0x00, 5, 0x33}, "sra": {0x20, 5, 0x33}, "or": {0x00, 6, 0x33},
+	"and": {0x00, 7, 0x33},
+	"mul": {0x01, 0, 0x33}, "mulh": {0x01, 1, 0x33}, "mulhsu": {0x01, 2, 0x33},
+	"mulhu": {0x01, 3, 0x33}, "div": {0x01, 4, 0x33}, "divu": {0x01, 5, 0x33},
+	"rem": {0x01, 6, 0x33}, "remu": {0x01, 7, 0x33},
+}
+
+var iOps = map[string]uint32{ // funct3 for opcode 0x13
+	"addi": 0, "slti": 2, "sltiu": 3, "xori": 4, "ori": 6, "andi": 7,
+}
+
+var loadOps = map[string]uint32{"lb": 0, "lh": 1, "lw": 2, "lbu": 4, "lhu": 5}
+var storeOps = map[string]uint32{"sb": 0, "sh": 1, "sw": 2}
+var branchOps = map[string]uint32{"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7}
+
+func resolveTarget(s string, labels map[string]uint32) (uint32, error) {
+	if v, ok := labels[s]; ok {
+		return v, nil
+	}
+	imm, err := parseImm(s)
+	if err != nil {
+		return 0, fmt.Errorf("unknown label or immediate %q", s)
+	}
+	return uint32(imm), nil
+}
+
+func encode(op string, args []string, addr uint32, labels map[string]uint32) (uint32, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	if e, ok := rOps[op]; ok {
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return 0, err
+		}
+		rs2, err := parseReg(args[2])
+		if err != nil {
+			return 0, err
+		}
+		return e.funct7<<25 | rs2<<20 | rs1<<15 | e.funct3<<12 | rd<<7 | e.opcode, nil
+	}
+	if f3, ok := iOps[op]; ok {
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return 0, err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return 0, err
+		}
+		if imm < -2048 || imm > 2047 {
+			return 0, fmt.Errorf("%s immediate %d out of 12-bit range", op, imm)
+		}
+		return uint32(imm)&0xfff<<20 | rs1<<15 | f3<<12 | rd<<7 | 0x13, nil
+	}
+	switch op {
+	case "slli", "srli", "srai":
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return 0, err
+		}
+		sh, err := parseImm(args[2])
+		if err != nil || sh < 0 || sh > 31 {
+			return 0, fmt.Errorf("bad shift amount %q", args[2])
+		}
+		var f3, f7 uint32
+		switch op {
+		case "slli":
+			f3 = 1
+		case "srli":
+			f3 = 5
+		case "srai":
+			f3, f7 = 5, 0x20
+		}
+		return f7<<25 | uint32(sh)<<20 | rs1<<15 | f3<<12 | rd<<7 | 0x13, nil
+	case "lui", "auipc":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return 0, err
+		}
+		opc := uint32(0x37)
+		if op == "auipc" {
+			opc = 0x17
+		}
+		return uint32(imm)<<12 | rd<<7 | opc, nil
+	case "jal":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		target, err := resolveTarget(args[1], labels)
+		if err != nil {
+			return 0, err
+		}
+		off := int32(target - addr)
+		if off < -(1<<20) || off >= 1<<20 || off&1 != 0 {
+			return 0, fmt.Errorf("jal offset %d unencodable", off)
+		}
+		u := uint32(off)
+		word := (u>>20&1)<<31 | (u>>1&0x3ff)<<21 | (u>>11&1)<<20 | (u>>12&0xff)<<12 | rd<<7 | 0x6f
+		return word, nil
+	case "jalr":
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return 0, err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return 0, err
+		}
+		return uint32(imm)&0xfff<<20 | rs1<<15 | rd<<7 | 0x67, nil
+	case "_ecall":
+		return 0x73, nil
+	case ".word":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		imm, err := parseImm(args[0])
+		if err != nil {
+			return 0, err
+		}
+		return uint32(imm), nil
+	}
+	if f3, ok := loadOps[op]; ok {
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		off, rs1, err := parseMemOperand(args[1])
+		if err != nil {
+			return 0, err
+		}
+		return uint32(off)&0xfff<<20 | rs1<<15 | f3<<12 | rd<<7 | 0x03, nil
+	}
+	if f3, ok := storeOps[op]; ok {
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rs2, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		off, rs1, err := parseMemOperand(args[1])
+		if err != nil {
+			return 0, err
+		}
+		u := uint32(off) & 0xfff
+		return (u>>5)<<25 | rs2<<20 | rs1<<15 | f3<<12 | (u&0x1f)<<7 | 0x23, nil
+	}
+	if f3, ok := branchOps[op]; ok {
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rs1, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		rs2, err := parseReg(args[1])
+		if err != nil {
+			return 0, err
+		}
+		target, err := resolveTarget(args[2], labels)
+		if err != nil {
+			return 0, err
+		}
+		off := int32(target - addr)
+		if off < -4096 || off >= 4096 || off&1 != 0 {
+			return 0, fmt.Errorf("branch offset %d unencodable", off)
+		}
+		u := uint32(off)
+		word := (u>>12&1)<<31 | (u>>5&0x3f)<<25 | rs2<<20 | rs1<<15 | f3<<12 | (u>>1&0xf)<<8 | (u>>11&1)<<7 | 0x63
+		return word, nil
+	}
+	return 0, fmt.Errorf("unknown instruction %q", op)
+}

@@ -1,0 +1,240 @@
+package riscv
+
+import "fmt"
+
+// Program is a named benchmark kernel with its assembly source. The halt
+// convention is: a0 holds the checksum/result at the final ecall.
+type Program struct {
+	Name string
+	Src  string
+}
+
+// MemcpyProgram copies n words between two buffers, then sums the
+// destination as a checksum. Used as the memory-traffic-heavy workload.
+func MemcpyProgram(n int) Program {
+	return Program{
+		Name: fmt.Sprintf("memcpy%d", n),
+		Src: fmt.Sprintf(`
+	li   s0, 0x400        # src base
+	li   s1, 0x800        # dst base
+	li   t0, %d           # word count
+	li   t1, 1            # LCG state
+	mv   t2, s0
+fill:
+	beqz t0, copy_init
+	li   t3, 1103515245
+	mul  t1, t1, t3
+	addi t1, t1, 1013
+	sw   t1, 0(t2)
+	addi t2, t2, 4
+	addi t0, t0, -1
+	j    fill
+copy_init:
+	li   t0, %d
+	mv   t2, s0
+	mv   t3, s1
+copy:
+	beqz t0, sum_init
+	lw   t4, 0(t2)
+	sw   t4, 0(t3)
+	addi t2, t2, 4
+	addi t3, t3, 4
+	addi t0, t0, -1
+	j    copy
+sum_init:
+	li   t0, %d
+	mv   t3, s1
+	li   a0, 0
+sum:
+	beqz t0, done
+	lw   t4, 0(t3)
+	add  a0, a0, t4
+	addi t3, t3, 4
+	addi t0, t0, -1
+	j    sum
+done:
+	halt
+`, n, n, n),
+	}
+}
+
+// DotProductProgram computes the dot product of two pseudo-random vectors —
+// the arithmetic-heavy workload exercising the multiplier.
+func DotProductProgram(n int) Program {
+	return Program{
+		Name: fmt.Sprintf("dot%d", n),
+		Src: fmt.Sprintf(`
+	li   s0, 0x400
+	li   s1, 0x800
+	li   t0, %d
+	li   t1, 7
+	mv   t2, s0
+	mv   t3, s1
+fill:
+	beqz t0, dot_init
+	li   t4, 1103515245
+	mul  t1, t1, t4
+	addi t1, t1, 1013
+	srli t5, t1, 20
+	sw   t5, 0(t2)
+	xori t6, t5, 0x2a
+	sw   t6, 0(t3)
+	addi t2, t2, 4
+	addi t3, t3, 4
+	addi t0, t0, -1
+	j    fill
+dot_init:
+	li   t0, %d
+	mv   t2, s0
+	mv   t3, s1
+	li   a0, 0
+dot:
+	beqz t0, done
+	lw   t4, 0(t2)
+	lw   t5, 0(t3)
+	mul  t6, t4, t5
+	add  a0, a0, t6
+	addi t2, t2, 4
+	addi t3, t3, 4
+	addi t0, t0, -1
+	j    dot
+done:
+	halt
+`, n, n),
+	}
+}
+
+// CRCProgram computes a bitwise CRC-32 over a pseudo-random buffer — the
+// control-flow-heavy workload with data-dependent branches.
+func CRCProgram(nBytes int) Program {
+	return Program{
+		Name: fmt.Sprintf("crc%d", nBytes),
+		Src: fmt.Sprintf(`
+	li   s0, 0x400
+	li   t0, %d
+	li   t1, 99
+	mv   t2, s0
+fill:
+	beqz t0, crc_init
+	li   t3, 1103515245
+	mul  t1, t1, t3
+	addi t1, t1, 1013
+	srli t4, t1, 16
+	sb   t4, 0(t2)
+	addi t2, t2, 1
+	addi t0, t0, -1
+	j    fill
+crc_init:
+	li   a0, -1          # crc register
+	li   t0, %d
+	mv   t2, s0
+	li   s2, 0xedb88320  # reflected polynomial
+byteloop:
+	beqz t0, finish
+	lbu  t3, 0(t2)
+	xor  a0, a0, t3
+	li   t4, 8
+bitloop:
+	beqz t4, nextbyte
+	andi t5, a0, 1
+	srli a0, a0, 1
+	beqz t5, noxor
+	xor  a0, a0, s2
+noxor:
+	addi t4, t4, -1
+	j    bitloop
+nextbyte:
+	addi t2, t2, 1
+	addi t0, t0, -1
+	j    byteloop
+finish:
+	not  a0, a0
+	halt
+`, nBytes, nBytes),
+	}
+}
+
+// SortProgram bubble-sorts a pseudo-random word array and returns the sum
+// of first and last element — the branch- and memory-mixed workload.
+func SortProgram(n int) Program {
+	return Program{
+		Name: fmt.Sprintf("sort%d", n),
+		Src: fmt.Sprintf(`
+	li   s0, 0x400
+	li   t0, %d
+	li   t1, 3
+	mv   t2, s0
+fill:
+	beqz t0, sort_init
+	li   t3, 1103515245
+	mul  t1, t1, t3
+	addi t1, t1, 1013
+	srli t4, t1, 8
+	sw   t4, 0(t2)
+	addi t2, t2, 4
+	addi t0, t0, -1
+	j    fill
+sort_init:
+	li   s1, %d          # n
+outer:
+	addi s1, s1, -1
+	beqz s1, report
+	li   t0, 0           # i
+	mv   t2, s0
+inner:
+	bge  t0, s1, outer
+	lw   t3, 0(t2)
+	lw   t4, 4(t2)
+	bge  t4, t3, noswap
+	sw   t4, 0(t2)
+	sw   t3, 4(t2)
+noswap:
+	addi t0, t0, 1
+	addi t2, t2, 4
+	j    inner
+report:
+	lw   a0, 0(s0)
+	li   t5, %d
+	addi t5, t5, -1
+	slli t5, t5, 2
+	add  t6, s0, t5
+	lw   t1, 0(t6)
+	add  a0, a0, t1
+	halt
+`, n, n, n),
+	}
+}
+
+// FibProgram computes fib(n) iteratively — the minimal quickstart workload.
+func FibProgram(n int) Program {
+	return Program{
+		Name: fmt.Sprintf("fib%d", n),
+		Src: fmt.Sprintf(`
+	li   t0, %d
+	li   a0, 0
+	li   t1, 1
+loop:
+	beqz t0, done
+	add  t2, a0, t1
+	mv   a0, t1
+	mv   t1, t2
+	addi t0, t0, -1
+	j    loop
+done:
+	halt
+`, n),
+	}
+}
+
+// StandardWorkloads returns the kernel set the campaign cycles through when
+// generating stimulus, mirroring the mixed software stack of the paper's
+// PULP experiments.
+func StandardWorkloads() []Program {
+	return []Program{
+		MemcpyProgram(24),
+		DotProductProgram(16),
+		CRCProgram(12),
+		SortProgram(12),
+		FibProgram(20),
+	}
+}

@@ -1,0 +1,343 @@
+// Package riscv implements an RV32I+M instruction-set simulator with a
+// two-pass assembler and an execution trace recorder. In this reproduction
+// it plays the role of the paper's "entire software stack": benchmark
+// kernels run on the ISS, and the recorded instruction/memory activity
+// drives the gate-level SoC netlists as bus stimulus during fault-injection
+// campaigns.
+package riscv
+
+import (
+	"fmt"
+)
+
+// Access is one data-memory access performed by an instruction.
+type Access struct {
+	Addr  uint32
+	Data  uint32
+	Size  uint8 // bytes: 1, 2 or 4
+	Write bool
+}
+
+// TraceEntry records one retired instruction.
+type TraceEntry struct {
+	PC    uint32
+	Instr uint32
+	Mem   *Access // nil for non-memory instructions
+}
+
+// CPU is the RV32I+M hart with a flat little-endian memory.
+type CPU struct {
+	Regs   [32]uint32
+	PC     uint32
+	Mem    []byte
+	Halted bool
+	// ExitCode is a7 at the ECALL that halted the hart.
+	ExitCode uint32
+	// Instret counts retired instructions.
+	Instret uint64
+	// Trace receives every retired instruction when non-nil.
+	Trace func(TraceEntry)
+}
+
+// New returns a CPU with memSize bytes of zeroed memory and PC at 0.
+func New(memSize int) *CPU {
+	return &CPU{Mem: make([]byte, memSize)}
+}
+
+// Load copies a program image to the given address and sets PC to it.
+func (c *CPU) Load(addr uint32, image []byte) error {
+	if int(addr)+len(image) > len(c.Mem) {
+		return fmt.Errorf("riscv: image of %d bytes at %#x exceeds %d-byte memory", len(image), addr, len(c.Mem))
+	}
+	copy(c.Mem[addr:], image)
+	c.PC = addr
+	return nil
+}
+
+func (c *CPU) read32(addr uint32) (uint32, error) {
+	if int(addr)+4 > len(c.Mem) {
+		return 0, fmt.Errorf("riscv: load address %#x out of range", addr)
+	}
+	return uint32(c.Mem[addr]) | uint32(c.Mem[addr+1])<<8 | uint32(c.Mem[addr+2])<<16 | uint32(c.Mem[addr+3])<<24, nil
+}
+
+func (c *CPU) read16(addr uint32) (uint32, error) {
+	if int(addr)+2 > len(c.Mem) {
+		return 0, fmt.Errorf("riscv: load address %#x out of range", addr)
+	}
+	return uint32(c.Mem[addr]) | uint32(c.Mem[addr+1])<<8, nil
+}
+
+func (c *CPU) read8(addr uint32) (uint32, error) {
+	if int(addr) >= len(c.Mem) {
+		return 0, fmt.Errorf("riscv: load address %#x out of range", addr)
+	}
+	return uint32(c.Mem[addr]), nil
+}
+
+func (c *CPU) write(addr uint32, val uint32, size uint8) error {
+	if int(addr)+int(size) > len(c.Mem) {
+		return fmt.Errorf("riscv: store address %#x out of range", addr)
+	}
+	for i := uint8(0); i < size; i++ {
+		c.Mem[addr+uint32(i)] = byte(val >> (8 * i))
+	}
+	return nil
+}
+
+func signExtend(v uint32, bits uint) uint32 {
+	shift := 32 - bits
+	return uint32(int32(v<<shift) >> shift)
+}
+
+// Step executes one instruction. ECALL and EBREAK halt the hart.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return fmt.Errorf("riscv: hart is halted")
+	}
+	instr, err := c.read32(c.PC)
+	if err != nil {
+		return fmt.Errorf("riscv: fetch at %#x: %v", c.PC, err)
+	}
+	entry := TraceEntry{PC: c.PC, Instr: instr}
+	nextPC := c.PC + 4
+
+	opcode := instr & 0x7f
+	rd := (instr >> 7) & 0x1f
+	funct3 := (instr >> 12) & 0x7
+	rs1 := (instr >> 15) & 0x1f
+	rs2 := (instr >> 20) & 0x1f
+	funct7 := instr >> 25
+
+	setRD := func(v uint32) {
+		if rd != 0 {
+			c.Regs[rd] = v
+		}
+	}
+	x1, x2 := c.Regs[rs1], c.Regs[rs2]
+
+	switch opcode {
+	case 0x37: // LUI
+		setRD(instr & 0xfffff000)
+	case 0x17: // AUIPC
+		setRD(c.PC + (instr & 0xfffff000))
+	case 0x6f: // JAL
+		imm := (instr>>31)<<20 | ((instr >> 12) & 0xff << 12) | ((instr >> 20) & 1 << 11) | ((instr >> 21) & 0x3ff << 1)
+		setRD(c.PC + 4)
+		nextPC = c.PC + signExtend(imm, 21)
+	case 0x67: // JALR
+		imm := signExtend(instr>>20, 12)
+		t := c.PC + 4
+		nextPC = (x1 + imm) &^ 1
+		setRD(t)
+	case 0x63: // branches
+		imm := (instr>>31)<<12 | ((instr >> 7) & 1 << 11) | ((instr >> 25) & 0x3f << 5) | ((instr >> 8) & 0xf << 1)
+		off := signExtend(imm, 13)
+		taken := false
+		switch funct3 {
+		case 0:
+			taken = x1 == x2
+		case 1:
+			taken = x1 != x2
+		case 4:
+			taken = int32(x1) < int32(x2)
+		case 5:
+			taken = int32(x1) >= int32(x2)
+		case 6:
+			taken = x1 < x2
+		case 7:
+			taken = x1 >= x2
+		default:
+			return fmt.Errorf("riscv: bad branch funct3 %d at %#x", funct3, c.PC)
+		}
+		if taken {
+			nextPC = c.PC + off
+		}
+	case 0x03: // loads
+		addr := x1 + signExtend(instr>>20, 12)
+		var v uint32
+		var size uint8
+		switch funct3 {
+		case 0: // LB
+			v, err = c.read8(addr)
+			v = signExtend(v, 8)
+			size = 1
+		case 1: // LH
+			v, err = c.read16(addr)
+			v = signExtend(v, 16)
+			size = 2
+		case 2: // LW
+			v, err = c.read32(addr)
+			size = 4
+		case 4: // LBU
+			v, err = c.read8(addr)
+			size = 1
+		case 5: // LHU
+			v, err = c.read16(addr)
+			size = 2
+		default:
+			return fmt.Errorf("riscv: bad load funct3 %d at %#x", funct3, c.PC)
+		}
+		if err != nil {
+			return err
+		}
+		setRD(v)
+		entry.Mem = &Access{Addr: addr, Data: v, Size: size}
+	case 0x23: // stores
+		imm := (instr>>25)<<5 | ((instr >> 7) & 0x1f)
+		addr := x1 + signExtend(imm, 12)
+		var size uint8
+		switch funct3 {
+		case 0:
+			size = 1
+		case 1:
+			size = 2
+		case 2:
+			size = 4
+		default:
+			return fmt.Errorf("riscv: bad store funct3 %d at %#x", funct3, c.PC)
+		}
+		if err := c.write(addr, x2, size); err != nil {
+			return err
+		}
+		entry.Mem = &Access{Addr: addr, Data: x2, Size: size, Write: true}
+	case 0x13: // OP-IMM
+		imm := signExtend(instr>>20, 12)
+		shamt := (instr >> 20) & 0x1f
+		switch funct3 {
+		case 0:
+			setRD(x1 + imm)
+		case 2:
+			if int32(x1) < int32(imm) {
+				setRD(1)
+			} else {
+				setRD(0)
+			}
+		case 3:
+			if x1 < imm {
+				setRD(1)
+			} else {
+				setRD(0)
+			}
+		case 4:
+			setRD(x1 ^ imm)
+		case 6:
+			setRD(x1 | imm)
+		case 7:
+			setRD(x1 & imm)
+		case 1:
+			setRD(x1 << shamt)
+		case 5:
+			if funct7 == 0x20 {
+				setRD(uint32(int32(x1) >> shamt))
+			} else {
+				setRD(x1 >> shamt)
+			}
+		}
+	case 0x33: // OP
+		if funct7 == 1 { // M extension
+			switch funct3 {
+			case 0: // MUL
+				setRD(x1 * x2)
+			case 1: // MULH
+				setRD(uint32(uint64(int64(int32(x1))*int64(int32(x2))) >> 32))
+			case 2: // MULHSU
+				setRD(uint32(uint64(int64(int32(x1))*int64(uint64(x2))) >> 32))
+			case 3: // MULHU
+				setRD(uint32(uint64(x1) * uint64(x2) >> 32))
+			case 4: // DIV
+				switch {
+				case x2 == 0:
+					setRD(0xffffffff)
+				case x1 == 0x80000000 && x2 == 0xffffffff:
+					setRD(0x80000000)
+				default:
+					setRD(uint32(int32(x1) / int32(x2)))
+				}
+			case 5: // DIVU
+				if x2 == 0 {
+					setRD(0xffffffff)
+				} else {
+					setRD(x1 / x2)
+				}
+			case 6: // REM
+				switch {
+				case x2 == 0:
+					setRD(x1)
+				case x1 == 0x80000000 && x2 == 0xffffffff:
+					setRD(0)
+				default:
+					setRD(uint32(int32(x1) % int32(x2)))
+				}
+			case 7: // REMU
+				if x2 == 0 {
+					setRD(x1)
+				} else {
+					setRD(x1 % x2)
+				}
+			}
+		} else {
+			switch funct3 {
+			case 0:
+				if funct7 == 0x20 {
+					setRD(x1 - x2)
+				} else {
+					setRD(x1 + x2)
+				}
+			case 1:
+				setRD(x1 << (x2 & 0x1f))
+			case 2:
+				if int32(x1) < int32(x2) {
+					setRD(1)
+				} else {
+					setRD(0)
+				}
+			case 3:
+				if x1 < x2 {
+					setRD(1)
+				} else {
+					setRD(0)
+				}
+			case 4:
+				setRD(x1 ^ x2)
+			case 5:
+				if funct7 == 0x20 {
+					setRD(uint32(int32(x1) >> (x2 & 0x1f)))
+				} else {
+					setRD(x1 >> (x2 & 0x1f))
+				}
+			case 6:
+				setRD(x1 | x2)
+			case 7:
+				setRD(x1 & x2)
+			}
+		}
+	case 0x0f: // FENCE: no-op on a single hart
+	case 0x73: // SYSTEM: ECALL/EBREAK halt
+		c.Halted = true
+		c.ExitCode = c.Regs[17] // a7
+	default:
+		return fmt.Errorf("riscv: illegal opcode %#x at %#x", opcode, c.PC)
+	}
+
+	c.Regs[0] = 0
+	c.PC = nextPC
+	c.Instret++
+	if c.Trace != nil {
+		c.Trace(entry)
+	}
+	return nil
+}
+
+// Run executes until the hart halts or maxInstr instructions retire.
+func (c *CPU) Run(maxInstr uint64) error {
+	for !c.Halted {
+		if c.Instret >= maxInstr {
+			return fmt.Errorf("riscv: exceeded %d instructions without halting", maxInstr)
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

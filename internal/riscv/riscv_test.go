@@ -1,0 +1,448 @@
+package riscv
+
+import (
+	"hash/crc32"
+	"testing"
+)
+
+func run(t *testing.T, src string, maxInstr uint64) *CPU {
+	t.Helper()
+	img, err := Assemble(src, 0)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := New(1 << 16)
+	if err := c.Load(0, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(maxInstr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return c
+}
+
+func TestArithmeticBasics(t *testing.T) {
+	c := run(t, `
+	li a0, 10
+	li a1, 3
+	add a2, a0, a1
+	sub a3, a0, a1
+	mul a4, a0, a1
+	div a5, a0, a1
+	rem a6, a0, a1
+	halt
+`, 100)
+	if c.Regs[12] != 13 {
+		t.Errorf("add = %d", c.Regs[12])
+	}
+	if c.Regs[13] != 7 {
+		t.Errorf("sub = %d", c.Regs[13])
+	}
+	if c.Regs[14] != 30 {
+		t.Errorf("mul = %d", c.Regs[14])
+	}
+	if c.Regs[15] != 3 {
+		t.Errorf("div = %d", c.Regs[15])
+	}
+	if c.Regs[16] != 1 {
+		t.Errorf("rem = %d", c.Regs[16])
+	}
+}
+
+func TestSignedOps(t *testing.T) {
+	c := run(t, `
+	li a0, -7
+	li a1, 2
+	div a2, a0, a1
+	rem a3, a0, a1
+	sra a4, a0, a1
+	srl a5, a0, a1
+	slt a6, a0, a1
+	sltu a7, a0, a1
+	halt
+`, 100)
+	if int32(c.Regs[12]) != -3 {
+		t.Errorf("div -7/2 = %d", int32(c.Regs[12]))
+	}
+	if int32(c.Regs[13]) != -1 {
+		t.Errorf("rem = %d", int32(c.Regs[13]))
+	}
+	if int32(c.Regs[14]) != -2 {
+		t.Errorf("sra = %d", int32(c.Regs[14]))
+	}
+	if c.Regs[15] != 0x3ffffffe {
+		t.Errorf("srl = %#x", c.Regs[15])
+	}
+	if c.Regs[16] != 1 {
+		t.Errorf("slt(-7,2) = %d", c.Regs[16])
+	}
+	if c.Regs[17] != 0 {
+		t.Errorf("sltu(0xfff..9,2) = %d", c.Regs[17])
+	}
+}
+
+func TestDivisionEdgeCases(t *testing.T) {
+	c := run(t, `
+	li a0, 5
+	li a1, 0
+	div a2, a0, a1
+	rem a3, a0, a1
+	li a4, 0x80000000
+	li a5, -1
+	div a6, a4, a5
+	rem a7, a4, a5
+	halt
+`, 100)
+	if c.Regs[12] != 0xffffffff {
+		t.Errorf("div by zero = %#x, want -1", c.Regs[12])
+	}
+	if c.Regs[13] != 5 {
+		t.Errorf("rem by zero = %d, want dividend", c.Regs[13])
+	}
+	if c.Regs[16] != 0x80000000 {
+		t.Errorf("INT_MIN/-1 = %#x", c.Regs[16])
+	}
+	if c.Regs[17] != 0 {
+		t.Errorf("INT_MIN%%-1 = %d", c.Regs[17])
+	}
+}
+
+func TestMulh(t *testing.T) {
+	c := run(t, `
+	li a0, 0x40000000
+	li a1, 8
+	mulh a2, a0, a1
+	mulhu a3, a0, a1
+	li a4, -2
+	mulh a5, a4, a1
+	halt
+`, 100)
+	if c.Regs[12] != 2 {
+		t.Errorf("mulh = %d", c.Regs[12])
+	}
+	if c.Regs[13] != 2 {
+		t.Errorf("mulhu = %d", c.Regs[13])
+	}
+	if int32(c.Regs[15]) != -1 {
+		t.Errorf("mulh(-2,8) = %d", int32(c.Regs[15]))
+	}
+}
+
+func TestLoadsStores(t *testing.T) {
+	c := run(t, `
+	li s0, 0x1000
+	li a0, 0x12345678
+	sw a0, 0(s0)
+	lw a1, 0(s0)
+	lh a2, 0(s0)
+	lhu a3, 2(s0)
+	lb a4, 3(s0)
+	lbu a5, 1(s0)
+	li a6, -1
+	sb a6, 8(s0)
+	lbu a7, 8(s0)
+	halt
+`, 100)
+	if c.Regs[11] != 0x12345678 {
+		t.Errorf("lw = %#x", c.Regs[11])
+	}
+	if c.Regs[12] != 0x5678 {
+		t.Errorf("lh = %#x", c.Regs[12])
+	}
+	if c.Regs[13] != 0x1234 {
+		t.Errorf("lhu = %#x", c.Regs[13])
+	}
+	if c.Regs[14] != 0x12 {
+		t.Errorf("lb = %#x", c.Regs[14])
+	}
+	if c.Regs[15] != 0x56 {
+		t.Errorf("lbu = %#x", c.Regs[15])
+	}
+	if c.Regs[17] != 0xff {
+		t.Errorf("sb/lbu = %#x", c.Regs[17])
+	}
+}
+
+func TestSignExtendingLoads(t *testing.T) {
+	c := run(t, `
+	li s0, 0x1000
+	li a0, 0x8081
+	sh a0, 0(s0)
+	lh a1, 0(s0)
+	lb a2, 0(s0)
+	halt
+`, 100)
+	if int32(c.Regs[11]) != -32639 {
+		t.Errorf("lh sign extension = %d", int32(c.Regs[11]))
+	}
+	if int32(c.Regs[12]) != -127 {
+		t.Errorf("lb sign extension = %d", int32(c.Regs[12]))
+	}
+}
+
+func TestBranchesAndJumps(t *testing.T) {
+	c := run(t, `
+	li a0, 0
+	li t0, 5
+loop:
+	addi a0, a0, 2
+	addi t0, t0, -1
+	bnez t0, loop
+	call sub
+	j end
+sub:
+	addi a0, a0, 100
+	ret
+end:
+	halt
+`, 1000)
+	if c.Regs[10] != 110 {
+		t.Errorf("a0 = %d, want 110", c.Regs[10])
+	}
+}
+
+func TestBranchVariants(t *testing.T) {
+	c := run(t, `
+	li a0, 0
+	li t0, -1
+	li t1, 1
+	blt t0, t1, l1
+	j fail
+l1:	addi a0, a0, 1
+	bltu t1, t0, l2     # unsigned: 1 < 0xffffffff
+	j fail
+l2:	addi a0, a0, 1
+	bge t1, t0, l3
+	j fail
+l3:	addi a0, a0, 1
+	bgeu t0, t1, l4
+	j fail
+l4:	addi a0, a0, 1
+	beq t0, t0, l5
+	j fail
+l5:	addi a0, a0, 1
+	halt
+fail:
+	li a0, -1
+	halt
+`, 1000)
+	if c.Regs[10] != 5 {
+		t.Errorf("branch chain a0 = %d, want 5", int32(c.Regs[10]))
+	}
+}
+
+func TestX0AlwaysZero(t *testing.T) {
+	c := run(t, `
+	li t0, 7
+	add x0, t0, t0
+	mv a0, x0
+	halt
+`, 100)
+	if c.Regs[10] != 0 {
+		t.Errorf("x0 was written: %d", c.Regs[10])
+	}
+}
+
+func TestLuiAuipcLi(t *testing.T) {
+	c := run(t, `
+	li a0, 0x12345678
+	li a1, -1
+	li a2, 0x7ffff800
+	lui a3, 1
+	halt
+`, 100)
+	if c.Regs[10] != 0x12345678 {
+		t.Errorf("li large = %#x", c.Regs[10])
+	}
+	if c.Regs[11] != 0xffffffff {
+		t.Errorf("li -1 = %#x", c.Regs[11])
+	}
+	if c.Regs[12] != 0x7ffff800 {
+		t.Errorf("li 0x7ffff800 = %#x", c.Regs[12])
+	}
+	if c.Regs[13] != 0x1000 {
+		t.Errorf("lui = %#x", c.Regs[13])
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	img, err := Assemble(`
+	li s0, 0x100
+	li a0, 42
+	sw a0, 0(s0)
+	lw a1, 0(s0)
+	halt
+`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(1 << 12)
+	_ = c.Load(0, img)
+	var entries []TraceEntry
+	c.Trace = func(e TraceEntry) { entries = append(entries, e) }
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(entries)) != c.Instret {
+		t.Fatalf("trace entries %d != instret %d", len(entries), c.Instret)
+	}
+	var stores, loads int
+	for _, e := range entries {
+		if e.Mem != nil {
+			if e.Mem.Write {
+				stores++
+				if e.Mem.Addr != 0x100 || e.Mem.Data != 42 {
+					t.Errorf("store trace wrong: %+v", e.Mem)
+				}
+			} else {
+				loads++
+				if e.Mem.Data != 42 {
+					t.Errorf("load trace wrong: %+v", e.Mem)
+				}
+			}
+		}
+	}
+	if stores != 1 || loads != 1 {
+		t.Errorf("stores=%d loads=%d, want 1/1", stores, loads)
+	}
+}
+
+func TestHaltConventions(t *testing.T) {
+	c := run(t, `
+	li a7, 93
+	halt
+`, 10)
+	if !c.Halted {
+		t.Fatal("hart must halt on ecall")
+	}
+	if c.ExitCode != 93 {
+		t.Errorf("exit code = %d", c.ExitCode)
+	}
+	if err := c.Step(); err == nil {
+		t.Error("stepping a halted hart must fail")
+	}
+}
+
+func TestRunInstructionCap(t *testing.T) {
+	img, _ := Assemble("spin: j spin", 0)
+	c := New(1 << 12)
+	_ = c.Load(0, img)
+	if err := c.Run(100); err == nil {
+		t.Fatal("infinite loop must trip the cap")
+	}
+}
+
+func TestMemoryBoundsErrors(t *testing.T) {
+	for _, src := range []string{
+		"li s0, 0x7fffff00\nlw a0, 0(s0)\nhalt",
+		"li s0, 0x7fffff00\nsw s0, 0(s0)\nhalt",
+	} {
+		img, err := Assemble(src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := New(1 << 12)
+		_ = c.Load(0, img)
+		if err := c.Run(100); err == nil {
+			t.Errorf("out-of-range access must fail: %s", src)
+		}
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	cases := []string{
+		"bogus a0, a1",
+		"addi a0, a1",
+		"addi a0, a1, 5000",
+		"lw a0, a1",
+		"beq a0, a1, nowhere",
+		"add a0, a1, q9",
+		"dup: nop\ndup: nop",
+		"li a0",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src, 0); err == nil {
+			t.Errorf("malformed asm accepted: %q", src)
+		}
+	}
+}
+
+func TestCRCKernelMatchesGo(t *testing.T) {
+	p := CRCProgram(12)
+	img, err := Assemble(p.Src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(1 << 16)
+	_ = c.Load(0, img)
+	if err := c.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the LCG-filled buffer and CRC it with the stdlib.
+	var buf []byte
+	state := uint32(99)
+	for i := 0; i < 12; i++ {
+		state = state*1103515245 + 1013
+		buf = append(buf, byte(state>>16))
+	}
+	want := crc32.ChecksumIEEE(buf)
+	if c.Regs[10] != want {
+		t.Errorf("asm crc = %#x, stdlib = %#x", c.Regs[10], want)
+	}
+}
+
+func TestSortKernelSorts(t *testing.T) {
+	p := SortProgram(12)
+	img, err := Assemble(p.Src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(1 << 16)
+	_ = c.Load(0, img)
+	if err := c.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Verify memory at 0x400 is sorted ascending (unsigned).
+	var prev uint32
+	for i := 0; i < 12; i++ {
+		v, _ := c.read32(uint32(0x400 + 4*i))
+		if i > 0 && v < prev {
+			t.Fatalf("array not sorted at %d: %d < %d", i, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestAllStandardWorkloadsRun(t *testing.T) {
+	for _, p := range StandardWorkloads() {
+		img, err := Assemble(p.Src, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		c := New(1 << 16)
+		_ = c.Load(0, img)
+		if err := c.Run(10_000_000); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if c.Instret == 0 {
+			t.Fatalf("%s retired nothing", p.Name)
+		}
+	}
+}
+
+func TestMemcpyChecksumStable(t *testing.T) {
+	p := MemcpyProgram(24)
+	results := map[uint32]bool{}
+	for i := 0; i < 2; i++ {
+		img, _ := Assemble(p.Src, 0)
+		c := New(1 << 16)
+		_ = c.Load(0, img)
+		if err := c.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		results[c.Regs[10]] = true
+	}
+	if len(results) != 1 {
+		t.Errorf("memcpy checksum not deterministic: %v", results)
+	}
+}

@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// EventSim is the event-driven engine: only the fanout cone of a changed
+// net is re-evaluated, and combinational outputs propagate with the cell's
+// inertial delay (glitches shorter than the delay are swallowed, which is
+// exactly the filtering SET pulses are subject to in real logic).
+type EventSim struct {
+	flat *netlist.Flat
+	now  uint64
+	seq  uint64 // tie-breaker for deterministic event order
+	evts eventHeap
+
+	cur    []logic.V // present value of each net
+	driven []logic.V // value the driver wants (differs from cur under force)
+	forced []bool
+
+	state []logic.V // per-cell sequential state (X for comb cells)
+
+	pending []*event // per-net pending inertial transition (may be nil)
+
+	cbs       map[int][]NetCallback
+	cellEvals uint64
+}
+
+type evKind uint8
+
+const (
+	evNet   evKind = iota // driver-produced net transition (inertial)
+	evInput               // primary input change
+	evForce
+	evRelease
+	evFlip
+	evFunc
+)
+
+type event struct {
+	t         uint64
+	seq       uint64
+	kind      evKind
+	net       int
+	cellID    int
+	val       logic.V
+	fn        func()
+	cancelled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// NewEventSim returns an event-driven engine with all nets and states at X.
+func NewEventSim(f *netlist.Flat) *EventSim {
+	s := &EventSim{
+		flat:    f,
+		cur:     make([]logic.V, len(f.Nets)),
+		driven:  make([]logic.V, len(f.Nets)),
+		forced:  make([]bool, len(f.Nets)),
+		state:   make([]logic.V, len(f.Cells)),
+		pending: make([]*event, len(f.Nets)),
+		cbs:     map[int][]NetCallback{},
+	}
+	for i := range s.cur {
+		s.cur[i] = logic.X
+		s.driven[i] = logic.X
+	}
+	for i := range s.state {
+		s.state[i] = logic.X
+	}
+	for _, c := range f.Cells {
+		switch {
+		case !c.Def.IsSequential() && len(c.Def.Inputs) == 0:
+			// Tie cells have no inputs and never receive a triggering
+			// event; seed their constant outputs at time zero.
+			out := c.Def.Eval(nil)
+			for i, nid := range c.Out {
+				s.schedule(&event{t: 0, kind: evNet, net: nid, val: out[i]})
+			}
+		case initZeroState(c):
+			// Storage without an asynchronous control (memory bits,
+			// enable flops) initializes to 0, mirroring the standard
+			// register-initialization practice of fault-injection flows
+			// (VCS +vcs+initreg+0): campaigns need a fully defined golden
+			// reference, and X-circulating feedback loops would otherwise
+			// mask most upsets.
+			s.state[c.ID] = logic.L0
+			outs := c.Def.StateOutputs(logic.L0)
+			for i, nid := range c.Out {
+				s.schedule(&event{t: 0, kind: evNet, net: nid, val: outs[i]})
+			}
+		}
+	}
+	return s
+}
+
+// initZeroState reports whether the cell's power-on state is initialized
+// to zero rather than X: storage with no asynchronous reset/set path.
+func initZeroState(c *netlist.FlatCell) bool {
+	return c.Def.IsSequential() &&
+		c.Def.Seq.AsyncResetN == "" && c.Def.Seq.AsyncSetN == ""
+}
+
+// Name implements Engine.
+func (s *EventSim) Name() string { return string(KindEvent) }
+
+// Flat implements Engine.
+func (s *EventSim) Flat() *netlist.Flat { return s.flat }
+
+// Now implements Engine.
+func (s *EventSim) Now() uint64 { return s.now }
+
+// Value implements Engine.
+func (s *EventSim) Value(net int) logic.V { return s.cur[net] }
+
+// State implements Engine.
+func (s *EventSim) State(cellID int) (logic.V, error) {
+	if err := validateSeqCell(s.flat, cellID); err != nil {
+		return logic.X, err
+	}
+	return s.state[cellID], nil
+}
+
+// CellEvals implements Engine.
+func (s *EventSim) CellEvals() uint64 { return s.cellEvals }
+
+func (s *EventSim) schedule(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.evts, e)
+}
+
+// ScheduleInput implements Engine.
+func (s *EventSim) ScheduleInput(t uint64, net int, v logic.V) error {
+	if err := validateInput(s.flat, net); err != nil {
+		return err
+	}
+	s.schedule(&event{t: t, kind: evInput, net: net, val: v})
+	return nil
+}
+
+// ScheduleForce implements Engine.
+func (s *EventSim) ScheduleForce(t uint64, net int, v logic.V) {
+	s.schedule(&event{t: t, kind: evForce, net: net, val: v})
+}
+
+// ScheduleRelease implements Engine.
+func (s *EventSim) ScheduleRelease(t uint64, net int) {
+	s.schedule(&event{t: t, kind: evRelease, net: net})
+}
+
+// ScheduleFlip implements Engine.
+func (s *EventSim) ScheduleFlip(t uint64, cellID int) error {
+	if err := validateSeqCell(s.flat, cellID); err != nil {
+		return err
+	}
+	s.schedule(&event{t: t, kind: evFlip, cellID: cellID})
+	return nil
+}
+
+// At implements Engine.
+func (s *EventSim) At(t uint64, fn func()) {
+	s.schedule(&event{t: t, kind: evFunc, fn: fn})
+}
+
+// OnNetChange implements Engine.
+func (s *EventSim) OnNetChange(net int, fn NetCallback) {
+	s.cbs[net] = append(s.cbs[net], fn)
+}
+
+// FlipState implements Engine.
+func (s *EventSim) FlipState(cellID int) error {
+	if err := validateSeqCell(s.flat, cellID); err != nil {
+		return err
+	}
+	s.applyFlip(cellID)
+	return nil
+}
+
+func (s *EventSim) applyFlip(cellID int) {
+	c := s.flat.Cells[cellID]
+	s.state[cellID] = s.state[cellID].Not()
+	outs := c.Def.StateOutputs(s.state[cellID])
+	// An upset corrupts the storage node directly: outputs follow with the
+	// cell's propagation delay, as in the paper's SEU model (Fig. 2).
+	for i, nid := range c.Out {
+		s.scheduleNetTransition(nid, outs[i], c.Def.DelayPS)
+	}
+}
+
+// scheduleNetTransition applies the inertial-delay rule for a driver that
+// now wants value v on net nid after delay d; sequential outputs follow the
+// same rule as combinational ones.
+func (s *EventSim) scheduleNetTransition(nid int, v logic.V, d int64) {
+	s.scheduleCombOutput(nid, v, d)
+}
+
+// Run implements Engine.
+func (s *EventSim) Run(until uint64) error {
+	for s.evts.Len() > 0 {
+		e := s.evts[0]
+		if e.t > until {
+			break
+		}
+		heap.Pop(&s.evts)
+		if e.cancelled {
+			continue
+		}
+		if e.t < s.now {
+			return fmt.Errorf("sim: event time %d before now %d", e.t, s.now)
+		}
+		s.now = e.t
+		switch e.kind {
+		case evNet:
+			s.pending[e.net] = nil
+			s.driven[e.net] = e.val
+			if !s.forced[e.net] {
+				s.setNet(e.net, e.val)
+			}
+		case evInput:
+			s.driven[e.net] = e.val
+			if !s.forced[e.net] {
+				s.setNet(e.net, e.val)
+			}
+		case evForce:
+			s.forced[e.net] = true
+			s.setNet(e.net, e.val)
+		case evRelease:
+			if s.forced[e.net] {
+				s.forced[e.net] = false
+				s.setNet(e.net, s.driven[e.net])
+			}
+		case evFlip:
+			s.applyFlip(e.cellID)
+		case evFunc:
+			e.fn()
+		}
+	}
+	if until > s.now {
+		s.now = until
+	}
+	return nil
+}
+
+// setNet commits a value change and triggers fanout evaluation.
+func (s *EventSim) setNet(nid int, v logic.V) {
+	old := s.cur[nid]
+	if old == v {
+		return
+	}
+	s.cur[nid] = v
+	for _, fn := range s.cbs[nid] {
+		fn(s.now, v)
+	}
+	for _, fo := range s.flat.Nets[nid].Fanout {
+		s.evalCell(fo.Cell, fo.Pin, old, v)
+	}
+}
+
+// evalCell reacts to a change on input pin `pin` of cell `cid`.
+func (s *EventSim) evalCell(cid, pin int, old, new logic.V) {
+	s.cellEvals++
+	c := s.flat.Cells[cid]
+	def := c.Def
+	if !def.IsSequential() {
+		in := s.gatherInputs(c)
+		out := def.Eval(in)
+		for i, nid := range c.Out {
+			s.scheduleCombOutput(nid, out[i], def.DelayPS)
+		}
+		return
+	}
+	in := s.gatherInputs(c)
+	// Asynchronous controls dominate and act on any input change.
+	if v, active := def.AsyncState(in); active {
+		if s.state[cid] != v {
+			s.state[cid] = v
+			s.pushSeqOutputs(c)
+		}
+		return
+	}
+	// A rising edge on the clock pin captures.
+	clkPin := def.InputIndex(def.Seq.Clock)
+	if pin == clkPin && old == logic.L0 && new == logic.L1 {
+		next := def.NextState(s.state[cid], in)
+		if next != s.state[cid] {
+			s.state[cid] = next
+			s.pushSeqOutputs(c)
+		}
+		return
+	}
+	// An unknown clock transition poisons the state, mirroring Verilog
+	// pessimism for x-edges, but only when the data would change the state.
+	if pin == clkPin && old == logic.L0 && !new.IsKnown() {
+		next := def.NextState(s.state[cid], in)
+		if next != s.state[cid] {
+			s.state[cid] = logic.X
+			s.pushSeqOutputs(c)
+		}
+	}
+}
+
+func (s *EventSim) pushSeqOutputs(c *netlist.FlatCell) {
+	outs := c.Def.StateOutputs(s.state[c.ID])
+	for i, nid := range c.Out {
+		s.scheduleNetTransition(nid, outs[i], c.Def.DelayPS)
+	}
+}
+
+// scheduleCombOutput implements the inertial rule for combinational outputs:
+// a newly computed value replaces any in-flight transition on the same net.
+func (s *EventSim) scheduleCombOutput(nid int, v logic.V, d int64) {
+	if p := s.pending[nid]; p != nil {
+		if p.val == v {
+			return // in-flight transition already produces v
+		}
+		p.cancelled = true
+		s.pending[nid] = nil
+		if v == s.driven[nid] {
+			return // cancellation restored the present driven value
+		}
+	} else if v == s.driven[nid] {
+		return
+	}
+	e := &event{t: s.now + uint64(d), kind: evNet, net: nid, val: v}
+	s.pending[nid] = e
+	s.schedule(e)
+}
+
+func (s *EventSim) gatherInputs(c *netlist.FlatCell) []logic.V {
+	in := make([]logic.V, len(c.In))
+	for i, nid := range c.In {
+		in[i] = s.cur[nid]
+	}
+	return in
+}

@@ -1,0 +1,322 @@
+package socgen
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// busNames returns the scalar net names of a bus port, LSB first.
+func busNames(base string, w int) []string {
+	names := make([]string, w)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s[%d]", base, i)
+	}
+	return names
+}
+
+// adapt truncates or zero-pads a bus to the requested width.
+func adapt(b *builder, nets []string, w int) []string {
+	out := make([]string, w)
+	for i := 0; i < w; i++ {
+		if i < len(nets) {
+			out[i] = nets[i]
+		} else {
+			out[i] = b.tie0()
+		}
+	}
+	return out
+}
+
+// genALU builds the w-bit ALU module: y = op-selected {xor, and, or, add}.
+func genALU(d *netlist.Design, w int) string {
+	name := fmt.Sprintf("alu_w%d", w)
+	if _, ok := d.Modules[name]; ok {
+		return name
+	}
+	m := netlist.NewModule(name)
+	a := m.AddBusPort("a", w, netlist.Input)
+	bIn := m.AddBusPort("b", w, netlist.Input)
+	m.AddPort("op0", netlist.Input)
+	m.AddPort("op1", netlist.Input)
+	y := m.AddBusPort("y", w, netlist.Output)
+	b := newBuilder(m)
+	tXor := b.xorBus(a, bIn)
+	tAnd := b.andBus(a, bIn)
+	tOr := b.orBus(a, bIn)
+	tAdd := b.adder(a, bIn)
+	m0 := b.mux2Bus(tXor, tAnd, "op0")
+	m1 := b.mux2Bus(tOr, tAdd, "op0")
+	res := b.mux2Bus(m0, m1, "op1")
+	for i := range y {
+		b.inst("yb", "BUFX2", map[string]string{"A": res[i], "Y": y[i]})
+	}
+	d.AddModule(m)
+	return name
+}
+
+// genRegfile builds a 4-entry register file with one write and one read
+// port, the storage-heavy CPU block.
+func genRegfile(d *netlist.Design, w int) string {
+	name := fmt.Sprintf("regfile_w%d", w)
+	if _, ok := d.Modules[name]; ok {
+		return name
+	}
+	m := netlist.NewModule(name)
+	m.AddPort("clk", netlist.Input)
+	m.AddPort("we", netlist.Input)
+	m.AddPort("waddr0", netlist.Input)
+	m.AddPort("waddr1", netlist.Input)
+	m.AddPort("raddr0", netlist.Input)
+	m.AddPort("raddr1", netlist.Input)
+	wdata := m.AddBusPort("wdata", w, netlist.Input)
+	rdata := m.AddBusPort("rdata", w, netlist.Output)
+	b := newBuilder(m)
+	wsel := b.decode2("waddr0", "waddr1")
+	var regs [4][]string
+	for r := 0; r < 4; r++ {
+		en := b.and2(wsel[r], "we")
+		regs[r] = make([]string, w)
+		for i := 0; i < w; i++ {
+			regs[r][i] = b.dffe(wdata[i], "clk", en)
+		}
+	}
+	for i := 0; i < w; i++ {
+		lo := b.mux2(regs[0][i], regs[1][i], "raddr0")
+		hi := b.mux2(regs[2][i], regs[3][i], "raddr0")
+		sel := b.mux2(lo, hi, "raddr1")
+		b.inst("rb", "BUFX2", map[string]string{"A": sel, "Y": rdata[i]})
+	}
+	d.AddModule(m)
+	return name
+}
+
+// genMul builds a 4x4 array multiplier producing the low 4 product bits,
+// standing in for the M-extension datapath.
+func genMul(d *netlist.Design) string {
+	const name = "mul4"
+	if _, ok := d.Modules[name]; ok {
+		return name
+	}
+	m := netlist.NewModule(name)
+	a := m.AddBusPort("a", 4, netlist.Input)
+	bIn := m.AddBusPort("b", 4, netlist.Input)
+	p := m.AddBusPort("p", 4, netlist.Output)
+	b := newBuilder(m)
+	// Partial products pp[i][j] = a[j] & b[i], then ripple accumulation.
+	acc := make([]string, 4)
+	for j := 0; j < 4; j++ {
+		acc[j] = b.and2(a[j], bIn[0])
+	}
+	for i := 1; i < 4; i++ {
+		row := make([]string, 4)
+		for j := 0; j < 4; j++ {
+			if i+j < 4 {
+				row[i+j] = b.and2(a[j], bIn[i])
+			}
+		}
+		for j := range row {
+			if row[j] == "" {
+				row[j] = b.tie0()
+			}
+		}
+		acc = b.adder(acc, row)
+	}
+	for i := range p {
+		b.inst("pb", "BUFX2", map[string]string{"A": acc[i], "Y": p[i]})
+	}
+	d.AddModule(m)
+	return name
+}
+
+// genFPU builds the floating-point stand-in block: three chained adders
+// with xor diffusion, giving the deep combinational cone an FPU contributes.
+func genFPU(d *netlist.Design, w int) string {
+	name := fmt.Sprintf("fpu_w%d", w)
+	if _, ok := d.Modules[name]; ok {
+		return name
+	}
+	m := netlist.NewModule(name)
+	a := m.AddBusPort("a", w, netlist.Input)
+	bIn := m.AddBusPort("b", w, netlist.Input)
+	f := m.AddBusPort("f", w, netlist.Output)
+	b := newBuilder(m)
+	s1 := b.adder(a, bIn)
+	s2 := b.adder(s1, b.rotate(a))
+	s3 := b.adder(s2, b.xorBus(bIn, b.rotate(s1)))
+	for i := range f {
+		b.inst("fb", "BUFX2", map[string]string{"A": s3[i], "Y": f[i]})
+	}
+	d.AddModule(m)
+	return name
+}
+
+// genFetch builds the program-counter stage: an async-reset register with
+// an incrementer loop.
+func genFetch(d *netlist.Design, w int) string {
+	name := fmt.Sprintf("fetch_w%d", w)
+	if _, ok := d.Modules[name]; ok {
+		return name
+	}
+	m := netlist.NewModule(name)
+	m.AddPort("clk", netlist.Input)
+	m.AddPort("rstn", netlist.Input)
+	pc := m.AddBusPort("pc", w, netlist.Output)
+	b := newBuilder(m)
+	q := make([]string, w)
+	dIn := make([]string, w)
+	for i := 0; i < w; i++ {
+		dIn[i] = b.wire("pcd")
+	}
+	for i := 0; i < w; i++ {
+		q[i] = b.dff(dIn[i], "clk", "rstn")
+	}
+	next := b.incrementer(q)
+	for i := 0; i < w; i++ {
+		b.inst("pcl", "BUFX2", map[string]string{"A": next[i], "Y": dIn[i]})
+	}
+	for i := range pc {
+		b.inst("pcb", "BUFX2", map[string]string{"A": q[i], "Y": pc[i]})
+	}
+	d.AddModule(m)
+	return name
+}
+
+// genDecode builds the decode stage: instruction register plus control
+// extraction (two op bits from parity trees, an immediate from diffusion).
+func genDecode(d *netlist.Design, w int) string {
+	name := fmt.Sprintf("decode_w%d", w)
+	if _, ok := d.Modules[name]; ok {
+		return name
+	}
+	m := netlist.NewModule(name)
+	m.AddPort("clk", netlist.Input)
+	m.AddPort("rstn", netlist.Input)
+	pc := m.AddBusPort("pc", w, netlist.Input)
+	rdata := m.AddBusPort("rdata", w, netlist.Input)
+	m.AddPort("op0", netlist.Output)
+	m.AddPort("op1", netlist.Output)
+	imm := m.AddBusPort("imm", w, netlist.Output)
+	b := newBuilder(m)
+	instrComb := b.xorBus(pc, rdata)
+	instr := b.register(instrComb, "clk", "rstn")
+	lo, hi := instr[:w/2], instr[w/2:]
+	b.inst("op0b", "BUFX2", map[string]string{"A": b.xorN(lo), "Y": "op0"})
+	b.inst("op1b", "BUFX2", map[string]string{"A": b.xorN(hi), "Y": "op1"})
+	diff := b.xorBus(instr, b.rotate(instr))
+	for i := range imm {
+		b.inst("immb", "BUFX2", map[string]string{"A": diff[i], "Y": imm[i]})
+	}
+	d.AddModule(m)
+	return name
+}
+
+// genCPUCore assembles fetch, decode, ALU, register file and the optional
+// M/FPU blocks into one core module named for its ISA.
+func genCPUCore(d *netlist.Design, cfg Config) string {
+	w := cfg.DataWidth
+	name := fmt.Sprintf("cpu_core_%s_w%d", cfg.ISA, w)
+	if _, ok := d.Modules[name]; ok {
+		return name
+	}
+	aluName := genALU(d, w)
+	rfName := genRegfile(d, w)
+	fetchName := genFetch(d, w)
+	decName := genDecode(d, w)
+	var mulName, fpuName string
+	if cfg.HasMul() {
+		mulName = genMul(d)
+	}
+	if cfg.HasFPU() {
+		fpuName = genFPU(d, w)
+	}
+
+	m := netlist.NewModule(name)
+	m.AddPort("clk", netlist.Input)
+	m.AddPort("rstn", netlist.Input)
+	rdata := m.AddBusPort("rdata", w, netlist.Input)
+	accOut := m.AddBusPort("acc", w, netlist.Output)
+	b := newBuilder(m)
+
+	pc := b.m.AddBusWire("pc", w)
+	conns := map[string]string{"clk": "clk", "rstn": "rstn"}
+	for i, n := range pc {
+		conns[fmt.Sprintf("pc[%d]", i)] = n
+	}
+	m.AddInstance("u_fetch", fetchName, conns)
+
+	imm := b.m.AddBusWire("imm", w)
+	dconns := map[string]string{"clk": "clk", "rstn": "rstn", "op0": m.AddWire("op0"), "op1": m.AddWire("op1")}
+	for i := range pc {
+		dconns[fmt.Sprintf("pc[%d]", i)] = pc[i]
+		dconns[fmt.Sprintf("rdata[%d]", i)] = rdata[i]
+		dconns[fmt.Sprintf("imm[%d]", i)] = imm[i]
+	}
+	m.AddInstance("u_decode", decName, dconns)
+
+	// Register-file read feeds the ALU A input; the ALU result is written
+	// back, closing the dataflow loop through storage.
+	rfRead := b.m.AddBusWire("rf_rd", w)
+	aluY := b.m.AddBusWire("alu_y", w)
+	rfconns := map[string]string{
+		"clk": "clk", "we": b.tie1(),
+		"waddr0": pc[0], "waddr1": pc[1],
+		"raddr0": pc[1], "raddr1": pc[2%w],
+	}
+	for i := 0; i < w; i++ {
+		rfconns[fmt.Sprintf("wdata[%d]", i)] = aluY[i]
+		rfconns[fmt.Sprintf("rdata[%d]", i)] = rfRead[i]
+	}
+	m.AddInstance("u_regfile", rfName, rfconns)
+
+	// ALU B input mixes the bus data with the decoded immediate.
+	bIn := b.xorBus(adapt(b, rdata, w), imm)
+	aconns := map[string]string{"op0": "op0", "op1": "op1"}
+	for i := 0; i < w; i++ {
+		aconns[fmt.Sprintf("a[%d]", i)] = rfRead[i]
+		aconns[fmt.Sprintf("b[%d]", i)] = bIn[i]
+		aconns[fmt.Sprintf("y[%d]", i)] = aluY[i]
+	}
+	m.AddInstance("u_alu", aluName, aconns)
+
+	result := aluY
+	if mulName != "" {
+		p := b.m.AddBusWire("mul_p", 4)
+		mconns := map[string]string{}
+		for i := 0; i < 4; i++ {
+			mconns[fmt.Sprintf("a[%d]", i)] = rfRead[i]
+			mconns[fmt.Sprintf("b[%d]", i)] = bIn[i]
+			mconns[fmt.Sprintf("p[%d]", i)] = p[i]
+		}
+		m.AddInstance("u_mul", mulName, mconns)
+		mixed := make([]string, w)
+		copy(mixed, result)
+		for i := 0; i < 4 && i < w; i++ {
+			mixed[i] = b.xor2(result[i], p[i])
+		}
+		result = mixed
+	}
+	if fpuName != "" {
+		f := b.m.AddBusWire("fpu_f", w)
+		fconns := map[string]string{}
+		for i := 0; i < w; i++ {
+			fconns[fmt.Sprintf("a[%d]", i)] = rfRead[i]
+			fconns[fmt.Sprintf("b[%d]", i)] = bIn[i]
+			fconns[fmt.Sprintf("f[%d]", i)] = f[i]
+		}
+		m.AddInstance("u_fpu", fpuName, fconns)
+		mixed := make([]string, w)
+		for i := 0; i < w; i++ {
+			mixed[i] = b.xor2(result[i], f[i])
+		}
+		result = mixed
+	}
+
+	// Accumulator register drives the core outputs.
+	acc := b.register(result, "clk", "rstn")
+	for i := range accOut {
+		b.inst("accb", "BUFX2", map[string]string{"A": acc[i], "Y": accOut[i]})
+	}
+	d.AddModule(m)
+	return name
+}

@@ -1,0 +1,241 @@
+package socgen
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// builder wraps a module with unique-name generation and gate-level
+// construction helpers shared by every block generator.
+type builder struct {
+	m   *netlist.Module
+	seq int
+}
+
+func newBuilder(m *netlist.Module) *builder { return &builder{m: m} }
+
+func (b *builder) wire(hint string) string {
+	b.seq++
+	return b.m.AddWire(fmt.Sprintf("%s_%d", hint, b.seq))
+}
+
+func (b *builder) inst(hint, cellName string, conns map[string]string) {
+	b.seq++
+	b.m.AddInstance(fmt.Sprintf("u_%s_%d", hint, b.seq), cellName, conns)
+}
+
+// tie0 returns a fresh constant-0 net.
+func (b *builder) tie0() string {
+	n := b.wire("zero")
+	b.inst("tie0", "TIELO", map[string]string{"Y": n})
+	return n
+}
+
+// tie1 returns a fresh constant-1 net.
+func (b *builder) tie1() string {
+	n := b.wire("one")
+	b.inst("tie1", "TIEHI", map[string]string{"Y": n})
+	return n
+}
+
+// not returns !a.
+func (b *builder) not(a string) string {
+	y := b.wire("n")
+	b.inst("inv", "INVX1", map[string]string{"A": a, "Y": y})
+	return y
+}
+
+// buf returns a buffered copy of a (used to model clock trees and long
+// routes, which are legitimate SET targets).
+func (b *builder) buf(a string) string {
+	y := b.wire("b")
+	b.inst("buf", "BUFX2", map[string]string{"A": a, "Y": y})
+	return y
+}
+
+func (b *builder) gate2(cell, a, c string) string {
+	y := b.wire("g")
+	b.inst("g", cell, map[string]string{"A": a, "B": c, "Y": y})
+	return y
+}
+
+func (b *builder) and2(a, c string) string  { return b.gate2("AND2X1", a, c) }
+func (b *builder) or2(a, c string) string   { return b.gate2("OR2X1", a, c) }
+func (b *builder) xor2(a, c string) string  { return b.gate2("XOR2X1", a, c) }
+func (b *builder) nand2(a, c string) string { return b.gate2("NAND2X1", a, c) }
+func (b *builder) nor2(a, c string) string  { return b.gate2("NOR2X1", a, c) }
+
+// mux2 returns sel ? d1 : d0.
+func (b *builder) mux2(d0, d1, sel string) string {
+	y := b.wire("mx")
+	b.inst("mux", "MUX2X1", map[string]string{"A": d0, "B": d1, "S": sel, "Y": y})
+	return y
+}
+
+// andN reduces nets with a balanced AND tree.
+func (b *builder) andN(nets []string) string {
+	return b.reduce(nets, b.and2)
+}
+
+// orN reduces nets with a balanced OR tree.
+func (b *builder) orN(nets []string) string {
+	return b.reduce(nets, b.or2)
+}
+
+// xorN reduces nets with a balanced XOR tree (parity).
+func (b *builder) xorN(nets []string) string {
+	return b.reduce(nets, b.xor2)
+}
+
+func (b *builder) reduce(nets []string, op func(a, c string) string) string {
+	switch len(nets) {
+	case 0:
+		return b.tie0()
+	case 1:
+		return nets[0]
+	}
+	mid := len(nets) / 2
+	return op(b.reduce(nets[:mid], op), b.reduce(nets[mid:], op))
+}
+
+// dff adds a D flip-flop with async reset and returns the Q net.
+func (b *builder) dff(d, clk, rstn string) string {
+	q := b.wire("q")
+	qn := b.wire("qn")
+	b.inst("ff", "DFFRX1", map[string]string{"D": d, "CK": clk, "RN": rstn, "Q": q, "QN": qn})
+	return q
+}
+
+// dffe adds an enable flip-flop (no reset) and returns the Q net.
+func (b *builder) dffe(d, clk, en string) string {
+	q := b.wire("q")
+	qn := b.wire("qn")
+	b.inst("ffe", "DFFEX1", map[string]string{"D": d, "CK": clk, "E": en, "Q": q, "QN": qn})
+	return q
+}
+
+// register adds a width-wide async-reset register and returns the Q nets.
+func (b *builder) register(d []string, clk, rstn string) []string {
+	q := make([]string, len(d))
+	for i := range d {
+		q[i] = b.dff(d[i], clk, rstn)
+	}
+	return q
+}
+
+// adder builds a ripple-carry adder over equal-width buses and returns the
+// sum nets (carry-out discarded through an inverter load so no output
+// floats unused drivers are fine — the final carry simply fans nowhere).
+func (b *builder) adder(x, y []string) []string {
+	if len(x) != len(y) {
+		panic("socgen: adder width mismatch")
+	}
+	sum := make([]string, len(x))
+	carry := b.tie0()
+	for i := range x {
+		s := b.wire("s")
+		co := b.wire("co")
+		b.inst("fa", "FAX1", map[string]string{"A": x[i], "B": y[i], "CI": carry, "S": s, "CO": co})
+		sum[i] = s
+		carry = co
+	}
+	return sum
+}
+
+// incrementer adds 1 to the bus via a half-adder chain.
+func (b *builder) incrementer(x []string) []string {
+	out := make([]string, len(x))
+	carry := b.tie1()
+	for i := range x {
+		s := b.wire("s")
+		co := b.wire("co")
+		b.inst("ha", "HAX1", map[string]string{"A": x[i], "B": carry, "S": s, "CO": co})
+		out[i] = s
+		carry = co
+	}
+	return out
+}
+
+// xorBus returns x ^ y bitwise.
+func (b *builder) xorBus(x, y []string) []string {
+	out := make([]string, len(x))
+	for i := range x {
+		out[i] = b.xor2(x[i], y[i])
+	}
+	return out
+}
+
+// andBus returns x & y bitwise.
+func (b *builder) andBus(x, y []string) []string {
+	out := make([]string, len(x))
+	for i := range x {
+		out[i] = b.and2(x[i], y[i])
+	}
+	return out
+}
+
+// orBus returns x | y bitwise.
+func (b *builder) orBus(x, y []string) []string {
+	out := make([]string, len(x))
+	for i := range x {
+		out[i] = b.or2(x[i], y[i])
+	}
+	return out
+}
+
+// mux2Bus selects between equal-width buses.
+func (b *builder) mux2Bus(d0, d1 []string, sel string) []string {
+	out := make([]string, len(d0))
+	for i := range d0 {
+		out[i] = b.mux2(d0[i], d1[i], sel)
+	}
+	return out
+}
+
+// rotate returns the bus rotated left by one (a cheap diffusion step for
+// the accumulator datapath).
+func (b *builder) rotate(x []string) []string {
+	out := make([]string, len(x))
+	for i := range x {
+		out[(i+1)%len(x)] = x[i]
+	}
+	return out
+}
+
+// decode2 builds a 2-to-4 one-hot decoder (used by the register file).
+func (b *builder) decode2(a0, a1 string) [4]string {
+	n0, n1 := b.not(a0), b.not(a1)
+	return [4]string{
+		b.and2(n0, n1),
+		b.and2(a0, n1),
+		b.and2(n0, a1),
+		b.and2(a0, a1),
+	}
+}
+
+// decodeN builds an n-bit address decoder producing 2^n one-hot lines for
+// the given addr nets (LSB first). n must be <= 6 to keep gate counts sane.
+func (b *builder) decodeN(addr []string) []string {
+	if len(addr) > 6 {
+		panic("socgen: decodeN address too wide")
+	}
+	inv := make([]string, len(addr))
+	for i, a := range addr {
+		inv[i] = b.not(a)
+	}
+	count := 1 << len(addr)
+	out := make([]string, count)
+	for v := 0; v < count; v++ {
+		terms := make([]string, len(addr))
+		for i := range addr {
+			if v>>i&1 == 1 {
+				terms[i] = addr[i]
+			} else {
+				terms[i] = inv[i]
+			}
+		}
+		out[v] = b.andN(terms)
+	}
+	return out
+}

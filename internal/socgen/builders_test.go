@@ -1,0 +1,247 @@
+package socgen
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// combHarness builds a module around a builder callback, simulates it on
+// EventSim for every listed input vector, and returns the sampled outputs.
+func combHarness(t *testing.T, nIn, nOut int, build func(b *builder, in []string, out []string)) func(vals uint64) []logic.V {
+	t.Helper()
+	d := netlist.NewDesign("harness")
+	m := netlist.NewModule("harness")
+	in := make([]string, nIn)
+	for i := range in {
+		in[i] = m.AddPort(fmt.Sprintf("i%d", i), netlist.Input)
+	}
+	out := make([]string, nOut)
+	for i := range out {
+		out[i] = m.AddPort(fmt.Sprintf("o%d", i), netlist.Output)
+	}
+	b := newBuilder(m)
+	build(b, in, out)
+	d.AddModule(m)
+	d.Top = "harness"
+	f, err := netlist.Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(vals uint64) []logic.V {
+		e := sim.NewEventSim(f)
+		for i := 0; i < nIn; i++ {
+			n, _ := f.NetByName(fmt.Sprintf("i%d", i))
+			if err := e.ScheduleInput(0, n.ID, logic.FromBool(vals>>uint(i)&1 == 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Run(100000); err != nil {
+			t.Fatal(err)
+		}
+		res := make([]logic.V, nOut)
+		for i := 0; i < nOut; i++ {
+			n, _ := f.NetByName(fmt.Sprintf("o%d", i))
+			res[i] = e.Value(n.ID)
+		}
+		return res
+	}
+}
+
+func connect(b *builder, from []string, to []string) {
+	for i := range to {
+		b.inst("cn", "BUFX2", map[string]string{"A": from[i], "Y": to[i]})
+	}
+}
+
+func TestBuilderAdderExhaustive(t *testing.T) {
+	const w = 4
+	eval := combHarness(t, 2*w, w, func(b *builder, in, out []string) {
+		sum := b.adder(in[:w], in[w:])
+		connect(b, sum, out)
+	})
+	for a := uint64(0); a < 16; a++ {
+		for c := uint64(0); c < 16; c++ {
+			got := eval(a | c<<w)
+			want := (a + c) & 0xf
+			gotVal := uint64(0)
+			for i, v := range got {
+				if v == logic.L1 {
+					gotVal |= 1 << uint(i)
+				} else if v != logic.L0 {
+					t.Fatalf("adder output bit %d undefined: %v", i, v)
+				}
+			}
+			if gotVal != want {
+				t.Fatalf("adder(%d,%d) = %d, want %d", a, c, gotVal, want)
+			}
+		}
+	}
+}
+
+func TestBuilderIncrementerExhaustive(t *testing.T) {
+	const w = 4
+	eval := combHarness(t, w, w, func(b *builder, in, out []string) {
+		connect(b, b.incrementer(in), out)
+	})
+	for a := uint64(0); a < 16; a++ {
+		got := eval(a)
+		want := (a + 1) & 0xf
+		gotVal := uint64(0)
+		for i, v := range got {
+			if v == logic.L1 {
+				gotVal |= 1 << uint(i)
+			}
+		}
+		if gotVal != want {
+			t.Fatalf("inc(%d) = %d, want %d", a, gotVal, want)
+		}
+	}
+}
+
+func TestBuilderDecodeNOneHot(t *testing.T) {
+	const bits = 3
+	eval := combHarness(t, bits, 1<<bits, func(b *builder, in, out []string) {
+		connect(b, b.decodeN(in), out)
+	})
+	for a := uint64(0); a < 1<<bits; a++ {
+		got := eval(a)
+		for i, v := range got {
+			want := logic.L0
+			if uint64(i) == a {
+				want = logic.L1
+			}
+			if v != want {
+				t.Fatalf("decode(%d) line %d = %v, want %v", a, i, v, want)
+			}
+		}
+	}
+}
+
+func TestBuilderReduceTreesFuzz(t *testing.T) {
+	const w = 6
+	evalAnd := combHarness(t, w, 1, func(b *builder, in, out []string) {
+		connect(b, []string{b.andN(in)}, out)
+	})
+	evalOr := combHarness(t, w, 1, func(b *builder, in, out []string) {
+		connect(b, []string{b.orN(in)}, out)
+	})
+	evalXor := combHarness(t, w, 1, func(b *builder, in, out []string) {
+		connect(b, []string{b.xorN(in)}, out)
+	})
+	rng := xrand.New(31)
+	for trial := 0; trial < 40; trial++ {
+		v := rng.Uint64() & ((1 << w) - 1)
+		ones := 0
+		for i := 0; i < w; i++ {
+			if v>>uint(i)&1 == 1 {
+				ones++
+			}
+		}
+		if got := evalAnd(v)[0]; got.Bool() != (ones == w) {
+			t.Fatalf("andN(%b) = %v", v, got)
+		}
+		if got := evalOr(v)[0]; got.Bool() != (ones > 0) {
+			t.Fatalf("orN(%b) = %v", v, got)
+		}
+		if got := evalXor(v)[0]; got.Bool() != (ones%2 == 1) {
+			t.Fatalf("xorN(%b) = %v", v, got)
+		}
+	}
+}
+
+func TestBuilderMux2Bus(t *testing.T) {
+	const w = 3
+	eval := combHarness(t, 2*w+1, w, func(b *builder, in, out []string) {
+		connect(b, b.mux2Bus(in[:w], in[w:2*w], in[2*w]), out)
+	})
+	// sel=0 -> first bus, sel=1 -> second bus.
+	a, c := uint64(0b101), uint64(0b010)
+	got := eval(a | c<<w)
+	for i := range got {
+		if got[i].Bool() != (a>>uint(i)&1 == 1) {
+			t.Fatalf("mux sel=0 bit %d = %v", i, got[i])
+		}
+	}
+	got = eval(a | c<<w | 1<<(2*w))
+	for i := range got {
+		if got[i].Bool() != (c>>uint(i)&1 == 1) {
+			t.Fatalf("mux sel=1 bit %d = %v", i, got[i])
+		}
+	}
+}
+
+func TestBuilderRotate(t *testing.T) {
+	const w = 4
+	eval := combHarness(t, w, w, func(b *builder, in, out []string) {
+		connect(b, b.rotate(in), out)
+	})
+	got := eval(0b0011)
+	want := uint64(0b0110)
+	gotVal := uint64(0)
+	for i, v := range got {
+		if v == logic.L1 {
+			gotVal |= 1 << uint(i)
+		}
+	}
+	if gotVal != want {
+		t.Fatalf("rotate(0011) = %04b, want %04b", gotVal, want)
+	}
+}
+
+// TestGenMulMatchesArithmetic verifies the 4x4 array multiplier block
+// against Go multiplication for all operand pairs.
+func TestGenMulMatchesArithmetic(t *testing.T) {
+	d := netlist.NewDesign("multest")
+	genMul(d)
+	top := netlist.NewModule("multest")
+	var in []string
+	for i := 0; i < 8; i++ {
+		in = append(in, top.AddPort(fmt.Sprintf("i%d", i), netlist.Input))
+	}
+	var out []string
+	for i := 0; i < 4; i++ {
+		out = append(out, top.AddPort(fmt.Sprintf("o%d", i), netlist.Output))
+	}
+	conns := map[string]string{}
+	for i := 0; i < 4; i++ {
+		conns[fmt.Sprintf("a[%d]", i)] = in[i]
+		conns[fmt.Sprintf("b[%d]", i)] = in[4+i]
+		conns[fmt.Sprintf("p[%d]", i)] = out[i]
+	}
+	top.AddInstance("u_mul", "mul4", conns)
+	d.AddModule(top)
+	d.Top = "multest"
+	f, err := netlist.Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			e := sim.NewEventSim(f)
+			for i := 0; i < 4; i++ {
+				n, _ := f.NetByName(fmt.Sprintf("i%d", i))
+				_ = e.ScheduleInput(0, n.ID, logic.FromBool(a>>uint(i)&1 == 1))
+				n2, _ := f.NetByName(fmt.Sprintf("i%d", 4+i))
+				_ = e.ScheduleInput(0, n2.ID, logic.FromBool(b>>uint(i)&1 == 1))
+			}
+			if err := e.Run(100000); err != nil {
+				t.Fatal(err)
+			}
+			gotVal := uint64(0)
+			for i := 0; i < 4; i++ {
+				n, _ := f.NetByName(fmt.Sprintf("o%d", i))
+				if e.Value(n.ID) == logic.L1 {
+					gotVal |= 1 << uint(i)
+				}
+			}
+			if want := (a * b) & 0xf; gotVal != want {
+				t.Fatalf("mul4(%d,%d) = %d, want %d", a, b, gotVal, want)
+			}
+		}
+	}
+}

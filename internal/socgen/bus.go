@@ -1,0 +1,110 @@
+package socgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// genBus builds the bus-fabric module for the configured protocol. All
+// three fabrics expose the same ports; they differ in pipeline depth and
+// handshake state, mirroring the real protocols' complexity ordering
+// (APB combinational, AHB one address stage, AXI two stages with
+// channel-splitting registers) — which is what makes wider/deeper buses
+// more SEU-prone in Table I.
+//
+// Ports: clk, rstn, in_valid, in_write, in_addr[A], in_wdata[W],
+// mem_rdata[W] (input) -> mem_we, mem_addr[A], mem_wdata[W], out_rdata[W],
+// busy (outputs).
+func genBus(d *netlist.Design, cfg Config, addrW int) string {
+	w := cfg.BusSimWidth
+	name := fmt.Sprintf("bus_%s_w%d", strings.ToLower(cfg.BusType), w)
+	if _, ok := d.Modules[name]; ok {
+		return name
+	}
+	m := netlist.NewModule(name)
+	m.AddPort("clk", netlist.Input)
+	m.AddPort("rstn", netlist.Input)
+	m.AddPort("in_valid", netlist.Input)
+	m.AddPort("in_write", netlist.Input)
+	inAddr := m.AddBusPort("in_addr", addrW, netlist.Input)
+	inWdata := m.AddBusPort("in_wdata", w, netlist.Input)
+	memRdata := m.AddBusPort("mem_rdata", w, netlist.Input)
+	m.AddPort("mem_we", netlist.Output)
+	memAddr := m.AddBusPort("mem_addr", addrW, netlist.Output)
+	memWdata := m.AddBusPort("mem_wdata", w, netlist.Output)
+	outRdata := m.AddBusPort("out_rdata", w, netlist.Output)
+	m.AddPort("busy", netlist.Output)
+	b := newBuilder(m)
+
+	stage := func(valid, write string, addr, wdata []string) (string, string, []string, []string) {
+		v := b.dff(valid, "clk", "rstn")
+		wr := b.dff(write, "clk", "rstn")
+		return v, wr, b.register(addr, "clk", "rstn"), b.register(wdata, "clk", "rstn")
+	}
+
+	valid, write := "in_valid", "in_write"
+	addr, wdata := inAddr, inWdata
+	rdata := memRdata
+	var fsmTap string
+
+	switch cfg.BusType {
+	case "APB":
+		// Combinational datapath plus the protocol's SETUP/ACCESS state:
+		// psel/penable phase registers and the address/write-data capture
+		// registers real APB bridges hold the transaction in. The captured
+		// copy feeds the protocol monitor (busy), so upsets in bridge
+		// state are architecturally visible, while the datapath itself
+		// stays combinational — APB remains the shallowest fabric.
+		psel := b.dff(valid, "clk", "rstn")
+		penable := b.dff(b.and2(psel, valid), "clk", "rstn")
+		addrCap := b.register(inAddr, "clk", "rstn")
+		wdataCap := b.register(inWdata, "clk", "rstn")
+		capParity := b.xor2(b.xorN(addrCap), b.xorN(wdataCap))
+		fsmTap = b.xor2(b.xor2(psel, penable), capParity)
+		addr = make([]string, addrW)
+		for i, n := range inAddr {
+			addr[i] = b.buf(n)
+		}
+		wdata = make([]string, w)
+		for i, n := range inWdata {
+			wdata[i] = b.buf(n)
+		}
+	case "AHB":
+		valid, write, addr, wdata = stage(valid, write, addr, wdata)
+	case "AXI":
+		valid, write, addr, wdata = stage(valid, write, addr, wdata)
+		valid, write, addr, wdata = stage(valid, write, addr, wdata)
+		// AXI returns read data through a response register stage.
+		rdata = b.register(memRdata, "clk", "rstn")
+	default:
+		panic("socgen: unknown bus type " + cfg.BusType)
+	}
+
+	we := b.and2(valid, write)
+	b.inst("web", "BUFX2", map[string]string{"A": we, "Y": "mem_we"})
+	for i := range memAddr {
+		b.inst("ab", "BUFX2", map[string]string{"A": addr[i], "Y": memAddr[i]})
+	}
+	for i := range memWdata {
+		b.inst("wb", "BUFX2", map[string]string{"A": wdata[i], "Y": memWdata[i]})
+	}
+	for i := range outRdata {
+		b.inst("rb", "BUFX2", map[string]string{"A": rdata[i], "Y": outRdata[i]})
+	}
+	// Busy: valid command in flight, XORed with the fabric's integrity
+	// parity — AMBA buses carry odd parity across control and data lanes,
+	// so a single-bit upset in any transaction register is architecturally
+	// visible at the bus status output.
+	parityTerms := append([]string{valid, write}, addr...)
+	parityTerms = append(parityTerms, wdata...)
+	integrity := b.xorN(parityTerms)
+	if fsmTap != "" {
+		integrity = b.xor2(integrity, fsmTap)
+	}
+	busyRaw := b.xor2(b.buf(valid), integrity)
+	b.inst("busyb", "BUFX2", map[string]string{"A": busyRaw, "Y": "busy"})
+	d.AddModule(m)
+	return name
+}

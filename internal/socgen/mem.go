@@ -1,0 +1,142 @@
+package socgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+const bankRows = 8
+
+// genMemRow builds one memory word row: the bit cells of one address plus
+// the row's write-enable gating. Keeping rows as modules gives memory the
+// deep hierarchy real compiled arrays have, which the clustering layer
+// depends on for fine cluster counts.
+// Ports: clk, rowsel, we, wdata[C], q[C].
+func genMemRow(d *netlist.Design, cfg Config) string {
+	cols := cfg.MemCols
+	cellName, err := cfg.MemCellName()
+	if err != nil {
+		panic(err)
+	}
+	name := fmt.Sprintf("memrow_%s_c%d", strings.ToLower(cfg.MemType), cols)
+	if _, ok := d.Modules[name]; ok {
+		return name
+	}
+	m := netlist.NewModule(name)
+	m.AddPort("clk", netlist.Input)
+	m.AddPort("rowsel", netlist.Input)
+	m.AddPort("we", netlist.Input)
+	wdata := m.AddBusPort("wdata", cols, netlist.Input)
+	q := m.AddBusPort("q", cols, netlist.Output)
+	b := newBuilder(m)
+	rowWE := b.and2("rowsel", "we")
+	for c := 0; c < cols; c++ {
+		b.inst("bit", cellName, map[string]string{
+			"D": wdata[c], "WE": rowWE, "CK": "clk", "Q": q[c],
+		})
+	}
+	d.AddModule(m)
+	return name
+}
+
+// genMemBank builds one 8-row memory bank of the configured bit-cell type
+// from row submodules plus the address decoder and read tree.
+// Ports: clk, we, addr[3], wdata[C], rdata[C].
+func genMemBank(d *netlist.Design, cfg Config) string {
+	cols := cfg.MemCols
+	rowName := genMemRow(d, cfg)
+	name := fmt.Sprintf("membank_%s_c%d", strings.ToLower(cfg.MemType), cols)
+	if _, ok := d.Modules[name]; ok {
+		return name
+	}
+	m := netlist.NewModule(name)
+	m.AddPort("clk", netlist.Input)
+	m.AddPort("we", netlist.Input)
+	addr := m.AddBusPort("addr", 3, netlist.Input)
+	wdata := m.AddBusPort("wdata", cols, netlist.Input)
+	rdata := m.AddBusPort("rdata", cols, netlist.Output)
+	b := newBuilder(m)
+
+	rows := b.decodeN(addr)
+	qs := make([][]string, bankRows)
+	for r := 0; r < bankRows; r++ {
+		qs[r] = m.AddBusWire(fmt.Sprintf("row%d_q", r), cols)
+		conns := map[string]string{"clk": "clk", "rowsel": rows[r], "we": "we"}
+		for c := 0; c < cols; c++ {
+			conns[fmt.Sprintf("wdata[%d]", c)] = wdata[c]
+			conns[fmt.Sprintf("q[%d]", c)] = qs[r][c]
+		}
+		m.AddInstance(fmt.Sprintf("u_row%d", r), rowName, conns)
+	}
+	// Read: per column, OR of (row-select AND q).
+	for c := 0; c < cols; c++ {
+		terms := make([]string, bankRows)
+		for r := 0; r < bankRows; r++ {
+			terms[r] = b.and2(rows[r], qs[r][c])
+		}
+		b.inst("rdb", "BUFX2", map[string]string{"A": b.orN(terms), "Y": rdata[c]})
+	}
+	d.AddModule(m)
+	return name
+}
+
+// genMemory builds the full memory from banks plus a bank decoder and read
+// mux. Ports: clk, we, addr[A], wdata[C], rdata[C] where A = 3 + bank bits.
+func genMemory(d *netlist.Design, cfg Config) (string, int) {
+	cols := cfg.MemCols
+	nBanks := cfg.MemRows / bankRows
+	if nBanks < 1 {
+		nBanks = 1
+	}
+	bankBits := 0
+	for 1<<bankBits < nBanks {
+		bankBits++
+	}
+	addrW := 3 + bankBits
+	bankName := genMemBank(d, cfg)
+	name := fmt.Sprintf("mem_%s_r%dx%d", strings.ToLower(cfg.MemType), cfg.MemRows, cols)
+	if _, ok := d.Modules[name]; ok {
+		return name, addrW
+	}
+	m := netlist.NewModule(name)
+	m.AddPort("clk", netlist.Input)
+	m.AddPort("we", netlist.Input)
+	addr := m.AddBusPort("addr", addrW, netlist.Input)
+	wdata := m.AddBusPort("wdata", cols, netlist.Input)
+	rdata := m.AddBusPort("rdata", cols, netlist.Output)
+	b := newBuilder(m)
+
+	var bankSel []string
+	if bankBits == 0 {
+		bankSel = []string{b.tie1()}
+	} else {
+		bankSel = b.decodeN(addr[3:])
+	}
+	bankOuts := make([][]string, nBanks)
+	for bk := 0; bk < nBanks; bk++ {
+		we := b.and2(bankSel[bk], "we")
+		out := b.m.AddBusWire(fmt.Sprintf("bank%d_rd", bk), cols)
+		conns := map[string]string{"clk": "clk", "we": we}
+		for i := 0; i < 3; i++ {
+			conns[fmt.Sprintf("addr[%d]", i)] = addr[i]
+		}
+		for c := 0; c < cols; c++ {
+			conns[fmt.Sprintf("wdata[%d]", c)] = wdata[c]
+			conns[fmt.Sprintf("rdata[%d]", c)] = out[c]
+		}
+		m.AddInstance(fmt.Sprintf("u_bank%d", bk), bankName, conns)
+		bankOuts[bk] = out
+	}
+	// Read mux across banks: OR of (sel AND bankOut).
+	for c := 0; c < cols; c++ {
+		terms := make([]string, nBanks)
+		for bk := 0; bk < nBanks; bk++ {
+			terms[bk] = b.and2(bankSel[bk], bankOuts[bk][c])
+		}
+		b.inst("rdm", "BUFX2", map[string]string{"A": b.orN(terms), "Y": rdata[c]})
+	}
+	d.AddModule(m)
+	return name, addrW
+}

@@ -1,0 +1,282 @@
+package socgen
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/riscv"
+	"repro/internal/sim"
+	"repro/internal/vcd"
+)
+
+func TestTableIConfigsComplete(t *testing.T) {
+	cfgs := TableIConfigs()
+	if len(cfgs) != 10 {
+		t.Fatalf("%d configs, want 10", len(cfgs))
+	}
+	for i, c := range cfgs {
+		if c.Index != i+1 {
+			t.Errorf("config %d has index %d", i, c.Index)
+		}
+		if c.Name != fmt.Sprintf("pulp_soc%d", i+1) {
+			t.Errorf("config %d name %q", i, c.Name)
+		}
+		if c.MemRows == 0 || c.MemCols == 0 || c.BusSimWidth == 0 || c.DataWidth == 0 {
+			t.Errorf("config %d missing scaled parameters: %+v", i, c)
+		}
+		if _, err := c.MemCellName(); err != nil {
+			t.Errorf("config %d: %v", i, err)
+		}
+	}
+	// Table I rows as published.
+	if cfgs[9].MemType != "RadHardSRAM" || cfgs[9].BusBits != 4096 || cfgs[9].Cores != 2 {
+		t.Errorf("SoC10 wrong: %+v", cfgs[9])
+	}
+	if cfgs[0].BusType != "APB" || cfgs[4].BusType != "AXI" || cfgs[8].BusType != "AHB" {
+		t.Error("bus types do not match Table I")
+	}
+}
+
+func TestConfigWeights(t *testing.T) {
+	c, err := ConfigByIndex(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SimMemBits() != 64 {
+		t.Errorf("SoC1 sim bits = %d", c.SimMemBits())
+	}
+	if c.MemWeight() != 64*1024*8/64 {
+		t.Errorf("SoC1 mem weight = %g", c.MemWeight())
+	}
+	if c.BusWeight() != 1 {
+		t.Errorf("SoC1 bus weight = %g", c.BusWeight())
+	}
+	c9, _ := ConfigByIndex(9)
+	if c9.MemWeight() <= c.MemWeight() {
+		t.Error("bigger memory must carry bigger weight")
+	}
+	if _, err := ConfigByIndex(11); err == nil {
+		t.Error("index 11 must fail")
+	}
+}
+
+func TestISAFeatureFlags(t *testing.T) {
+	flags := map[string][2]bool{ // ISA -> mul, fpu
+		"RV32I": {false, false}, "RV32IM": {true, false},
+		"RV32IMF": {true, true}, "RV32IMAFD": {true, true},
+		"RV64I": {false, false},
+	}
+	for isa, want := range flags {
+		c := Config{ISA: isa}
+		if c.HasMul() != want[0] || c.HasFPU() != want[1] {
+			t.Errorf("%s: mul=%v fpu=%v", isa, c.HasMul(), c.HasFPU())
+		}
+	}
+}
+
+func flatten(t *testing.T, idx int) (*netlist.Flat, Config) {
+	t.Helper()
+	cfg, err := ConfigByIndex(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := netlist.Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, cfg
+}
+
+func TestGenerateAllBenchmarks(t *testing.T) {
+	prevCells := 0
+	for idx := 1; idx <= 10; idx++ {
+		f, cfg := flatten(t, idx)
+		s := netlist.ComputeStats(f)
+		if s.MemoryBits != cfg.SimMemBits() {
+			t.Errorf("SoC%d: %d memory bits, want %d", idx, s.MemoryBits, cfg.SimMemBits())
+		}
+		if s.MaxDepth < 3 {
+			t.Errorf("SoC%d: hierarchy depth %d too shallow", idx, s.MaxDepth)
+		}
+		if s.Sequential == 0 || s.Comb == 0 {
+			t.Errorf("SoC%d: degenerate composition %+v", idx, s)
+		}
+		// Complexity must grow broadly along the table (SoC10 is rad-hard
+		// but still the largest).
+		if idx > 1 && idx != 7 && s.Cells < prevCells/2 {
+			t.Errorf("SoC%d: cell count %d collapsed vs previous %d", idx, s.Cells, prevCells)
+		}
+		prevCells = s.Cells
+		// Functional blocks present.
+		blocks := map[string]bool{}
+		for _, c := range f.Cells {
+			blocks[c.FunctionalBlock()] = true
+		}
+		for _, want := range []string{"u_cpu0", "u_bus", "u_mem", "u_ctrl"} {
+			if !blocks[want] {
+				t.Errorf("SoC%d: missing block %s (have %v)", idx, want, blocks)
+			}
+		}
+		if cfg.Cores == 2 && !blocks["u_cpu1"] {
+			t.Errorf("SoC%d: second core missing", idx)
+		}
+	}
+}
+
+func TestMemoryCellTypeMatchesConfig(t *testing.T) {
+	for _, idx := range []int{1, 2, 10} {
+		f, cfg := flatten(t, idx)
+		want, _ := cfg.MemCellName()
+		count := 0
+		for _, c := range f.Cells {
+			if c.Def.Class == cell.Memory {
+				if c.Def.Name != want {
+					t.Fatalf("SoC%d: memory cell %s, want %s", idx, c.Def.Name, want)
+				}
+				count++
+			}
+		}
+		if count != cfg.SimMemBits() {
+			t.Errorf("SoC%d: %d memory cells, want %d", idx, count, cfg.SimMemBits())
+		}
+	}
+}
+
+func TestGeneratedVerilogRoundTrip(t *testing.T) {
+	cfg, _ := ConfigByIndex(1)
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := netlist.WriteVerilog(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := netlist.ParseVerilog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := netlist.Flatten(d)
+	f2, err := netlist.Flatten(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1.Cells) != len(f2.Cells) {
+		t.Errorf("round trip changed cell count %d -> %d", len(f1.Cells), len(f2.Cells))
+	}
+}
+
+func TestWorkloadStimulus(t *testing.T) {
+	f, _ := flatten(t, 1)
+	wl, err := RunWorkload(riscv.FibProgram(10), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Trace) != 20 {
+		t.Fatalf("trace length %d", len(wl.Trace))
+	}
+	plan, err := BuildStimulus(f, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Monitors) == 0 {
+		t.Fatal("no monitored outputs")
+	}
+	if plan.DurationPS < 20*ClockPeriodPS {
+		t.Errorf("duration %d too short", plan.DurationPS)
+	}
+	if len(plan.Stimuli) == 0 {
+		t.Fatal("no stimuli generated")
+	}
+}
+
+// runGolden simulates the benchmark under a workload on the given engine
+// kind and returns the output trace.
+func runGolden(t *testing.T, f *netlist.Flat, kind sim.EngineKind) *vcd.Trace {
+	t.Helper()
+	wl, err := RunWorkload(riscv.MemcpyProgram(8), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildStimulus(f, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(kind, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := vcd.NewWriter(&buf)
+	if err := sim.AttachVCD(e, w, plan.Monitors); err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Apply(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(plan.DurationPS); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(plan.DurationPS); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := vcd.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSoCSimulatesAndProducesActivity(t *testing.T) {
+	f, _ := flatten(t, 1)
+	tr := runGolden(t, f, sim.KindEvent)
+	// The accumulator outputs must toggle: a dead design would invalidate
+	// every experiment downstream.
+	active := 0
+	for name, sig := range tr.Signals {
+		if len(sig.Samples) > 2 {
+			active++
+		}
+		_ = name
+	}
+	if active < 3 {
+		t.Fatalf("only %d outputs show activity", active)
+	}
+}
+
+func TestSoCGoldenReproducible(t *testing.T) {
+	f, _ := flatten(t, 1)
+	a := runGolden(t, f, sim.KindEvent)
+	b := runGolden(t, f, sim.KindEvent)
+	if vcd.Diverged(a, b, nil) {
+		t.Fatal("golden runs differ")
+	}
+}
+
+func TestEnginesAgreeOnSoC(t *testing.T) {
+	f, _ := flatten(t, 1)
+	ev := runGolden(t, f, sim.KindEvent)
+	lv := runGolden(t, f, sim.KindLevel)
+	// Compare sampled values just before each rising edge: cycle-accurate
+	// agreement between the event-driven and levelized engines.
+	for name, es := range ev.Signals {
+		ls, ok := lv.Signals[name]
+		if !ok {
+			t.Fatalf("signal %s missing from LevelSim trace", name)
+		}
+		for k := 2; k < 30; k++ {
+			tm := uint64(k)*ClockPeriodPS - 20
+			evv, lvv := es.At(tm), ls.At(tm)
+			if !evv.Equal(lvv) {
+				t.Fatalf("engines disagree on %s at cycle %d: %s vs %s", name, k, evv, lvv)
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package socgen
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/riscv"
+	"repro/internal/sim"
+)
+
+// ClockPeriodPS is the SoC clock period used by all campaigns: long enough
+// for the deepest combinational cone (memory decode + read tree + bus +
+// ALU) to settle well before the next edge, so the event-driven and
+// levelized engines observe identical cycle behaviour.
+const ClockPeriodPS = 4000
+
+// Workload binds an assembled RISC-V program to the bus-command stream it
+// produces on the SoC's primary inputs.
+type Workload struct {
+	Program riscv.Program
+	// Cycles is the number of bus cycles of stimulus generated.
+	Cycles int
+	// Trace holds the ISS trace entries backing each cycle.
+	Trace []riscv.TraceEntry
+}
+
+// RunWorkload executes the program on the ISS and returns the workload
+// with up to maxCycles trace entries. The bus sees one command per cycle,
+// so the trace is condensed to the program's memory accesses — every
+// fourth cycle an ordinary instruction is interleaved as a bus-idle cycle,
+// keeping realistic gaps in the command stream. The trace wraps around
+// when the program is shorter than the window.
+func RunWorkload(prog riscv.Program, maxCycles int) (*Workload, error) {
+	img, err := riscv.Assemble(prog.Src, 0)
+	if err != nil {
+		return nil, fmt.Errorf("socgen: workload %s: %v", prog.Name, err)
+	}
+	cpu := riscv.New(1 << 16)
+	if err := cpu.Load(0, img); err != nil {
+		return nil, err
+	}
+	var memEntries, otherEntries []riscv.TraceEntry
+	cpu.Trace = func(e riscv.TraceEntry) {
+		if e.Mem != nil {
+			memEntries = append(memEntries, e)
+		} else {
+			otherEntries = append(otherEntries, e)
+		}
+	}
+	if err := cpu.Run(2_000_000); err != nil {
+		return nil, fmt.Errorf("socgen: workload %s: %v", prog.Name, err)
+	}
+	if len(memEntries) == 0 {
+		memEntries = otherEntries // pure-compute kernels idle the bus
+	}
+	if len(memEntries) == 0 {
+		return nil, fmt.Errorf("socgen: workload %s retired no instructions", prog.Name)
+	}
+	w := &Workload{Program: prog, Cycles: maxCycles}
+	mi, oi := 0, 0
+	for i := 0; i < maxCycles; i++ {
+		if i%4 == 3 && len(otherEntries) > 0 {
+			w.Trace = append(w.Trace, otherEntries[oi%len(otherEntries)])
+			oi++
+			continue
+		}
+		w.Trace = append(w.Trace, memEntries[mi%len(memEntries)])
+		mi++
+	}
+	return w, nil
+}
+
+// StimulusPlan is the full input schedule for one SoC simulation run.
+type StimulusPlan struct {
+	Stimuli    []sim.Stimulus
+	ClockNet   int
+	PeriodPS   uint64
+	DurationPS uint64
+	Monitors   []int // primary-output net IDs to compare for soft errors
+}
+
+// BuildStimulus converts an ISS workload into scheduled primary-input
+// assignments for the flattened SoC: each trace entry drives one bus cycle
+// (memory accesses become bus commands; other instructions idle the bus but
+// keep the write-data lanes toggling with instruction bits, preserving
+// realistic switching activity). Inputs change a quarter period after each
+// rising edge, far from both edges.
+func BuildStimulus(f *netlist.Flat, wl *Workload) (*StimulusPlan, error) {
+	nid := func(name string) (int, error) {
+		n, err := f.NetByName(name)
+		if err != nil {
+			return 0, err
+		}
+		return n.ID, nil
+	}
+	clk, err := nid("clk")
+	if err != nil {
+		return nil, err
+	}
+	rstn, err := nid("rstn")
+	if err != nil {
+		return nil, err
+	}
+	valid, err := nid("cmd_valid")
+	if err != nil {
+		return nil, err
+	}
+	write, err := nid("cmd_write")
+	if err != nil {
+		return nil, err
+	}
+	var addrNets, wdataNets []int
+	for i := 0; ; i++ {
+		n, err := f.NetByName(fmt.Sprintf("cmd_addr[%d]", i))
+		if err != nil {
+			break
+		}
+		addrNets = append(addrNets, n.ID)
+	}
+	for i := 0; ; i++ {
+		n, err := f.NetByName(fmt.Sprintf("cmd_wdata[%d]", i))
+		if err != nil {
+			break
+		}
+		wdataNets = append(wdataNets, n.ID)
+	}
+	if len(addrNets) == 0 || len(wdataNets) == 0 {
+		return nil, fmt.Errorf("socgen: design %s lacks command buses", f.Name)
+	}
+
+	const period = uint64(ClockPeriodPS)
+	plan := &StimulusPlan{
+		ClockNet:   clk,
+		PeriodPS:   period,
+		DurationPS: uint64(wl.Cycles+4) * period,
+	}
+	add := func(t uint64, net int, v logic.V) {
+		plan.Stimuli = append(plan.Stimuli, sim.Stimulus{Time: t, Net: net, Val: v})
+	}
+	// Reset: asserted from time 0, released before the first rising edge.
+	add(0, rstn, logic.L0)
+	add(period/2, rstn, logic.L1)
+	add(0, valid, logic.L0)
+	add(0, write, logic.L0)
+	for _, n := range addrNets {
+		add(0, n, logic.L0)
+	}
+	for _, n := range wdataNets {
+		add(0, n, logic.L0)
+	}
+
+	setBus := func(t uint64, nets []int, val uint64) {
+		for i, n := range nets {
+			add(t, n, logic.FromBool(val>>uint(i)&1 == 1))
+		}
+	}
+	for k, e := range wl.Trace {
+		t := uint64(k)*period + period/4
+		if e.Mem != nil {
+			add(t, valid, logic.L1)
+			add(t, write, logic.FromBool(e.Mem.Write))
+			setBus(t, addrNets, uint64(e.Mem.Addr>>2))
+			setBus(t, wdataNets, uint64(e.Mem.Data))
+		} else {
+			add(t, valid, logic.L0)
+			add(t, write, logic.L0)
+			setBus(t, addrNets, uint64(e.PC>>2))
+			setBus(t, wdataNets, uint64(e.Instr))
+		}
+	}
+	plan.Monitors = append(plan.Monitors, f.POs...)
+	return plan, nil
+}
+
+// Apply schedules the plan's clock and input events on an engine.
+func (p *StimulusPlan) Apply(e sim.Engine) error {
+	if err := sim.DriveClock(e, p.ClockNet, p.PeriodPS, p.PeriodPS, p.DurationPS); err != nil {
+		return err
+	}
+	return sim.ApplyStimuli(e, p.Stimuli)
+}

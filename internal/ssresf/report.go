@@ -1,0 +1,110 @@
+package ssresf
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/mlmetrics"
+)
+
+// RenderTableI writes Table I in the paper's layout.
+func RenderTableI(w io.Writer, rows []TableIRow) {
+	fmt.Fprintln(w, "TABLE I: Soft error results for different functional modules of benchmark")
+	fmt.Fprintf(w, "%-12s %-12s %-8s %-8s | %-5s %-7s %-8s | %-10s %-5s %-8s | %-8s %-12s %-12s\n",
+		"Benchmark", "MemType", "MemSize", "MemSER%", "Bus", "BusBits", "BusSER%", "CPU", "Cores", "CPUSER%", "Clusters", "SETXsect", "SEUXsect")
+	for _, r := range rows {
+		fmt.Fprintf(w, "PULP SoC%-4d %-12s %-8s %-8.3f | %-5s %-7d %-8.3f | %-10s %-5d %-8.3f | %-8d %-12.3e %-12.3e\n",
+			r.Index, r.MemType, memSize(r.MemKB), r.MemSER,
+			r.BusType, r.BusBits, r.BusSER,
+			r.ISA, r.Cores, r.CPUSER,
+			r.Clusters, r.SETXsect, r.SEUXsect)
+	}
+}
+
+func memSize(kb int) string {
+	if kb >= 1024 {
+		return fmt.Sprintf("%dMB", kb/1024)
+	}
+	return fmt.Sprintf("%dKB", kb)
+}
+
+// RenderTableII writes Table II in the paper's layout.
+func RenderTableII(w io.Writer, rows []TableIIRow, avg mlmetrics.Metrics) {
+	fmt.Fprintln(w, "TABLE II: Results of SVM classification")
+	fmt.Fprintf(w, "%-14s %-8s %-8s %-10s %-9s %-8s\n", "Benchmark", "TNR", "TPR", "Precision", "Accuracy", "F1 Score")
+	for _, r := range rows {
+		m := r.Metrics
+		fmt.Fprintf(w, "PULP SoC %-5d %-8.2f %-8.2f %-10.2f %-9.2f %-8.2f\n",
+			r.Index, 100*m.TNR, 100*m.TPR, 100*m.Precision, 100*m.Accuracy, m.F1)
+	}
+	fmt.Fprintf(w, "%-14s %-8.2f %-8.2f %-10.2f %-9.2f %-8.2f\n",
+		"Average", 100*avg.TNR, 100*avg.TPR, 100*avg.Precision, 100*avg.Accuracy, avg.F1)
+}
+
+// RenderFig5 writes the feature-selection curve as an aligned series.
+func RenderFig5(w io.Writer, pts []Fig5Point) {
+	fmt.Fprintln(w, "FIG 5: Mean 10-fold cross-validation score vs number of features")
+	for _, p := range pts {
+		bar := int(p.CVScore * 40)
+		fmt.Fprintf(w, "  k=%-2d score=%.4f %s\n", p.NumFeatures, p.CVScore, stars(bar))
+	}
+	fmt.Fprintf(w, "  best feature count: %d\n", BestFeatureCount(pts))
+}
+
+func stars(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '*'
+	}
+	return string(b)
+}
+
+// RenderFig6 writes the ROC curve points and AUC.
+func RenderFig6(w io.Writer, curve []mlmetrics.ROCPoint, auc float64) {
+	fmt.Fprintln(w, "FIG 6: ROC curve of the SVM model")
+	for _, p := range curve {
+		fmt.Fprintf(w, "  FPR=%.4f TPR=%.4f (thr=%.3f)\n", p.FPR, p.TPR, p.Threshold)
+	}
+	fmt.Fprintf(w, "  AUC = %.4f\n", auc)
+}
+
+// RenderTableIII writes the runtime comparison in the paper's layout.
+func RenderTableIII(w io.Writer, rows []TableIIIRow, avg TableIIIRow) {
+	fmt.Fprintln(w, "TABLE III: Runtime comparison among VCS(EventSim), CVC(LevelSim) and the SVM model")
+	fmt.Fprintf(w, "%-8s %-14s %-14s %-14s %-12s %-12s %-9s\n",
+		"Flux", "VCS Runtime", "CVC Runtime", "Predict Time", "Speedup(VCS)", "Speedup(CVC)", "Accuracy")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8.0e %-14v %-14v %-14v %-12.2f %-12.2f %-9.2f%%\n",
+			r.Flux, r.VCSRuntime, r.CVCRuntime, r.PredictTime, r.SpeedupVCS, r.SpeedupCVC, 100*r.Accuracy)
+	}
+	fmt.Fprintf(w, "%-8s %-14v %-14v %-14v %-12.2f %-12.2f %-9.2f%%\n",
+		"Avg.", avg.VCSRuntime, avg.CVCRuntime, avg.PredictTime, avg.SpeedupVCS, avg.SpeedupCVC, 100*avg.Accuracy)
+}
+
+// RenderFig7 writes the high-sensitivity node distribution.
+func RenderFig7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintln(w, "FIG 7: Proportion of high-sensitivity circuit nodes per module (%)")
+	var mods []string
+	if len(rows) > 0 {
+		for m := range rows[0].Percent {
+			mods = append(mods, m)
+		}
+		sort.Strings(mods)
+	}
+	fmt.Fprintf(w, "  %-22s", "Source")
+	for _, m := range mods {
+		fmt.Fprintf(w, " %-12s", m)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-22s", r.Source)
+		for _, m := range mods {
+			fmt.Fprintf(w, " %-12.2f", r.Percent[m])
+		}
+		fmt.Fprintln(w)
+	}
+}

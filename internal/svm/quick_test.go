@@ -1,0 +1,165 @@
+package svm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickRBFKernelBounds: the RBF kernel maps into [0, 1] (zero only by
+// floating-point underflow at extreme distances) with K(x,x)=1, for
+// arbitrary finite inputs.
+func TestQuickRBFKernelBounds(t *testing.T) {
+	f := func(a, b [4]int16, gRaw uint8) bool {
+		gamma := 0.01 + float64(gRaw)/64
+		k := RBF{Gamma: gamma}
+		av := []float64{float64(a[0]) / 100, float64(a[1]) / 100, float64(a[2]) / 100, float64(a[3]) / 100}
+		bv := []float64{float64(b[0]) / 100, float64(b[1]) / 100, float64(b[2]) / 100, float64(b[3]) / 100}
+		v := k.Eval(av, bv)
+		if v < 0 || v > 1 {
+			return false
+		}
+		if math.Abs(k.Eval(av, av)-1) > 1e-12 {
+			return false
+		}
+		return math.Abs(k.Eval(av, bv)-k.Eval(bv, av)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLinearKernelBilinear: the linear kernel is symmetric and
+// homogeneous in each argument.
+func TestQuickLinearKernelBilinear(t *testing.T) {
+	f := func(a, b [3]int8, s int8) bool {
+		av := []float64{float64(a[0]), float64(a[1]), float64(a[2])}
+		bv := []float64{float64(b[0]), float64(b[1]), float64(b[2])}
+		k := Linear{}
+		if k.Eval(av, bv) != k.Eval(bv, av) {
+			return false
+		}
+		scaled := []float64{av[0] * float64(s), av[1] * float64(s), av[2] * float64(s)}
+		return math.Abs(k.Eval(scaled, bv)-float64(s)*k.Eval(av, bv)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStratifiedFoldsPartition: for arbitrary label vectors and fold
+// counts, StratifiedKFold yields a complete partition with balanced
+// positives.
+func TestQuickStratifiedFoldsPartition(t *testing.T) {
+	f := func(labelBits []byte, kRaw, seed uint8) bool {
+		n := len(labelBits)
+		if n < 4 {
+			return true
+		}
+		if n > 200 {
+			labelBits = labelBits[:200]
+			n = 200
+		}
+		k := 2 + int(kRaw%8)
+		if k > n {
+			k = n
+		}
+		y := make([]bool, n)
+		pos := 0
+		for i, b := range labelBits {
+			y[i] = b%2 == 1
+			if y[i] {
+				pos++
+			}
+		}
+		folds, err := StratifiedKFold(y, k, uint64(seed))
+		if err != nil {
+			return false
+		}
+		if len(folds) != k {
+			return false
+		}
+		seen := make([]bool, n)
+		minPos, maxPos := n, 0
+		for _, fold := range folds {
+			p := 0
+			for _, idx := range fold {
+				if idx < 0 || idx >= n || seen[idx] {
+					return false
+				}
+				seen[idx] = true
+				if y[idx] {
+					p++
+				}
+			}
+			if p < minPos {
+				minPos = p
+			}
+			if p > maxPos {
+				maxPos = p
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		// Stratification: positive counts differ by at most one across
+		// folds (the round-robin guarantee).
+		return maxPos-minPos <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTrainedModelSane: on arbitrary small separable-ish datasets the
+// trained model must produce finite decisions and at least one support
+// vector.
+func TestQuickTrainedModelSane(t *testing.T) {
+	f := func(pts []struct {
+		X0, X1 int8
+		Y      bool
+	}, cRaw uint8) bool {
+		if len(pts) < 6 {
+			return true
+		}
+		if len(pts) > 50 {
+			pts = pts[:50]
+		}
+		var X [][]float64
+		var y []bool
+		pos, neg := 0, 0
+		for _, p := range pts {
+			X = append(X, []float64{float64(p.X0) / 16, float64(p.X1) / 16})
+			y = append(y, p.Y)
+			if p.Y {
+				pos++
+			} else {
+				neg++
+			}
+		}
+		if pos == 0 || neg == 0 {
+			return true // single class rejected elsewhere
+		}
+		cfg := DefaultConfig()
+		cfg.C = 0.1 + float64(cRaw)/32
+		m, err := Train(X, y, cfg)
+		if err != nil {
+			return false
+		}
+		if m.NumSV() < 1 {
+			return false
+		}
+		for _, x := range X {
+			d := m.Decision(x)
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,263 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// blobs generates two Gaussian clusters with the given separation.
+func blobs(n int, sep float64, seed uint64) ([][]float64, []bool) {
+	rng := xrand.New(seed)
+	X := make([][]float64, 0, n)
+	y := make([]bool, 0, n)
+	for i := 0; i < n; i++ {
+		pos := i%2 == 0
+		cx, cy := -sep/2, -sep/2
+		if pos {
+			cx, cy = sep/2, sep/2
+		}
+		X = append(X, []float64{cx + rng.NormFloat64(), cy + rng.NormFloat64()})
+		y = append(y, pos)
+	}
+	return X, y
+}
+
+// xorData generates the classic non-linearly-separable XOR pattern.
+func xorData(n int, seed uint64) ([][]float64, []bool) {
+	rng := xrand.New(seed)
+	X := make([][]float64, 0, n)
+	y := make([]bool, 0, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64() > 0.5, rng.Float64() > 0.5
+		x0, x1 := 0.1+0.8*rng.Float64(), 0.1+0.8*rng.Float64()
+		if !a {
+			x0 = -x0
+		}
+		if !b {
+			x1 = -x1
+		}
+		X = append(X, []float64{x0, x1})
+		y = append(y, a != b)
+	}
+	return X, y
+}
+
+func accuracy(m *Model, X [][]float64, y []bool) float64 {
+	correct := 0
+	for i := range X {
+		if m.Predict(X[i]) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}
+
+func TestLinearSeparable(t *testing.T) {
+	X, y := blobs(200, 6, 1)
+	cfg := DefaultConfig()
+	cfg.Kernel = Linear{}
+	m, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, X, y); acc < 0.97 {
+		t.Errorf("linear SVM on separable blobs: accuracy %v", acc)
+	}
+	if m.NumSV() == 0 || m.NumSV() == len(X) {
+		t.Errorf("suspicious support vector count %d of %d", m.NumSV(), len(X))
+	}
+}
+
+func TestRBFSolvesXOR(t *testing.T) {
+	X, y := xorData(240, 2)
+	lin := DefaultConfig()
+	lin.Kernel = Linear{}
+	mLin, err := Train(X, y, lin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbf := DefaultConfig()
+	rbf.Kernel = RBF{Gamma: 1}
+	rbf.C = 10
+	mRBF, err := Train(X, y, rbf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accLin, accRBF := accuracy(mLin, X, y), accuracy(mRBF, X, y)
+	if accRBF < 0.9 {
+		t.Errorf("RBF on XOR: accuracy %v", accRBF)
+	}
+	if accRBF <= accLin {
+		t.Errorf("RBF (%v) must beat linear (%v) on XOR", accRBF, accLin)
+	}
+}
+
+func TestDecisionSignMatchesPredict(t *testing.T) {
+	X, y := blobs(100, 4, 3)
+	m, err := Train(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		if (m.Decision(x) > 0) != m.Predict(x) {
+			t.Fatal("Decision sign and Predict disagree")
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	X, y := blobs(20, 4, 4)
+	cases := []struct {
+		name string
+		mod  func(c *Config) ([][]float64, []bool)
+	}{
+		{"empty", func(c *Config) ([][]float64, []bool) { return nil, nil }},
+		{"label mismatch", func(c *Config) ([][]float64, []bool) { return X, y[:5] }},
+		{"bad C", func(c *Config) ([][]float64, []bool) { c.C = 0; return X, y }},
+		{"nil kernel", func(c *Config) ([][]float64, []bool) { c.Kernel = nil; return X, y }},
+		{"single class", func(c *Config) ([][]float64, []bool) {
+			yy := make([]bool, len(X))
+			return X, yy
+		}},
+		{"ragged", func(c *Config) ([][]float64, []bool) {
+			XX := [][]float64{{1, 2}, {3}}
+			return XX, []bool{true, false}
+		}},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		XX, yy := tc.mod(&cfg)
+		if _, err := Train(XX, yy, cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	X, y := blobs(120, 3, 5)
+	m1, err := Train(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		if math.Abs(m1.Decision(x)-m2.Decision(x)) > 1e-12 {
+			t.Fatal("same seed produced different models")
+		}
+	}
+}
+
+func TestStratifiedKFold(t *testing.T) {
+	y := make([]bool, 100)
+	for i := 0; i < 30; i++ {
+		y[i] = true
+	}
+	folds, err := StratifiedKFold(y, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 10 {
+		t.Fatalf("%d folds", len(folds))
+	}
+	seen := map[int]bool{}
+	for _, fold := range folds {
+		pos := 0
+		for _, idx := range fold {
+			if seen[idx] {
+				t.Fatalf("index %d in two folds", idx)
+			}
+			seen[idx] = true
+			if y[idx] {
+				pos++
+			}
+		}
+		if pos < 2 || pos > 4 {
+			t.Errorf("fold has %d positives, want ~3", pos)
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("folds cover %d of 100", len(seen))
+	}
+}
+
+func TestKFoldValidation(t *testing.T) {
+	if _, err := StratifiedKFold(make([]bool, 10), 1, 1); err == nil {
+		t.Error("k=1 must fail")
+	}
+	if _, err := StratifiedKFold(make([]bool, 3), 5, 1); err == nil {
+		t.Error("more folds than examples must fail")
+	}
+}
+
+func TestCrossValidateReasonable(t *testing.T) {
+	X, y := blobs(200, 5, 6)
+	cm, err := CrossValidate(X, y, 10, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Total() != 200 {
+		t.Errorf("CV evaluated %d of 200", cm.Total())
+	}
+	if cm.Accuracy() < 0.95 {
+		t.Errorf("CV accuracy %v on well-separated blobs", cm.Accuracy())
+	}
+}
+
+func TestGridSearchFindsRBFForXOR(t *testing.T) {
+	X, y := xorData(160, 7)
+	cs, gammas := StandardGrid()
+	cfg, results, err := GridSearch(X, y, cs, gammas, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no grid results")
+	}
+	if _, isLinear := cfg.Kernel.(Linear); isLinear {
+		t.Error("grid search picked linear kernel for XOR data")
+	}
+	m, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, X, y); acc < 0.85 {
+		t.Errorf("tuned model accuracy %v", acc)
+	}
+}
+
+func TestGridSearchValidation(t *testing.T) {
+	X, y := blobs(30, 3, 8)
+	if _, _, err := GridSearch(X, y, nil, []float64{0}, 3, 1); err == nil {
+		t.Error("empty C grid must fail")
+	}
+}
+
+func TestKernelNames(t *testing.T) {
+	if (Linear{}).Name() != "linear" {
+		t.Error("linear kernel name")
+	}
+	if (RBF{Gamma: 0.5}).Name() == "" {
+		t.Error("rbf kernel name empty")
+	}
+}
+
+func TestRBFKernelProperties(t *testing.T) {
+	k := RBF{Gamma: 0.7}
+	a := []float64{1, 2, 3}
+	if v := k.Eval(a, a); math.Abs(v-1) > 1e-12 {
+		t.Errorf("K(x,x) = %v, want 1", v)
+	}
+	b := []float64{4, 5, 6}
+	if k.Eval(a, b) != k.Eval(b, a) {
+		t.Error("kernel must be symmetric")
+	}
+	far := []float64{100, 100, 100}
+	if k.Eval(a, far) > 1e-10 {
+		t.Error("distant points must have near-zero kernel value")
+	}
+}

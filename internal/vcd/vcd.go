@@ -1,0 +1,349 @@
+// Package vcd implements the IEEE-1364 Value Change Dump format: a writer
+// that the simulator dumps monitored signals into, a parser, and a trace
+// comparator. The comparator is the soft-error detector of the framework:
+// a fault injection is classified as a soft error exactly when the faulty
+// run's VCD diverges from the golden run's VCD on a monitored output.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Writer emits a VCD file incrementally. Declare all signals before the
+// first Dump call; Dump times must be non-decreasing.
+type Writer struct {
+	w        *bufio.Writer
+	ids      map[string]string // signal name -> VCD id code
+	widths   map[string]int
+	order    []string
+	last     map[string]logic.Vec
+	headerOK bool
+	curTime  uint64
+	timeSet  bool
+	err      error
+}
+
+// NewWriter returns a Writer targeting w with a 1ps timescale.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{
+		w:      bufio.NewWriter(w),
+		ids:    map[string]string{},
+		widths: map[string]int{},
+		last:   map[string]logic.Vec{},
+	}
+}
+
+// idCode converts an index to the printable-ASCII short code VCD uses.
+func idCode(n int) string {
+	const lo, hi = 33, 126 // '!' .. '~'
+	var sb []byte
+	for {
+		sb = append(sb, byte(lo+n%(hi-lo+1)))
+		n /= (hi - lo + 1)
+		if n == 0 {
+			break
+		}
+		n--
+	}
+	return string(sb)
+}
+
+// Declare registers a signal of the given bit width before the header is
+// written. Re-declaring a name is an error.
+func (vw *Writer) Declare(name string, width int) error {
+	if vw.headerOK {
+		return fmt.Errorf("vcd: Declare after header written")
+	}
+	if _, dup := vw.ids[name]; dup {
+		return fmt.Errorf("vcd: duplicate signal %q", name)
+	}
+	if width < 1 {
+		return fmt.Errorf("vcd: signal %q has width %d", name, width)
+	}
+	vw.ids[name] = idCode(len(vw.order))
+	vw.widths[name] = width
+	vw.order = append(vw.order, name)
+	return nil
+}
+
+// WriteHeader emits the declaration section and the initial $dumpvars block
+// with all signals at X.
+func (vw *Writer) WriteHeader(design string) error {
+	if vw.headerOK {
+		return fmt.Errorf("vcd: header already written")
+	}
+	fmt.Fprintf(vw.w, "$date\n  reproducible\n$end\n")
+	fmt.Fprintf(vw.w, "$version\n  repro/internal/vcd (%s)\n$end\n", design)
+	fmt.Fprintf(vw.w, "$timescale 1ps $end\n")
+	fmt.Fprintf(vw.w, "$scope module %s $end\n", sanitizeScope(design))
+	for _, name := range vw.order {
+		fmt.Fprintf(vw.w, "$var wire %d %s %s $end\n", vw.widths[name], vw.ids[name], name)
+	}
+	fmt.Fprintf(vw.w, "$upscope $end\n$enddefinitions $end\n$dumpvars\n")
+	for _, name := range vw.order {
+		x := logic.NewVec(vw.widths[name])
+		vw.emit(name, x)
+		vw.last[name] = x
+	}
+	fmt.Fprintf(vw.w, "$end\n")
+	vw.headerOK = true
+	return vw.err
+}
+
+func sanitizeScope(s string) string {
+	if s == "" {
+		return "top"
+	}
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+func (vw *Writer) emit(name string, v logic.Vec) {
+	id := vw.ids[name]
+	if len(v) == 1 {
+		fmt.Fprintf(vw.w, "%c%s\n", v[0].Rune(), id)
+		return
+	}
+	fmt.Fprintf(vw.w, "b%s %s\n", v.String(), id)
+}
+
+// Change records a new value for a declared signal at time t (picoseconds).
+// Values equal to the previous dump are suppressed, as real dumpers do.
+func (vw *Writer) Change(t uint64, name string, v logic.Vec) error {
+	if !vw.headerOK {
+		return fmt.Errorf("vcd: Change before header")
+	}
+	id, ok := vw.ids[name]
+	if !ok {
+		return fmt.Errorf("vcd: change on undeclared signal %q", name)
+	}
+	_ = id
+	if len(v) != vw.widths[name] {
+		return fmt.Errorf("vcd: signal %q width %d, change has %d bits", name, vw.widths[name], len(v))
+	}
+	if vw.timeSet && t < vw.curTime {
+		return fmt.Errorf("vcd: time moved backwards: %d < %d", t, vw.curTime)
+	}
+	if prev, ok := vw.last[name]; ok && prev.Equal(v) {
+		return nil
+	}
+	if !vw.timeSet || t != vw.curTime {
+		fmt.Fprintf(vw.w, "#%d\n", t)
+		vw.curTime = t
+		vw.timeSet = true
+	}
+	vw.emit(name, v)
+	vw.last[name] = v.Clone()
+	return vw.err
+}
+
+// Close flushes buffered output and finalizes the dump.
+func (vw *Writer) Close(endTime uint64) error {
+	if vw.headerOK && (!vw.timeSet || endTime > vw.curTime) {
+		fmt.Fprintf(vw.w, "#%d\n", endTime)
+	}
+	return vw.w.Flush()
+}
+
+// Sample is one value of a signal starting at Time.
+type Sample struct {
+	Time uint64
+	Val  logic.Vec
+}
+
+// Signal is the full change history of one trace signal.
+type Signal struct {
+	Name    string
+	Width   int
+	Samples []Sample
+}
+
+// At returns the signal's value at time t (the most recent change at or
+// before t). Before the first sample the value is all-X.
+func (s *Signal) At(t uint64) logic.Vec {
+	idx := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].Time > t })
+	if idx == 0 {
+		return logic.NewVec(s.Width)
+	}
+	return s.Samples[idx-1].Val
+}
+
+// Trace is a parsed VCD file.
+type Trace struct {
+	Design  string
+	EndTime uint64
+	Signals map[string]*Signal
+}
+
+// Parse reads a VCD stream produced by Writer (or any conforming dumper
+// using the subset: $var wire, scalar and b-vector changes, #timestamps).
+func Parse(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	tr := &Trace{Signals: map[string]*Signal{}}
+	byID := map[string]*Signal{}
+	var now uint64
+	inDefs := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if inDefs {
+			switch {
+			case strings.HasPrefix(line, "$var"):
+				// $var wire <width> <id> <name...> $end
+				fields := strings.Fields(line)
+				if len(fields) < 6 || fields[len(fields)-1] != "$end" {
+					return nil, fmt.Errorf("vcd: malformed $var: %q", line)
+				}
+				width, err := strconv.Atoi(fields[2])
+				if err != nil || width < 1 {
+					return nil, fmt.Errorf("vcd: bad width in %q", line)
+				}
+				id := fields[3]
+				name := strings.Join(fields[4:len(fields)-1], " ")
+				sig := &Signal{Name: name, Width: width}
+				tr.Signals[name] = sig
+				byID[id] = sig
+			case strings.HasPrefix(line, "$enddefinitions"):
+				inDefs = false
+			case strings.HasPrefix(line, "$scope"):
+				fields := strings.Fields(line)
+				if len(fields) >= 3 && tr.Design == "" {
+					tr.Design = fields[2]
+				}
+			}
+			continue
+		}
+		switch {
+		case line[0] == '#':
+			t, err := strconv.ParseUint(line[1:], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("vcd: bad timestamp %q", line)
+			}
+			now = t
+			if t > tr.EndTime {
+				tr.EndTime = t
+			}
+		case line[0] == 'b' || line[0] == 'B':
+			sp := strings.IndexByte(line, ' ')
+			if sp < 0 {
+				return nil, fmt.Errorf("vcd: malformed vector change %q", line)
+			}
+			val := logic.ParseVec(line[1:sp])
+			id := strings.TrimSpace(line[sp+1:])
+			sig, ok := byID[id]
+			if !ok {
+				return nil, fmt.Errorf("vcd: change for unknown id %q", id)
+			}
+			if len(val) < sig.Width {
+				// VCD allows dropped leading zeros; left-extend.
+				ext := logic.NewVec(sig.Width)
+				for i := range val {
+					ext[i] = val[i]
+				}
+				for i := len(val); i < sig.Width; i++ {
+					ext[i] = logic.L0
+				}
+				val = ext
+			}
+			sig.Samples = append(sig.Samples, Sample{Time: now, Val: val})
+		case line[0] == '0' || line[0] == '1' || line[0] == 'x' || line[0] == 'X' || line[0] == 'z' || line[0] == 'Z':
+			id := line[1:]
+			sig, ok := byID[id]
+			if !ok {
+				return nil, fmt.Errorf("vcd: change for unknown id %q", id)
+			}
+			sig.Samples = append(sig.Samples, Sample{Time: now, Val: logic.Vec{logic.FromRune(line[0])}})
+		case line[0] == '$':
+			// $dumpvars / $end markers inside the value section.
+		default:
+			return nil, fmt.Errorf("vcd: unrecognized line %q", line)
+		}
+	}
+	return tr, sc.Err()
+}
+
+// Mismatch describes one divergence between two traces.
+type Mismatch struct {
+	Signal string
+	Time   uint64
+	Golden logic.Vec
+	Faulty logic.Vec
+}
+
+// String formats the mismatch for reports.
+func (m Mismatch) String() string {
+	return fmt.Sprintf("%s@%dps golden=%s faulty=%s", m.Signal, m.Time, m.Golden, m.Faulty)
+}
+
+// Compare checks the faulty trace against the golden trace on the given
+// signals (all common signals when names is nil) and returns every
+// divergence, earliest first. Signals are compared at every change time of
+// either trace, which catches both value and timing differences.
+func Compare(golden, faulty *Trace, names []string) []Mismatch {
+	if names == nil {
+		for n := range golden.Signals {
+			if _, ok := faulty.Signals[n]; ok {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+	}
+	var out []Mismatch
+	for _, name := range names {
+		g, okG := golden.Signals[name]
+		f, okF := faulty.Signals[name]
+		if !okG || !okF {
+			continue
+		}
+		times := mergeTimes(g, f)
+		for _, t := range times {
+			gv, fv := g.At(t), f.At(t)
+			if !gv.Equal(fv) {
+				out = append(out, Mismatch{Signal: name, Time: t, Golden: gv.Clone(), Faulty: fv.Clone()})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].Signal < out[j].Signal
+	})
+	return out
+}
+
+func mergeTimes(a, b *Signal) []uint64 {
+	set := make(map[uint64]struct{}, len(a.Samples)+len(b.Samples))
+	for _, s := range a.Samples {
+		set[s.Time] = struct{}{}
+	}
+	for _, s := range b.Samples {
+		set[s.Time] = struct{}{}
+	}
+	times := make([]uint64, 0, len(set))
+	for t := range set {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times
+}
+
+// Diverged reports whether the two traces differ on the named signals
+// (all common signals when nil) — the soft-error predicate.
+func Diverged(golden, faulty *Trace, names []string) bool {
+	return len(Compare(golden, faulty, names)) > 0
+}
