@@ -1,0 +1,32 @@
+# Tier-1 verification and perf-smoke targets; CI runs `make ci bench-smoke`.
+
+GO ?= go
+
+.PHONY: all vet build test ci bench-smoke bench clean
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+ci: vet build test
+
+# bench-smoke runs the warm-start comparison once and leaves
+# BENCH_warmstart.json behind with golden/injection wall-clock and
+# cell-evaluation metrics, so the perf trajectory is tracked per commit.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkWarmVsCold' -benchtime 1x .
+	@cat BENCH_warmstart.json
+
+# bench runs the full table/figure harness (minutes).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+clean:
+	rm -f BENCH_warmstart.json

@@ -6,6 +6,7 @@
 package repro_bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"sync"
@@ -196,6 +197,132 @@ func BenchmarkEngines(b *testing.B) {
 			}
 			b.ReportMetric(float64(evals), "cell-evals/run")
 		})
+	}
+}
+
+// warmstartReport is the BENCH_warmstart.json schema: one entry per
+// engine with the golden/injection wall-clock and cell-evaluation metrics
+// of a cold (replay-from-zero) vs warm (checkpoint-restored) campaign, so
+// CI tracks the perf trajectory of the warm-start path.
+type warmstartReport struct {
+	Design           string  `json:"design"`
+	Engine           string  `json:"engine"`
+	Injections       int     `json:"injections"`
+	GoldenWallNS     int64   `json:"golden_wall_ns"`
+	GoldenEvals      uint64  `json:"golden_evals"`
+	ColdInjectWallNS int64   `json:"cold_inject_wall_ns"`
+	ColdInjectEvals  uint64  `json:"cold_inject_evals"`
+	WarmInjectWallNS int64   `json:"warm_inject_wall_ns"`
+	WarmInjectEvals  uint64  `json:"warm_inject_evals"`
+	WarmStarts       uint64  `json:"warm_starts"`
+	PrunedRuns       uint64  `json:"pruned_runs"`
+	EvalsReductionX  float64 `json:"evals_reduction_x"`
+	WallReductionX   float64 `json:"wall_reduction_x"`
+}
+
+var (
+	warmstartMu      sync.Mutex
+	warmstartEntries = map[string]warmstartReport{}
+)
+
+func writeWarmstartJSON(b *testing.B, key string, rep warmstartReport) {
+	b.Helper()
+	warmstartMu.Lock()
+	defer warmstartMu.Unlock()
+	warmstartEntries[key] = rep
+	buf, err := json.MarshalIndent(warmstartEntries, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_warmstart.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// runWarmColdPair executes the same SoC1 campaign twice — cold
+// (replay-from-zero) and warm (checkpoint-restored) — and fails the bench
+// if the two results are not bit-identical.
+func runWarmColdPair(b *testing.B, kind sim.EngineKind, frac float64) (cold, warm *inject.SoCRun) {
+	b.Helper()
+	cfg, err := socgen.ConfigByIndex(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := inject.DefaultOptions()
+	opts.Engine = kind
+	opts.SampleFrac = frac
+	coldOpts := opts
+	coldOpts.ColdStart = true
+	cold, err = inject.RunSoC(cfg, riscv.MemcpyProgram(16), fault.DefaultDB(), coldOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm, err = inject.RunSoC(cfg, riscv.MemcpyProgram(16), fault.DefaultDB(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(cold.Result.Injections) != len(warm.Result.Injections) {
+		b.Fatalf("warm/cold injection counts differ: %d vs %d", len(cold.Result.Injections), len(warm.Result.Injections))
+	}
+	for i := range cold.Result.Injections {
+		if cold.Result.Injections[i] != warm.Result.Injections[i] {
+			b.Fatalf("warm/cold verdicts differ at %d: %+v vs %+v", i, cold.Result.Injections[i], warm.Result.Injections[i])
+		}
+	}
+	if cold.Result.ChipSER != warm.Result.ChipSER {
+		b.Fatalf("warm/cold chip SER differ: %v vs %v", cold.Result.ChipSER, warm.Result.ChipSER)
+	}
+	return cold, warm
+}
+
+func reportWarmCold(b *testing.B, key string, cold, warm *inject.SoCRun) {
+	b.Helper()
+	cr, wr := cold.Result, warm.Result
+	rep := warmstartReport{
+		Design:           cr.Design,
+		Engine:           cr.Engine,
+		Injections:       len(cr.Injections),
+		GoldenWallNS:     wr.GoldenWall.Nanoseconds(),
+		GoldenEvals:      wr.GoldenEvals,
+		ColdInjectWallNS: cr.InjectWall.Nanoseconds(),
+		ColdInjectEvals:  cr.InjectEvals,
+		WarmInjectWallNS: wr.InjectWall.Nanoseconds(),
+		WarmInjectEvals:  wr.InjectEvals,
+		WarmStarts:       wr.WarmStarts,
+		PrunedRuns:       wr.PrunedRuns,
+	}
+	if wr.InjectEvals > 0 {
+		rep.EvalsReductionX = float64(cr.InjectEvals) / float64(wr.InjectEvals)
+	}
+	if wr.InjectWall > 0 {
+		rep.WallReductionX = float64(cr.InjectWall) / float64(wr.InjectWall)
+	}
+	writeWarmstartJSON(b, key, rep)
+	b.ReportMetric(rep.EvalsReductionX, "evals-reduction-x")
+	b.ReportMetric(rep.WallReductionX, "wall-reduction-x")
+	b.ReportMetric(float64(cr.InjectEvals), "cold-inject-evals")
+	b.ReportMetric(float64(wr.InjectEvals), "warm-inject-evals")
+	b.ReportMetric(float64(wr.PrunedRuns), "pruned-runs")
+}
+
+// BenchmarkWarmVsCold measures the tentpole perf win: injections that
+// warm-start from golden checkpoints and simulate only the post-strike
+// tail, vs the legacy replay-from-zero path, at default options on the
+// SoC1 netlist. Verdicts are asserted bit-identical inside the bench.
+func BenchmarkWarmVsCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cold, warm := runWarmColdPair(b, sim.KindEvent, inject.DefaultOptions().SampleFrac)
+		reportWarmCold(b, "eventsim", cold, warm)
+	}
+}
+
+// BenchmarkWarmVsColdLevelSim runs the same comparison on the levelized
+// oblivious engine, where pruned tails avoid full-netlist sweeps. The
+// sample fraction is reduced because the cold baseline is much slower.
+func BenchmarkWarmVsColdLevelSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cold, warm := runWarmColdPair(b, sim.KindLevel, 0.04)
+		reportWarmCold(b, "levelsim", cold, warm)
 	}
 }
 

@@ -29,6 +29,8 @@ func main() {
 	sample := flag.Float64("sample", 0.2, "per-cluster sampling fraction")
 	seed := flag.Uint64("seed", 1, "campaign random seed")
 	workload := flag.String("workload", "memcpy", "workload kernel: memcpy, dot, crc, sort, fib")
+	ckpt := flag.Int("ckpt", 0, "golden checkpoint pitch in cycles for warm-started injections (0 = default)")
+	cold := flag.Bool("cold", false, "disable checkpoint warm starts and replay every injection from t=0")
 	flag.Parse()
 
 	cfg, err := socgen.ConfigByIndex(*socIdx)
@@ -42,6 +44,8 @@ func main() {
 	opts.LN = *ln
 	opts.SampleFrac = *sample
 	opts.Seed = *seed
+	opts.CheckpointEveryCycles = *ckpt
+	opts.ColdStart = *cold
 	if *kn > 0 {
 		opts.KN = *kn
 	} else {

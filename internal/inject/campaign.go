@@ -7,12 +7,22 @@
 // golden run. Cluster and chip soft-error rates follow Eq. 2; module-level
 // exposure rates use the soft-error database and the representation weights
 // of the scaled platform.
+//
+// The campaign exploits a structural property of the workload: every fault
+// strikes after cycle 3, so the prefix of every faulty run is bit-identical
+// to the golden run. During the golden run the campaign snapshots engine
+// checkpoints on a fixed cycle schedule; each injection then warm-starts
+// from the latest checkpoint at or before its strike time and simulates
+// only the post-strike tail, with per-worker engine reuse and early exit as
+// soon as the verdict is decided (first diverging output row, or full state
+// re-convergence onto the golden trajectory). See DESIGN.md.
 package inject
 
 import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +37,12 @@ import (
 	"repro/internal/vpi"
 	"repro/internal/xrand"
 )
+
+// DefaultCheckpointEveryCycles is the golden-run checkpoint pitch used when
+// Options.CheckpointEveryCycles is zero: dense enough that the average
+// re-simulated prefix is under one cycle and convergence is probed every
+// other cycle, while a 30-odd-cycle workload still only keeps ~17 snapshots.
+const DefaultCheckpointEveryCycles = 2
 
 // Options configures a campaign.
 type Options struct {
@@ -57,13 +73,23 @@ type Options struct {
 	ModuleOf func(c *netlist.FlatCell) string
 	// CompareVCD switches the soft-error detector from the fast cycle
 	// signature to a full VCD diff (the paper's method); both yield the
-	// same verdicts, which TestSignatureMatchesVCD verifies.
+	// same verdicts, which TestSignatureMatchesVCD verifies. VCD runs are
+	// always simulated cold from t=0.
 	CompareVCD bool
 	// Workers is the number of concurrent injection simulations. Fault
 	// runs are independent, and all random choices are drawn before the
 	// fan-out, so any worker count produces identical results. 0 uses
 	// GOMAXPROCS.
 	Workers int
+	// CheckpointEveryCycles is the clock-cycle pitch of the golden-run
+	// checkpoint schedule that injection runs warm-start from. 0 uses
+	// DefaultCheckpointEveryCycles; the verdicts are bit-identical for any
+	// pitch, only the amount of re-simulated prefix changes.
+	CheckpointEveryCycles int
+	// ColdStart disables checkpointing and warm starts entirely, restoring
+	// the replay-from-t=0 behaviour; campaign results are bit-identical
+	// either way (the warm-vs-cold regression tests rely on this switch).
+	ColdStart bool
 }
 
 // DefaultOptions returns the options used throughout the paper
@@ -139,6 +165,12 @@ type Result struct {
 	GoldenWall, InjectWall time.Duration
 	// GoldenEvals and InjectEvals count simulator cell evaluations.
 	GoldenEvals, InjectEvals uint64
+	// WarmStarts counts injections that resumed from a golden checkpoint
+	// instead of replaying from t=0; PrunedRuns counts the subset that
+	// additionally terminated early because the faulty state re-converged
+	// onto the golden trajectory. Work metrics only — verdicts are
+	// bit-identical with or without warm starts.
+	WarmStarts, PrunedRuns uint64
 }
 
 // Campaign holds the prepared state for running injections on one design.
@@ -153,10 +185,25 @@ type Campaign struct {
 	goldenVCD *vcd.Trace
 	rng       *xrand.RNG
 	lastEvals uint64
+
+	// ckpts is the golden-run checkpoint schedule, ascending in time;
+	// read-only after New, shared by all workers.
+	ckpts      []goldenCheckpoint
+	warmStarts atomic.Uint64
+	prunedRuns atomic.Uint64
+}
+
+// goldenCheckpoint is one snapshot of the golden run: the engine state at
+// the start of clock cycle `cycle` (just after its rising edge).
+type goldenCheckpoint struct {
+	cycle int
+	time  uint64
+	ck    *sim.Checkpoint
 }
 
 // New prepares a campaign: validates options, clusters the cells, and
-// captures the golden signature.
+// captures the golden signature plus the checkpoint schedule injections
+// warm-start from.
 func New(f *netlist.Flat, plan *socgen.StimulusPlan, db *fault.DB, opts Options) (*Campaign, *Result, error) {
 	if opts.KN < 1 || opts.LN < 1 {
 		return nil, nil, fmt.Errorf("inject: KN/LN must be positive")
@@ -166,6 +213,9 @@ func New(f *netlist.Flat, plan *socgen.StimulusPlan, db *fault.DB, opts Options)
 	}
 	if opts.Flux < 0 || opts.ExposureS < 0 {
 		return nil, nil, fmt.Errorf("inject: negative flux or exposure")
+	}
+	if opts.CheckpointEveryCycles < 0 {
+		return nil, nil, fmt.Errorf("inject: CheckpointEveryCycles %d must be >= 0", opts.CheckpointEveryCycles)
 	}
 	if opts.ModuleOf == nil {
 		opts.ModuleOf = socgen.ModuleOf
@@ -197,7 +247,7 @@ func New(f *netlist.Flat, plan *socgen.StimulusPlan, db *fault.DB, opts Options)
 		ClusterOf: cl.Assign,
 	}
 	start := time.Now()
-	golden, evals, err := c.runOnce(nil)
+	golden, evals, err := c.runGolden()
 	if err != nil {
 		return nil, nil, fmt.Errorf("inject: golden run: %v", err)
 	}
@@ -208,20 +258,57 @@ func New(f *netlist.Flat, plan *socgen.StimulusPlan, db *fault.DB, opts Options)
 }
 
 // signature is the cycle-sampled value matrix of the monitored outputs:
-// one row per clock cycle, sampled just before each rising edge.
+// one row per clock cycle, sampled just before each rising edge. Rows are
+// backed by a single flat slab so a whole run's signature is one
+// allocation and comparisons are a single linear scan.
 type signature struct {
-	rows [][]logic.V
+	cols int
+	slab []logic.V
 }
 
+// newSignature returns a signature with capacity for rows full rows.
+func newSignature(cols, rows int) *signature {
+	if rows < 0 {
+		rows = 0
+	}
+	return &signature{cols: cols, slab: make([]logic.V, 0, cols*rows)}
+}
+
+// addRow extends the signature by one row and returns it for filling.
+func (s *signature) addRow() []logic.V {
+	n := len(s.slab)
+	if cap(s.slab) >= n+s.cols {
+		s.slab = s.slab[:n+s.cols]
+	} else {
+		grown := make([]logic.V, n+s.cols, 2*(n+s.cols))
+		copy(grown, s.slab)
+		s.slab = grown
+	}
+	return s.slab[n : n+s.cols]
+}
+
+// rows reports the number of complete rows captured.
+func (s *signature) rows() int {
+	if s.cols == 0 {
+		return 0
+	}
+	return len(s.slab) / s.cols
+}
+
+// row returns row i without copying.
+func (s *signature) row(i int) []logic.V {
+	return s.slab[i*s.cols : (i+1)*s.cols]
+}
+
+// equal reports whether two signatures match, bailing on the first
+// differing sample.
 func (s *signature) equal(o *signature) bool {
-	if len(s.rows) != len(o.rows) {
+	if s.cols != o.cols || len(s.slab) != len(o.slab) {
 		return false
 	}
-	for i := range s.rows {
-		for j := range s.rows[i] {
-			if s.rows[i][j] != o.rows[i][j] {
-				return false
-			}
+	for i := range s.slab {
+		if s.slab[i] != o.slab[i] {
+			return false
 		}
 	}
 	return true
@@ -230,8 +317,73 @@ func (s *signature) equal(o *signature) bool {
 // faultAction schedules the fault during a run; nil means golden.
 type faultAction func(v *vpi.Interface) error
 
-// runOnce simulates the full workload, applying the fault action, and
-// returns the output signature.
+// cycles is the number of clock cycles in the workload plan.
+func (c *Campaign) cycles() int { return int(c.plan.DurationPS / c.plan.PeriodPS) }
+
+// sampleTime is the pre-edge instant cycle k's outputs are captured at.
+func (c *Campaign) sampleTime(k int) uint64 { return uint64(k)*c.plan.PeriodPS - 20 }
+
+// scheduleSignature registers pre-edge output sampling for cycles
+// fromCycle..cycles into sig.
+func (c *Campaign) scheduleSignature(eng sim.Engine, sig *signature, fromCycle int) {
+	for k := fromCycle; k <= c.cycles(); k++ {
+		eng.At(c.sampleTime(k), func() {
+			row := sig.addRow()
+			for i, nid := range c.plan.Monitors {
+				row[i] = eng.Value(nid)
+			}
+		})
+	}
+}
+
+// checkpointInterval resolves the configured checkpoint pitch.
+func (c *Campaign) checkpointInterval() int {
+	if c.opts.CheckpointEveryCycles == 0 {
+		return DefaultCheckpointEveryCycles
+	}
+	return c.opts.CheckpointEveryCycles
+}
+
+// warmStartEnabled reports whether injections run from golden checkpoints.
+// The VCD detector always replays from t=0 (it diffs full traces, not
+// tails), and ColdStart forces the legacy behaviour.
+func (c *Campaign) warmStartEnabled() bool {
+	return !c.opts.ColdStart && !c.opts.CompareVCD
+}
+
+// runGolden simulates the fault-free workload, capturing the golden
+// signature and — when warm starts are enabled — the checkpoint schedule.
+// Checkpoints are taken 1ps after the rising edge of every Nth cycle, an
+// instant that never coincides with stimulus, strikes or sampling.
+func (c *Campaign) runGolden() (*signature, uint64, error) {
+	eng, err := sim.New(c.opts.Engine, c.flat)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := c.plan.Apply(eng); err != nil {
+		return nil, 0, err
+	}
+	if c.warmStartEnabled() {
+		period := c.plan.PeriodPS
+		for k := c.checkpointInterval(); uint64(k+1)*period <= c.plan.DurationPS; k += c.checkpointInterval() {
+			k := k
+			tm := uint64(k)*period + 1
+			eng.At(tm, func() {
+				c.ckpts = append(c.ckpts, goldenCheckpoint{cycle: k, time: tm, ck: eng.Snapshot()})
+			})
+		}
+	}
+	sig := newSignature(len(c.plan.Monitors), c.cycles()-1)
+	c.scheduleSignature(eng, sig, 2)
+	if err := eng.Run(c.plan.DurationPS); err != nil {
+		return nil, 0, err
+	}
+	return sig, eng.CellEvals(), nil
+}
+
+// runOnce simulates the full workload from t=0, applying the fault action,
+// and returns the output signature — the cold path, kept both as the
+// ColdStart fallback and as the oracle the warm path is verified against.
 func (c *Campaign) runOnce(fa faultAction) (*signature, uint64, error) {
 	eng, err := sim.New(c.opts.Engine, c.flat)
 	if err != nil {
@@ -246,18 +398,8 @@ func (c *Campaign) runOnce(fa faultAction) (*signature, uint64, error) {
 			return nil, 0, err
 		}
 	}
-	sig := &signature{}
-	cycles := int(c.plan.DurationPS / c.plan.PeriodPS)
-	for k := 2; k <= cycles; k++ {
-		tm := uint64(k)*c.plan.PeriodPS - 20
-		eng.At(tm, func() {
-			row := make([]logic.V, len(c.plan.Monitors))
-			for i, nid := range c.plan.Monitors {
-				row[i] = eng.Value(nid)
-			}
-			sig.rows = append(sig.rows, row)
-		})
-	}
+	sig := newSignature(len(c.plan.Monitors), c.cycles()-1)
+	c.scheduleSignature(eng, sig, 2)
 	if err := eng.Run(c.plan.DurationPS); err != nil {
 		return nil, 0, err
 	}
@@ -266,11 +408,28 @@ func (c *Campaign) runOnce(fa faultAction) (*signature, uint64, error) {
 
 // injectionWindow returns a random fault time away from reset and the
 // final cycles, avoiding ±80ps around clock edges so both engines see the
-// same capture behaviour.
+// same capture behaviour. Degenerately short stimulus plans fall back to
+// the widest window that still clears reset and the final edge.
 func (c *Campaign) injectionWindow() uint64 {
 	period := c.plan.PeriodPS
 	lo := 3 * period
-	hi := c.plan.DurationPS - 2*period
+	var hi uint64
+	if c.plan.DurationPS > 2*period {
+		hi = c.plan.DurationPS - 2*period
+	}
+	if hi <= lo {
+		// Degenerate short plan: relax the reset-window exclusion and draw
+		// from (period, duration - period/2) — strikes may land during
+		// reset here, which a workload this short cannot avoid.
+		lo = period
+		hi = 0
+		if c.plan.DurationPS > period/2 {
+			hi = c.plan.DurationPS - period/2
+		}
+		if hi <= lo {
+			return c.plan.DurationPS / 2
+		}
+	}
 	t := lo + uint64(c.rng.Intn(int(hi-lo)))
 	if m := t % period; m < 80 {
 		t += 80 - m
@@ -281,9 +440,11 @@ func (c *Campaign) injectionWindow() uint64 {
 }
 
 // Run executes the full campaign and fills the result. Injection runs are
-// independent simulations; they fan out over Options.Workers goroutines.
-// Every random decision (sample membership, strike times) is drawn before
-// the fan-out, so the result is identical for any worker count.
+// independent simulations; they fan out over Options.Workers goroutines,
+// each reusing one engine across its injections (restore-from-checkpoint
+// instead of construct-and-replay). Every random decision (sample
+// membership, strike times) is drawn before the fan-out, so the result is
+// identical for any worker count, checkpoint pitch, and warm/cold choice.
 func (c *Campaign) Run(res *Result) error {
 	samples := cluster.SampleProportional(c.clusters, c.opts.SampleFrac, c.opts.MinPerCluster, c.rng.Split())
 	type job struct {
@@ -325,9 +486,25 @@ func (c *Campaign) Run(res *Result) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var wk *warmWorker
+			var wkErr error
+			if c.warmStartEnabled() && len(c.ckpts) > 0 {
+				wk, wkErr = c.newWarmWorker()
+			}
 			for idx := range next {
+				if wkErr != nil {
+					errs[idx] = wkErr
+					continue
+				}
 				j := jobs[idx]
-				inj, n, err := c.injectOne(j.cellID, j.cluster, j.timePS)
+				var inj *Injection
+				var n uint64
+				var err error
+				if wk != nil {
+					inj, n, err = wk.injectOne(j.cellID, j.cluster, j.timePS)
+				} else {
+					inj, n, err = c.injectOne(j.cellID, j.cluster, j.timePS)
+				}
 				if err != nil {
 					errs[idx] = err
 					continue
@@ -349,53 +526,169 @@ func (c *Campaign) Run(res *Result) error {
 	}
 	res.Injections = append(res.Injections, injections...)
 	res.InjectWall = time.Since(start)
+	res.WarmStarts = c.warmStarts.Load()
+	res.PrunedRuns = c.prunedRuns.Load()
 	c.lastEvals = evals.Load()
 	c.aggregate(res)
 	return nil
 }
 
-// injectOne performs a single fault injection run on one cell at the given
-// strike time, returning the outcome and the simulator work performed. It
-// is safe for concurrent use: each call builds its own engine.
-func (c *Campaign) injectOne(cellID, clusterIdx int, t uint64) (*Injection, uint64, error) {
+// buildFault prepares the injection record, the fault action, and the time
+// the last fault event has been consumed by (the earliest instant the run
+// may be compared against golden checkpoints for convergence).
+func (c *Campaign) buildFault(cellID int, t uint64) (*Injection, faultAction, uint64, error) {
 	fc := c.flat.Cells[cellID]
 	entry, err := c.db.Entry(fc.Def.Name)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
-	inj := &Injection{
-		CellID:  cellID,
-		Path:    fc.Path,
-		Cluster: clusterIdx,
-		TimePS:  t,
-	}
-	var fa faultAction
+	inj := &Injection{CellID: cellID, Path: fc.Path, TimePS: t}
 	if fc.Def.IsSequential() {
 		inj.Kind = fault.SEU
-		fa = seuAction(cellID, t)
-	} else {
-		inj.Kind = fault.SET
-		width := entry.PulseWidthPS(c.opts.LET)
-		if width == 0 {
-			width = 40
-		}
-		inj.PulsePS = width
-		fa = setAction(fc.Out[0], t, width)
+		return inj, seuAction(cellID, t), t, nil
 	}
+	inj.Kind = fault.SET
+	width := entry.PulseWidthPS(c.opts.LET)
+	if width == 0 {
+		width = 40
+	}
+	inj.PulsePS = width
+	return inj, setAction(fc.Out[0], t, width), t + 1 + width, nil
+}
+
+// injectOne performs a single fault injection run on one cell at the given
+// strike time by replaying the whole workload, returning the outcome and
+// the simulator work performed. It is safe for concurrent use: each call
+// builds its own engine.
+func (c *Campaign) injectOne(cellID, clusterIdx int, t uint64) (*Injection, uint64, error) {
+	inj, fa, _, err := c.buildFault(cellID, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	inj.Cluster = clusterIdx
 	if c.opts.CompareVCD {
 		diverged, err := c.compareVCDRun(fa)
 		if err != nil {
-			return nil, 0, fmt.Errorf("inject: cell %s: %v", fc.Path, err)
+			return nil, 0, fmt.Errorf("inject: cell %s: %v", inj.Path, err)
 		}
 		inj.SoftError = diverged
 		return inj, 0, nil
 	}
 	sig, evals, err := c.runOnce(fa)
 	if err != nil {
-		return nil, 0, fmt.Errorf("inject: cell %s: %v", fc.Path, err)
+		return nil, 0, fmt.Errorf("inject: cell %s: %v", inj.Path, err)
 	}
 	inj.SoftError = !sig.equal(c.golden)
 	return inj, evals, nil
+}
+
+// checkpointBefore returns the latest golden checkpoint at or before time
+// t, or nil when t precedes the whole schedule.
+func (c *Campaign) checkpointBefore(t uint64) (*goldenCheckpoint, int) {
+	idx := sort.Search(len(c.ckpts), func(i int) bool { return c.ckpts[i].time > t }) - 1
+	if idx < 0 {
+		return nil, -1
+	}
+	return &c.ckpts[idx], idx
+}
+
+// warmWorker is one worker's reusable simulation context: a single engine
+// plus its VPI session, reset via Restore for every injection instead of
+// being reconstructed, which removes per-run allocation churn.
+type warmWorker struct {
+	c   *Campaign
+	eng sim.Engine
+	v   *vpi.Interface
+}
+
+func (c *Campaign) newWarmWorker() (*warmWorker, error) {
+	eng, err := sim.New(c.opts.Engine, c.flat)
+	if err != nil {
+		return nil, err
+	}
+	return &warmWorker{c: c, eng: eng, v: vpi.New(eng)}, nil
+}
+
+// injectOne performs one injection by restoring the latest golden
+// checkpoint at or before the strike time and simulating only the tail.
+// Monitored rows are compared against the golden signature as they are
+// captured; the run stops at the first diverging row (verdict: soft error)
+// or as soon as the faulty state re-converges onto a golden checkpoint with
+// no divergence recorded (verdict: guaranteed non-error). Verdicts are
+// bit-identical to Campaign.injectOne's replay-from-zero path.
+func (w *warmWorker) injectOne(cellID, clusterIdx int, t uint64) (*Injection, uint64, error) {
+	c := w.c
+	rec, recIdx := c.checkpointBefore(t)
+	if rec == nil {
+		// Strike before the first checkpoint: replay from t=0.
+		return c.injectOne(cellID, clusterIdx, t)
+	}
+	inj, fa, faultEnd, err := c.buildFault(cellID, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	inj.Cluster = clusterIdx
+	if err := w.eng.Restore(rec.ck); err != nil {
+		return nil, 0, err
+	}
+	c.warmStarts.Add(1)
+	evals0 := w.eng.CellEvals()
+	if err := fa(w.v); err != nil {
+		return nil, 0, fmt.Errorf("inject: cell %s: %v", inj.Path, err)
+	}
+	// Tail-only incremental comparison: the prefix up to the checkpoint is
+	// bit-identical to golden by construction (the strike lands at or after
+	// the restore point), so only cycles after the checkpoint are sampled.
+	// All tail monitors must be registered here, before the first Run after
+	// Restore, even though pruned runs never reach most of them: pre-run
+	// registration is what gives them setup-phase event ordering, and
+	// registering lazily between segments would flip their tie-break order
+	// against in-flight transitions, breaking cold/warm bit-identity.
+	diverged := false
+	for k := rec.cycle + 1; k <= c.cycles(); k++ {
+		goldenRow := c.golden.row(k - 2)
+		w.eng.At(c.sampleTime(k), func() {
+			if diverged {
+				return
+			}
+			for i, nid := range c.plan.Monitors {
+				if w.eng.Value(nid) != goldenRow[i] {
+					diverged = true
+					return
+				}
+			}
+		})
+	}
+	decided := false
+	for j := recIdx + 1; j < len(c.ckpts); j++ {
+		b := &c.ckpts[j]
+		if err := w.eng.Run(b.time); err != nil {
+			return nil, 0, fmt.Errorf("inject: cell %s: %v", inj.Path, err)
+		}
+		if diverged {
+			// First mismatching output row: the signatures can never be
+			// equal again, so the verdict is already decided.
+			inj.SoftError = true
+			decided = true
+			break
+		}
+		if b.time > faultEnd && w.eng.MatchesCheckpoint(b.ck) {
+			// All fault events are consumed and the full engine state is
+			// indistinguishable from the golden run's at this instant: the
+			// remaining tail is bit-identical to golden, so the run is a
+			// guaranteed non-error.
+			c.prunedRuns.Add(1)
+			decided = true
+			break
+		}
+	}
+	if !decided {
+		if err := w.eng.Run(c.plan.DurationPS); err != nil {
+			return nil, 0, fmt.Errorf("inject: cell %s: %v", inj.Path, err)
+		}
+		inj.SoftError = diverged
+	}
+	return inj, w.eng.CellEvals() - evals0, nil
 }
 
 // seuAction builds the SEU fault action of Fig. 2: invert the storage

@@ -23,6 +23,10 @@ type resultJSON struct {
 	LN            int             `json:"ln"`
 	SampleFrac    float64         `json:"sample_frac"`
 	Seed          uint64          `json:"seed"`
+	CkptCycles    int             `json:"checkpoint_every_cycles,omitempty"`
+	ColdStart     bool            `json:"cold_start,omitempty"`
+	WarmStarts    uint64          `json:"warm_starts,omitempty"`
+	PrunedRuns    uint64          `json:"pruned_runs,omitempty"`
 	ChipSER       float64         `json:"chip_ser"`
 	SETXsect      float64         `json:"set_xsect_cm2"`
 	SEUXsect      float64         `json:"seu_xsect_cm2"`
@@ -61,6 +65,10 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		LN:            r.Options.LN,
 		SampleFrac:    r.Options.SampleFrac,
 		Seed:          r.Options.Seed,
+		CkptCycles:    r.Options.CheckpointEveryCycles,
+		ColdStart:     r.Options.ColdStart,
+		WarmStarts:    r.WarmStarts,
+		PrunedRuns:    r.PrunedRuns,
 		ChipSER:       r.ChipSER,
 		SETXsect:      r.SETXsect,
 		SEUXsect:      r.SEUXsect,
@@ -122,6 +130,10 @@ func ReadJSON(rd io.Reader) (*Result, error) {
 	res.Options.LN = in.LN
 	res.Options.SampleFrac = in.SampleFrac
 	res.Options.Seed = in.Seed
+	res.Options.CheckpointEveryCycles = in.CkptCycles
+	res.Options.ColdStart = in.ColdStart
+	res.WarmStarts = in.WarmStarts
+	res.PrunedRuns = in.PrunedRuns
 	for i := range in.Modules {
 		m := in.Modules[i]
 		res.Modules[m.Name] = &m

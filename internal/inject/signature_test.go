@@ -1,0 +1,119 @@
+package inject
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func fillSignature(cols, rows int, flip func(r, c int) bool) *signature {
+	s := newSignature(cols, rows)
+	for r := 0; r < rows; r++ {
+		row := s.addRow()
+		for c := range row {
+			v := logic.L0
+			if flip != nil && flip(r, c) {
+				v = logic.L1
+			}
+			row[c] = v
+		}
+	}
+	return s
+}
+
+func TestSignatureSlab(t *testing.T) {
+	const cols, rows = 7, 40
+	s := fillSignature(cols, rows, func(r, c int) bool { return (r+c)%3 == 0 })
+	if s.rows() != rows {
+		t.Fatalf("rows() = %d, want %d", s.rows(), rows)
+	}
+	for r := 0; r < rows; r++ {
+		row := s.row(r)
+		if len(row) != cols {
+			t.Fatalf("row %d has %d cols, want %d", r, len(row), cols)
+		}
+		for c := range row {
+			want := logic.L0
+			if (r+c)%3 == 0 {
+				want = logic.L1
+			}
+			if row[c] != want {
+				t.Fatalf("row %d col %d = %v, want %v", r, c, row[c], want)
+			}
+		}
+	}
+
+	same := fillSignature(cols, rows, func(r, c int) bool { return (r+c)%3 == 0 })
+	if !s.equal(same) {
+		t.Error("identical signatures compare unequal")
+	}
+	diff := fillSignature(cols, rows, func(r, c int) bool { return (r+c)%3 == 0 != (r == 20 && c == 3) })
+	if s.equal(diff) {
+		t.Error("differing signatures compare equal")
+	}
+	short := fillSignature(cols, rows-1, func(r, c int) bool { return (r+c)%3 == 0 })
+	if s.equal(short) {
+		t.Error("signatures of different lengths compare equal")
+	}
+}
+
+func TestSignatureGrowsPastCapacityHint(t *testing.T) {
+	s := newSignature(4, 2) // hint is two rows; add four
+	for r := 0; r < 4; r++ {
+		row := s.addRow()
+		for c := range row {
+			row[c] = logic.V(uint8(r) % 4)
+		}
+	}
+	if s.rows() != 4 {
+		t.Fatalf("rows() = %d, want 4", s.rows())
+	}
+	for r := 0; r < 4; r++ {
+		if s.row(r)[0] != logic.V(uint8(r)%4) {
+			t.Fatalf("row %d corrupted after growth", r)
+		}
+	}
+}
+
+// BenchmarkSignatureEqual measures the flat-slab comparison: the all-equal
+// case is the hot path (most injections are masked), the early-mismatch
+// case shows the first-difference bail-out.
+func BenchmarkSignatureEqual(b *testing.B) {
+	const cols, rows = 64, 512
+	golden := fillSignature(cols, rows, func(r, c int) bool { return (r*c)%5 == 0 })
+	same := fillSignature(cols, rows, func(r, c int) bool { return (r*c)%5 == 0 })
+	early := fillSignature(cols, rows, func(r, c int) bool { return (r*c)%5 == 0 != (r == 0 && c == 1) })
+	b.Run("all-equal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !golden.equal(same) {
+				b.Fatal("signatures must match")
+			}
+		}
+	})
+	b.Run("early-mismatch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if golden.equal(early) {
+				b.Fatal("signatures must differ")
+			}
+		}
+	})
+}
+
+// BenchmarkSignatureCapture measures building a full run signature row by
+// row, the allocation pattern of every cold injection run.
+func BenchmarkSignatureCapture(b *testing.B) {
+	const cols, rows = 64, 512
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := newSignature(cols, rows)
+		for r := 0; r < rows; r++ {
+			row := s.addRow()
+			for c := range row {
+				row[c] = logic.L1
+			}
+		}
+		if s.rows() != rows {
+			b.Fatal("short signature")
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Checkpoint is an immutable snapshot of an engine's complete execution
+// state at one simulation instant: net values, force state, sequential
+// state, the eval counter, and every scheduled *data* event still in the
+// queue (input, force, release, flip, and pending inertial transitions).
+//
+// Function callbacks (At / OnNetChange) are deliberately NOT captured: they
+// belong to the run's observer, not to the design state. A caller that
+// restores a checkpoint re-registers whatever callbacks the resumed run
+// needs — this is what lets the injection campaign restore a golden
+// checkpoint and attach a fresh fault action plus tail-only monitors.
+//
+// A Checkpoint is engine-kind specific and safe for concurrent use by any
+// number of restoring engines: Restore copies, it never aliases.
+type Checkpoint struct {
+	// Kind is the engine implementation that produced the snapshot.
+	Kind EngineKind
+	// TimePS is the simulation time the snapshot was taken at.
+	TimePS uint64
+	// Evals is the producing engine's CellEvals() at the snapshot instant.
+	Evals uint64
+
+	design string
+	nets   int
+	cells  int
+
+	ev *eventCheckpoint
+	lv *levelCheckpoint
+}
+
+// check validates that a checkpoint of the expected kind can be restored
+// onto an engine simulating design f.
+func (ck *Checkpoint) check(kind EngineKind, f *netlist.Flat) error {
+	if ck == nil {
+		return fmt.Errorf("sim: nil checkpoint")
+	}
+	if ck.Kind != kind {
+		return fmt.Errorf("sim: checkpoint kind %s cannot restore a %s", ck.Kind, kind)
+	}
+	if ck.design != f.Name || ck.nets != len(f.Nets) || ck.cells != len(f.Cells) {
+		return fmt.Errorf("sim: checkpoint of %s (%d nets, %d cells) does not match design %s (%d nets, %d cells)",
+			ck.design, ck.nets, ck.cells, f.Name, len(f.Nets), len(f.Cells))
+	}
+	return nil
+}
+
+// ckptEvent is the value form of one queued data event. phase is normalized
+// at snapshot time: 0 for events scheduled before the producing run began
+// (the pre-scheduled stimulus), 1 for events the run created dynamically
+// (pending inertial transitions). On restore, events a caller schedules
+// before resuming Run take phase 0 with fresh sequence numbers, which slots
+// them after the restored stimulus but before the restored in-flight
+// transitions at equal times — exactly the order a cold run would have used.
+type ckptEvent struct {
+	t      uint64
+	seq    uint64
+	phase  uint32
+	kind   evKind
+	net    int
+	cellID int
+	val    logic.V
+}
+
+type eventCheckpoint struct {
+	seqBase uint64
+	cur     []logic.V
+	driven  []logic.V
+	forced  []bool
+	state   []logic.V
+	// events holds the queued data events sorted by (t, phase, seq);
+	// pendingIdx maps each net to its in-flight inertial transition in
+	// events, or -1.
+	events     []ckptEvent
+	pendingIdx []int32
+}
+
+type levelCheckpoint struct {
+	cur       []logic.V
+	inputVal  []logic.V
+	forced    []bool
+	forcedVal []logic.V
+	state     []logic.V
+	prevClk   []logic.V
+	// times lists agenda times that still hold at least one data action,
+	// ascending; actions is parallel, each slice in original append order
+	// with function actions dropped.
+	times   []uint64
+	actions [][]lsAction
+}
+
+func cloneV(v []logic.V) []logic.V { return append([]logic.V(nil), v...) }
+func cloneB(v []bool) []bool       { return append([]bool(nil), v...) }
+
+func equalV(a, b []logic.V) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalB(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot implements Engine.
+func (s *EventSim) Snapshot() *Checkpoint {
+	ev := &eventCheckpoint{
+		seqBase: s.seq,
+		cur:     cloneV(s.cur),
+		driven:  cloneV(s.driven),
+		forced:  cloneB(s.forced),
+		state:   cloneV(s.state),
+	}
+	type pair struct {
+		ce  ckptEvent
+		src *event
+	}
+	var pairs []pair
+	for _, e := range s.evts {
+		if e.cancelled || e.kind == evFunc {
+			continue
+		}
+		ph := uint32(0)
+		if s.running && e.phase >= s.phase {
+			ph = 1
+		}
+		pairs = append(pairs, pair{
+			ce:  ckptEvent{t: e.t, seq: e.seq, phase: ph, kind: e.kind, net: e.net, cellID: e.cellID, val: e.val},
+			src: e,
+		})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		a, b := pairs[i].ce, pairs[j].ce
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		if a.phase != b.phase {
+			return a.phase < b.phase
+		}
+		return a.seq < b.seq
+	})
+	ev.events = make([]ckptEvent, len(pairs))
+	ev.pendingIdx = make([]int32, len(s.pending))
+	for i := range ev.pendingIdx {
+		ev.pendingIdx[i] = -1
+	}
+	for i, p := range pairs {
+		ev.events[i] = p.ce
+		if p.src.kind == evNet && s.pending[p.src.net] == p.src {
+			ev.pendingIdx[p.src.net] = int32(i)
+		}
+	}
+	return &Checkpoint{
+		Kind:   KindEvent,
+		TimePS: s.now,
+		Evals:  s.cellEvals,
+		design: s.flat.Name,
+		nets:   len(s.flat.Nets),
+		cells:  len(s.flat.Cells),
+		ev:     ev,
+	}
+}
+
+// Restore implements Engine. It resets the engine wholesale to the
+// checkpointed instant: values, forces, sequential state, the eval counter
+// and the queued data events. All registered callbacks are discarded — the
+// caller re-registers the observers the resumed run needs before calling
+// Run again.
+func (s *EventSim) Restore(ck *Checkpoint) error {
+	if err := ck.check(KindEvent, s.flat); err != nil {
+		return err
+	}
+	e := ck.ev
+	copy(s.cur, e.cur)
+	copy(s.driven, e.driven)
+	copy(s.forced, e.forced)
+	copy(s.state, e.state)
+	s.now = ck.TimePS
+	s.seq = e.seqBase
+	s.phase = 0
+	s.running = false
+	s.cellEvals = ck.Evals
+	s.cbs = map[int][]NetCallback{}
+	for i := range s.pending {
+		s.pending[i] = nil
+	}
+	s.evts = make(eventHeap, len(e.events))
+	for i, ce := range e.events {
+		s.evts[i] = &event{t: ce.t, seq: ce.seq, phase: ce.phase, kind: ce.kind, net: ce.net, cellID: ce.cellID, val: ce.val}
+	}
+	for nid, idx := range e.pendingIdx {
+		if idx >= 0 {
+			s.pending[nid] = s.evts[idx]
+		}
+	}
+	heap.Init(&s.evts)
+	return nil
+}
+
+// MatchesCheckpoint implements Engine: it reports whether the engine's
+// present state is indistinguishable from the checkpoint — same time, same
+// net and sequential values, same force state, and the same queued data
+// events in the same tie-break order. When true, the engine's future
+// evolution is bit-identical to that of any engine resumed from the
+// checkpoint, which is what lets the campaign prune a faulty run that has
+// re-converged to the golden trajectory. Callbacks and the eval counter are
+// observer state and are ignored.
+func (s *EventSim) MatchesCheckpoint(ck *Checkpoint) bool {
+	if ck == nil || ck.Kind != KindEvent || ck.ev == nil || s.now != ck.TimePS {
+		return false
+	}
+	e := ck.ev
+	if !equalV(s.cur, e.cur) || !equalV(s.driven, e.driven) ||
+		!equalB(s.forced, e.forced) || !equalV(s.state, e.state) {
+		return false
+	}
+	live := make([]*event, 0, len(e.events))
+	for _, le := range s.evts {
+		if le.cancelled || le.kind == evFunc {
+			continue
+		}
+		live = append(live, le)
+	}
+	if len(live) != len(e.events) {
+		return false
+	}
+	sort.Slice(live, func(i, j int) bool {
+		a, b := live[i], live[j]
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		if a.phase != b.phase {
+			return a.phase < b.phase
+		}
+		return a.seq < b.seq
+	})
+	for i, le := range live {
+		ce := e.events[i]
+		if le.t != ce.t || le.kind != ce.kind || le.net != ce.net || le.cellID != ce.cellID || le.val != ce.val {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot implements Engine.
+func (s *LevelSim) Snapshot() *Checkpoint {
+	lv := &levelCheckpoint{
+		cur:       cloneV(s.cur),
+		inputVal:  cloneV(s.inputVal),
+		forced:    cloneB(s.forced),
+		forcedVal: cloneV(s.forcedVal),
+		state:     cloneV(s.state),
+		prevClk:   cloneV(s.prevClk),
+	}
+	times := make([]uint64, 0, len(s.agenda))
+	for t := range s.agenda {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for _, t := range times {
+		var acts []lsAction
+		for _, a := range s.agenda[t] {
+			if a.kind == lsFunc {
+				continue
+			}
+			acts = append(acts, lsAction{kind: a.kind, net: a.net, cellID: a.cellID, val: a.val})
+		}
+		if len(acts) == 0 {
+			// A step holding only callbacks belongs to the producing run's
+			// observers; the restored run schedules its own.
+			continue
+		}
+		lv.times = append(lv.times, t)
+		lv.actions = append(lv.actions, acts)
+	}
+	return &Checkpoint{
+		Kind:   KindLevel,
+		TimePS: s.now,
+		Evals:  s.cellEvals,
+		design: s.flat.Name,
+		nets:   len(s.flat.Nets),
+		cells:  len(s.flat.Cells),
+		lv:     lv,
+	}
+}
+
+// Restore implements Engine. See EventSim.Restore for the contract.
+func (s *LevelSim) Restore(ck *Checkpoint) error {
+	if err := ck.check(KindLevel, s.flat); err != nil {
+		return err
+	}
+	lv := ck.lv
+	copy(s.cur, lv.cur)
+	copy(s.scratch, lv.cur)
+	copy(s.inputVal, lv.inputVal)
+	copy(s.forced, lv.forced)
+	copy(s.forcedVal, lv.forcedVal)
+	copy(s.state, lv.state)
+	copy(s.prevClk, lv.prevClk)
+	s.now = ck.TimePS
+	s.cellEvals = ck.Evals
+	s.cbs = map[int][]NetCallback{}
+	s.cbNets = nil
+	s.agenda = make(map[uint64][]lsAction, len(lv.times))
+	s.times = s.times[:0]
+	for i, t := range lv.times {
+		s.agenda[t] = append([]lsAction(nil), lv.actions[i]...)
+		s.times = append(s.times, t)
+	}
+	heap.Init(&s.times)
+	return nil
+}
+
+// MatchesCheckpoint implements Engine. See EventSim.MatchesCheckpoint.
+func (s *LevelSim) MatchesCheckpoint(ck *Checkpoint) bool {
+	if ck == nil || ck.Kind != KindLevel || ck.lv == nil || s.now != ck.TimePS {
+		return false
+	}
+	lv := ck.lv
+	if !equalV(s.cur, lv.cur) || !equalV(s.inputVal, lv.inputVal) ||
+		!equalB(s.forced, lv.forced) || !equalV(s.forcedVal, lv.forcedVal) ||
+		!equalV(s.state, lv.state) || !equalV(s.prevClk, lv.prevClk) {
+		return false
+	}
+	seen := 0
+	for t, acts := range s.agenda {
+		var data []lsAction
+		for _, a := range acts {
+			if a.kind != lsFunc {
+				data = append(data, a)
+			}
+		}
+		if len(data) == 0 {
+			continue
+		}
+		idx := sort.Search(len(lv.times), func(i int) bool { return lv.times[i] >= t })
+		if idx >= len(lv.times) || lv.times[idx] != t {
+			return false
+		}
+		want := lv.actions[idx]
+		if len(data) != len(want) {
+			return false
+		}
+		for i, a := range data {
+			w := want[i]
+			if a.kind != w.kind || a.net != w.net || a.cellID != w.cellID || a.val != w.val {
+				return false
+			}
+		}
+		seen++
+	}
+	return seen == len(lv.times)
+}

@@ -16,7 +16,16 @@ type EventSim struct {
 	flat *netlist.Flat
 	now  uint64
 	seq  uint64 // tie-breaker for deterministic event order
-	evts eventHeap
+	// phase is the coarse tie-breaker ahead of seq: it increments at every
+	// Run entry, so events scheduled before a run (stimulus, fault actions,
+	// monitors) order ahead of events the run creates dynamically at the
+	// same timestamp. For an engine driven the ordinary way phase order
+	// coincides with seq order and changes nothing; after Restore it is
+	// what lets freshly registered pre-run events slot in ahead of restored
+	// in-flight transitions, reproducing a cold run's tie-breaking exactly.
+	phase   uint32
+	running bool
+	evts    eventHeap
 
 	cur    []logic.V // present value of each net
 	driven []logic.V // value the driver wants (differs from cur under force)
@@ -44,6 +53,7 @@ const (
 type event struct {
 	t         uint64
 	seq       uint64
+	phase     uint32
 	kind      evKind
 	net       int
 	cellID    int
@@ -58,6 +68,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
+	}
+	if h[i].phase != h[j].phase {
+		return h[i].phase < h[j].phase
 	}
 	return h[i].seq < h[j].seq
 }
@@ -148,6 +161,7 @@ func (s *EventSim) CellEvals() uint64 { return s.cellEvals }
 
 func (s *EventSim) schedule(e *event) {
 	e.seq = s.seq
+	e.phase = s.phase
 	s.seq++
 	heap.Push(&s.evts, e)
 }
@@ -219,6 +233,9 @@ func (s *EventSim) scheduleNetTransition(nid int, v logic.V, d int64) {
 
 // Run implements Engine.
 func (s *EventSim) Run(until uint64) error {
+	s.phase++
+	s.running = true
+	defer func() { s.running = false }()
 	for s.evts.Len() > 0 {
 		e := s.evts[0]
 		if e.t > until {

@@ -59,6 +59,21 @@ type Engine interface {
 	// CellEvals reports how many cell evaluations the run performed — the
 	// work metric behind the runtime comparisons of Table III.
 	CellEvals() uint64
+	// Snapshot captures the engine's complete execution state — values,
+	// forces, sequential state, eval counter and all queued data events —
+	// as an immutable checkpoint. Registered callbacks are not captured.
+	Snapshot() *Checkpoint
+	// Restore resets the engine wholesale to a checkpoint previously taken
+	// on the same design and engine kind, discarding all registered
+	// callbacks; the caller re-registers observers before resuming Run.
+	// Restoring is the warm-start primitive: a run resumed from a
+	// checkpoint is bit-identical to one simulated from time zero.
+	Restore(*Checkpoint) error
+	// MatchesCheckpoint reports whether the engine's present state is
+	// indistinguishable from the checkpoint (ignoring callbacks and the
+	// eval counter), i.e. whether its future evolution is guaranteed
+	// bit-identical to a run resumed from that checkpoint.
+	MatchesCheckpoint(*Checkpoint) bool
 }
 
 // EngineKind selects an engine implementation by name.

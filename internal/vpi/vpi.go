@@ -151,3 +151,19 @@ func (v *Interface) CbAfterDelay(d uint64, fn func()) {
 func (v *Interface) CbAtTime(t uint64, fn func()) {
 	v.eng.At(t, fn)
 }
+
+// SaveState captures the bound engine's complete execution state, playing
+// the role of the $save PLI system task. The returned checkpoint is
+// immutable and may be restored by any session over the same design and
+// engine kind.
+func (v *Interface) SaveState() *sim.Checkpoint {
+	return v.eng.Snapshot()
+}
+
+// RestoreState resets the bound engine to a previously saved checkpoint,
+// playing the role of the $restart PLI system task. Like a simulator
+// restart, registered callbacks do not survive: the caller re-registers
+// the observers (and fault actions) the resumed run needs.
+func (v *Interface) RestoreState(ck *sim.Checkpoint) error {
+	return v.eng.Restore(ck)
+}
