@@ -20,13 +20,26 @@ ci: vet build test
 # bench-smoke runs the warm-start comparison once and leaves
 # BENCH_warmstart.json behind with golden/injection wall-clock and
 # cell-evaluation metrics, so the perf trajectory is tracked per commit.
+# benchgate then fails the target when evals_reduction_x regresses >20%
+# below the baseline committed at HEAD (not the working-tree file, which
+# the benchmark itself overwrites — so re-running never self-rebaselines).
 bench-smoke:
+	@git show HEAD:BENCH_warmstart.json > BENCH_warmstart.baseline.json 2>/dev/null || rm -f BENCH_warmstart.baseline.json
 	$(GO) test -run '^$$' -bench 'BenchmarkWarmVsCold' -benchtime 1x .
 	@cat BENCH_warmstart.json
+	@if [ -s BENCH_warmstart.baseline.json ]; then \
+		$(GO) run ./cmd/benchgate -baseline BENCH_warmstart.baseline.json -new BENCH_warmstart.json -max-regress 0.20; \
+		gate=$$?; \
+		rm -f BENCH_warmstart.baseline.json; \
+		exit $$gate; \
+	else \
+		rm -f BENCH_warmstart.baseline.json; \
+		echo "benchgate: no committed baseline, skipping regression gate"; \
+	fi
 
 # bench runs the full table/figure harness (minutes).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 clean:
-	rm -f BENCH_warmstart.json
+	rm -f BENCH_warmstart.json BENCH_warmstart.baseline.json

@@ -1,0 +1,83 @@
+// Command benchgate guards the warm-start speedup against regressions:
+// it compares a freshly generated BENCH_warmstart.json with the committed
+// baseline and fails when any engine's evals_reduction_x fell more than
+// the allowed fraction below it. `make bench-smoke` (and CI through it)
+// snapshots the committed file before the benchmark overwrites it and
+// runs this gate afterwards.
+//
+// Cell-eval counts are deterministic, so the gate needs no statistical
+// slack for machine noise; the 20% default margin only absorbs legitimate
+// small shifts (e.g. sampling-plan changes moving strikes around).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchEntry is the per-engine slice of BENCH_warmstart.json this gate
+// cares about; unknown fields are ignored on purpose.
+type benchEntry struct {
+	Injections      int     `json:"injections"`
+	EvalsReductionX float64 `json:"evals_reduction_x"`
+	WallReductionX  float64 `json:"wall_reduction_x"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed benchmark metrics (required)")
+	fresh := flag.String("new", "BENCH_warmstart.json", "freshly generated benchmark metrics")
+	maxRegress := flag.Float64("max-regress", 0.20, "largest tolerated fractional drop of evals_reduction_x")
+	flag.Parse()
+	if *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
+		os.Exit(2)
+	}
+	if err := gate(*baseline, *fresh, *maxRegress, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func readBench(path string) (map[string]benchEntry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]benchEntry
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return m, nil
+}
+
+// gate fails when any engine present in the baseline regressed or went
+// missing; engines newly added to the fresh file pass through freely.
+func gate(baselinePath, freshPath string, maxRegress float64, out *os.File) error {
+	base, err := readBench(baselinePath)
+	if err != nil {
+		return err
+	}
+	got, err := readBench(freshPath)
+	if err != nil {
+		return err
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("baseline %s holds no engines", baselinePath)
+	}
+	for engine, b := range base {
+		g, ok := got[engine]
+		if !ok {
+			return fmt.Errorf("engine %q present in baseline but missing from %s", engine, freshPath)
+		}
+		floor := b.EvalsReductionX * (1 - maxRegress)
+		if g.EvalsReductionX < floor {
+			return fmt.Errorf("%s: evals_reduction_x %.2f regressed below %.2f (baseline %.2f, max regression %.0f%%)",
+				engine, g.EvalsReductionX, floor, b.EvalsReductionX, 100*maxRegress)
+		}
+		fmt.Fprintf(out, "benchgate: %s ok: evals_reduction_x %.2f vs baseline %.2f (floor %.2f)\n",
+			engine, g.EvalsReductionX, b.EvalsReductionX, floor)
+	}
+	return nil
+}

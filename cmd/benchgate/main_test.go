@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baselineJSON = `{
+  "eventsim": {"injections": 150, "evals_reduction_x": 12.5, "wall_reduction_x": 11.7},
+  "levelsim": {"injections": 30, "evals_reduction_x": 3.1, "wall_reduction_x": 3.0}
+}`
+
+func TestGatePassesWithinMargin(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baselineJSON)
+	fresh := writeBench(t, dir, "fresh.json", `{
+	  "eventsim": {"injections": 150, "evals_reduction_x": 10.2},
+	  "levelsim": {"injections": 30, "evals_reduction_x": 3.4}
+	}`)
+	if err := gate(base, fresh, 0.20, os.Stdout); err != nil {
+		t.Fatalf("10.2 vs 12.5 is inside the 20%% margin: %v", err)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baselineJSON)
+	fresh := writeBench(t, dir, "fresh.json", `{
+	  "eventsim": {"injections": 150, "evals_reduction_x": 9.0},
+	  "levelsim": {"injections": 30, "evals_reduction_x": 3.4}
+	}`)
+	err := gate(base, fresh, 0.20, os.Stdout)
+	if err == nil {
+		t.Fatal("9.0 vs baseline 12.5 must fail the 20% gate")
+	}
+	if !strings.Contains(err.Error(), "eventsim") {
+		t.Fatalf("error %q does not name the regressed engine", err)
+	}
+}
+
+func TestGateFailsOnMissingEngine(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baselineJSON)
+	fresh := writeBench(t, dir, "fresh.json", `{
+	  "eventsim": {"injections": 150, "evals_reduction_x": 12.6}
+	}`)
+	if err := gate(base, fresh, 0.20, os.Stdout); err == nil {
+		t.Fatal("dropped levelsim entry must fail the gate")
+	}
+}
+
+func TestGateAgainstCommittedBaseline(t *testing.T) {
+	// The committed BENCH_warmstart.json must gate cleanly against itself —
+	// this is exactly what `make bench-smoke` does on an unchanged tree.
+	committed := "../../BENCH_warmstart.json"
+	if _, err := os.Stat(committed); err != nil {
+		t.Skip("no committed benchmark file")
+	}
+	if err := gate(committed, committed, 0.20, os.Stdout); err != nil {
+		t.Fatalf("committed baseline fails against itself: %v", err)
+	}
+}

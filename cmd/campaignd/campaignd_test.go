@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/inject"
+	"repro/internal/shard"
+)
+
+// e2eSpec is the small SoC1 campaign the end-to-end test distributes.
+func e2eSpec() shard.CampaignSpec {
+	cs := shard.SpecFromOptions(1, "memcpy", inject.DefaultOptions())
+	cs.SampleFrac = 0.05
+	cs.MinPer = 2
+	cs.Seed = 7
+	return cs
+}
+
+// startServe launches the coordinator on an ephemeral localhost port and
+// returns its base URL plus the channel its exit error lands on.
+func startServe(t *testing.T, opts serveOpts, stdout io.Writer) (string, chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- serve(opts, ln, stdout) }()
+	return "http://" + ln.Addr().String(), errCh
+}
+
+// leaseRaw performs one raw lease request, retrying until the coordinator
+// answers — the e2e test's stand-in for a worker that dies mid-shard.
+func leaseRaw(t *testing.T, url, worker string) *shard.Lease {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		body, _ := json.Marshal(leaseRequest{Worker: worker})
+		resp, err := http.Post(url+"/v1/lease", "application/json", bytes.NewReader(body))
+		if err == nil {
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				var l shard.Lease
+				if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
+					t.Fatal(err)
+				}
+				return &l
+			}
+			t.Fatalf("doomed worker lease: unexpected status %s", resp.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never answered a lease: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func readResultJSON(t *testing.T, path string) *inject.Result {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := inject.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestServeWorkEndToEnd drives the full coordinator/worker system over
+// localhost HTTP: one worker leases a shard and dies silently (its lease
+// must expire and the shard be re-issued), two live workers drain the
+// queue, the coordinator journals every shard and merges a result that is
+// bit-identical to the single-process campaign — and a restarted
+// coordinator completes instantly from the journal alone.
+func TestServeWorkEndToEnd(t *testing.T) {
+	cs := e2eSpec()
+
+	// Reference: the same campaign, single process.
+	ref, err := shard.Build(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run.Campaign.Run(ref.Run.Result); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "journal.jsonl")
+	outPath := filepath.Join(dir, "result.json")
+	var serveOut bytes.Buffer
+	url, serveErr := startServe(t, serveOpts{
+		spec:     cs,
+		shards:   5,
+		journal:  journal,
+		leaseTTL: 300 * time.Millisecond,
+		linger:   time.Second,
+		outPath:  outPath,
+	}, &serveOut)
+
+	// A doomed worker claims a shard and is never heard from again.
+	doomed := leaseRaw(t, url, "doomed")
+	if doomed.Spec.End <= doomed.Spec.Start {
+		t.Fatalf("doomed lease covers nothing: %+v", doomed.Spec)
+	}
+
+	// Two real workers drain the campaign; the doomed shard re-issues to
+	// one of them after the lease TTL.
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	var w1Out, w2Out bytes.Buffer
+	workErr := make(chan error, 2)
+	go func() { workErr <- work(ctx, workOpts{url: url, name: "w1", poll: 25 * time.Millisecond, out: &w1Out}) }()
+	go func() { workErr <- work(ctx, workOpts{url: url, name: "w2", poll: 25 * time.Millisecond, out: &w2Out}) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve: %v\n%s", err, serveOut.String())
+		}
+	case <-ctx.Done():
+		t.Fatalf("campaign never completed; serve output:\n%s\nw1:\n%s\nw2:\n%s", serveOut.String(), w1Out.String(), w2Out.String())
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-workErr; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+
+	got := readResultJSON(t, outPath)
+	if err := shard.EquivalentResults(ref.Run.Result, got); err != nil {
+		t.Fatalf("distributed result diverges from single-process: %v", err)
+	}
+
+	// The dead worker's lease must have been re-issued: its shard's
+	// injections are present in the merged result even though "doomed"
+	// never posted anything.
+	if len(got.Injections) != len(ref.Run.Result.Injections) {
+		t.Fatalf("merged %d injections, want %d", len(got.Injections), len(ref.Run.Result.Injections))
+	}
+	if !bytes.Contains(w1Out.Bytes(), []byte("campaign complete")) || !bytes.Contains(w2Out.Bytes(), []byte("campaign complete")) {
+		t.Fatalf("workers did not observe campaign completion:\nw1:\n%s\nw2:\n%s", w1Out.String(), w2Out.String())
+	}
+
+	// Restart the coordinator on the same journal: every shard is already
+	// recorded, so it must merge and exit without any worker.
+	outPath2 := filepath.Join(dir, "result2.json")
+	var serveOut2 bytes.Buffer
+	_, serveErr2 := startServe(t, serveOpts{
+		spec:     cs,
+		shards:   5,
+		journal:  journal,
+		leaseTTL: 300 * time.Millisecond,
+		outPath:  outPath2,
+	}, &serveOut2)
+	select {
+	case err := <-serveErr2:
+		if err != nil {
+			t.Fatalf("journal-resumed serve: %v\n%s", err, serveOut2.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("journal-resumed serve never completed:\n%s", serveOut2.String())
+	}
+	if !bytes.Contains(serveOut2.Bytes(), []byte("5 journaled")) {
+		t.Fatalf("resumed serve did not load the journal:\n%s", serveOut2.String())
+	}
+	got2 := readResultJSON(t, outPath2)
+	if err := shard.EquivalentResults(ref.Run.Result, got2); err != nil {
+		t.Fatalf("journal-resumed result diverges: %v", err)
+	}
+}
+
+// TestProgressEndpoint checks the coordinator's observability surface.
+func TestProgressEndpoint(t *testing.T) {
+	cs := e2eSpec()
+	var out bytes.Buffer
+	url, serveErr := startServe(t, serveOpts{
+		spec:     cs,
+		shards:   2,
+		leaseTTL: time.Minute,
+		linger:   time.Second,
+	}, &out)
+
+	deadline := time.Now().Add(30 * time.Second)
+	var pr progressReply
+	for {
+		resp, err := http.Get(url + "/v1/progress")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&pr)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("progress endpoint unreachable: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if pr.Progress.Total != 2 || pr.Progress.Pending != 2 || pr.Done {
+		t.Fatalf("fresh campaign progress %+v", pr)
+	}
+	if pr.Fingerprint != cs.Fingerprint() {
+		t.Fatalf("progress reports fingerprint %.12s, want %.12s", pr.Fingerprint, cs.Fingerprint())
+	}
+
+	// Drain it with one worker so serve exits cleanly.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wOut bytes.Buffer
+	if err := work(ctx, workOpts{url: url, name: "w", poll: 25 * time.Millisecond, out: &wOut}); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,244 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/runstore"
+	"repro/internal/shard"
+)
+
+// The coordinator protocol, all JSON over HTTP:
+//
+//	POST /v1/lease    {"worker": ID}            -> 200 shard.Lease
+//	                                               204 nothing pending (poll again)
+//	                                               410 campaign complete (worker exits)
+//	POST /v1/complete {"lease_id", "partial"}   -> 200 accepted
+//	                                               409 lease expired/unknown (drop result)
+//	GET  /v1/progress                           -> 200 progressReply
+
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+type completeRequest struct {
+	LeaseID string         `json:"lease_id"`
+	Partial *shard.Partial `json:"partial"`
+}
+
+type progressReply struct {
+	Fingerprint string         `json:"fingerprint"`
+	Design      int            `json:"soc"`
+	Progress    shard.Progress `json:"progress"`
+	Done        bool           `json:"done"`
+}
+
+// coordinator serves one campaign's shard queue over HTTP and journals
+// every accepted result.
+type coordinator struct {
+	spec  shard.CampaignSpec
+	fp    string
+	queue *shard.Queue
+	store *runstore.Store // nil = no journal
+	now   func() time.Time
+}
+
+func (c *coordinator) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/complete", c.handleComplete)
+	mux.HandleFunc("GET /v1/progress", c.handleProgress)
+	return mux
+}
+
+func (c *coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad lease request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	l, ok := c.queue.Lease(req.Worker, c.now())
+	if !ok {
+		if c.queue.Done() {
+			w.WriteHeader(http.StatusGone)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, l)
+}
+
+func (c *coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad completion: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Partial == nil {
+		http.Error(w, "completion carries no partial", http.StatusBadRequest)
+		return
+	}
+	if err := c.queue.Complete(req.LeaseID, req.Partial, c.now()); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	if c.store != nil {
+		if err := c.store.Append(c.fp, req.Partial); err != nil {
+			// The result is already accepted and merging will proceed; a
+			// journal write failure only weakens crash recovery.
+			fmt.Fprintln(os.Stderr, "campaignd: journal append:", err)
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *coordinator) handleProgress(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, progressReply{
+		Fingerprint: c.fp,
+		Design:      c.spec.SoC,
+		Progress:    c.queue.Progress(c.now()),
+		Done:        c.queue.Done(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// serveOpts is the parsed configuration of one serve run.
+type serveOpts struct {
+	spec     shard.CampaignSpec
+	shards   int
+	journal  string
+	leaseTTL time.Duration
+	linger   time.Duration
+	outPath  string
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("campaignd serve", flag.ContinueOnError)
+	specOf := shard.CampaignFlags(fs)
+	addr := fs.String("addr", "127.0.0.1:8372", "listen address")
+	shards := fs.Int("shards", 8, "number of shards to split the campaign into")
+	journal := fs.String("journal", "", "append-only shard journal; campaigns restarted with the same journal skip finished shards")
+	lease := fs.Duration("lease", 10*time.Minute, "shard lease duration before a silent worker's shard is re-issued; keep it above the expected per-shard runtime or idle workers will redo live shards (harmless but wasteful)")
+	linger := fs.Duration("linger", 3*time.Second, "how long to keep answering workers after the campaign completes, so pollers observe completion and exit")
+	out := fs.String("out", "", "write the merged campaign result JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cs, err := specOf()
+	if err != nil {
+		return err
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", *shards)
+	}
+	if err := positiveDuration("lease", *lease); err != nil {
+		return err
+	}
+	if *linger < 0 {
+		return fmt.Errorf("-linger must not be negative, got %v", *linger)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	return serve(serveOpts{
+		spec:     cs,
+		shards:   *shards,
+		journal:  *journal,
+		leaseTTL: *lease,
+		linger:   *linger,
+		outPath:  *out,
+	}, ln, os.Stdout)
+}
+
+// serve runs the coordinator on an accepted listener until every shard
+// has completed, then merges, reports and shuts down. Split from
+// runServe so the end-to-end test can drive it on an ephemeral port.
+func serve(opts serveOpts, ln net.Listener, stdout io.Writer) error {
+	b, err := shard.Build(opts.spec)
+	if err != nil {
+		return err
+	}
+	specs, err := shard.Plan(opts.spec, opts.shards, len(b.Jobs))
+	if err != nil {
+		return err
+	}
+	queue := shard.NewQueue(specs, opts.leaseTTL)
+	var store *runstore.Store
+	journaled := 0
+	if opts.journal != "" {
+		done, err := runstore.Load(opts.journal, b.Fingerprint)
+		if err != nil {
+			return err
+		}
+		for _, sp := range specs {
+			if p, ok := done[sp.Index]; ok && p.Covers(sp) {
+				if err := queue.MarkDone(p); err != nil {
+					return err
+				}
+				journaled++
+			}
+		}
+		store, err = runstore.Open(opts.journal)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+	}
+	coord := &coordinator{spec: opts.spec, fp: b.Fingerprint, queue: queue, store: store, now: time.Now}
+	fmt.Fprintf(stdout, "campaignd: campaign %.12s (SoC%d/%s on %s): %d injections in %d shards, %d journaled, serving on %s\n",
+		b.Fingerprint, opts.spec.SoC, opts.spec.Workload, opts.spec.Engine, len(b.Jobs), len(specs), journaled, ln.Addr())
+
+	srv := &http.Server{Handler: coord.mux()}
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.Serve(ln) }()
+	select {
+	case <-queue.WaitDone():
+	case err := <-srvErr:
+		return fmt.Errorf("serving: %v", err)
+	}
+	// Keep answering for the linger window so polling workers observe the
+	// 410 completion signal and exit instead of hitting a dead socket.
+	select {
+	case <-time.After(opts.linger):
+	case err := <-srvErr:
+		return fmt.Errorf("serving: %v", err)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "campaignd: shutdown:", err)
+	}
+
+	res, err := shard.Merge(b, queue.Partials())
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, res.String())
+	if opts.outPath != "" {
+		f, err := os.Create(opts.outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.WriteJSON(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+// Command campaignd distributes a fault-injection campaign over HTTP.
+//
+// One binary, two modes:
+//
+//	campaignd serve -soc 1 -shards 16 -journal soc1.jsonl [-addr :8372] [flags]
+//	campaignd work  -url http://coordinator:8372 [-name w1] [-poll 2s]
+//
+// serve plans the campaign (the injection plan is drawn up front, so
+// sharding is a pure index split), loads any journaled shards, then hands
+// out shard leases to workers, ingests their partial results, journals
+// each one, and — once every shard is in — merges them into the exact
+// single-process campaign result and prints the report. Leases expire:
+// a shard leased to a worker that dies is re-issued to the next worker.
+//
+// work polls the coordinator in a lease/execute/post loop. A worker
+// builds each campaign (netlist, golden run, checkpoint schedule) once
+// per process and reuses it for every shard it executes.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "work":
+		err = runWork(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "campaignd: unknown mode %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaignd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  campaignd serve -soc N -shards K [-journal FILE] [-addr HOST:PORT] [campaign flags]
+  campaignd work -url http://HOST:PORT [-name ID] [-poll DUR]`)
+}
+
+// defaultWorkerName derives a worker identity that is unique enough for
+// progress reporting; correctness never depends on it.
+func defaultWorkerName() string {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// parseDurationFlag guards the duration flags shared by both modes.
+func positiveDuration(name string, d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("-%s must be positive, got %v", name, d)
+	}
+	return nil
+}

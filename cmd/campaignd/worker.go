@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// workOpts is the parsed configuration of one work loop.
+type workOpts struct {
+	url  string
+	name string
+	poll time.Duration
+	out  io.Writer
+}
+
+func runWork(args []string) error {
+	fs := flag.NewFlagSet("campaignd work", flag.ContinueOnError)
+	url := fs.String("url", "http://127.0.0.1:8372", "coordinator base URL")
+	name := fs.String("name", defaultWorkerName(), "worker identity reported to the coordinator")
+	poll := fs.Duration("poll", 2*time.Second, "idle polling interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := positiveDuration("poll", *poll); err != nil {
+		return err
+	}
+	return work(context.Background(), workOpts{url: *url, name: *name, poll: *poll, out: os.Stdout})
+}
+
+// maxConsecutiveFailures bounds how long a worker survives an unreachable
+// coordinator: roughly failures x poll interval of retrying.
+const maxConsecutiveFailures = 30
+
+// work is the lease/execute/post loop. It builds each distinct campaign
+// once (golden run + checkpoints + plan) and reuses it across all of that
+// campaign's shards; it exits cleanly when the coordinator reports the
+// campaign complete, the context is cancelled, or the coordinator stays
+// unreachable for maxConsecutiveFailures polls.
+func work(ctx context.Context, opts workOpts) error {
+	exec := shard.NewExecutor()
+	client := &http.Client{Timeout: 30 * time.Second}
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lease, status, err := requestLease(ctx, client, opts)
+		if err != nil {
+			failures++
+			if failures >= maxConsecutiveFailures {
+				return fmt.Errorf("coordinator unreachable after %d attempts: %v", failures, err)
+			}
+			if !sleepCtx(ctx, opts.poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		failures = 0
+		switch status {
+		case http.StatusGone:
+			fmt.Fprintf(opts.out, "%s: campaign complete\n", opts.name)
+			return nil
+		case http.StatusNoContent:
+			if !sleepCtx(ctx, opts.poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		p, err := exec.Execute(lease.Spec)
+		if err != nil {
+			// A shard this process cannot execute (bad spec, build failure)
+			// is fatal for the worker; the lease expires and another worker
+			// picks the shard up.
+			return fmt.Errorf("executing shard %d: %v", lease.Spec.Index, err)
+		}
+		if err := postCompleteRetry(ctx, client, opts, lease.ID, p); err != nil {
+			// The coordinator refused the result — the shard completed
+			// elsewhere while we computed it. Deterministic execution makes
+			// the other copy identical, so dropping ours is harmless.
+			fmt.Fprintf(opts.out, "%s: shard %d dropped: %v\n", opts.name, lease.Spec.Index, err)
+			continue
+		}
+		fmt.Fprintf(opts.out, "%s: shard %d done [%d,%d): %d injections\n",
+			opts.name, lease.Spec.Index, lease.Spec.Start, lease.Spec.End, len(p.Injections))
+	}
+}
+
+// requestLease asks the coordinator for a shard. A nil error with a nil
+// lease carries the non-200 status (204 idle, 410 done).
+func requestLease(ctx context.Context, client *http.Client, opts workOpts) (*shard.Lease, int, error) {
+	body, err := json.Marshal(leaseRequest{Worker: opts.name})
+	if err != nil {
+		return nil, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.url+"/v1/lease", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var l shard.Lease
+		if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
+			return nil, 0, fmt.Errorf("decoding lease: %v", err)
+		}
+		return &l, http.StatusOK, nil
+	case http.StatusNoContent, http.StatusGone:
+		return nil, resp.StatusCode, nil
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, 0, fmt.Errorf("lease refused: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+}
+
+// completeAttempts bounds postCompleteRetry: a computed shard is worth
+// several poll intervals of retrying, but not an unbounded wait.
+const completeAttempts = 5
+
+// postCompleteRetry delivers a shard result, retrying transport errors —
+// a simulated shard may represent minutes of work, and a network blip at
+// exactly the wrong moment must not throw it away. A coordinator refusal
+// (non-200 status) is never retried: the result was delivered and
+// judged, retrying cannot change the verdict.
+func postCompleteRetry(ctx context.Context, client *http.Client, opts workOpts, leaseID string, p *shard.Partial) error {
+	var err error
+	for attempt := 0; attempt < completeAttempts; attempt++ {
+		if attempt > 0 && !sleepCtx(ctx, opts.poll) {
+			return ctx.Err()
+		}
+		var permanent bool
+		permanent, err = postComplete(ctx, client, opts, leaseID, p)
+		if err == nil || permanent {
+			return err
+		}
+	}
+	return fmt.Errorf("undeliverable after %d attempts: %v", completeAttempts, err)
+}
+
+// postComplete delivers a shard result for a held lease. permanent
+// distinguishes a coordinator refusal (do not retry) from a transport
+// failure (retryable).
+func postComplete(ctx context.Context, client *http.Client, opts workOpts, leaseID string, p *shard.Partial) (permanent bool, err error) {
+	body, err := json.Marshal(completeRequest{LeaseID: leaseID, Partial: p})
+	if err != nil {
+		return true, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.url+"/v1/complete", bytes.NewReader(body))
+	if err != nil {
+		return true, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		// Only a 4xx is a judgment on the result (stale lease, duplicate,
+		// malformed); a 5xx is the coordinator side tripping over itself —
+		// a proxy restart, overload — and worth retrying like a transport
+		// error.
+		return resp.StatusCode < 500, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return true, nil
+}
+
+// sleepCtx sleeps for d unless the context ends first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

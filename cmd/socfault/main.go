@@ -5,79 +5,179 @@
 //
 //	socfault -soc 1 [-engine EventSim|LevelSim] [-let 37] [-flux 5e8]
 //	         [-kn 5] [-ln 3] [-sample 0.2] [-seed 1] [-workload memcpy]
+//	         [-shards 4] [-journal run.jsonl] [-resume]
+//
+// With -shards N the campaign executes as N independent shards of its
+// pre-drawn injection plan (same result, bit for bit — the shape
+// cmd/campaignd distributes over HTTP). With -journal every completed
+// shard is appended to an on-disk journal; -resume reloads it after a
+// crash and re-executes only the missing shards.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/fault"
 	"repro/internal/inject"
-	"repro/internal/riscv"
-	"repro/internal/sim"
+	"repro/internal/runstore"
+	"repro/internal/shard"
 	"repro/internal/socgen"
 )
 
-func main() {
-	socIdx := flag.Int("soc", 1, "Table I benchmark index (1-10)")
-	engine := flag.String("engine", "EventSim", "simulation engine: EventSim (VCS role) or LevelSim (CVC role)")
-	let := flag.Float64("let", 37.0, "linear energy transfer (MeV·cm²/mg)")
-	flux := flag.Float64("flux", 5e8, "particle flux (particles/cm²/s)")
-	kn := flag.Int("kn", 0, "cluster count KN (0 = paper's value for the benchmark)")
-	ln := flag.Int("ln", 3, "cluster layer depth LN")
-	sample := flag.Float64("sample", 0.2, "per-cluster sampling fraction")
-	seed := flag.Uint64("seed", 1, "campaign random seed")
-	workload := flag.String("workload", "memcpy", "workload kernel: memcpy, dot, crc, sort, fib")
-	ckpt := flag.Int("ckpt", 0, "golden checkpoint pitch in cycles for warm-started injections (0 = default)")
-	cold := flag.Bool("cold", false, "disable checkpoint warm starts and replay every injection from t=0")
-	flag.Parse()
-
-	cfg, err := socgen.ConfigByIndex(*socIdx)
-	if err != nil {
-		fatal(err)
-	}
-	opts := inject.DefaultOptions()
-	opts.Engine = sim.EngineKind(*engine)
-	opts.LET = *let
-	opts.Flux = *flux
-	opts.LN = *ln
-	opts.SampleFrac = *sample
-	opts.Seed = *seed
-	opts.CheckpointEveryCycles = *ckpt
-	opts.ColdStart = *cold
-	if *kn > 0 {
-		opts.KN = *kn
-	} else {
-		paperKN := []int{5, 6, 8, 9, 14, 15, 18, 19, 21, 23}
-		opts.KN = paperKN[*socIdx-1]
-	}
-
-	prog, err := workloadByName(*workload)
-	if err != nil {
-		fatal(err)
-	}
-	run, err := inject.RunSoC(cfg, prog, fault.DefaultDB(), opts)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Print(run.Result.String())
+// cliConfig is the parsed and validated command line.
+type cliConfig struct {
+	spec    shard.CampaignSpec
+	ckpt    int
+	shards  int
+	journal string
+	resume  bool
 }
 
-func workloadByName(name string) (riscv.Program, error) {
-	switch name {
-	case "memcpy":
-		return riscv.MemcpyProgram(16), nil
-	case "dot":
-		return riscv.DotProductProgram(16), nil
-	case "crc":
-		return riscv.CRCProgram(12), nil
-	case "sort":
-		return riscv.SortProgram(12), nil
-	case "fib":
-		return riscv.FibProgram(20), nil
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if errors.Is(err, flag.ErrHelp) {
+		return
 	}
-	return riscv.Program{}, fmt.Errorf("unknown workload %q", name)
+	if err != nil {
+		fatal(err)
+	}
+	if err := run(cfg); err != nil {
+		fatal(err)
+	}
+}
+
+// parseFlags builds the validated run configuration. The campaign-
+// defining flags are registered through shard.CampaignFlags, the same
+// registration cmd/campaignd uses, so a campaign named on either command
+// line produces the same spec and fingerprint. Every bad flag or flag
+// combination is rejected here with an actionable message, before any
+// netlist is generated or simulation started.
+func parseFlags(args []string) (*cliConfig, error) {
+	fs := flag.NewFlagSet("socfault", flag.ContinueOnError)
+	specOf := shard.CampaignFlags(fs)
+	ckpt := fs.Int("ckpt", 0, "golden checkpoint pitch in cycles for warm-started injections (0 = default)")
+	shards := fs.Int("shards", 1, "execute the campaign as this many independent shards (same result, bit for bit)")
+	journal := fs.String("journal", "", "append each completed shard to this journal file")
+	resume := fs.Bool("resume", false, "reload -journal and skip shards it already records")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	spec, err := specOf()
+	if err != nil {
+		return nil, err
+	}
+	cfg := &cliConfig{
+		spec:    spec,
+		ckpt:    *ckpt,
+		shards:  *shards,
+		journal: *journal,
+		resume:  *resume,
+	}
+	if *ckpt < 0 {
+		return nil, fmt.Errorf("-ckpt %d must not be negative", *ckpt)
+	}
+	if *shards < 1 {
+		return nil, fmt.Errorf("-shards %d must be at least 1", *shards)
+	}
+	if *resume && *journal == "" {
+		return nil, fmt.Errorf("-resume needs -journal: there is no journal to resume from")
+	}
+	if *journal != "" && !*resume {
+		// Refuse to silently double-run a campaign whose journal already
+		// holds results; the user either wants -resume or a fresh file.
+		n, err := runstore.Count(*journal, cfg.spec.Fingerprint())
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			return nil, fmt.Errorf("journal %s already records %d shards of this campaign; pass -resume to continue it or remove the file", *journal, n)
+		}
+	}
+	return cfg, nil
+}
+
+func run(cfg *cliConfig) error {
+	if cfg.shards == 1 && cfg.journal == "" {
+		// Classic single-process path.
+		socCfg, err := socgen.ConfigByIndex(cfg.spec.SoC)
+		if err != nil {
+			return err
+		}
+		prog, err := shard.WorkloadProgram(cfg.spec.Workload)
+		if err != nil {
+			return err
+		}
+		opts := cfg.spec.Options()
+		opts.CheckpointEveryCycles = cfg.ckpt
+		run, err := inject.RunSoC(socCfg, prog, fault.DefaultDB(), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(run.Result.String())
+		return nil
+	}
+	return runSharded(cfg)
+}
+
+// runSharded executes the campaign as independent shards on this process,
+// optionally journaling each shard and skipping journaled ones, and
+// merges the partials into the exact single-process result.
+func runSharded(cfg *cliConfig) error {
+	b, err := shard.BuildLocal(cfg.spec, func(o *inject.Options) {
+		o.CheckpointEveryCycles = cfg.ckpt
+	})
+	if err != nil {
+		return err
+	}
+	specs, err := shard.Plan(cfg.spec, cfg.shards, len(b.Jobs))
+	if err != nil {
+		return err
+	}
+	fp := b.Fingerprint
+	var done map[int]*shard.Partial
+	if cfg.resume {
+		if done, err = runstore.Load(cfg.journal, fp); err != nil {
+			return err
+		}
+	}
+	var store *runstore.Store
+	if cfg.journal != "" {
+		if store, err = runstore.Open(cfg.journal); err != nil {
+			return err
+		}
+		defer store.Close()
+	}
+	partials := make([]*shard.Partial, 0, len(specs))
+	resumed := 0
+	for _, sp := range specs {
+		if p, ok := done[sp.Index]; ok && p.Covers(sp) {
+			partials = append(partials, p)
+			resumed++
+			continue
+		}
+		p, err := shard.ExecuteOn(b, sp)
+		if err != nil {
+			return err
+		}
+		if store != nil {
+			if err := store.Append(fp, p); err != nil {
+				return err
+			}
+		}
+		partials = append(partials, p)
+	}
+	res, err := shard.Merge(b, partials)
+	if err != nil {
+		return err
+	}
+	if resumed > 0 {
+		fmt.Printf("resumed %d of %d shards from %s\n", resumed, len(specs), cfg.journal)
+	}
+	fmt.Print(res.String())
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/runstore"
+	"repro/internal/shard"
+)
+
+// TestParseFlagsValidation pins the upfront flag validation: every broken
+// flag or combination must fail fast with an actionable message instead
+// of panicking deep inside the campaign.
+func TestParseFlagsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the expected error
+	}{
+		{"bad soc low", []string{"-soc", "0"}, "SoC"},
+		{"bad soc high", []string{"-soc", "11"}, "SoC"},
+		{"bad engine", []string{"-engine", "Verilator"}, "engine"},
+		{"bad workload", []string{"-workload", "quicksort3"}, "workload"},
+		{"sample zero", []string{"-sample", "0"}, "sample fraction"},
+		{"sample high", []string{"-sample", "1.5"}, "sample fraction"},
+		{"negative flux", []string{"-flux", "-1"}, "flux"},
+		{"negative ckpt", []string{"-ckpt", "-2"}, "-ckpt"},
+		{"zero shards", []string{"-shards", "0"}, "-shards"},
+		{"resume without journal", []string{"-resume"}, "-resume needs -journal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseFlags(tc.args)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: error %q does not mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.spec.KN != shard.PaperKN(1) {
+		t.Errorf("default KN %d, want paper value %d", cfg.spec.KN, shard.PaperKN(1))
+	}
+	if cfg.shards != 1 || cfg.journal != "" || cfg.resume {
+		t.Errorf("sharding defaults wrong: %+v", cfg)
+	}
+	cfg, err = parseFlags([]string{"-soc", "3", "-kn", "7", "-shards", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.spec.KN != 7 || cfg.spec.SoC != 3 || cfg.shards != 4 {
+		t.Errorf("explicit flags lost: %+v", cfg)
+	}
+}
+
+// TestParseFlagsRefusesStaleJournalWithoutResume covers the footgun of
+// re-running a journaled campaign without -resume.
+func TestParseFlagsRefusesStaleJournalWithoutResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	cfg, err := parseFlags([]string{"-journal", journal})
+	if err != nil {
+		t.Fatalf("fresh journal path rejected: %v", err)
+	}
+	st, err := runstore.Open(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(cfg.spec.Fingerprint(), &shard.Partial{Index: 0, Start: 0, End: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if _, err := parseFlags([]string{"-journal", journal}); err == nil {
+		t.Fatal("journal with recorded shards accepted without -resume")
+	}
+	if _, err := parseFlags([]string{"-journal", journal, "-resume"}); err != nil {
+		t.Fatalf("-resume on recorded journal rejected: %v", err)
+	}
+	// A journal holding only a different campaign's shards is fine.
+	if _, err := parseFlags([]string{"-journal", journal, "-seed", "99"}); err != nil {
+		t.Fatalf("journal of a different campaign rejected: %v", err)
+	}
+}
+
+// TestShardCountExceedingInjections pins the clear error for a plan that
+// cannot feed every shard (the old code would only fail deep inside the
+// campaign, if at all).
+func TestShardCountExceedingInjections(t *testing.T) {
+	cfg, err := parseFlags([]string{"-sample", "0.02", "-shards", "100000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run(cfg)
+	if err == nil {
+		t.Fatal("absurd shard count accepted")
+	}
+	if !strings.Contains(err.Error(), "exceeds the campaign's") {
+		t.Fatalf("error %q does not explain the shard/injection mismatch", err)
+	}
+}

@@ -108,15 +108,29 @@ func DefaultOptions() Options {
 	}
 }
 
-// Injection records one fault injection and its outcome.
+// Injection records one fault injection and its outcome. The JSON tags
+// are the wire form shard partials travel in (runstore journal lines and
+// campaignd result posts); the audit-grade result schema in serialize.go
+// additionally renders Kind symbolically.
 type Injection struct {
-	CellID    int
-	Path      string
-	Kind      fault.Kind
-	TimePS    uint64
-	PulsePS   uint64 // SET only
-	Cluster   int
-	SoftError bool
+	CellID    int        `json:"cell_id"`
+	Path      string     `json:"path"`
+	Kind      fault.Kind `json:"kind"`
+	TimePS    uint64     `json:"time_ps"`
+	PulsePS   uint64     `json:"pulse_ps,omitempty"` // SET only
+	Cluster   int        `json:"cluster"`
+	SoftError bool       `json:"soft_error"`
+}
+
+// Job is one planned injection: the sampled cell, its cluster, and the
+// pre-drawn strike time. The whole campaign plan is drawn before any
+// worker or shard fan-out, so distributing a campaign is a pure split of
+// the job index range — every shard rebuilds the identical plan from the
+// campaign seed and executes a disjoint [start,end) slice of it.
+type Job struct {
+	CellID  int    `json:"cell_id"`
+	Cluster int    `json:"cluster"`
+	TimePS  uint64 `json:"time_ps"`
 }
 
 // ClusterStats aggregates one cluster's campaign outcome.
@@ -184,7 +198,8 @@ type Campaign struct {
 	golden    *signature
 	goldenVCD *vcd.Trace
 	rng       *xrand.RNG
-	lastEvals uint64
+	jobs      []Job
+	jobsDrawn bool
 
 	// ckpts is the golden-run checkpoint schedule, ascending in time;
 	// read-only after New, shared by all workers.
@@ -378,6 +393,15 @@ func (c *Campaign) runGolden() (*signature, uint64, error) {
 	if err := eng.Run(c.plan.DurationPS); err != nil {
 		return nil, 0, err
 	}
+	if len(c.ckpts) > 0 {
+		// Adjacent checkpoints hold mostly the same future stimulus; share
+		// the common suffix so checkpoint memory stops scaling with pitch.
+		shared := make([]*sim.Checkpoint, len(c.ckpts))
+		for i := range c.ckpts {
+			shared[i] = c.ckpts[i].ck
+		}
+		sim.ShareTails(shared)
+	}
 	return sig, eng.CellEvals(), nil
 }
 
@@ -439,6 +463,25 @@ func (c *Campaign) injectionWindow() uint64 {
 	return t
 }
 
+// DrawJobs draws the campaign's full injection plan — the equal-proportion
+// cluster sample and one strike time per sampled cell — and memoizes it.
+// All randomness is consumed on the first call, so every process that
+// builds a campaign from the same design, options and seed obtains the
+// identical plan; this is the property shard distribution rests on. The
+// returned slice is shared and must not be mutated.
+func (c *Campaign) DrawJobs() []Job {
+	if !c.jobsDrawn {
+		samples := cluster.SampleProportional(c.clusters, c.opts.SampleFrac, c.opts.MinPerCluster, c.rng.Split())
+		for ci, cells := range samples {
+			for _, cellID := range cells {
+				c.jobs = append(c.jobs, Job{CellID: cellID, Cluster: ci, TimePS: c.injectionWindow()})
+			}
+		}
+		c.jobsDrawn = true
+	}
+	return c.jobs
+}
+
 // Run executes the full campaign and fills the result. Injection runs are
 // independent simulations; they fan out over Options.Workers goroutines,
 // each reusing one engine across its injections (restore-from-checkpoint
@@ -446,18 +489,29 @@ func (c *Campaign) injectionWindow() uint64 {
 // membership, strike times) is drawn before the fan-out, so the result is
 // identical for any worker count, checkpoint pitch, and warm/cold choice.
 func (c *Campaign) Run(res *Result) error {
-	samples := cluster.SampleProportional(c.clusters, c.opts.SampleFrac, c.opts.MinPerCluster, c.rng.Split())
-	type job struct {
-		cellID, cluster int
-		timePS          uint64
+	jobs := c.DrawJobs()
+	if err := c.RunJobs(res, 0, len(jobs)); err != nil {
+		return err
 	}
-	var jobs []job
-	for ci, cells := range samples {
-		for _, cellID := range cells {
-			jobs = append(jobs, job{cellID: cellID, cluster: ci, timePS: c.injectionWindow()})
-		}
+	c.Aggregate(res)
+	return nil
+}
+
+// RunJobs executes the [start,end) slice of the drawn injection plan and
+// accumulates raw outcomes into res: injections are appended in plan
+// order and the work counters (InjectWall, InjectEvals, WarmStarts,
+// PrunedRuns) are incremented by this slice's contribution only. It is
+// the shard-scoped campaign entry point — a shard worker calls it for
+// each leased index range, reusing this campaign's golden run and
+// checkpoints across shards — and it does not aggregate: call Aggregate
+// once after every planned injection has been accumulated.
+func (c *Campaign) RunJobs(res *Result, start, end int) error {
+	all := c.DrawJobs()
+	if start < 0 || end > len(all) || start > end {
+		return fmt.Errorf("inject: job range [%d,%d) outside plan of %d injections", start, end, len(all))
 	}
-	if c.opts.CompareVCD && c.goldenVCD == nil {
+	jobs := all[start:end]
+	if c.opts.CompareVCD && c.goldenVCD == nil && len(jobs) > 0 {
 		// Materialize the golden VCD before the fan-out so workers share it.
 		g, err := c.runOnceVCD(nil)
 		if err != nil {
@@ -476,7 +530,8 @@ func (c *Campaign) Run(res *Result) error {
 	if workers < 1 {
 		workers = 1
 	}
-	start := time.Now()
+	began := time.Now()
+	warmStarts0, prunedRuns0 := c.warmStarts.Load(), c.prunedRuns.Load()
 	injections := make([]Injection, len(jobs))
 	errs := make([]error, len(jobs))
 	var evals atomic.Uint64
@@ -501,9 +556,9 @@ func (c *Campaign) Run(res *Result) error {
 				var n uint64
 				var err error
 				if wk != nil {
-					inj, n, err = wk.injectOne(j.cellID, j.cluster, j.timePS)
+					inj, n, err = wk.injectOne(j.CellID, j.Cluster, j.TimePS)
 				} else {
-					inj, n, err = c.injectOne(j.cellID, j.cluster, j.timePS)
+					inj, n, err = c.injectOne(j.CellID, j.Cluster, j.TimePS)
 				}
 				if err != nil {
 					errs[idx] = err
@@ -525,11 +580,10 @@ func (c *Campaign) Run(res *Result) error {
 		}
 	}
 	res.Injections = append(res.Injections, injections...)
-	res.InjectWall = time.Since(start)
-	res.WarmStarts = c.warmStarts.Load()
-	res.PrunedRuns = c.prunedRuns.Load()
-	c.lastEvals = evals.Load()
-	c.aggregate(res)
+	res.InjectWall += time.Since(began)
+	res.WarmStarts += c.warmStarts.Load() - warmStarts0
+	res.PrunedRuns += c.prunedRuns.Load() - prunedRuns0
+	res.InjectEvals += evals.Load()
 	return nil
 }
 
@@ -742,10 +796,13 @@ func (c *Campaign) compareVCDRun(fa faultAction) (bool, error) {
 	return c.compareCaptured(c.goldenVCD, faulty), nil
 }
 
-// aggregate computes cluster, module and chip statistics from the raw
-// injection outcomes.
-func (c *Campaign) aggregate(res *Result) {
-	res.InjectEvals = c.lastEvals
+// Aggregate computes cluster, module and chip statistics from the raw
+// injection outcomes accumulated in res. It assumes res.Injections holds
+// every planned injection exactly once (any order) and must be called
+// exactly once per Result — module cell counts and exposure rates are
+// accumulated, not recomputed. Run calls it automatically; sharded
+// campaigns call it after merging all partials.
+func (c *Campaign) Aggregate(res *Result) {
 	nClusters := len(c.clusters.Members)
 	cs := make([]ClusterStats, nClusters)
 	for ci := range cs {

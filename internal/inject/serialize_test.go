@@ -69,6 +69,51 @@ func TestResultJSONRoundTrip(t *testing.T) {
 	if got.GoldenWall != r.GoldenWall || got.InjectWall != r.InjectWall {
 		t.Error("wall-clock fields lost")
 	}
+	// The warm-start work stats must survive the round trip — and the
+	// campaign above must actually have produced some, or this pin is
+	// vacuous.
+	if r.WarmStarts == 0 || r.PrunedRuns == 0 {
+		t.Fatalf("warm campaign reported no warm-start work (warm=%d pruned=%d); the round-trip pin needs a live value",
+			r.WarmStarts, r.PrunedRuns)
+	}
+	if got.WarmStarts != r.WarmStarts {
+		t.Errorf("warm_starts %d -> %d", r.WarmStarts, got.WarmStarts)
+	}
+	if got.PrunedRuns != r.PrunedRuns {
+		t.Errorf("pruned_runs %d -> %d", r.PrunedRuns, got.PrunedRuns)
+	}
+	if got.GoldenEvals != r.GoldenEvals || got.InjectEvals != r.InjectEvals {
+		t.Errorf("eval counters lost: golden %d -> %d, inject %d -> %d",
+			r.GoldenEvals, got.GoldenEvals, r.InjectEvals, got.InjectEvals)
+	}
+	if got.Options.CheckpointEveryCycles != r.Options.CheckpointEveryCycles || got.Options.ColdStart != r.Options.ColdStart {
+		t.Error("checkpoint options lost")
+	}
+}
+
+// TestColdResultJSONRoundTrip pins the zero-valued warm-start fields of a
+// cold campaign: `omitempty` must read back as zeros, not garbage.
+func TestColdResultJSONRoundTrip(t *testing.T) {
+	opts := testOptions()
+	opts.ColdStart = true
+	run := prep(t, 1, opts)
+	if err := run.Campaign.Run(run.Result); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run.Result.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WarmStarts != 0 || got.PrunedRuns != 0 {
+		t.Errorf("cold campaign round-tripped warm stats %d/%d, want 0/0", got.WarmStarts, got.PrunedRuns)
+	}
+	if !got.Options.ColdStart {
+		t.Error("cold_start flag lost")
+	}
 }
 
 func TestReadJSONErrors(t *testing.T) {

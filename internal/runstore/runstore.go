@@ -1,0 +1,142 @@
+// Package runstore persists completed campaign shards as an append-only
+// JSONL journal keyed by campaign fingerprint. A coordinator (or a local
+// sharded run) appends every shard result as it lands; a restarted
+// campaign loads the journal, marks the recorded shards done and executes
+// only the remainder. Because shard execution is deterministic, replaying
+// a journal merges bit-identically to having never crashed.
+//
+// The journal is crash-tolerant, not transactional: each record is one
+// JSON document followed by a newline, written with a single Write call,
+// and Load stops at the first undecodable record — a torn tail from a
+// crash mid-append costs at most that one shard, which simply runs again.
+package runstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/shard"
+)
+
+// Record is one journal line: a completed shard bound to its campaign.
+type Record struct {
+	Fingerprint string        `json:"fingerprint"`
+	Partial     shard.Partial `json:"partial"`
+}
+
+// Store appends shard completions to a journal file. Safe for concurrent
+// use by one process; cross-process appends are not coordinated — one
+// coordinator owns a journal.
+type Store struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Open opens (creating if needed) a journal for appending.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: %v", err)
+	}
+	return &Store{f: f, path: path}, nil
+}
+
+// Path returns the journal's file path.
+func (s *Store) Path() string { return s.path }
+
+// Append journals one completed shard. The record is flushed to the OS
+// before Append returns, so a crash immediately after a shard completes
+// loses nothing.
+func (s *Store) Append(fingerprint string, p *shard.Partial) error {
+	if p == nil {
+		return fmt.Errorf("runstore: nil partial")
+	}
+	line, err := json.Marshal(Record{Fingerprint: fingerprint, Partial: *p})
+	if err != nil {
+		return fmt.Errorf("runstore: encoding shard %d: %v", p.Index, err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("runstore: appending shard %d: %v", p.Index, err)
+	}
+	return s.f.Sync()
+}
+
+// Close closes the journal file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
+
+// Load reads a journal and returns the completed shards recorded for the
+// given campaign fingerprint, keyed by shard index (last record wins —
+// deterministic execution makes duplicates equal anyway). Records for
+// other campaigns are skipped, so one journal file can serve consecutive
+// differently-configured runs. A missing file is an empty journal. A
+// record that fails to decode ends the load silently: it is the expected
+// torn tail of a crashed append, and everything before it is intact.
+func Load(path, fingerprint string) (map[int]*shard.Partial, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[int]*shard.Partial{}, nil
+		}
+		return nil, fmt.Errorf("runstore: %v", err)
+	}
+	defer f.Close()
+	out := map[int]*shard.Partial{}
+	dec := json.NewDecoder(f)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			// Torn tail: keep what decoded cleanly.
+			break
+		}
+		if rec.Fingerprint != fingerprint {
+			continue
+		}
+		p := rec.Partial
+		out[p.Index] = &p
+	}
+	return out, nil
+}
+
+// Count reports how many journal records carry the fingerprint — the
+// cheap existence probe CLI validation uses. Unlike Load it never
+// decodes the partials themselves, so probing a journal of thousands of
+// injections per shard costs only a token scan.
+func Count(path, fingerprint string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("runstore: %v", err)
+	}
+	defer f.Close()
+	n := 0
+	dec := json.NewDecoder(f)
+	for {
+		var rec struct {
+			Fingerprint string          `json:"fingerprint"`
+			Partial     json.RawMessage `json:"partial"`
+		}
+		if err := dec.Decode(&rec); err != nil {
+			break // EOF or torn tail, same as Load
+		}
+		if rec.Fingerprint == fingerprint {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,225 @@
+package runstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/inject"
+	"repro/internal/shard"
+)
+
+func stubPartial(index, start, end int) *shard.Partial {
+	p := &shard.Partial{Index: index, Start: start, End: end}
+	for i := start; i < end; i++ {
+		p.Injections = append(p.Injections, inject.Injection{CellID: i, Path: "stub", TimePS: uint64(i), SoftError: i%2 == 0})
+	}
+	return p
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []*shard.Partial{stubPartial(0, 0, 3), stubPartial(2, 6, 9)}
+	for _, p := range want {
+		if err := st.Append("fp-a", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Append("fp-b", stubPartial(1, 3, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Load(path, "fp-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d shards for fp-a, want 2", len(got))
+	}
+	for _, p := range want {
+		g, ok := got[p.Index]
+		if !ok {
+			t.Fatalf("shard %d missing", p.Index)
+		}
+		if g.Start != p.Start || g.End != p.End || len(g.Injections) != len(p.Injections) {
+			t.Fatalf("shard %d loaded as %+v", p.Index, g)
+		}
+		for i := range g.Injections {
+			if g.Injections[i] != p.Injections[i] {
+				t.Fatalf("shard %d injection %d differs: %+v vs %+v", p.Index, i, g.Injections[i], p.Injections[i])
+			}
+		}
+	}
+	if n, err := Count(path, "fp-b"); err != nil || n != 1 {
+		t.Fatalf("Count(fp-b) = %d, %v; want 1", n, err)
+	}
+	if n, err := Count(path, "fp-c"); err != nil || n != 0 {
+		t.Fatalf("Count(fp-c) = %d, %v; want 0", n, err)
+	}
+}
+
+func TestLoadMissingFileIsEmpty(t *testing.T) {
+	got, err := Load(filepath.Join(t.TempDir(), "absent.jsonl"), "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("missing journal loaded %d shards", len(got))
+	}
+}
+
+func TestLoadToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("fp", stubPartial(0, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: half a record at the end of the file.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"fingerprint":"fp","partial":{"index":1,"st`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, err := Load(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] == nil {
+		t.Fatalf("torn journal loaded %d shards, want the 1 intact one", len(got))
+	}
+	// The journal must still be appendable after the crash.
+	st2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if err := st2.Append("fp", stubPartial(1, 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// The torn fragment now corrupts the middle; everything before it
+	// still loads.
+	got, err = Load(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("post-crash journal loaded %d shards", len(got))
+	}
+}
+
+// TestKillResumeDeterminism is the journal leg of the sharding
+// determinism gate: a campaign killed after journaling part of its
+// shards, then restarted — journal loaded, finished shards skipped, the
+// rest executed — must merge bit-identically to the single-process run,
+// on both engines.
+func TestKillResumeDeterminism(t *testing.T) {
+	cases := []struct {
+		engine string
+		frac   float64
+	}{
+		{"EventSim", 0.05},
+		{"LevelSim", 0.02},
+	}
+	for _, tc := range cases {
+		t.Run(tc.engine, func(t *testing.T) {
+			o := inject.DefaultOptions()
+			cs := shard.SpecFromOptions(1, "memcpy", o)
+			cs.Engine = tc.engine
+			cs.SampleFrac = tc.frac
+			cs.MinPer = 2
+			cs.Seed = 7
+			fp := cs.Fingerprint()
+
+			// Reference: the single-process campaign.
+			ref, err := shard.Build(cs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Run.Campaign.Run(ref.Run.Result); err != nil {
+				t.Fatal(err)
+			}
+
+			// First life: run 2 of 4 shards, journaling each, then "die".
+			path := filepath.Join(t.TempDir(), "journal.jsonl")
+			b1, err := shard.Build(cs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			specs, err := shard.Plan(cs, 4, len(b1.Jobs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sp := range []shard.Spec{specs[2], specs[0]} {
+				p, err := shard.ExecuteOn(b1, sp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := st.Append(fp, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Second life: a fresh process loads the journal, skips the
+			// finished shards and executes only the remainder.
+			b2, err := shard.Build(cs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done, err := Load(path, fp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(done) != 2 {
+				t.Fatalf("resume loaded %d shards, want 2", len(done))
+			}
+			executed := 0
+			var partials []*shard.Partial
+			for _, sp := range specs {
+				if p, ok := done[sp.Index]; ok && p.Covers(sp) {
+					partials = append(partials, p)
+					continue
+				}
+				p, err := shard.ExecuteOn(b2, sp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				executed++
+				partials = append(partials, p)
+			}
+			if executed != 2 {
+				t.Fatalf("resume re-executed %d shards, want 2", executed)
+			}
+			got, err := shard.Merge(b2, partials)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := shard.EquivalentResults(ref.Run.Result, got); err != nil {
+				t.Fatalf("resumed campaign diverges from single-process: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,72 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/inject"
+)
+
+// EquivalentResults reports whether two campaign results are bit-identical
+// in every deterministic field: injections (order included), cluster and
+// module statistics, chip SER, cross-sections, eval counts and warm-start
+// work counters. Wall-clock durations are excluded — they are the only
+// fields allowed to differ between a single-process run and a merged
+// sharded run where every process uses the same checkpoint pitch (the
+// default; a process that overrides the pitch does the same verdicts
+// with different work, shifting only the counters). This is the
+// comparison behind the sharding determinism gates; it returns a
+// descriptive error naming the first divergence.
+func EquivalentResults(a, b *inject.Result) error {
+	if a.Design != b.Design || a.Engine != b.Engine {
+		return fmt.Errorf("identity differs: %s/%s vs %s/%s", a.Design, a.Engine, b.Design, b.Engine)
+	}
+	if len(a.Injections) != len(b.Injections) {
+		return fmt.Errorf("injection counts differ: %d vs %d", len(a.Injections), len(b.Injections))
+	}
+	for i := range a.Injections {
+		if a.Injections[i] != b.Injections[i] {
+			return fmt.Errorf("injection %d differs: %+v vs %+v", i, a.Injections[i], b.Injections[i])
+		}
+	}
+	if a.ChipSER != b.ChipSER {
+		return fmt.Errorf("chip SER differs: %v vs %v", a.ChipSER, b.ChipSER)
+	}
+	if a.SETXsect != b.SETXsect || a.SEUXsect != b.SEUXsect {
+		return fmt.Errorf("cross-sections differ")
+	}
+	if len(a.Clusters) != len(b.Clusters) {
+		return fmt.Errorf("cluster counts differ: %d vs %d", len(a.Clusters), len(b.Clusters))
+	}
+	for i := range a.Clusters {
+		if a.Clusters[i] != b.Clusters[i] {
+			return fmt.Errorf("cluster %d stats differ: %+v vs %+v", i, a.Clusters[i], b.Clusters[i])
+		}
+	}
+	if len(a.Modules) != len(b.Modules) {
+		return fmt.Errorf("module counts differ: %d vs %d", len(a.Modules), len(b.Modules))
+	}
+	for name, ma := range a.Modules {
+		mb, ok := b.Modules[name]
+		if !ok {
+			return fmt.Errorf("module %s missing", name)
+		}
+		if *ma != *mb {
+			return fmt.Errorf("module %s stats differ: %+v vs %+v", name, *ma, *mb)
+		}
+	}
+	if len(a.ClusterOf) != len(b.ClusterOf) {
+		return fmt.Errorf("cluster assignment lengths differ")
+	}
+	for i := range a.ClusterOf {
+		if a.ClusterOf[i] != b.ClusterOf[i] {
+			return fmt.Errorf("cell %d assigned to cluster %d vs %d", i, a.ClusterOf[i], b.ClusterOf[i])
+		}
+	}
+	if a.GoldenEvals != b.GoldenEvals || a.InjectEvals != b.InjectEvals {
+		return fmt.Errorf("eval counts differ: golden %d/%d inject %d/%d", a.GoldenEvals, b.GoldenEvals, a.InjectEvals, b.InjectEvals)
+	}
+	if a.WarmStarts != b.WarmStarts || a.PrunedRuns != b.PrunedRuns {
+		return fmt.Errorf("warm-start counters differ: %d/%d vs %d/%d", a.WarmStarts, a.PrunedRuns, b.WarmStarts, b.PrunedRuns)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/inject"
+	"repro/internal/socgen"
+)
+
+// Built is a campaign readied on one process: the generated design, the
+// golden run with its checkpoint schedule, and the fully drawn injection
+// plan. Building is the expensive per-process step; every shard of the
+// campaign executed on this process reuses it.
+type Built struct {
+	Spec        CampaignSpec
+	Fingerprint string
+	Run         *inject.SoCRun
+	Jobs        []inject.Job
+}
+
+// Build validates the spec and constructs the campaign it describes.
+func Build(cs CampaignSpec) (*Built, error) {
+	return BuildLocal(cs, nil)
+}
+
+// BuildLocal is Build with process-local tuning applied on top of the
+// spec's options — worker count, checkpoint pitch: knobs that change how
+// fast this process executes its shards but never what they compute, and
+// therefore deliberately absent from the spec and the fingerprint.
+func BuildLocal(cs CampaignSpec, tune func(*inject.Options)) (*Built, error) {
+	if err := cs.Validate(); err != nil {
+		return nil, err
+	}
+	cfg, err := socgen.ConfigByIndex(cs.SoC)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := WorkloadProgram(cs.Workload)
+	if err != nil {
+		return nil, err
+	}
+	opts := cs.Options()
+	if tune != nil {
+		tune(&opts)
+	}
+	run, err := inject.PrepareSoC(cfg, prog, fault.DefaultDB(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Built{
+		Spec:        cs,
+		Fingerprint: cs.Fingerprint(),
+		Run:         run,
+		Jobs:        run.Campaign.DrawJobs(),
+	}, nil
+}
+
+// Partial is one shard's raw outcome: the injections of its plan range in
+// plan order, plus this range's share of the work counters. It is the
+// unit the runstore journals and the coordinator merges; verdict-relevant
+// state only, so a Partial computed by any process merges bit-identically.
+type Partial struct {
+	Index        int                `json:"index"`
+	Start        int                `json:"start"`
+	End          int                `json:"end"`
+	Injections   []inject.Injection `json:"injections"`
+	InjectWallNS int64              `json:"inject_wall_ns"`
+	InjectEvals  uint64             `json:"inject_evals"`
+	WarmStarts   uint64             `json:"warm_starts"`
+	PrunedRuns   uint64             `json:"pruned_runs"`
+}
+
+// Covers reports whether the partial carries a complete, internally
+// consistent result for the given shard spec.
+func (p *Partial) Covers(sp Spec) bool {
+	return p != nil && p.Start == sp.Start && p.End == sp.End && len(p.Injections) == sp.End-sp.Start
+}
+
+// ExecuteOn runs one shard of an already-built campaign and returns its
+// partial result. Calls on the same Built must not overlap; Executor
+// serializes them.
+func ExecuteOn(b *Built, sp Spec) (*Partial, error) {
+	if sp.Fingerprint != "" && sp.Fingerprint != b.Fingerprint {
+		return nil, fmt.Errorf("shard: spec fingerprint %.12s does not match built campaign %.12s", sp.Fingerprint, b.Fingerprint)
+	}
+	if sp.Start < 0 || sp.End > len(b.Jobs) || sp.Start >= sp.End {
+		return nil, fmt.Errorf("shard: range [%d,%d) invalid for a plan of %d injections", sp.Start, sp.End, len(b.Jobs))
+	}
+	var res inject.Result
+	if err := b.Run.Campaign.RunJobs(&res, sp.Start, sp.End); err != nil {
+		return nil, err
+	}
+	return &Partial{
+		Index:        sp.Index,
+		Start:        sp.Start,
+		End:          sp.End,
+		Injections:   res.Injections,
+		InjectWallNS: res.InjectWall.Nanoseconds(),
+		InjectEvals:  res.InjectEvals,
+		WarmStarts:   res.WarmStarts,
+		PrunedRuns:   res.PrunedRuns,
+	}, nil
+}
+
+// Executor executes shards on the local process, building each distinct
+// campaign (golden run, checkpoints, plan) at most once and reusing it
+// across all of that campaign's shards — the worker-process analogue of
+// the per-goroutine engine reuse inside a campaign.
+type Executor struct {
+	mu    sync.Mutex
+	built map[string]*Built
+}
+
+// NewExecutor returns an empty executor.
+func NewExecutor() *Executor {
+	return &Executor{built: map[string]*Built{}}
+}
+
+// Adopt seeds the cache with an externally built campaign, so a process
+// that already built one (e.g. a coordinator planning shards) does not
+// build it twice.
+func (e *Executor) Adopt(b *Built) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.built[b.Fingerprint] = b
+}
+
+// Execute runs one shard, building its campaign on first use. Execution
+// is serialized: a shard already fans out over all cores internally, so
+// concurrent Execute calls would only thrash.
+func (e *Executor) Execute(sp Spec) (*Partial, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fp := sp.Campaign.Fingerprint()
+	if sp.Fingerprint != "" && sp.Fingerprint != fp {
+		return nil, fmt.Errorf("shard: spec fingerprint %.12s does not match its campaign spec %.12s", sp.Fingerprint, fp)
+	}
+	b, ok := e.built[fp]
+	if !ok {
+		var err error
+		b, err = Build(sp.Campaign)
+		if err != nil {
+			return nil, err
+		}
+		e.built[fp] = b
+	}
+	return ExecuteOn(b, sp)
+}

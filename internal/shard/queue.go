@@ -1,0 +1,218 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Queue is the coordinator's shard state machine. Every shard is pending,
+// leased or done; leases expire, returning their shard to pending, which
+// is how work leased to a dead worker gets re-issued. The queue is pure
+// bookkeeping — it never executes anything and takes the current time as
+// an argument, so its behaviour is fully deterministic under test.
+type Queue struct {
+	mu        sync.Mutex
+	specs     []Spec
+	state     []shardState
+	partials  []*Partial
+	leases    map[string]*Lease
+	byShard   []string // shard index -> active lease ID, "" if none
+	ttl       time.Duration
+	nextLease uint64
+	remaining int
+	doneCh    chan struct{}
+}
+
+type shardState uint8
+
+const (
+	statePending shardState = iota
+	stateLeased
+	stateDone
+)
+
+// Lease is one worker's claim on one shard.
+type Lease struct {
+	ID        string    `json:"id"`
+	Worker    string    `json:"worker"`
+	Spec      Spec      `json:"spec"`
+	ExpiresAt time.Time `json:"expires_at"`
+}
+
+// Progress is a point-in-time summary of the queue.
+type Progress struct {
+	Total   int `json:"total"`
+	Done    int `json:"done"`
+	Leased  int `json:"leased"`
+	Pending int `json:"pending"`
+}
+
+// NewQueue builds a queue over a planned shard set. ttl is how long a
+// lease lives without being completed before its shard is re-issued.
+func NewQueue(specs []Spec, ttl time.Duration) *Queue {
+	q := &Queue{
+		specs:     specs,
+		state:     make([]shardState, len(specs)),
+		partials:  make([]*Partial, len(specs)),
+		leases:    map[string]*Lease{},
+		byShard:   make([]string, len(specs)),
+		ttl:       ttl,
+		remaining: len(specs),
+		doneCh:    make(chan struct{}),
+	}
+	if q.remaining == 0 {
+		close(q.doneCh)
+	}
+	return q
+}
+
+// MarkDone records a shard completed outside the lease cycle — a journal
+// entry loaded at startup. The partial must cover its shard exactly;
+// mismatched entries (e.g. a journal written under a different shard
+// count) are rejected so the shard runs again instead of merging garbage.
+func (q *Queue) MarkDone(p *Partial) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if p == nil || p.Index < 0 || p.Index >= len(q.specs) {
+		return fmt.Errorf("shard: no shard with index %v", p)
+	}
+	if !p.Covers(q.specs[p.Index]) {
+		sp := q.specs[p.Index]
+		return fmt.Errorf("shard: journaled shard %d covers [%d,%d) with %d injections, plan wants [%d,%d)",
+			p.Index, p.Start, p.End, len(p.Injections), sp.Start, sp.End)
+	}
+	q.complete(p.Index, p)
+	return nil
+}
+
+// Lease claims the lowest-indexed pending shard for a worker, first
+// expiring any stale leases. ok is false when nothing is pending — which
+// either means the campaign is done (Done reports true) or that every
+// remaining shard is leased out and the worker should poll again.
+func (q *Queue) Lease(worker string, now time.Time) (*Lease, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expire(now)
+	for i, st := range q.state {
+		if st != statePending {
+			continue
+		}
+		q.nextLease++
+		l := &Lease{
+			ID:        fmt.Sprintf("lease-%d-shard-%d", q.nextLease, i),
+			Worker:    worker,
+			Spec:      q.specs[i],
+			ExpiresAt: now.Add(q.ttl),
+		}
+		q.state[i] = stateLeased
+		q.leases[l.ID] = l
+		q.byShard[i] = l.ID
+		return l, true
+	}
+	return nil, false
+}
+
+// Complete resolves a lease with its shard's partial result. A result
+// arriving after its lease expired is still accepted as long as the
+// shard has not completed elsewhere: execution is deterministic, so a
+// slow worker's partial is bit-identical to whatever a re-execution
+// would produce, and rejecting it would livelock any campaign whose
+// per-shard runtime exceeds the lease TTL. Only a duplicate of an
+// already-done shard is refused (the caller just drops its copy).
+func (q *Queue) Complete(leaseID string, p *Partial, now time.Time) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expire(now)
+	if p == nil || p.Index < 0 || p.Index >= len(q.specs) {
+		return fmt.Errorf("shard: completion names no known shard")
+	}
+	sp := q.specs[p.Index]
+	if !p.Covers(sp) {
+		return fmt.Errorf("shard: result for shard %d covers [%d,%d) with %d injections, plan wants [%d,%d)",
+			p.Index, p.Start, p.End, len(p.Injections), sp.Start, sp.End)
+	}
+	if l, ok := q.leases[leaseID]; ok && l.Spec.Index != p.Index {
+		return fmt.Errorf("shard: lease %q is for shard %d, result is for shard %d", leaseID, l.Spec.Index, p.Index)
+	}
+	if q.state[p.Index] == stateDone {
+		return fmt.Errorf("shard: shard %d already completed elsewhere", p.Index)
+	}
+	q.complete(p.Index, p)
+	return nil
+}
+
+// complete transitions a shard to done. Callers hold q.mu.
+func (q *Queue) complete(idx int, p *Partial) {
+	if q.state[idx] == stateDone {
+		return
+	}
+	if id := q.byShard[idx]; id != "" {
+		delete(q.leases, id)
+		q.byShard[idx] = ""
+	}
+	q.state[idx] = stateDone
+	q.partials[idx] = p
+	q.remaining--
+	if q.remaining == 0 {
+		close(q.doneCh)
+	}
+}
+
+// expire requeues every shard whose lease deadline has passed. Callers
+// hold q.mu.
+func (q *Queue) expire(now time.Time) {
+	for id, l := range q.leases {
+		if l.ExpiresAt.After(now) {
+			continue
+		}
+		idx := l.Spec.Index
+		delete(q.leases, id)
+		if q.byShard[idx] == id {
+			q.byShard[idx] = ""
+			if q.state[idx] == stateLeased {
+				q.state[idx] = statePending
+			}
+		}
+	}
+}
+
+// Done reports whether every shard has completed.
+func (q *Queue) Done() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.remaining == 0
+}
+
+// WaitDone returns a channel closed once every shard has completed.
+func (q *Queue) WaitDone() <-chan struct{} { return q.doneCh }
+
+// Partials returns the completed shard results indexed by shard; only
+// meaningful once Done reports true.
+func (q *Queue) Partials() []*Partial {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]*Partial, len(q.partials))
+	copy(out, q.partials)
+	return out
+}
+
+// Progress summarizes the queue after expiring stale leases.
+func (q *Queue) Progress(now time.Time) Progress {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expire(now)
+	var p Progress
+	p.Total = len(q.specs)
+	for _, st := range q.state {
+		switch st {
+		case stateDone:
+			p.Done++
+		case stateLeased:
+			p.Leased++
+		default:
+			p.Pending++
+		}
+	}
+	return p
+}

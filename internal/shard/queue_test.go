@@ -1,0 +1,170 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/inject"
+)
+
+// injectionStub fills a fake partial's slot for plan index i.
+func injectionStub(i int) inject.Injection {
+	return inject.Injection{CellID: i, Path: "stub", TimePS: uint64(i)}
+}
+
+// queueSpecs plans a tiny 4-shard campaign without building anything —
+// the queue never looks inside the campaign spec.
+func queueSpecs(t *testing.T) []Spec {
+	t.Helper()
+	specs, err := Plan(testSpec("EventSim", 0.05), 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs
+}
+
+// fakePartial fabricates a partial covering a shard spec; queue tests
+// never execute simulations.
+func fakePartial(sp Spec) *Partial {
+	p := &Partial{Index: sp.Index, Start: sp.Start, End: sp.End}
+	for i := sp.Start; i < sp.End; i++ {
+		p.Injections = append(p.Injections, injectionStub(i))
+	}
+	return p
+}
+
+func TestQueueLeaseCompleteLifecycle(t *testing.T) {
+	specs := queueSpecs(t)
+	q := NewQueue(specs, time.Minute)
+	now := time.Unix(1000, 0)
+
+	seen := map[int]bool{}
+	var leases []*Lease
+	for i := 0; i < len(specs); i++ {
+		l, ok := q.Lease("w1", now)
+		if !ok {
+			t.Fatalf("lease %d refused with shards pending", i)
+		}
+		if seen[l.Spec.Index] {
+			t.Fatalf("shard %d leased twice concurrently", l.Spec.Index)
+		}
+		seen[l.Spec.Index] = true
+		leases = append(leases, l)
+	}
+	if _, ok := q.Lease("w2", now); ok {
+		t.Fatal("lease granted with every shard already leased")
+	}
+	if q.Done() {
+		t.Fatal("queue done with nothing completed")
+	}
+	for _, l := range leases {
+		if err := q.Complete(l.ID, fakePartial(l.Spec), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !q.Done() {
+		t.Fatal("queue not done after all completions")
+	}
+	select {
+	case <-q.WaitDone():
+	default:
+		t.Fatal("WaitDone channel not closed")
+	}
+	pr := q.Progress(now)
+	if pr.Done != 4 || pr.Pending != 0 || pr.Leased != 0 {
+		t.Fatalf("progress %+v after completion", pr)
+	}
+}
+
+func TestQueueExpiryRequeuesDeadWorkersShard(t *testing.T) {
+	specs := queueSpecs(t)
+	q := NewQueue(specs, 10*time.Second)
+	now := time.Unix(1000, 0)
+
+	dead, ok := q.Lease("doomed", now)
+	if !ok {
+		t.Fatal("initial lease refused")
+	}
+	// Within the TTL the shard stays claimed.
+	for i := 1; i < len(specs); i++ {
+		q.Lease("w1", now.Add(time.Second))
+	}
+	if _, ok := q.Lease("w1", now.Add(2*time.Second)); ok {
+		t.Fatal("leased shard re-issued before expiry")
+	}
+	// After the TTL the dead worker's shard is re-issued...
+	late := now.Add(11 * time.Second)
+	release, ok := q.Lease("w2", late)
+	if !ok {
+		t.Fatal("expired shard not re-issued")
+	}
+	if release.Spec.Index != dead.Spec.Index {
+		t.Fatalf("re-issued shard %d, want the expired %d", release.Spec.Index, dead.Spec.Index)
+	}
+	// ...and a slow (not dead after all) worker's late completion is
+	// still accepted while the shard remains unfinished — deterministic
+	// execution makes its result identical to any re-execution, and
+	// rejecting it would livelock campaigns whose shards outlive the TTL.
+	if err := q.Complete(dead.ID, fakePartial(dead.Spec), late); err != nil {
+		t.Fatalf("late completion of an unfinished shard rejected: %v", err)
+	}
+	// The re-issued lease's duplicate is refused: the shard is done.
+	if err := q.Complete(release.ID, fakePartial(release.Spec), late); err == nil {
+		t.Fatal("duplicate completion of a done shard accepted")
+	}
+	if pr := q.Progress(late); pr.Done != 1 {
+		t.Fatalf("progress %+v, want 1 done", pr)
+	}
+}
+
+func TestQueueMarkDoneFromJournal(t *testing.T) {
+	specs := queueSpecs(t)
+	q := NewQueue(specs, time.Minute)
+	if err := q.MarkDone(fakePartial(specs[1])); err != nil {
+		t.Fatal(err)
+	}
+	// A journal entry from a different shard plan must be rejected.
+	stale := fakePartial(specs[2])
+	stale.End++
+	if err := q.MarkDone(stale); err == nil {
+		t.Fatal("mismatched journal entry accepted")
+	}
+	now := time.Unix(1000, 0)
+	for {
+		l, ok := q.Lease("w", now)
+		if !ok {
+			break
+		}
+		if l.Spec.Index == 1 {
+			t.Fatal("journal-completed shard leased out")
+		}
+		if err := q.Complete(l.ID, fakePartial(l.Spec), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !q.Done() {
+		t.Fatal("queue not done")
+	}
+	for i, p := range q.Partials() {
+		if p == nil || p.Index != i {
+			t.Fatalf("partial %d missing or misindexed: %+v", i, p)
+		}
+	}
+}
+
+// TestQueueAllFromJournal pins the restart fast path: a journal that
+// already covers every shard completes the queue with no worker at all.
+func TestQueueAllFromJournal(t *testing.T) {
+	specs := queueSpecs(t)
+	q := NewQueue(specs, time.Minute)
+	for _, sp := range specs {
+		if err := q.MarkDone(fakePartial(sp)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-q.WaitDone():
+	default:
+		t.Fatal("fully journaled queue never reported done")
+	}
+}

@@ -1,0 +1,216 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/inject"
+	"repro/internal/xrand"
+)
+
+// testSpec is the small SoC1 campaign all shard tests run; sampleFrac is
+// kept low so the full matrix stays fast.
+func testSpec(engine string, sampleFrac float64) CampaignSpec {
+	o := inject.DefaultOptions()
+	cs := SpecFromOptions(1, "memcpy", o)
+	cs.Engine = engine
+	cs.SampleFrac = sampleFrac
+	cs.MinPer = 2
+	cs.Seed = 7
+	return cs
+}
+
+func mustBuild(t *testing.T, cs CampaignSpec) *Built {
+	t.Helper()
+	b, err := Build(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// singleProcess runs the reference un-sharded campaign.
+func singleProcess(t *testing.T, cs CampaignSpec) *inject.Result {
+	t.Helper()
+	b := mustBuild(t, cs)
+	if err := b.Run.Campaign.Run(b.Run.Result); err != nil {
+		t.Fatal(err)
+	}
+	return b.Run.Result
+}
+
+// TestShardedCampaignDeterminism is the sharding determinism gate, the
+// distribution-axis sibling of inject.TestWarmColdWorkerDeterminism: for
+// any shard count and any (shuffled) execution and arrival order, the
+// merged result must be bit-identical to the single-process campaign, on
+// both engines.
+func TestShardedCampaignDeterminism(t *testing.T) {
+	cases := []struct {
+		engine string
+		frac   float64
+	}{
+		{"EventSim", 0.05},
+		{"LevelSim", 0.02},
+	}
+	for _, tc := range cases {
+		t.Run(tc.engine, func(t *testing.T) {
+			cs := testSpec(tc.engine, tc.frac)
+			ref := singleProcess(t, cs)
+			rng := xrand.New(99)
+			for _, numShards := range []int{1, 2, 5} {
+				b := mustBuild(t, cs)
+				specs, err := Plan(cs, numShards, len(b.Jobs))
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Execute in shuffled order — shards are independent work
+				// units, and a coordinator hands them out in whatever order
+				// workers show up.
+				order := rng.Sample(len(specs), len(specs))
+				partials := make([]*Partial, 0, len(specs))
+				for _, i := range order {
+					p, err := ExecuteOn(b, specs[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					partials = append(partials, p)
+				}
+				got, err := Merge(b, partials)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := EquivalentResults(ref, got); err != nil {
+					t.Fatalf("%d shards: merged result diverges from single-process: %v", numShards, err)
+				}
+			}
+		})
+	}
+}
+
+// TestExecutorReusesBuiltCampaign pins the per-worker-process economy:
+// all shards of one campaign run on one build (one golden run), and the
+// executor still produces partials that merge bit-identically.
+func TestExecutorReusesBuiltCampaign(t *testing.T) {
+	cs := testSpec("EventSim", 0.05)
+	ref := singleProcess(t, cs)
+	b := mustBuild(t, cs)
+	specs, err := Plan(cs, 3, len(b.Jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor()
+	ex.Adopt(b)
+	var partials []*Partial
+	for _, sp := range specs {
+		p, err := ex.Execute(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials = append(partials, p)
+	}
+	if len(ex.built) != 1 {
+		t.Fatalf("executor built %d campaigns, want the adopted 1", len(ex.built))
+	}
+	got, err := Merge(b, partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := EquivalentResults(ref, got); err != nil {
+		t.Fatalf("executor-run shards diverge: %v", err)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	cs := testSpec("EventSim", 0.05)
+	if _, err := Plan(cs, 0, 10); err == nil {
+		t.Error("shard count 0 accepted")
+	}
+	if _, err := Plan(cs, 11, 10); err == nil {
+		t.Error("shard count exceeding injections accepted")
+	}
+	specs, err := Plan(cs, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for i, sp := range specs {
+		if sp.Start != next || sp.End <= sp.Start {
+			t.Fatalf("shard %d covers [%d,%d), want contiguous from %d", i, sp.Start, sp.End, next)
+		}
+		if size := sp.End - sp.Start; size != 3 && size != 4 {
+			t.Fatalf("shard %d size %d not balanced", i, size)
+		}
+		next = sp.End
+	}
+	if next != 10 {
+		t.Fatalf("shards cover %d of 10 jobs", next)
+	}
+}
+
+func TestFingerprintSeparatesCampaigns(t *testing.T) {
+	a := testSpec("EventSim", 0.05)
+	b := a
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal specs produced different fingerprints")
+	}
+	b.Seed++
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different seeds share a fingerprint")
+	}
+	c := a
+	c.Engine = "LevelSim"
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different engines share a fingerprint")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	ok := testSpec("EventSim", 0.05)
+	bad := []func(*CampaignSpec){
+		func(cs *CampaignSpec) { cs.SoC = 0 },
+		func(cs *CampaignSpec) { cs.SoC = 11 },
+		func(cs *CampaignSpec) { cs.Workload = "quicksort3" },
+		func(cs *CampaignSpec) { cs.Engine = "Verilator" },
+		func(cs *CampaignSpec) { cs.SampleFrac = 0 },
+		func(cs *CampaignSpec) { cs.SampleFrac = 1.5 },
+		func(cs *CampaignSpec) { cs.KN = 0 },
+		func(cs *CampaignSpec) { cs.Flux = -1 },
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	for i, mutate := range bad {
+		cs := ok
+		mutate(&cs)
+		if err := cs.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestMergeRejectsBadCoverage(t *testing.T) {
+	cs := testSpec("EventSim", 0.05)
+	b := mustBuild(t, cs)
+	specs, err := Plan(cs, 3, len(b.Jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var partials []*Partial
+	for _, sp := range specs {
+		p, err := ExecuteOn(b, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials = append(partials, p)
+	}
+	if _, err := Merge(b, partials[:2]); err == nil {
+		t.Error("merge accepted a missing shard")
+	}
+	if _, err := Merge(b, []*Partial{partials[0], partials[0], partials[1], partials[2]}); err != nil {
+		t.Errorf("merge rejected an exact duplicate partial: %v", err)
+	}
+	mangled := *partials[1]
+	mangled.Injections = mangled.Injections[:len(mangled.Injections)-1]
+	if _, err := Merge(b, []*Partial{partials[0], &mangled, partials[2]}); err == nil {
+		t.Error("merge accepted a short partial")
+	}
+}

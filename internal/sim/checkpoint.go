@@ -77,11 +77,27 @@ type eventCheckpoint struct {
 	driven  []logic.V
 	forced  []bool
 	state   []logic.V
-	// events holds the queued data events sorted by (t, phase, seq);
-	// pendingIdx maps each net to its in-flight inertial transition in
-	// events, or -1.
+	// The queued data events, sorted by (t, phase, seq), are stored as
+	// events ++ tail. Snapshot fills events only; ShareTails may split off
+	// the suffix common with the preceding checkpoint of the same run into
+	// tail, aliased into that checkpoint's storage (copy-on-write: nothing
+	// mutates checkpoint slices after creation). pendingIdx maps each net
+	// to its in-flight inertial transition's index in the combined list,
+	// or -1.
 	events     []ckptEvent
+	tail       []ckptEvent
 	pendingIdx []int32
+}
+
+// numEvents reports the length of the combined queued-event list.
+func (e *eventCheckpoint) numEvents() int { return len(e.events) + len(e.tail) }
+
+// eventAt indexes the combined events ++ tail list.
+func (e *eventCheckpoint) eventAt(i int) ckptEvent {
+	if i < len(e.events) {
+		return e.events[i]
+	}
+	return e.tail[i-len(e.events)]
 }
 
 type levelCheckpoint struct {
@@ -93,9 +109,32 @@ type levelCheckpoint struct {
 	prevClk   []logic.V
 	// times lists agenda times that still hold at least one data action,
 	// ascending; actions is parallel, each slice in original append order
-	// with function actions dropped.
-	times   []uint64
-	actions [][]lsAction
+	// with function actions dropped. As with eventCheckpoint, the logical
+	// sequences are times ++ tailTimes and actions ++ tailActions, with
+	// the tails aliased into the preceding checkpoint by ShareTails.
+	times       []uint64
+	actions     [][]lsAction
+	tailTimes   []uint64
+	tailActions [][]lsAction
+}
+
+// numTimes reports the length of the combined agenda-time list.
+func (l *levelCheckpoint) numTimes() int { return len(l.times) + len(l.tailTimes) }
+
+// timeAt indexes the combined times ++ tailTimes list.
+func (l *levelCheckpoint) timeAt(i int) uint64 {
+	if i < len(l.times) {
+		return l.times[i]
+	}
+	return l.tailTimes[i-len(l.times)]
+}
+
+// actionsAt indexes the combined actions ++ tailActions list.
+func (l *levelCheckpoint) actionsAt(i int) []lsAction {
+	if i < len(l.actions) {
+		return l.actions[i]
+	}
+	return l.tailActions[i-len(l.actions)]
 }
 
 func cloneV(v []logic.V) []logic.V { return append([]logic.V(nil), v...) }
@@ -207,8 +246,9 @@ func (s *EventSim) Restore(ck *Checkpoint) error {
 	for i := range s.pending {
 		s.pending[i] = nil
 	}
-	s.evts = make(eventHeap, len(e.events))
-	for i, ce := range e.events {
+	s.evts = make(eventHeap, e.numEvents())
+	for i := range s.evts {
+		ce := e.eventAt(i)
 		s.evts[i] = &event{t: ce.t, seq: ce.seq, phase: ce.phase, kind: ce.kind, net: ce.net, cellID: ce.cellID, val: ce.val}
 	}
 	for nid, idx := range e.pendingIdx {
@@ -237,14 +277,14 @@ func (s *EventSim) MatchesCheckpoint(ck *Checkpoint) bool {
 		!equalB(s.forced, e.forced) || !equalV(s.state, e.state) {
 		return false
 	}
-	live := make([]*event, 0, len(e.events))
+	live := make([]*event, 0, e.numEvents())
 	for _, le := range s.evts {
 		if le.cancelled || le.kind == evFunc {
 			continue
 		}
 		live = append(live, le)
 	}
-	if len(live) != len(e.events) {
+	if len(live) != e.numEvents() {
 		return false
 	}
 	sort.Slice(live, func(i, j int) bool {
@@ -258,7 +298,7 @@ func (s *EventSim) MatchesCheckpoint(ck *Checkpoint) bool {
 		return a.seq < b.seq
 	})
 	for i, le := range live {
-		ce := e.events[i]
+		ce := e.eventAt(i)
 		if le.t != ce.t || le.kind != ce.kind || le.net != ce.net || le.cellID != ce.cellID || le.val != ce.val {
 			return false
 		}
@@ -325,10 +365,11 @@ func (s *LevelSim) Restore(ck *Checkpoint) error {
 	s.cellEvals = ck.Evals
 	s.cbs = map[int][]NetCallback{}
 	s.cbNets = nil
-	s.agenda = make(map[uint64][]lsAction, len(lv.times))
+	s.agenda = make(map[uint64][]lsAction, lv.numTimes())
 	s.times = s.times[:0]
-	for i, t := range lv.times {
-		s.agenda[t] = append([]lsAction(nil), lv.actions[i]...)
+	for i := 0; i < lv.numTimes(); i++ {
+		t := lv.timeAt(i)
+		s.agenda[t] = append([]lsAction(nil), lv.actionsAt(i)...)
 		s.times = append(s.times, t)
 	}
 	heap.Init(&s.times)
@@ -357,11 +398,11 @@ func (s *LevelSim) MatchesCheckpoint(ck *Checkpoint) bool {
 		if len(data) == 0 {
 			continue
 		}
-		idx := sort.Search(len(lv.times), func(i int) bool { return lv.times[i] >= t })
-		if idx >= len(lv.times) || lv.times[idx] != t {
+		idx := sort.Search(lv.numTimes(), func(i int) bool { return lv.timeAt(i) >= t })
+		if idx >= lv.numTimes() || lv.timeAt(idx) != t {
 			return false
 		}
-		want := lv.actions[idx]
+		want := lv.actionsAt(idx)
 		if len(data) != len(want) {
 			return false
 		}
@@ -373,5 +414,5 @@ func (s *LevelSim) MatchesCheckpoint(ck *Checkpoint) bool {
 		}
 		seen++
 	}
-	return seen == len(lv.times)
+	return seen == lv.numTimes()
 }
