@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test ci bench-smoke bench clean
+.PHONY: all vet build test ci bench-smoke sweep-smoke bench clean
 
 all: ci
 
@@ -36,6 +36,12 @@ bench-smoke:
 		rm -f BENCH_warmstart.baseline.json; \
 		echo "benchgate: no committed baseline, skipping regression gate"; \
 	fi
+
+# sweep-smoke runs a tiny two-campaign sweep (SoC1 at two LETs) through
+# the campaignd coordinator with a live worker and asserts the rendered
+# sweep output is byte-identical to the in-process ssresf path.
+sweep-smoke:
+	$(GO) test ./cmd/campaignd -run '^TestSweepSmokeByteIdentical$$' -count=1 -v
 
 # bench runs the full table/figure harness (minutes).
 bench:

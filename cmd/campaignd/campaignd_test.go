@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -13,7 +14,10 @@ import (
 	"time"
 
 	"repro/internal/inject"
+	"repro/internal/runstore"
 	"repro/internal/shard"
+	"repro/internal/ssresf"
+	"repro/internal/sweep"
 )
 
 // e2eSpec is the small SoC1 campaign the end-to-end test distributes.
@@ -38,29 +42,48 @@ func startServe(t *testing.T, opts serveOpts, stdout io.Writer) (string, chan er
 	return "http://" + ln.Addr().String(), errCh
 }
 
-// leaseRaw performs one raw lease request, retrying until the coordinator
-// answers — the e2e test's stand-in for a worker that dies mid-shard.
+// leaseRaw performs one raw lease request, retrying while the
+// coordinator is unreachable or still building its first campaign (204)
+// — the e2e test's stand-in for a worker that dies mid-shard.
 func leaseRaw(t *testing.T, url, worker string) *shard.Lease {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		body, _ := json.Marshal(leaseRequest{Worker: worker})
-		resp, err := http.Post(url+"/v1/lease", "application/json", bytes.NewReader(body))
-		if err == nil {
-			defer resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				var l shard.Lease
-				if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
-					t.Fatal(err)
-				}
-				return &l
-			}
-			t.Fatalf("doomed worker lease: unexpected status %s", resp.Status)
+		l, err := leaseOnce(url, worker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l != nil {
+			return l
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("coordinator never answered a lease: %v", err)
+			t.Fatal("coordinator never granted a lease")
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// leaseOnce returns (nil, nil) when the request should be retried: the
+// coordinator is unreachable or answered 204 (still planning, or all
+// shards leased out).
+func leaseOnce(url, worker string) (*shard.Lease, error) {
+	body, _ := json.Marshal(leaseRequest{Worker: worker})
+	resp, err := http.Post(url+"/v1/lease", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var l shard.Lease
+		if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
+			return nil, err
+		}
+		return &l, nil
+	case http.StatusNoContent:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("doomed worker lease: unexpected status %s", resp.Status)
 	}
 }
 
@@ -101,7 +124,8 @@ func TestServeWorkEndToEnd(t *testing.T) {
 	outPath := filepath.Join(dir, "result.json")
 	var serveOut bytes.Buffer
 	url, serveErr := startServe(t, serveOpts{
-		spec:     cs,
+		grid:     singleCampaignGrid(cs),
+		single:   true,
 		shards:   5,
 		journal:  journal,
 		leaseTTL: 300 * time.Millisecond,
@@ -158,7 +182,8 @@ func TestServeWorkEndToEnd(t *testing.T) {
 	outPath2 := filepath.Join(dir, "result2.json")
 	var serveOut2 bytes.Buffer
 	_, serveErr2 := startServe(t, serveOpts{
-		spec:     cs,
+		grid:     singleCampaignGrid(cs),
+		single:   true,
 		shards:   5,
 		journal:  journal,
 		leaseTTL: 300 * time.Millisecond,
@@ -181,17 +206,207 @@ func TestServeWorkEndToEnd(t *testing.T) {
 	}
 }
 
-// TestProgressEndpoint checks the coordinator's observability surface.
-func TestProgressEndpoint(t *testing.T) {
-	cs := e2eSpec()
-	var out bytes.Buffer
+// sweepTestLETs keeps the e2e grids at two campaigns per benchmark.
+var sweepTestLETs = []float64{1.0, 37.0}
+
+// sweepTestGrid builds the 2-benchmark x 2-LET grid the sweep e2e tests
+// drain, plus the experiment config it derives from.
+func sweepTestGrid(t *testing.T, socs []int) (sweep.Grid, ssresf.ExperimentConfig) {
+	t.Helper()
+	ec := ssresf.DefaultExperimentConfig(true)
+	grids := make([]sweep.Grid, len(socs))
+	for i, soc := range socs {
+		g, err := sweep.LETGrid(ec, soc, sweepTestLETs, "memcpy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		grids[i] = g
+	}
+	return sweep.Concat("e2e-let-grid", grids...), ec
+}
+
+// inProcessLETReference renders the same grid through the classic
+// in-process ssresf path — the byte-identity oracle.
+func inProcessLETReference(t *testing.T, ec ssresf.ExperimentConfig, socs []int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, soc := range socs {
+		pts, err := ssresf.LETSweep(ec, soc, sweepTestLETs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ssresf.RenderLETSweep(&buf, soc, pts)
+	}
+	return buf.Bytes()
+}
+
+// TestServeSweepEndToEnd drives a whole experiment grid — two benchmarks
+// x two LETs, four campaign fingerprints — through one coordinator and
+// a small worker fleet: the journal already holds one shard from a
+// previous coordinator incarnation (the "coordinator restart" leg), one
+// worker leases a shard and dies silently (its shard must be re-issued),
+// two live workers drain the rest of the grid from the shared lease
+// pool, and the sweep-level aggregation must render byte-identically to
+// the in-process ssresf drivers. A second coordinator restart with the
+// complete journal must finish with no workers at all — and at no point
+// may a journaled shard be re-simulated.
+func TestServeSweepEndToEnd(t *testing.T) {
+	socs := []int{1, 2}
+	grid, ec := sweepTestGrid(t, socs)
+	want := inProcessLETReference(t, ec, socs)
+
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "sweep.jsonl")
+	outPath := filepath.Join(dir, "grid.txt")
+	outDir := filepath.Join(dir, "results")
+	if err := os.Mkdir(outDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// A previous coordinator incarnation journaled one shard of the first
+	// campaign before crashing.
+	firstCS := grid.Spec.Items[0].Campaign
+	preBuilt, err := shard.Build(firstCS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preSpecs, err := shard.PlanAtMost(firstCS, 2, len(preBuilt.Jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prePartial, err := shard.ExecuteOn(preBuilt, preSpecs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := runstore.Open(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Append(preBuilt.Fingerprint, prePartial); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var serveOut bytes.Buffer
 	url, serveErr := startServe(t, serveOpts{
-		spec:     cs,
+		grid:     grid,
+		shards:   2,
+		journal:  journal,
+		leaseTTL: 600 * time.Millisecond,
+		linger:   time.Second,
+		outPath:  outPath,
+		outDir:   outDir,
+	}, &serveOut)
+
+	// A doomed worker claims a shard and is never heard from again; with
+	// no heartbeat its lease expires and the shard re-issues.
+	doomed := leaseRaw(t, url, "doomed")
+	if doomed.Spec.End <= doomed.Spec.Start {
+		t.Fatalf("doomed lease covers nothing: %+v", doomed.Spec)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	var w1Out, w2Out bytes.Buffer
+	workErr := make(chan error, 2)
+	go func() { workErr <- work(ctx, workOpts{url: url, name: "w1", poll: 25 * time.Millisecond, out: &w1Out}) }()
+	go func() { workErr <- work(ctx, workOpts{url: url, name: "w2", poll: 25 * time.Millisecond, out: &w2Out}) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("sweep serve: %v\n%s", err, serveOut.String())
+		}
+	case <-ctx.Done():
+		t.Fatalf("sweep never completed; serve output:\n%s\nw1:\n%s\nw2:\n%s", serveOut.String(), w1Out.String(), w2Out.String())
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-workErr; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+
+	// The restarted coordinator must have loaded the prior incarnation's
+	// shard...
+	if !bytes.Contains(serveOut.Bytes(), []byte("1 journaled")) {
+		t.Fatalf("serve did not load the pre-crash journal:\n%s", serveOut.String())
+	}
+	// ...and no worker may have re-simulated it.
+	journaledLine := fmt.Sprintf("shard %d of %.12s", prePartial.Index, preBuilt.Fingerprint)
+	if bytes.Contains(w1Out.Bytes(), []byte(journaledLine)) || bytes.Contains(w2Out.Bytes(), []byte(journaledLine)) {
+		t.Fatalf("journaled shard re-simulated by a worker:\nw1:\n%s\nw2:\n%s", w1Out.String(), w2Out.String())
+	}
+
+	// Byte-identity of the sweep-level aggregation with the in-process
+	// path.
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sweep output diverges from in-process reference:\n--- sweep ---\n%s\n--- in-process ---\n%s", got, want)
+	}
+
+	// Per-campaign merged results landed in -outdir, one per key.
+	for _, it := range grid.Spec.Items {
+		res := readResultJSON(t, filepath.Join(outDir, it.Key+".json"))
+		if len(res.Injections) == 0 {
+			t.Fatalf("campaign %q result empty", it.Key)
+		}
+	}
+
+	// Full coordinator restart from the now-complete journal: every shard
+	// of every campaign is recorded, so the sweep must finish with no
+	// worker and render the identical bytes again.
+	outPath2 := filepath.Join(dir, "grid2.txt")
+	var serveOut2 bytes.Buffer
+	_, serveErr2 := startServe(t, serveOpts{
+		grid:     grid,
+		shards:   2,
+		journal:  journal,
+		leaseTTL: 600 * time.Millisecond,
+		outPath:  outPath2,
+	}, &serveOut2)
+	select {
+	case err := <-serveErr2:
+		if err != nil {
+			t.Fatalf("journal-resumed sweep: %v\n%s", err, serveOut2.String())
+		}
+	case <-time.After(3 * time.Minute):
+		t.Fatalf("journal-resumed sweep never completed:\n%s", serveOut2.String())
+	}
+	got2, err := os.ReadFile(outPath2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, want) {
+		t.Fatalf("journal-resumed sweep output diverges:\n%s", got2)
+	}
+}
+
+// TestSweepSmokeByteIdentical is the `make sweep-smoke` gate: a tiny
+// two-campaign sweep (SoC1 at two LETs) served through the coordinator
+// and drained by one worker must render byte-identically to the
+// in-process ssresf path. It also spot-checks that sweep progress is
+// reported per campaign, never mixing fingerprints.
+func TestSweepSmokeByteIdentical(t *testing.T) {
+	socs := []int{1}
+	grid, ec := sweepTestGrid(t, socs)
+	want := inProcessLETReference(t, ec, socs)
+
+	outPath := filepath.Join(t.TempDir(), "grid.txt")
+	var serveOut bytes.Buffer
+	url, serveErr := startServe(t, serveOpts{
+		grid:     grid,
 		shards:   2,
 		leaseTTL: time.Minute,
 		linger:   time.Second,
-	}, &out)
+		outPath:  outPath,
+	}, &serveOut)
 
+	// Progress must enumerate both campaigns with distinct fingerprints.
 	deadline := time.Now().Add(30 * time.Second)
 	var pr progressReply
 	for {
@@ -209,11 +424,72 @@ func TestProgressEndpoint(t *testing.T) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if pr.Progress.Total != 2 || pr.Progress.Pending != 2 || pr.Done {
+	if pr.Sweep.CampaignsTotal != 2 || len(pr.Sweep.Campaigns) != 2 {
+		t.Fatalf("sweep progress %+v, want 2 campaigns", pr.Sweep)
+	}
+	if pr.Sweep.Campaigns[0].Fingerprint == pr.Sweep.Campaigns[1].Fingerprint {
+		t.Fatal("sweep progress campaigns share a fingerprint")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	var wOut bytes.Buffer
+	if err := work(ctx, workOpts{url: url, name: "w", poll: 25 * time.Millisecond, out: &wOut}); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("sweep serve: %v\n%s", err, serveOut.String())
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sweep-smoke output diverges from in-process path:\n--- sweep ---\n%s\n--- in-process ---\n%s", got, want)
+	}
+}
+
+// TestProgressEndpoint checks the coordinator's observability surface.
+func TestProgressEndpoint(t *testing.T) {
+	cs := e2eSpec()
+	var out bytes.Buffer
+	url, serveErr := startServe(t, serveOpts{
+		grid:     singleCampaignGrid(cs),
+		single:   true,
+		shards:   2,
+		leaseTTL: time.Minute,
+		linger:   time.Second,
+	}, &out)
+
+	// Campaigns open once built; poll until the (only) campaign's shard
+	// plan is visible.
+	deadline := time.Now().Add(30 * time.Second)
+	var pr progressReply
+	for {
+		resp, err := http.Get(url + "/v1/progress")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&pr)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pr.Progress.Total == 2 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("progress never showed the opened campaign (last: %+v, err %v)", pr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if pr.Progress.Pending+pr.Progress.Leased+pr.Progress.Done != 2 || pr.Done {
 		t.Fatalf("fresh campaign progress %+v", pr)
 	}
 	if pr.Fingerprint != cs.Fingerprint() {
 		t.Fatalf("progress reports fingerprint %.12s, want %.12s", pr.Fingerprint, cs.Fingerprint())
+	}
+	if pr.Sweep.CampaignsTotal != 1 || len(pr.Sweep.Campaigns) != 1 {
+		t.Fatalf("singleton sweep progress %+v", pr.Sweep)
 	}
 
 	// Drain it with one worker so serve exits cleanly.

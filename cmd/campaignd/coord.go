@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -10,51 +11,82 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
+	"repro/internal/inject"
 	"repro/internal/runstore"
 	"repro/internal/shard"
+	"repro/internal/sweep"
 )
 
-// The coordinator protocol, all JSON over HTTP:
+// The coordinator protocol, all JSON over HTTP. One coordinator serves
+// one sweep — a whole experiment grid of campaigns, or the degenerate
+// single-campaign grid — from one lease pool:
 //
 //	POST /v1/lease    {"worker": ID}            -> 200 shard.Lease
 //	                                               204 nothing pending (poll again)
-//	                                               410 campaign complete (worker exits)
-//	POST /v1/complete {"lease_id", "partial"}   -> 200 accepted
-//	                                               409 lease expired/unknown (drop result)
+//	                                               410 sweep complete (worker exits)
+//	POST /v1/complete {"lease_id", "fingerprint", "partial"}
+//	                                            -> 200 accepted
+//	                                               409 duplicate/unroutable (drop result)
+//	POST /v1/renew    {"lease_id", "fingerprint"}
+//	                                            -> 200 renewReply (keep heartbeating)
+//	                                               409 lease gone (stop heartbeating)
 //	GET  /v1/progress                           -> 200 progressReply
+//
+// Completions and renewals are routed by campaign fingerprint — the
+// durable key a worker always holds — because an expired lease ID is
+// forgotten by the pool. The legacy top-level progress fields describe
+// the campaign when the sweep is a single campaign; per-campaign counts
+// and ETAs live under "sweep" and never mix shards of different
+// fingerprints.
 
 type leaseRequest struct {
 	Worker string `json:"worker"`
 }
 
 type completeRequest struct {
-	LeaseID string         `json:"lease_id"`
-	Partial *shard.Partial `json:"partial"`
+	LeaseID     string         `json:"lease_id"`
+	Fingerprint string         `json:"fingerprint"`
+	Partial     *shard.Partial `json:"partial"`
+}
+
+type renewRequest struct {
+	LeaseID     string `json:"lease_id"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+type renewReply struct {
+	ExpiresAt time.Time `json:"expires_at"`
 }
 
 type progressReply struct {
-	Fingerprint string         `json:"fingerprint"`
-	Design      int            `json:"soc"`
-	Progress    shard.Progress `json:"progress"`
-	Done        bool           `json:"done"`
+	// Fingerprint and Design identify the campaign when exactly one is
+	// being served (the pre-sweep reply shape); under a real sweep they
+	// carry the sweep fingerprint and 0.
+	Fingerprint string              `json:"fingerprint"`
+	Design      int                 `json:"soc"`
+	Progress    shard.Progress      `json:"progress"`
+	Done        bool                `json:"done"`
+	Sweep       sweep.SweepProgress `json:"sweep"`
 }
 
-// coordinator serves one campaign's shard queue over HTTP and journals
-// every accepted result.
+// coordinator serves one sweep's cross-campaign lease pool over HTTP and
+// journals every accepted result under its campaign's fingerprint.
 type coordinator struct {
-	spec  shard.CampaignSpec
-	fp    string
-	queue *shard.Queue
-	store *runstore.Store // nil = no journal
-	now   func() time.Time
+	pool   *sweep.Pool
+	store  *runstore.Store // nil = no journal
+	now    func() time.Time
+	single *shard.CampaignSpec // set when the sweep is one campaign
 }
 
 func (c *coordinator) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/lease", c.handleLease)
 	mux.HandleFunc("POST /v1/complete", c.handleComplete)
+	mux.HandleFunc("POST /v1/renew", c.handleRenew)
 	mux.HandleFunc("GET /v1/progress", c.handleProgress)
 	return mux
 }
@@ -65,12 +97,13 @@ func (c *coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad lease request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	l, ok := c.queue.Lease(req.Worker, c.now())
+	l, ok := c.pool.Lease(req.Worker, c.now())
 	if !ok {
-		if c.queue.Done() {
+		if c.pool.Done() {
 			w.WriteHeader(http.StatusGone)
 			return
 		}
+		// Idle: everything leased out, or later campaigns still building.
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
@@ -87,12 +120,18 @@ func (c *coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "completion carries no partial", http.StatusBadRequest)
 		return
 	}
-	if err := c.queue.Complete(req.LeaseID, req.Partial, c.now()); err != nil {
+	fp := req.Fingerprint
+	if fp == "" && c.single != nil {
+		// Pre-sweep workers never sent a fingerprint; with one campaign
+		// served the routing is unambiguous.
+		fp = c.single.Fingerprint()
+	}
+	if err := c.pool.Complete(fp, req.LeaseID, req.Partial, c.now()); err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
 	if c.store != nil {
-		if err := c.store.Append(c.fp, req.Partial); err != nil {
+		if err := c.store.Append(fp, req.Partial); err != nil {
 			// The result is already accepted and merging will proceed; a
 			// journal write failure only weakens crash recovery.
 			fmt.Fprintln(os.Stderr, "campaignd: journal append:", err)
@@ -101,13 +140,37 @@ func (c *coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 }
 
+func (c *coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req renewRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad renewal: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	fp := req.Fingerprint
+	if fp == "" && c.single != nil {
+		fp = c.single.Fingerprint()
+	}
+	exp, err := c.pool.Renew(fp, req.LeaseID, c.now())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, renewReply{ExpiresAt: exp})
+}
+
 func (c *coordinator) handleProgress(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, progressReply{
-		Fingerprint: c.fp,
-		Design:      c.spec.SoC,
-		Progress:    c.queue.Progress(c.now()),
-		Done:        c.queue.Done(),
-	})
+	sp := c.pool.Progress(c.now())
+	reply := progressReply{
+		Fingerprint: sp.Fingerprint,
+		Done:        sp.Done,
+		Sweep:       sp,
+	}
+	if c.single != nil && len(sp.Campaigns) == 1 {
+		reply.Fingerprint = sp.Campaigns[0].Fingerprint
+		reply.Design = c.single.SoC
+		reply.Progress = sp.Campaigns[0].Shards
+	}
+	writeJSON(w, reply)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -119,28 +182,28 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 // serveOpts is the parsed configuration of one serve run.
 type serveOpts struct {
-	spec     shard.CampaignSpec
-	shards   int
+	grid     sweep.Grid
+	single   bool // one-campaign mode: legacy report + result-JSON -out
+	shards   int  // per campaign; tiny campaigns degrade to fewer
 	journal  string
 	leaseTTL time.Duration
 	linger   time.Duration
-	outPath  string
+	outPath  string // single: merged result JSON; sweep: rendered grid text
+	outDir   string // sweep: per-campaign result JSON directory
 }
 
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("campaignd serve", flag.ContinueOnError)
 	specOf := shard.CampaignFlags(fs)
+	gridOf := sweep.GridFlags(fs)
 	addr := fs.String("addr", "127.0.0.1:8372", "listen address")
-	shards := fs.Int("shards", 8, "number of shards to split the campaign into")
-	journal := fs.String("journal", "", "append-only shard journal; campaigns restarted with the same journal skip finished shards")
-	lease := fs.Duration("lease", 10*time.Minute, "shard lease duration before a silent worker's shard is re-issued; keep it above the expected per-shard runtime or idle workers will redo live shards (harmless but wasteful)")
-	linger := fs.Duration("linger", 3*time.Second, "how long to keep answering workers after the campaign completes, so pollers observe completion and exit")
-	out := fs.String("out", "", "write the merged campaign result JSON to this file")
+	shards := fs.Int("shards", 8, "number of shards to split each campaign into")
+	journal := fs.String("journal", "", "append-only shard journal, namespaced per campaign; sweeps restarted with the same journal skip finished shards")
+	lease := fs.Duration("lease", 10*time.Minute, "shard lease duration; workers heartbeat at a third of it, so a live shard outrunning the lease is renewed, not re-issued")
+	linger := fs.Duration("linger", 3*time.Second, "how long to keep answering workers after the sweep completes, so pollers observe completion and exit")
+	out := fs.String("out", "", "single campaign: write the merged result JSON here; sweep: write the rendered tables here")
+	outDir := fs.String("outdir", "", "sweep: write each campaign's merged result JSON into this directory, named by campaign key")
 	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	cs, err := specOf()
-	if err != nil {
 		return err
 	}
 	if *shards < 1 {
@@ -152,65 +215,189 @@ func runServe(args []string) error {
 	if *linger < 0 {
 		return fmt.Errorf("-linger must not be negative, got %v", *linger)
 	}
+	grid, isSweep, err := gridOf()
+	if err != nil {
+		return err
+	}
+	single := !isSweep
+	if single {
+		cs, err := specOf()
+		if err != nil {
+			return err
+		}
+		grid = singleCampaignGrid(cs)
+	}
+	if *outDir != "" {
+		// Create it now: failing after the fleet has simulated for
+		// minutes would lose the sweep's in-flight work.
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fmt.Errorf("-outdir: %v", err)
+		}
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	return serve(serveOpts{
-		spec:     cs,
+		grid:     grid,
+		single:   single,
 		shards:   *shards,
 		journal:  *journal,
 		leaseTTL: *lease,
 		linger:   *linger,
 		outPath:  *out,
+		outDir:   *outDir,
 	}, ln, os.Stdout)
 }
 
-// serve runs the coordinator on an accepted listener until every shard
-// has completed, then merges, reports and shuts down. Split from
-// runServe so the end-to-end test can drive it on an ephemeral port.
-func serve(opts serveOpts, ln net.Listener, stdout io.Writer) error {
-	b, err := shard.Build(opts.spec)
+// singleCampaignGrid wraps one campaign as a degenerate sweep whose
+// rendered artifact is the classic campaign report.
+func singleCampaignGrid(cs shard.CampaignSpec) sweep.Grid {
+	it := sweep.Item{Key: fmt.Sprintf("soc%d-%s", cs.SoC, cs.Workload), Campaign: cs}
+	return sweep.Grid{
+		Spec: sweep.SweepSpec{Name: "campaign", Items: []sweep.Item{it}},
+		Render: func(w io.Writer, results map[string]*inject.Result) error {
+			r, ok := results[cs.Fingerprint()]
+			if !ok {
+				return fmt.Errorf("campaign %.12s has no merged result", cs.Fingerprint())
+			}
+			fmt.Fprint(w, r.String())
+			return nil
+		},
+	}
+}
+
+// syncWriter serializes progress lines: the campaign builder goroutine
+// and the merge loop both narrate to the same writer.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// serve runs the coordinator on an accepted listener until every
+// campaign of the sweep has completed, then renders and shuts down.
+// Campaigns build and open one at a time while workers already drain
+// earlier ones; each campaign merges (and its golden run is released)
+// the moment its last shard lands. Split from runServe so the
+// end-to-end tests can drive it on an ephemeral port.
+func serve(opts serveOpts, ln net.Listener, rawStdout io.Writer) error {
+	items := opts.grid.Spec.Items
+	stdout := &syncWriter{w: rawStdout}
+	pool, err := sweep.NewPool(opts.grid.Spec, opts.leaseTTL)
 	if err != nil {
 		return err
 	}
-	specs, err := shard.Plan(opts.spec, opts.shards, len(b.Jobs))
-	if err != nil {
-		return err
-	}
-	queue := shard.NewQueue(specs, opts.leaseTTL)
 	var store *runstore.Store
-	journaled := 0
+	journaled := map[string]map[int]*shard.Partial{}
 	if opts.journal != "" {
-		done, err := runstore.Load(opts.journal, b.Fingerprint)
-		if err != nil {
+		if journaled, err = runstore.LoadAll(opts.journal); err != nil {
 			return err
 		}
-		for _, sp := range specs {
-			if p, ok := done[sp.Index]; ok && p.Covers(sp) {
-				if err := queue.MarkDone(p); err != nil {
-					return err
-				}
-				journaled++
-			}
-		}
-		store, err = runstore.Open(opts.journal)
-		if err != nil {
+		if store, err = runstore.Open(opts.journal); err != nil {
 			return err
 		}
 		defer store.Close()
 	}
-	coord := &coordinator{spec: opts.spec, fp: b.Fingerprint, queue: queue, store: store, now: time.Now}
-	fmt.Fprintf(stdout, "campaignd: campaign %.12s (SoC%d/%s on %s): %d injections in %d shards, %d journaled, serving on %s\n",
-		b.Fingerprint, opts.spec.SoC, opts.spec.Workload, opts.spec.Engine, len(b.Jobs), len(specs), journaled, ln.Addr())
+
+	var single *shard.CampaignSpec
+	if opts.single {
+		single = &items[0].Campaign
+	}
+	coord := &coordinator{pool: pool, store: store, now: time.Now, single: single}
+	fmt.Fprintf(stdout, "campaignd: sweep %s (%.12s): %d campaigns, %d shards each, serving on %s\n",
+		opts.grid.Spec.Name, opts.grid.Spec.Fingerprint(), len(items), opts.shards, ln.Addr())
 
 	srv := &http.Server{Handler: coord.mux()}
+	defer srv.Close()
 	srvErr := make(chan error, 1)
 	go func() { srvErr <- srv.Serve(ln) }()
-	select {
-	case <-queue.WaitDone():
-	case err := <-srvErr:
-		return fmt.Errorf("serving: %v", err)
+
+	// Builder: campaigns become leasable in sweep order as their plans
+	// (netlist, golden run, drawn injections) come up; the built campaign
+	// is kept only until its merge. stop ends the builder when serve
+	// bails out early, so it does not keep opening campaigns (or writing
+	// progress lines) after the coordinator is gone.
+	var mu sync.Mutex
+	builts := make([]*shard.Built, len(items))
+	buildErr := make(chan error, 1)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for i, it := range items {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b, err := shard.Build(it.Campaign)
+			if err != nil {
+				buildErr <- fmt.Errorf("building campaign %q: %v", it.Key, err)
+				return
+			}
+			// A sweep's one -shards knob covers campaigns of very different
+			// sizes, so tiny campaigns degrade to fewer shards; a single
+			// campaign keeps the strict fail-fast validation socfault has.
+			var specs []shard.Spec
+			if opts.single {
+				specs, err = shard.Plan(it.Campaign, opts.shards, len(b.Jobs))
+			} else {
+				specs, err = shard.PlanAtMost(it.Campaign, opts.shards, len(b.Jobs))
+			}
+			if err != nil {
+				buildErr <- fmt.Errorf("planning campaign %q: %v", it.Key, err)
+				return
+			}
+			mu.Lock()
+			builts[i] = b
+			mu.Unlock()
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			nJournaled, err := pool.Open(i, specs, journaled[b.Fingerprint])
+			if err != nil {
+				buildErr <- err
+				return
+			}
+			fmt.Fprintf(stdout, "campaignd: campaign %s (%.12s, SoC%d/%s on %s): %d injections in %d shards, %d journaled\n",
+				it.Key, b.Fingerprint, it.Campaign.SoC, it.Campaign.Workload, it.Campaign.Engine, len(b.Jobs), len(specs), nJournaled)
+		}
+	}()
+
+	// Merge each campaign the moment it completes, releasing its build.
+	results := make(map[string]*inject.Result, len(items))
+	for merged := 0; merged < len(items); {
+		select {
+		case idx := <-pool.Completed():
+			mu.Lock()
+			b := builts[idx]
+			builts[idx] = nil
+			mu.Unlock()
+			res, err := shard.Merge(b, pool.Partials(idx))
+			if err != nil {
+				return fmt.Errorf("merging campaign %q: %v", items[idx].Key, err)
+			}
+			results[b.Fingerprint] = res
+			merged++
+			fmt.Fprintf(stdout, "campaignd: campaign %s (%.12s) merged: %d injections, %d/%d campaigns done\n",
+				items[idx].Key, b.Fingerprint, len(res.Injections), merged, len(items))
+			if opts.outDir != "" {
+				if err := writeResultJSON(filepath.Join(opts.outDir, items[idx].Key+".json"), res); err != nil {
+					return err
+				}
+			}
+		case err := <-buildErr:
+			return err
+		case err := <-srvErr:
+			return fmt.Errorf("serving: %v", err)
+		}
 	}
 	// Keep answering for the linger window so polling workers observe the
 	// 410 completion signal and exit instead of hitting a dead socket.
@@ -225,20 +412,29 @@ func serve(opts serveOpts, ln net.Listener, stdout io.Writer) error {
 		fmt.Fprintln(os.Stderr, "campaignd: shutdown:", err)
 	}
 
-	res, err := shard.Merge(b, queue.Partials())
+	// Sweep-level aggregation: the merged results feed the grid's ssresf
+	// renderer, bit-identical to the in-process experiment drivers.
+	var rendered bytes.Buffer
+	if err := opts.grid.Render(&rendered, results); err != nil {
+		return err
+	}
+	if _, err := stdout.Write(rendered.Bytes()); err != nil {
+		return err
+	}
+	if opts.outPath != "" {
+		if opts.single {
+			return writeResultJSON(opts.outPath, results[items[0].Campaign.Fingerprint()])
+		}
+		return os.WriteFile(opts.outPath, rendered.Bytes(), 0o644)
+	}
+	return nil
+}
+
+func writeResultJSON(path string, res *inject.Result) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	fmt.Fprint(stdout, res.String())
-	if opts.outPath != "" {
-		f, err := os.Create(opts.outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := res.WriteJSON(f); err != nil {
-			return err
-		}
-	}
-	return nil
+	defer f.Close()
+	return res.WriteJSON(f)
 }

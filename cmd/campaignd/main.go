@@ -1,20 +1,29 @@
-// Command campaignd distributes a fault-injection campaign over HTTP.
+// Command campaignd distributes fault-injection campaigns — single ones
+// or whole experiment grids — over HTTP.
 //
 // One binary, two modes:
 //
 //	campaignd serve -soc 1 -shards 16 -journal soc1.jsonl [-addr :8372] [flags]
+//	campaignd serve -sweep table1 -shards 8 -journal grid.jsonl [-outdir results]
 //	campaignd work  -url http://coordinator:8372 [-name w1] [-poll 2s]
 //
-// serve plans the campaign (the injection plan is drawn up front, so
-// sharding is a pure index split), loads any journaled shards, then hands
-// out shard leases to workers, ingests their partial results, journals
-// each one, and — once every shard is in — merges them into the exact
-// single-process campaign result and prints the report. Leases expire:
-// a shard leased to a worker that dies is re-issued to the next worker.
+// serve plans each campaign (the injection plan is drawn up front, so
+// sharding is a pure index split), loads any journaled shards, then
+// hands out shard leases to workers, ingests their partial results,
+// journals each one, and merges every campaign into the exact
+// single-process result the moment its last shard lands. With -sweep, a
+// whole grid (Table I across all benchmarks, Table III's fluxes x
+// engines, a LET sweep) feeds one lease pool; the merged results render
+// the same tables the in-process ssresf drivers produce, byte for byte.
+// Leases expire: a shard leased to a worker that dies is re-issued to
+// the next worker. Live workers heartbeat their leases, so a long shard
+// is renewed, not re-issued.
 //
 // work polls the coordinator in a lease/execute/post loop. A worker
 // builds each campaign (netlist, golden run, checkpoint schedule) once
-// per process and reuses it for every shard it executes.
+// per process and reuses it for every shard it executes; the
+// coordinator's golden-run-affinity scheduling keeps a worker on the
+// campaign it has already built while that campaign has pending shards.
 package main
 
 import (
@@ -56,6 +65,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   campaignd serve -soc N -shards K [-journal FILE] [-addr HOST:PORT] [campaign flags]
+  campaignd serve -sweep table1|table3|let [-lets L,..] [-fluxes F,..] [-outdir DIR] [flags]
   campaignd work -url http://HOST:PORT [-name ID] [-poll DUR]`)
 }
 

@@ -40,11 +40,17 @@ func runWork(args []string) error {
 // coordinator: roughly failures x poll interval of retrying.
 const maxConsecutiveFailures = 30
 
-// work is the lease/execute/post loop. It builds each distinct campaign
-// once (golden run + checkpoints + plan) and reuses it across all of that
-// campaign's shards; it exits cleanly when the coordinator reports the
-// campaign complete, the context is cancelled, or the coordinator stays
-// unreachable for maxConsecutiveFailures polls.
+// work is the lease/execute/post loop over a whole sweep. It builds each
+// distinct campaign once (golden run + checkpoints + plan) and reuses it
+// across all of that campaign's shards — the coordinator's affinity
+// scheduling keeps handing this worker the campaign it has already
+// built — and memoizes finished partials, so a requeued shard it
+// already computed is answered from cache. While a shard executes, a
+// heartbeat goroutine renews the lease at a third of its TTL, so a
+// shard outrunning the lease is never re-issued to idle workers. The
+// loop exits cleanly when the coordinator reports the sweep complete,
+// the context is cancelled, or the coordinator stays unreachable for
+// maxConsecutiveFailures polls.
 func work(ctx context.Context, opts workOpts) error {
 	exec := shard.NewExecutor()
 	client := &http.Client{Timeout: 30 * time.Second}
@@ -75,23 +81,94 @@ func work(ctx context.Context, opts workOpts) error {
 			}
 			continue
 		}
+		hitsBefore := exec.CacheHits()
+		stopRenew := startRenewal(ctx, client, opts, lease)
 		p, err := exec.Execute(lease.Spec)
+		stopRenew()
 		if err != nil {
 			// A shard this process cannot execute (bad spec, build failure)
 			// is fatal for the worker; the lease expires and another worker
 			// picks the shard up.
 			return fmt.Errorf("executing shard %d: %v", lease.Spec.Index, err)
 		}
-		if err := postCompleteRetry(ctx, client, opts, lease.ID, p); err != nil {
+		cached := ""
+		if exec.CacheHits() > hitsBefore {
+			cached = " (from cache)"
+		}
+		if err := postCompleteRetry(ctx, client, opts, lease, p); err != nil {
 			// The coordinator refused the result — the shard completed
 			// elsewhere while we computed it. Deterministic execution makes
 			// the other copy identical, so dropping ours is harmless.
-			fmt.Fprintf(opts.out, "%s: shard %d dropped: %v\n", opts.name, lease.Spec.Index, err)
+			fmt.Fprintf(opts.out, "%s: shard %d of %.12s dropped: %v\n", opts.name, lease.Spec.Index, lease.Spec.Fingerprint, err)
 			continue
 		}
-		fmt.Fprintf(opts.out, "%s: shard %d done [%d,%d): %d injections\n",
-			opts.name, lease.Spec.Index, lease.Spec.Start, lease.Spec.End, len(p.Injections))
+		fmt.Fprintf(opts.out, "%s: shard %d of %.12s done [%d,%d): %d injections%s\n",
+			opts.name, lease.Spec.Index, lease.Spec.Fingerprint, lease.Spec.Start, lease.Spec.End, len(p.Injections), cached)
 	}
+}
+
+// startRenewal heartbeats the lease at a third of its TTL while the
+// shard executes; the returned stop function ends the heartbeat —
+// aborting any in-flight renew request, so a finished shard's result is
+// never delayed behind a hanging heartbeat — and waits it out. Renewal
+// is best-effort: a refusal (the lease already expired, or the shard
+// completed from a journal) just stops the heartbeat — the late
+// completion path still delivers the result — and transport errors are
+// retried at the next tick.
+func startRenewal(ctx context.Context, client *http.Client, opts workOpts, lease *shard.Lease) (stop func()) {
+	if lease.TTL <= 0 {
+		return func() {}
+	}
+	interval := lease.TTL / 3
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-rctx.Done():
+				return
+			case <-ticker.C:
+				if refused, err := postRenew(rctx, client, opts, lease); err != nil && refused {
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-finished
+	}
+}
+
+// postRenew sends one heartbeat. refused reports a coordinator judgment
+// (stop heartbeating) as opposed to a transport failure (retry next
+// tick).
+func postRenew(ctx context.Context, client *http.Client, opts workOpts, lease *shard.Lease) (refused bool, err error) {
+	body, err := json.Marshal(renewRequest{LeaseID: lease.ID, Fingerprint: lease.Spec.Fingerprint})
+	if err != nil {
+		return true, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.url+"/v1/renew", bytes.NewReader(body))
+	if err != nil {
+		return true, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return resp.StatusCode < 500, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return false, nil
 }
 
 // requestLease asks the coordinator for a shard. A nil error with a nil
@@ -135,14 +212,14 @@ const completeAttempts = 5
 // exactly the wrong moment must not throw it away. A coordinator refusal
 // (non-200 status) is never retried: the result was delivered and
 // judged, retrying cannot change the verdict.
-func postCompleteRetry(ctx context.Context, client *http.Client, opts workOpts, leaseID string, p *shard.Partial) error {
+func postCompleteRetry(ctx context.Context, client *http.Client, opts workOpts, lease *shard.Lease, p *shard.Partial) error {
 	var err error
 	for attempt := 0; attempt < completeAttempts; attempt++ {
 		if attempt > 0 && !sleepCtx(ctx, opts.poll) {
 			return ctx.Err()
 		}
 		var permanent bool
-		permanent, err = postComplete(ctx, client, opts, leaseID, p)
+		permanent, err = postComplete(ctx, client, opts, lease, p)
 		if err == nil || permanent {
 			return err
 		}
@@ -150,11 +227,11 @@ func postCompleteRetry(ctx context.Context, client *http.Client, opts workOpts, 
 	return fmt.Errorf("undeliverable after %d attempts: %v", completeAttempts, err)
 }
 
-// postComplete delivers a shard result for a held lease. permanent
-// distinguishes a coordinator refusal (do not retry) from a transport
-// failure (retryable).
-func postComplete(ctx context.Context, client *http.Client, opts workOpts, leaseID string, p *shard.Partial) (permanent bool, err error) {
-	body, err := json.Marshal(completeRequest{LeaseID: leaseID, Partial: p})
+// postComplete delivers a shard result for a held lease, routed by the
+// shard's campaign fingerprint. permanent distinguishes a coordinator
+// refusal (do not retry) from a transport failure (retryable).
+func postComplete(ctx context.Context, client *http.Client, opts workOpts, lease *shard.Lease, p *shard.Partial) (permanent bool, err error) {
+	body, err := json.Marshal(completeRequest{LeaseID: lease.ID, Fingerprint: lease.Spec.Fingerprint, Partial: p})
 	if err != nil {
 		return true, err
 	}

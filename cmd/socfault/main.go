@@ -1,17 +1,26 @@
-// Command socfault runs a single-particle fault-injection campaign on one
-// Table I benchmark and prints the soft-error report.
+// Command socfault runs single-particle fault-injection campaigns on the
+// Table I benchmarks and prints the soft-error reports.
 //
 // Usage:
 //
 //	socfault -soc 1 [-engine EventSim|LevelSim] [-let 37] [-flux 5e8]
 //	         [-kn 5] [-ln 3] [-sample 0.2] [-seed 1] [-workload memcpy]
 //	         [-shards 4] [-journal run.jsonl] [-resume]
+//	socfault -sweep table1|table3|let [-lets 1,37,100] [-fluxes 4e8,..]
+//	         [-sweep-soc 1] [-quick] [-shards 4] [-journal grid.jsonl] [-resume]
 //
-// With -shards N the campaign executes as N independent shards of its
+// With -shards N each campaign executes as N independent shards of its
 // pre-drawn injection plan (same result, bit for bit — the shape
 // cmd/campaignd distributes over HTTP). With -journal every completed
 // shard is appended to an on-disk journal; -resume reloads it after a
 // crash and re-executes only the missing shards.
+//
+// With -sweep a whole experiment grid — Table I across all ten
+// benchmarks, Table III's fluxes x engines, or a LET sweep — runs as one
+// sharded, journaled sweep and renders the experiment's table. The grid
+// enumerates exactly the campaign fingerprints a `campaignd serve
+// -sweep` coordinator serves, so the same journal resumes under either
+// tool and both render identical bytes.
 package main
 
 import (
@@ -25,11 +34,13 @@ import (
 	"repro/internal/runstore"
 	"repro/internal/shard"
 	"repro/internal/socgen"
+	"repro/internal/sweep"
 )
 
 // cliConfig is the parsed and validated command line.
 type cliConfig struct {
 	spec    shard.CampaignSpec
+	grid    *sweep.Grid // non-nil: run a whole experiment grid
 	ckpt    int
 	shards  int
 	journal string
@@ -58,23 +69,30 @@ func main() {
 func parseFlags(args []string) (*cliConfig, error) {
 	fs := flag.NewFlagSet("socfault", flag.ContinueOnError)
 	specOf := shard.CampaignFlags(fs)
+	gridOf := sweep.GridFlags(fs)
 	ckpt := fs.Int("ckpt", 0, "golden checkpoint pitch in cycles for warm-started injections (0 = default)")
-	shards := fs.Int("shards", 1, "execute the campaign as this many independent shards (same result, bit for bit)")
+	shards := fs.Int("shards", 1, "execute each campaign as this many independent shards (same result, bit for bit)")
 	journal := fs.String("journal", "", "append each completed shard to this journal file")
 	resume := fs.Bool("resume", false, "reload -journal and skip shards it already records")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	spec, err := specOf()
-	if err != nil {
-		return nil, err
-	}
 	cfg := &cliConfig{
-		spec:    spec,
 		ckpt:    *ckpt,
 		shards:  *shards,
 		journal: *journal,
 		resume:  *resume,
+	}
+	grid, isSweep, err := gridOf()
+	if err != nil {
+		return nil, err
+	}
+	if isSweep {
+		cfg.grid = &grid
+	} else {
+		if cfg.spec, err = specOf(); err != nil {
+			return nil, err
+		}
 	}
 	if *ckpt < 0 {
 		return nil, fmt.Errorf("-ckpt %d must not be negative", *ckpt)
@@ -86,20 +104,30 @@ func parseFlags(args []string) (*cliConfig, error) {
 		return nil, fmt.Errorf("-resume needs -journal: there is no journal to resume from")
 	}
 	if *journal != "" && !*resume {
-		// Refuse to silently double-run a campaign whose journal already
-		// holds results; the user either wants -resume or a fresh file.
-		n, err := runstore.Count(*journal, cfg.spec.Fingerprint())
+		// Refuse to silently double-run a campaign (or grid) whose journal
+		// already holds results; the user either wants -resume or a fresh
+		// file.
+		fps := map[string]bool{}
+		if cfg.grid != nil {
+			fps = cfg.grid.Spec.Fingerprints()
+		} else {
+			fps[cfg.spec.Fingerprint()] = true
+		}
+		n, err := runstore.CountAny(*journal, fps)
 		if err != nil {
 			return nil, err
 		}
 		if n > 0 {
-			return nil, fmt.Errorf("journal %s already records %d shards of this campaign; pass -resume to continue it or remove the file", *journal, n)
+			return nil, fmt.Errorf("journal %s already records %d shards of this run; pass -resume to continue it or remove the file", *journal, n)
 		}
 	}
 	return cfg, nil
 }
 
 func run(cfg *cliConfig) error {
+	if cfg.grid != nil {
+		return runSweep(cfg)
+	}
 	if cfg.shards == 1 && cfg.journal == "" {
 		// Classic single-process path.
 		socCfg, err := socgen.ConfigByIndex(cfg.spec.SoC)
@@ -178,6 +206,27 @@ func runSharded(cfg *cliConfig) error {
 	}
 	fmt.Print(res.String())
 	return nil
+}
+
+// runSweep executes a whole experiment grid in this process — every
+// campaign sharded, journaled and resumable — and renders the
+// experiment's table from the merged results, byte-identical to both the
+// classic in-process ssresf drivers and a campaignd sweep coordinator
+// serving the same grid.
+func runSweep(cfg *cliConfig) error {
+	results, err := sweep.RunLocal(cfg.grid.Spec, sweep.LocalOptions{
+		Shards:     cfg.shards,
+		Journal:    cfg.journal,
+		Resume:     cfg.resume,
+		Checkpoint: cfg.ckpt,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	return cfg.grid.Render(os.Stdout, results)
 }
 
 func fatal(err error) {

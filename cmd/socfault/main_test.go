@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/runstore"
 	"repro/internal/shard"
+	"repro/internal/ssresf"
+	"repro/internal/sweep"
 )
 
 // TestParseFlagsValidation pins the upfront flag validation: every broken
@@ -28,6 +30,13 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"negative ckpt", []string{"-ckpt", "-2"}, "-ckpt"},
 		{"zero shards", []string{"-shards", "0"}, "-shards"},
 		{"resume without journal", []string{"-resume"}, "-resume needs -journal"},
+		{"unknown sweep", []string{"-sweep", "table9"}, "-sweep"},
+		{"sweep with campaign flag", []string{"-sweep", "let", "-soc", "3"}, "no effect under -sweep"},
+		{"sweep with seed flag", []string{"-sweep", "table1", "-seed", "9"}, "no effect under -sweep"},
+		{"bad lets", []string{"-sweep", "let", "-lets", "1,x"}, "-lets"},
+		{"bad fluxes", []string{"-sweep", "table3", "-fluxes", "zap"}, "-fluxes"},
+		{"bad sweep workload", []string{"-sweep", "table1", "-sweep-workload", "quicksort3"}, "workload"},
+		{"sweep resume without journal", []string{"-sweep", "let", "-resume"}, "-resume needs -journal"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -87,6 +96,75 @@ func TestParseFlagsRefusesStaleJournalWithoutResume(t *testing.T) {
 	// A journal holding only a different campaign's shards is fine.
 	if _, err := parseFlags([]string{"-journal", journal, "-seed", "99"}); err != nil {
 		t.Fatalf("journal of a different campaign rejected: %v", err)
+	}
+}
+
+// TestParseFlagsSweepGrid pins the sweep mode's flag surface: a grid
+// parsed here enumerates exactly the fingerprints a campaignd sweep
+// coordinator serves for the same flags (sweep.GridFlags is the shared
+// registration point), which is what lets one journal resume under
+// either tool.
+func TestParseFlagsSweepGrid(t *testing.T) {
+	cfg, err := parseFlags([]string{"-sweep", "let", "-lets", "1,37", "-quick", "-shards", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.grid == nil {
+		t.Fatal("sweep flags parsed without a grid")
+	}
+	if got := len(cfg.grid.Spec.Items); got != 2 {
+		t.Fatalf("LET grid enumerates %d campaigns, want 2", got)
+	}
+	if cfg.shards != 3 {
+		t.Fatalf("sweep lost -shards: %+v", cfg)
+	}
+	ec := ssresf.DefaultExperimentConfig(true)
+	wantGrid, err := sweep.LETGrid(ec, 1, []float64{1, 37}, "memcpy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.grid.Spec.Fingerprint() != wantGrid.Spec.Fingerprint() {
+		t.Fatal("socfault sweep grid diverges from the shared constructor")
+	}
+	// A non-sweep parse leaves the grid nil.
+	cfg, err = parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.grid != nil {
+		t.Fatal("default parse produced a grid")
+	}
+}
+
+// TestParseFlagsRefusesStaleSweepJournal extends the stale-journal
+// footgun check to grids: any member campaign's shards in the journal
+// demand -resume.
+func TestParseFlagsRefusesStaleSweepJournal(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "grid.jsonl")
+	args := []string{"-sweep", "let", "-lets", "1,37", "-quick", "-journal", journal}
+	cfg, err := parseFlags(args)
+	if err != nil {
+		t.Fatalf("fresh sweep journal rejected: %v", err)
+	}
+	st, err := runstore.Open(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record a shard of the grid's second campaign.
+	fp := cfg.grid.Spec.Items[1].Campaign.Fingerprint()
+	if err := st.Append(fp, &shard.Partial{Index: 0, Start: 0, End: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if _, err := parseFlags(args); err == nil {
+		t.Fatal("journaled sweep accepted without -resume")
+	}
+	if _, err := parseFlags(append(args, "-resume")); err != nil {
+		t.Fatalf("-resume on journaled sweep rejected: %v", err)
+	}
+	// A journal holding only an unrelated grid's shards is fine.
+	if _, err := parseFlags([]string{"-sweep", "let", "-lets", "100", "-quick", "-journal", journal}); err != nil {
+		t.Fatalf("journal of a different grid rejected: %v", err)
 	}
 }
 

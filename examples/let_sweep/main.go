@@ -4,17 +4,48 @@
 // cross-sections grow with deposited energy. The paper selects these three
 // LETs "to encompass different radiation environments" but never sweeps
 // them; this example quantifies what the choice spans.
+//
+// With -shards N the sweep runs through the grid machinery instead: every
+// LET's campaign executes as N shards whose merge is bit-identical to the
+// in-process run, with an optional resumable -journal — the same grid a
+// `campaignd serve -sweep let` coordinator hands to a worker fleet.
 package main
 
 import (
+	"flag"
 	"log"
 	"os"
 
 	"repro/internal/ssresf"
+	"repro/internal/sweep"
 )
 
 func main() {
+	shards := flag.Int("shards", 0, "run as a sharded sweep with this many shards per campaign (0 = classic in-process)")
+	journal := flag.String("journal", "", "sweep journal file (with -shards)")
+	resume := flag.Bool("resume", false, "resume from -journal, skipping recorded shards")
+	flag.Parse()
+
 	ec := ssresf.DefaultExperimentConfig(false)
+	if *shards > 0 {
+		grid, err := sweep.LETGrid(ec, 1, nil, "memcpy")
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := sweep.RunLocal(grid.Spec, sweep.LocalOptions{
+			Shards:  *shards,
+			Journal: *journal,
+			Resume:  *resume,
+			Logf:    log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := grid.Render(os.Stdout, results); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	pts, err := ssresf.LETSweep(ec, 1, nil)
 	if err != nil {
 		log.Fatal(err)

@@ -3,17 +3,48 @@
 // SET/SEU cross-sections. Expect the paper's trends: bus and memory above
 // CPU logic, SER growing with memory size / bus width / core count, and
 // the rad-hard SRAM of SoC10 collapsing the memory column.
+//
+// With -shards N the whole table runs through the grid machinery: ten
+// campaigns as one sweep, each sharded and journaled, merging and
+// rendering bit-identically to the classic path — locally here, or
+// distributed over a fleet with `campaignd serve -sweep table1`.
 package main
 
 import (
+	"flag"
 	"log"
 	"os"
 
 	"repro/internal/ssresf"
+	"repro/internal/sweep"
 )
 
 func main() {
+	shards := flag.Int("shards", 0, "run as a sharded sweep with this many shards per campaign (0 = classic in-process)")
+	journal := flag.String("journal", "", "sweep journal file (with -shards)")
+	resume := flag.Bool("resume", false, "resume from -journal, skipping recorded shards")
+	flag.Parse()
+
 	ec := ssresf.DefaultExperimentConfig(false)
+	if *shards > 0 {
+		grid, err := sweep.TableIGrid(ec, "memcpy")
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := sweep.RunLocal(grid.Spec, sweep.LocalOptions{
+			Shards:  *shards,
+			Journal: *journal,
+			Resume:  *resume,
+			Logf:    log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := grid.Render(os.Stdout, results); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	rows, err := ssresf.TableI(ec)
 	if err != nil {
 		log.Fatal(err)

@@ -14,7 +14,6 @@ package runstore
 import (
 	"encoding/json"
 	"fmt"
-	"io"
 	"os"
 	"sync"
 
@@ -83,39 +82,57 @@ func (s *Store) Close() error {
 // record that fails to decode ends the load silently: it is the expected
 // torn tail of a crashed append, and everything before it is intact.
 func Load(path, fingerprint string) (map[int]*shard.Partial, error) {
-	f, err := os.Open(path)
+	all, err := LoadAll(path)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return map[int]*shard.Partial{}, nil
-		}
-		return nil, fmt.Errorf("runstore: %v", err)
+		return nil, err
 	}
-	defer f.Close()
-	out := map[int]*shard.Partial{}
-	dec := json.NewDecoder(f)
-	for {
-		var rec Record
-		if err := dec.Decode(&rec); err != nil {
-			if err == io.EOF {
-				break
-			}
-			// Torn tail: keep what decoded cleanly.
-			break
-		}
-		if rec.Fingerprint != fingerprint {
-			continue
-		}
-		p := rec.Partial
-		out[p.Index] = &p
+	out := all[fingerprint]
+	if out == nil {
+		out = map[int]*shard.Partial{}
 	}
 	return out, nil
 }
 
-// Count reports how many journal records carry the fingerprint — the
-// cheap existence probe CLI validation uses. Unlike Load it never
-// decodes the partials themselves, so probing a journal of thousands of
-// injections per shard costs only a token scan.
-func Count(path, fingerprint string) (int, error) {
+// LoadAll reads a journal and returns every completed shard it records,
+// grouped by campaign fingerprint and keyed by shard index (last record
+// wins, as in Load). This is the sweep entry point: one journal file
+// holds the shards of every campaign in a grid, each namespaced by its
+// fingerprint, so a restarted sweep coordinator resumes all of them from
+// a single pass over the file. Missing files and torn tails behave as in
+// Load.
+func LoadAll(path string) (map[string]map[int]*shard.Partial, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]map[int]*shard.Partial{}, nil
+		}
+		return nil, fmt.Errorf("runstore: %v", err)
+	}
+	defer f.Close()
+	out := map[string]map[int]*shard.Partial{}
+	dec := json.NewDecoder(f)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			// EOF, or the torn tail of a crashed append: keep what decoded.
+			break
+		}
+		m := out[rec.Fingerprint]
+		if m == nil {
+			m = map[int]*shard.Partial{}
+			out[rec.Fingerprint] = m
+		}
+		p := rec.Partial
+		m[p.Index] = &p
+	}
+	return out, nil
+}
+
+// CountAny reports how many journal records carry any of the given
+// fingerprints — the existence probe a sweep CLI uses to refuse silently
+// double-running a journaled grid. Like Count it never decodes the
+// partials themselves.
+func CountAny(path string, fingerprints map[string]bool) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -134,9 +151,17 @@ func Count(path, fingerprint string) (int, error) {
 		if err := dec.Decode(&rec); err != nil {
 			break // EOF or torn tail, same as Load
 		}
-		if rec.Fingerprint == fingerprint {
+		if fingerprints[rec.Fingerprint] {
 			n++
 		}
 	}
 	return n, nil
+}
+
+// Count reports how many journal records carry the fingerprint — the
+// cheap existence probe CLI validation uses. Like CountAny it never
+// decodes the partials themselves, so probing a journal of thousands of
+// injections per shard costs only a token scan.
+func Count(path, fingerprint string) (int, error) {
+	return CountAny(path, map[string]bool{fingerprint: true})
 }

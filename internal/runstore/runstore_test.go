@@ -65,6 +65,75 @@ func TestJournalRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLoadAllNamespacesCampaigns pins the sweep journal contract: one
+// file holds many campaigns' shards, each group keyed by its fingerprint
+// and untouched by the others' records.
+func TestLoadAllNamespacesCampaigns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("fp-a", stubPartial(0, 0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("fp-b", stubPartial(0, 0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("fp-a", stubPartial(1, 3, 6)); err != nil {
+		t.Fatal(err)
+	}
+	// A re-journaled duplicate: last record wins within its namespace.
+	if err := st.Append("fp-b", stubPartial(0, 0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	all, err := LoadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("LoadAll found %d campaigns, want 2", len(all))
+	}
+	if len(all["fp-a"]) != 2 || len(all["fp-b"]) != 1 {
+		t.Fatalf("LoadAll grouped %d/%d shards, want 2/1", len(all["fp-a"]), len(all["fp-b"]))
+	}
+	if p := all["fp-a"][1]; p == nil || p.Start != 3 || p.End != 6 {
+		t.Fatalf("fp-a shard 1 loaded as %+v", all["fp-a"][1])
+	}
+	if p := all["fp-b"][0]; p == nil || p.End != 5 {
+		t.Fatalf("fp-b shard 0 loaded as %+v", all["fp-b"][0])
+	}
+	// LoadAll must agree with per-fingerprint Load.
+	only, err := Load(path, "fp-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only) != len(all["fp-a"]) {
+		t.Fatalf("Load and LoadAll disagree: %d vs %d shards", len(only), len(all["fp-a"]))
+	}
+
+	if n, err := CountAny(path, map[string]bool{"fp-b": true, "fp-z": true}); err != nil || n != 2 {
+		t.Fatalf("CountAny = %d, %v; want 2", n, err)
+	}
+	if n, err := CountAny(path, map[string]bool{"fp-z": true}); err != nil || n != 0 {
+		t.Fatalf("CountAny(fp-z) = %d, %v; want 0", n, err)
+	}
+}
+
+func TestLoadAllMissingFileIsEmpty(t *testing.T) {
+	got, err := LoadAll(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("missing journal loaded %d campaigns", len(got))
+	}
+}
+
 func TestLoadMissingFileIsEmpty(t *testing.T) {
 	got, err := Load(filepath.Join(t.TempDir(), "absent.jsonl"), "fp")
 	if err != nil {

@@ -104,18 +104,70 @@ func ExecuteOn(b *Built, sp Spec) (*Partial, error) {
 	}, nil
 }
 
+// cacheKey identifies one executed shard: the campaign it belongs to and
+// the plan range it covered. The shard index is deliberately absent — a
+// range re-planned under a different shard count is a different key, but
+// the same range under the same fingerprint always computes the same
+// partial.
+type cacheKey struct {
+	fp         string
+	start, end int
+}
+
+// maxCachedCampaigns bounds the executor's per-campaign memory: a
+// worker draining a long sweep would otherwise retain every campaign's
+// golden run and every computed partial for the whole process lifetime.
+// Eviction is least-recently-used by campaign; an evicted campaign that
+// comes back is rebuilt and re-simulated — always correct, just slower,
+// and the coordinator's affinity scheduling makes it rare.
+const maxCachedCampaigns = 4
+
 // Executor executes shards on the local process, building each distinct
 // campaign (golden run, checkpoints, plan) at most once and reusing it
 // across all of that campaign's shards — the worker-process analogue of
-// the per-goroutine engine reuse inside a campaign.
+// the per-goroutine engine reuse inside a campaign. It also memoizes
+// every computed partial by (fingerprint, range): a shard whose lease
+// expired while this worker was still computing it gets re-issued, and
+// if it comes back to the same worker (common under golden-run-affinity
+// scheduling) the finished result is served from cache instead of
+// re-simulated. Execution is deterministic, so a cached partial is
+// bit-identical to a fresh one. Both caches hold at most
+// maxCachedCampaigns campaigns, least-recently-used first out.
 type Executor struct {
-	mu    sync.Mutex
-	built map[string]*Built
+	mu      sync.Mutex
+	built   map[string]*Built
+	results map[cacheKey]*Partial
+	recent  []string // campaign fingerprints, most recent first
+	hits    uint64
 }
 
 // NewExecutor returns an empty executor.
 func NewExecutor() *Executor {
-	return &Executor{built: map[string]*Built{}}
+	return &Executor{built: map[string]*Built{}, results: map[cacheKey]*Partial{}}
+}
+
+// touch marks a campaign most-recently-used and evicts the stalest
+// campaigns (their build and cached partials) beyond the cache bound.
+// Callers hold e.mu.
+func (e *Executor) touch(fp string) {
+	for i, got := range e.recent {
+		if got == fp {
+			copy(e.recent[1:i+1], e.recent[:i])
+			e.recent[0] = fp
+			return
+		}
+	}
+	e.recent = append([]string{fp}, e.recent...)
+	for len(e.recent) > maxCachedCampaigns {
+		evict := e.recent[len(e.recent)-1]
+		e.recent = e.recent[:len(e.recent)-1]
+		delete(e.built, evict)
+		for key := range e.results {
+			if key.fp == evict {
+				delete(e.results, key)
+			}
+		}
+	}
 }
 
 // Adopt seeds the cache with an externally built campaign, so a process
@@ -125,17 +177,25 @@ func (e *Executor) Adopt(b *Built) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.built[b.Fingerprint] = b
+	e.touch(b.Fingerprint)
 }
 
-// Execute runs one shard, building its campaign on first use. Execution
-// is serialized: a shard already fans out over all cores internally, so
-// concurrent Execute calls would only thrash.
+// Execute runs one shard, building its campaign on first use and serving
+// an already-computed (fingerprint, range) from the result cache.
+// Execution is serialized: a shard already fans out over all cores
+// internally, so concurrent Execute calls would only thrash.
 func (e *Executor) Execute(sp Spec) (*Partial, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	fp := sp.Campaign.Fingerprint()
 	if sp.Fingerprint != "" && sp.Fingerprint != fp {
 		return nil, fmt.Errorf("shard: spec fingerprint %.12s does not match its campaign spec %.12s", sp.Fingerprint, fp)
+	}
+	key := cacheKey{fp: fp, start: sp.Start, end: sp.End}
+	if p, ok := e.results[key]; ok {
+		e.hits++
+		e.touch(fp)
+		return p, nil
 	}
 	b, ok := e.built[fp]
 	if !ok {
@@ -146,5 +206,19 @@ func (e *Executor) Execute(sp Spec) (*Partial, error) {
 		}
 		e.built[fp] = b
 	}
-	return ExecuteOn(b, sp)
+	p, err := ExecuteOn(b, sp)
+	if err != nil {
+		return nil, err
+	}
+	e.results[key] = p
+	e.touch(fp)
+	return p, nil
+}
+
+// CacheHits reports how many Execute calls were served from the result
+// cache instead of re-simulating.
+func (e *Executor) CacheHits() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits
 }

@@ -2,6 +2,19 @@ package shard
 
 import "flag"
 
+// CampaignFlagNames is the set of flag names CampaignFlags registers,
+// derived from a scratch registration so it can never drift from the
+// real one. CLIs that also register sweep flags use it to reject
+// command lines that set single-campaign flags under a sweep, where
+// they would be silently ignored.
+var CampaignFlagNames = func() map[string]bool {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	CampaignFlags(fs)
+	names := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { names[f.Name] = true })
+	return names
+}()
+
 // CampaignFlags registers the campaign-defining flags on fs and returns
 // a closure that materializes the validated CampaignSpec after parsing.
 // Every CLI that names a campaign (cmd/socfault, cmd/campaignd) goes

@@ -22,6 +22,10 @@ type Queue struct {
 	nextLease uint64
 	remaining int
 	doneCh    chan struct{}
+	// durSum/durN accumulate observed lease-grant-to-completion times of
+	// shards finished under a live lease — the ETA estimator's input.
+	durSum time.Duration
+	durN   int
 }
 
 type shardState uint8
@@ -32,20 +36,32 @@ const (
 	stateDone
 )
 
-// Lease is one worker's claim on one shard.
+// Lease is one worker's claim on one shard. TTL is the coordinator's
+// lease duration; a worker that expects its shard to outrun it keeps the
+// lease alive by calling Renew at some fraction of the TTL (campaignd
+// heartbeats at TTL/3), so a live shard is never redundantly re-issued
+// to idle workers.
 type Lease struct {
-	ID        string    `json:"id"`
-	Worker    string    `json:"worker"`
-	Spec      Spec      `json:"spec"`
-	ExpiresAt time.Time `json:"expires_at"`
+	ID        string        `json:"id"`
+	Worker    string        `json:"worker"`
+	Spec      Spec          `json:"spec"`
+	ExpiresAt time.Time     `json:"expires_at"`
+	TTL       time.Duration `json:"ttl_ns"`
+
+	granted time.Time // lease grant time, for shard-duration observation
 }
 
-// Progress is a point-in-time summary of the queue.
+// Progress is a point-in-time summary of the queue. AvgShardNS is the
+// mean observed lease-to-completion time of the shards finished so far
+// (0 until the first completion under a live lease) — the input for ETA
+// estimates, kept per-queue so sweeps never mix shard runtimes of
+// different campaigns.
 type Progress struct {
-	Total   int `json:"total"`
-	Done    int `json:"done"`
-	Leased  int `json:"leased"`
-	Pending int `json:"pending"`
+	Total      int   `json:"total"`
+	Done       int   `json:"done"`
+	Leased     int   `json:"leased"`
+	Pending    int   `json:"pending"`
+	AvgShardNS int64 `json:"avg_shard_ns,omitempty"`
 }
 
 // NewQueue builds a queue over a planned shard set. ttl is how long a
@@ -104,6 +120,8 @@ func (q *Queue) Lease(worker string, now time.Time) (*Lease, bool) {
 			Worker:    worker,
 			Spec:      q.specs[i],
 			ExpiresAt: now.Add(q.ttl),
+			TTL:       q.ttl,
+			granted:   now,
 		}
 		q.state[i] = stateLeased
 		q.leases[l.ID] = l
@@ -138,8 +156,30 @@ func (q *Queue) Complete(leaseID string, p *Partial, now time.Time) error {
 	if q.state[p.Index] == stateDone {
 		return fmt.Errorf("shard: shard %d already completed elsewhere", p.Index)
 	}
+	if l, ok := q.leases[leaseID]; ok {
+		q.durSum += now.Sub(l.granted)
+		q.durN++
+	}
 	q.complete(p.Index, p)
 	return nil
+}
+
+// Renew extends a live lease's deadline by a full TTL — the heartbeat a
+// worker sends while a long shard is still executing, so the shard is
+// not redundantly re-issued to idle workers when its runtime exceeds
+// the configured lease duration. Renewing an unknown or already-expired
+// lease fails; the worker just stops heartbeating and relies on the
+// late-completion acceptance in Complete.
+func (q *Queue) Renew(leaseID string, now time.Time) (time.Time, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expire(now)
+	l, ok := q.leases[leaseID]
+	if !ok {
+		return time.Time{}, fmt.Errorf("shard: lease %q unknown or expired", leaseID)
+	}
+	l.ExpiresAt = now.Add(q.ttl)
+	return l.ExpiresAt, nil
 }
 
 // complete transitions a shard to done. Callers hold q.mu.
@@ -213,6 +253,9 @@ func (q *Queue) Progress(now time.Time) Progress {
 		default:
 			p.Pending++
 		}
+	}
+	if q.durN > 0 {
+		p.AvgShardNS = int64(q.durSum) / int64(q.durN)
 	}
 	return p
 }

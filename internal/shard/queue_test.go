@@ -152,6 +152,71 @@ func TestQueueMarkDoneFromJournal(t *testing.T) {
 	}
 }
 
+// TestQueueRenewKeepsLiveShardLeased pins the heartbeat satellite: a
+// renewed lease outlives the configured TTL, so a live shard that
+// outruns -lease is never redundantly re-issued to an idle worker —
+// while a worker that stops heartbeating still loses its lease.
+func TestQueueRenewKeepsLiveShardLeased(t *testing.T) {
+	specs := queueSpecs(t)
+	q := NewQueue(specs[:1], 10*time.Second)
+	now := time.Unix(1000, 0)
+	l, ok := q.Lease("w1", now)
+	if !ok {
+		t.Fatal("initial lease refused")
+	}
+	if l.TTL != 10*time.Second {
+		t.Fatalf("lease carries TTL %v, want 10s", l.TTL)
+	}
+	// Heartbeat every 4s for 40s: far past the original deadline, the
+	// shard must stay leased.
+	for i := 1; i <= 10; i++ {
+		at := now.Add(time.Duration(i) * 4 * time.Second)
+		exp, err := q.Renew(l.ID, at)
+		if err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+		if want := at.Add(10 * time.Second); !exp.Equal(want) {
+			t.Fatalf("renew %d extended to %v, want %v", i, exp, want)
+		}
+		if _, ok := q.Lease("idle", at); ok {
+			t.Fatalf("renewed shard re-issued at +%v", at.Sub(now))
+		}
+	}
+	// Stop heartbeating: one TTL later the shard is re-issued, and
+	// renewing the stale lease fails.
+	late := now.Add(51 * time.Second)
+	if _, ok := q.Lease("w2", late); !ok {
+		t.Fatal("unrenewed shard not re-issued after TTL")
+	}
+	if _, err := q.Renew(l.ID, late); err == nil {
+		t.Fatal("renewing an expired lease succeeded")
+	}
+	// The slow original worker's completion is still accepted.
+	if err := q.Complete(l.ID, fakePartial(l.Spec), late); err != nil {
+		t.Fatalf("late completion rejected after failed renew: %v", err)
+	}
+}
+
+// TestQueueObservesShardDurations pins the ETA input: Progress reports
+// the mean lease-to-completion time of finished shards.
+func TestQueueObservesShardDurations(t *testing.T) {
+	specs := queueSpecs(t)
+	q := NewQueue(specs, time.Minute)
+	now := time.Unix(1000, 0)
+	l1, _ := q.Lease("w", now)
+	if err := q.Complete(l1.ID, fakePartial(l1.Spec), now.Add(10*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := q.Lease("w", now.Add(10*time.Second))
+	if err := q.Complete(l2.ID, fakePartial(l2.Spec), now.Add(30*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	pr := q.Progress(now.Add(30 * time.Second))
+	if want := int64(15 * time.Second); pr.AvgShardNS != want {
+		t.Fatalf("avg shard duration %v, want %v", time.Duration(pr.AvgShardNS), time.Duration(want))
+	}
+}
+
 // TestQueueAllFromJournal pins the restart fast path: a journal that
 // already covers every shard completes the queue with no worker at all.
 func TestQueueAllFromJournal(t *testing.T) {

@@ -119,6 +119,99 @@ func TestExecutorReusesBuiltCampaign(t *testing.T) {
 	}
 }
 
+// TestExecutorResultCache pins the requeued-shard satellite: a shard the
+// worker already finished is served from the (fingerprint, range) cache
+// instead of re-simulated, and the cached partial is the same object the
+// first execution produced.
+func TestExecutorResultCache(t *testing.T) {
+	cs := testSpec("EventSim", 0.05)
+	b := mustBuild(t, cs)
+	specs, err := Plan(cs, 2, len(b.Jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor()
+	ex.Adopt(b)
+	first, err := ex.Execute(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.CacheHits() != 0 {
+		t.Fatalf("cache hit before any repeat: %d", ex.CacheHits())
+	}
+	again, err := ex.Execute(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.CacheHits() != 1 {
+		t.Fatalf("repeat execution recorded %d cache hits, want 1", ex.CacheHits())
+	}
+	if again != first {
+		t.Fatal("repeat execution did not return the cached partial")
+	}
+	// A different range of the same campaign is a miss.
+	if _, err := ex.Execute(specs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if ex.CacheHits() != 1 {
+		t.Fatalf("distinct range counted as a cache hit: %d", ex.CacheHits())
+	}
+}
+
+// TestExecutorEvictsStaleCampaigns pins the cache bound: an executor
+// draining a long sweep keeps at most maxCachedCampaigns campaigns'
+// builds and partials, evicting least-recently-used first.
+func TestExecutorEvictsStaleCampaigns(t *testing.T) {
+	ex := NewExecutor()
+	var specs []CampaignSpec
+	for i := 0; i < maxCachedCampaigns+2; i++ {
+		cs := testSpec("EventSim", 0.05)
+		cs.Seed = uint64(100 + i)
+		specs = append(specs, cs)
+		// Fake builds: the eviction policy never looks inside them.
+		ex.Adopt(&Built{Spec: cs, Fingerprint: cs.Fingerprint()})
+	}
+	if len(ex.built) != maxCachedCampaigns {
+		t.Fatalf("executor caches %d campaigns, want at most %d", len(ex.built), maxCachedCampaigns)
+	}
+	// The oldest two are gone, the newest still cached.
+	if _, ok := ex.built[specs[0].Fingerprint()]; ok {
+		t.Fatal("least-recently-used campaign not evicted")
+	}
+	if _, ok := ex.built[specs[len(specs)-1].Fingerprint()]; !ok {
+		t.Fatal("most-recent campaign evicted")
+	}
+	// Re-adopting an evicted campaign makes it most-recent again.
+	ex.Adopt(&Built{Spec: specs[0], Fingerprint: specs[0].Fingerprint()})
+	if _, ok := ex.built[specs[0].Fingerprint()]; !ok {
+		t.Fatal("re-adopted campaign not cached")
+	}
+}
+
+// TestPlanAtMostClampsToTinyCampaigns pins the sweep-planning behaviour:
+// a campaign smaller than the requested shard count degrades to one
+// shard per injection instead of failing.
+func TestPlanAtMostClampsToTinyCampaigns(t *testing.T) {
+	cs := testSpec("EventSim", 0.05)
+	specs, err := PlanAtMost(cs, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("clamped plan has %d shards, want 3", len(specs))
+	}
+	if specs[2].End != 3 {
+		t.Fatalf("clamped plan covers %d jobs, want 3", specs[2].End)
+	}
+	specs, err = PlanAtMost(cs, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("unclamped plan has %d shards, want 2", len(specs))
+	}
+}
+
 func TestPlanValidation(t *testing.T) {
 	cs := testSpec("EventSim", 0.05)
 	if _, err := Plan(cs, 0, 10); err == nil {

@@ -207,3 +207,14 @@ func Plan(cs CampaignSpec, numShards, totalJobs int) ([]Spec, error) {
 	}
 	return specs, nil
 }
+
+// PlanAtMost is Plan with the shard count clamped to the plan size — the
+// right call for a sweep, where one -shards knob covers campaigns of very
+// different sample volumes and a tiny campaign should degrade to fewer
+// (larger) shards instead of failing the whole grid.
+func PlanAtMost(cs CampaignSpec, numShards, totalJobs int) ([]Spec, error) {
+	if numShards > totalJobs {
+		numShards = totalJobs
+	}
+	return Plan(cs, numShards, totalJobs)
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/inject"
 	"repro/internal/mlmetrics"
+	"repro/internal/netlist"
 	"repro/internal/riscv"
 	"repro/internal/sim"
 	"repro/internal/socgen"
@@ -71,6 +72,36 @@ type TableIRow struct {
 	SETXsect, SEUXsect float64 // cm²
 }
 
+// TableIRowFrom assembles one Table I row from a benchmark's campaign
+// result. It is the single row-assembly point shared by the in-process
+// TableI driver and the sweep aggregation path (TableIFromResults), so a
+// campaign distributed over a worker fleet renders bit-identically to one
+// run in this process.
+func TableIRowFrom(cfg socgen.Config, r *inject.Result) TableIRow {
+	row := TableIRow{
+		Index:    cfg.Index,
+		MemType:  cfg.MemType,
+		MemKB:    cfg.MemKB,
+		BusType:  cfg.BusType,
+		BusBits:  cfg.BusBits,
+		ISA:      cfg.ISA,
+		Cores:    cfg.Cores,
+		Clusters: len(r.Clusters),
+		SETXsect: r.SETXsect,
+		SEUXsect: r.SEUXsect,
+	}
+	if m := r.Modules["Memory"]; m != nil {
+		row.MemSER = m.SERPercent
+	}
+	if m := r.Modules["Bus"]; m != nil {
+		row.BusSER = m.SERPercent
+	}
+	if m := r.Modules["CPU Logic"]; m != nil {
+		row.CPUSER = m.SERPercent
+	}
+	return row
+}
+
 // TableI runs the soft-error analysis campaign on all ten benchmarks and
 // returns the module SER rows of Table I.
 func TableI(ec ExperimentConfig) ([]TableIRow, error) {
@@ -80,29 +111,26 @@ func TableI(ec ExperimentConfig) ([]TableIRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ssresf: Table I SoC%d: %v", cfg.Index, err)
 		}
-		r := run.Result
-		row := TableIRow{
-			Index:    cfg.Index,
-			MemType:  cfg.MemType,
-			MemKB:    cfg.MemKB,
-			BusType:  cfg.BusType,
-			BusBits:  cfg.BusBits,
-			ISA:      cfg.ISA,
-			Cores:    cfg.Cores,
-			Clusters: len(r.Clusters),
-			SETXsect: r.SETXsect,
-			SEUXsect: r.SEUXsect,
+		rows = append(rows, TableIRowFrom(cfg, run.Result))
+	}
+	return rows, nil
+}
+
+// TableIFromResults assembles Table I from already-executed campaign
+// results keyed by benchmark index — the aggregation half of a Table I
+// sweep, where the campaigns themselves ran sharded (locally or on a
+// campaignd worker fleet) and merged bit-identically to the in-process
+// runs. Every benchmark with a result gets a row, in benchmark order; a
+// missing benchmark is an error because a partially-aggregated Table I
+// silently misrepresents the paper's grid.
+func TableIFromResults(results map[int]*inject.Result) ([]TableIRow, error) {
+	var rows []TableIRow
+	for _, cfg := range socgen.TableIConfigs() {
+		r, ok := results[cfg.Index]
+		if !ok || r == nil {
+			return nil, fmt.Errorf("ssresf: Table I aggregation missing SoC%d's campaign result", cfg.Index)
 		}
-		if m := r.Modules["Memory"]; m != nil {
-			row.MemSER = m.SERPercent
-		}
-		if m := r.Modules["Bus"]; m != nil {
-			row.BusSER = m.SERPercent
-		}
-		if m := r.Modules["CPU Logic"]; m != nil {
-			row.CPUSER = m.SERPercent
-		}
-		rows = append(rows, row)
+		rows = append(rows, TableIRowFrom(cfg, r))
 	}
 	return rows, nil
 }
@@ -205,6 +233,27 @@ type TableIIIRow struct {
 	Accuracy    float64 // SVM labels vs this flux's simulation labels
 }
 
+// TableIIIFluxes are the particle fluxes Table III compares across.
+var TableIIIFluxes = []float64{4e8, 5e8, 6e8, 7e8, 8e8}
+
+// TableIIIFluxOptions derives the campaign options Table III runs at one
+// flux condition: the SoC1 base options with the flux applied, the sample
+// volume scaled with it (higher flux means more upsets to simulate,
+// clamped at full sampling) and a per-flux seed. The engine is left at
+// the base value; Table III runs each condition once per engine. Shared
+// by the in-process TableIII driver and the sweep grid enumeration, so
+// both paths name bit-identical campaigns.
+func (ec ExperimentConfig) TableIIIFluxOptions(flux float64) inject.Options {
+	opts := ec.OptionsFor(1)
+	opts.Flux = flux
+	opts.SampleFrac = opts.SampleFrac * flux / 5e8
+	if opts.SampleFrac > 1 {
+		opts.SampleFrac = 1
+	}
+	opts.Seed = ec.OptionsFor(1).Seed + uint64(flux/1e8)
+	return opts
+}
+
 // TableIII reproduces the runtime comparison on PULP SoC1: for every flux,
 // a full fault-injection campaign runs on both engines (the sample volume
 // scales with flux, as higher flux means more upsets to simulate), and the
@@ -212,15 +261,14 @@ type TableIIIRow struct {
 // the time.
 func TableIII(ec ExperimentConfig, fluxes []float64) ([]TableIIIRow, TableIIIRow, error) {
 	if len(fluxes) == 0 {
-		fluxes = []float64{4e8, 5e8, 6e8, 7e8, 8e8}
+		fluxes = TableIIIFluxes
 	}
 	cfg, err := socgen.ConfigByIndex(1)
 	if err != nil {
 		return nil, TableIIIRow{}, err
 	}
 	// Train the classifier once on the base campaign.
-	baseOpts := ec.OptionsFor(1)
-	an, err := AnalyzeSoC(cfg, ec.Workload, ec.DB, baseOpts)
+	an, err := AnalyzeSoC(cfg, ec.Workload, ec.DB, ec.OptionsFor(1))
 	if err != nil {
 		return nil, TableIIIRow{}, err
 	}
@@ -229,17 +277,10 @@ func TableIII(ec ExperimentConfig, fluxes []float64) ([]TableIIIRow, TableIIIRow
 		return nil, TableIIIRow{}, err
 	}
 
-	var rows []TableIIIRow
-	var avg TableIIIRow
+	ev := map[float64]*inject.Result{}
+	lv := map[float64]*inject.Result{}
 	for _, flux := range fluxes {
-		opts := baseOpts
-		opts.Flux = flux
-		opts.SampleFrac = baseOpts.SampleFrac * flux / 5e8
-		if opts.SampleFrac > 1 {
-			opts.SampleFrac = 1
-		}
-		opts.Seed = baseOpts.Seed + uint64(flux/1e8)
-
+		opts := ec.TableIIIFluxOptions(flux)
 		opts.Engine = sim.KindEvent
 		evRun, err := inject.RunSoC(cfg, ec.Workload, ec.DB, opts)
 		if err != nil {
@@ -250,17 +291,34 @@ func TableIII(ec ExperimentConfig, fluxes []float64) ([]TableIIIRow, TableIIIRow
 		if err != nil {
 			return nil, TableIIIRow{}, err
 		}
+		ev[flux], lv[flux] = evRun.Result, lvRun.Result
+	}
+	return tableIIIRows(cls, an.Run.Flat, fluxes, ev, lv)
+}
 
-		pred, predTime, err := cls.Predict(evRun.Flat)
+// tableIIIRows is the shared assembly of Table III: predict once per flux
+// on the design's flat netlist, pair the prediction time against both
+// engines' campaign runtimes, and average. flat is the SoC1 netlist —
+// generation is deterministic, so any process's copy is identical.
+func tableIIIRows(cls *Classifier, flat *netlist.Flat, fluxes []float64, ev, lv map[float64]*inject.Result) ([]TableIIIRow, TableIIIRow, error) {
+	var rows []TableIIIRow
+	var avg TableIIIRow
+	for _, flux := range fluxes {
+		evRes, lvRes := ev[flux], lv[flux]
+		if evRes == nil || lvRes == nil {
+			return nil, TableIIIRow{}, fmt.Errorf("ssresf: Table III aggregation missing flux %g's %s campaign",
+				flux, map[bool]string{true: "EventSim", false: "LevelSim"}[evRes == nil])
+		}
+		pred, predTime, err := cls.Predict(flat)
 		if err != nil {
 			return nil, TableIIIRow{}, err
 		}
 		row := TableIIIRow{
 			Flux:        flux,
-			VCSRuntime:  evRun.Result.GoldenWall + evRun.Result.InjectWall,
-			CVCRuntime:  lvRun.Result.GoldenWall + lvRun.Result.InjectWall,
+			VCSRuntime:  evRes.GoldenWall + evRes.InjectWall,
+			CVCRuntime:  lvRes.GoldenWall + lvRes.InjectWall,
 			PredictTime: predTime,
-			Accuracy:    outcomeAccuracy(evRun.Result.Injections, pred),
+			Accuracy:    outcomeAccuracy(evRes.Injections, pred),
 		}
 		if predTime > 0 {
 			row.SpeedupVCS = float64(row.VCSRuntime) / float64(predTime)
@@ -282,6 +340,44 @@ func TableIII(ec ExperimentConfig, fluxes []float64) ([]TableIIIRow, TableIIIRow
 	avg.SpeedupCVC /= float64(len(rows))
 	avg.Accuracy /= float64(len(rows))
 	return rows, avg, nil
+}
+
+// TableIIIFromResults assembles Table III from already-executed campaign
+// results: the SoC1 base campaign (classifier training data) plus one
+// EventSim and one LevelSim result per flux, all typically merged from a
+// sweep. The ML phase — dataset build, training, prediction — runs in
+// this process on the deterministic SoC1 netlist, exactly as the
+// in-process TableIII does, so the deterministic columns (accuracy)
+// match it bit for bit; the runtime columns are wall-clock by nature and
+// reflect wherever the campaigns actually ran.
+func TableIIIFromResults(ec ExperimentConfig, fluxes []float64, base *inject.Result, ev, lv map[float64]*inject.Result) ([]TableIIIRow, TableIIIRow, error) {
+	if len(fluxes) == 0 {
+		fluxes = TableIIIFluxes
+	}
+	if base == nil {
+		return nil, TableIIIRow{}, fmt.Errorf("ssresf: Table III aggregation missing the base training campaign")
+	}
+	cfg, err := socgen.ConfigByIndex(1)
+	if err != nil {
+		return nil, TableIIIRow{}, err
+	}
+	d, err := socgen.Generate(cfg)
+	if err != nil {
+		return nil, TableIIIRow{}, err
+	}
+	flat, err := netlist.Flatten(d)
+	if err != nil {
+		return nil, TableIIIRow{}, err
+	}
+	ds, err := BuildDataset(flat, base)
+	if err != nil {
+		return nil, TableIIIRow{}, err
+	}
+	cls, err := Train(ds, ec.Train)
+	if err != nil {
+		return nil, TableIIIRow{}, err
+	}
+	return tableIIIRows(cls, flat, fluxes, ev, lv)
 }
 
 // outcomeAccuracy scores the model against the flux campaign's observed

@@ -41,22 +41,47 @@ func LETSweep(ec ExperimentConfig, socIdx int, lets []float64) ([]LETPoint, erro
 		if err != nil {
 			return nil, fmt.Errorf("ssresf: LET sweep %g: %v", let, err)
 		}
-		p := LETPoint{
-			LET:      let,
-			ChipSER:  run.Result.ChipSER,
-			SEUXsect: run.Result.SEUXsect,
-			SETXsect: run.Result.SETXsect,
+		pts = append(pts, LETPointFrom(let, run.Result))
+	}
+	return pts, nil
+}
+
+// LETPointFrom assembles one sweep point from a campaign result — the
+// single extraction point shared by the in-process LETSweep driver and
+// the sweep aggregation path (LETSweepFromResults).
+func LETPointFrom(let float64, r *inject.Result) LETPoint {
+	p := LETPoint{
+		LET:      let,
+		ChipSER:  r.ChipSER,
+		SEUXsect: r.SEUXsect,
+		SETXsect: r.SETXsect,
+	}
+	if m := r.Modules["Memory"]; m != nil {
+		p.MemSER = m.SERPercent
+	}
+	if m := r.Modules["Bus"]; m != nil {
+		p.BusSER = m.SERPercent
+	}
+	if m := r.Modules["CPU Logic"]; m != nil {
+		p.CPUSER = m.SERPercent
+	}
+	return p
+}
+
+// LETSweepFromResults assembles the sweep from already-executed campaign
+// results keyed by LET — the aggregation half of a distributed LET sweep.
+// Points come out in the order of lets; a missing LET is an error.
+func LETSweepFromResults(lets []float64, results map[float64]*inject.Result) ([]LETPoint, error) {
+	if len(lets) == 0 {
+		lets = fault.StandardLETs
+	}
+	var pts []LETPoint
+	for _, let := range lets {
+		r, ok := results[let]
+		if !ok || r == nil {
+			return nil, fmt.Errorf("ssresf: LET sweep aggregation missing LET %g's campaign result", let)
 		}
-		if m := run.Result.Modules["Memory"]; m != nil {
-			p.MemSER = m.SERPercent
-		}
-		if m := run.Result.Modules["Bus"]; m != nil {
-			p.BusSER = m.SERPercent
-		}
-		if m := run.Result.Modules["CPU Logic"]; m != nil {
-			p.CPUSER = m.SERPercent
-		}
-		pts = append(pts, p)
+		pts = append(pts, LETPointFrom(let, r))
 	}
 	return pts, nil
 }

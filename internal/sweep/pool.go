@@ -1,0 +1,322 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// Pool is the cross-campaign scheduler: every member campaign's shards
+// feed one lease pool, so a worker fleet drains a whole experiment grid
+// through a single lease/complete loop. Like shard.Queue it is pure
+// bookkeeping — deterministic under test, clock passed in — and it
+// layers three sweep concerns on top of the per-campaign queues:
+//
+//   - Incremental opening. Planning a campaign's shards requires building
+//     it (netlist, golden run, plan), which for a ten-benchmark grid is
+//     minutes of coordinator work. Campaigns therefore open one by one as
+//     their plans become available, and workers start on the first
+//     campaign while later ones are still building.
+//
+//   - Golden-run-affinity ordering. A worker that just executed a shard
+//     of campaign C has C built and cached (golden run, checkpoints,
+//     plan); the pool keeps handing it C's shards while any are pending
+//     and only then switches it to another campaign — the one with the
+//     fewest active workers, so a fleet spreads over the grid instead of
+//     convoying. Affinity is a scheduling preference, never a
+//     correctness matter: any lease order merges bit-identically.
+//
+//   - Per-campaign completion. The moment a campaign's last shard lands
+//     the pool signals it on Completed(), so the coordinator merges and
+//     releases that campaign without waiting for the rest of the grid.
+type Pool struct {
+	mu        sync.Mutex
+	name      string
+	sweepFP   string
+	items     []Item
+	fps       []string
+	byFP      map[string]int
+	ttl       time.Duration
+	queues    []*shard.Queue // nil until opened
+	completed []bool
+	doneCount int
+	affinity  map[string]int // worker -> campaign index of its last lease
+	compCh    chan int
+	doneCh    chan struct{}
+}
+
+// NewPool builds an empty pool over a validated sweep; campaigns become
+// leasable as Open is called for each.
+func NewPool(ss SweepSpec, ttl time.Duration) (*Pool, error) {
+	if err := ss.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pool{
+		name:      ss.Name,
+		sweepFP:   ss.Fingerprint(),
+		items:     ss.Items,
+		fps:       make([]string, len(ss.Items)),
+		byFP:      make(map[string]int, len(ss.Items)),
+		ttl:       ttl,
+		queues:    make([]*shard.Queue, len(ss.Items)),
+		completed: make([]bool, len(ss.Items)),
+		affinity:  map[string]int{},
+		compCh:    make(chan int, len(ss.Items)),
+		doneCh:    make(chan struct{}),
+	}
+	for i, it := range ss.Items {
+		p.fps[i] = it.Campaign.Fingerprint()
+		p.byFP[p.fps[i]] = i
+	}
+	return p, nil
+}
+
+// Open makes campaign idx leasable under the given shard plan, first
+// restoring any journaled shards — atomically, so no worker can lease a
+// journaled shard in between (which would re-simulate work the journal
+// already holds). journaled may carry entries from any prior shard plan;
+// only those covering a planned shard exactly are restored (keyed by
+// shard index), the rest simply run again. It returns how many were
+// restored; a campaign fully covered by its journal completes here
+// without ever leasing. Every spec must belong to the item's campaign;
+// opening twice is an error.
+func (p *Pool) Open(idx int, specs []shard.Spec, journaled map[int]*shard.Partial) (restored int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if idx < 0 || idx >= len(p.items) {
+		return 0, fmt.Errorf("sweep: no campaign with index %d", idx)
+	}
+	if p.queues[idx] != nil {
+		return 0, fmt.Errorf("sweep: campaign %q opened twice", p.items[idx].Key)
+	}
+	if len(specs) == 0 {
+		return 0, fmt.Errorf("sweep: campaign %q opened with no shards", p.items[idx].Key)
+	}
+	for _, sp := range specs {
+		if sp.Fingerprint != p.fps[idx] {
+			return 0, fmt.Errorf("sweep: shard %d carries fingerprint %.12s, campaign %q is %.12s",
+				sp.Index, sp.Fingerprint, p.items[idx].Key, p.fps[idx])
+		}
+	}
+	q := shard.NewQueue(specs, p.ttl)
+	for _, sp := range specs {
+		if partial, ok := journaled[sp.Index]; ok && partial.Covers(sp) {
+			if err := q.MarkDone(partial); err != nil {
+				return restored, err
+			}
+			restored++
+		}
+	}
+	p.queues[idx] = q
+	p.notifyIfDone(idx)
+	return restored, nil
+}
+
+// Lease claims a shard for a worker: first from the campaign the worker
+// last leased from (its golden run is warm there), then from the open
+// campaign with pending work and the fewest active leases — ties to
+// sweep order. ok is false when nothing is pending anywhere, which
+// means the sweep is done (Done reports true), every remaining shard is
+// leased out, or the remaining campaigns have not opened yet; in the
+// latter two cases the worker polls again.
+func (p *Pool) Lease(worker string, now time.Time) (*shard.Lease, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if idx, ok := p.affinity[worker]; ok && p.queues[idx] != nil && !p.completed[idx] {
+		if l, ok := p.queues[idx].Lease(worker, now); ok {
+			return l, true
+		}
+	}
+	// Load counts both active leases and workers whose last lease was on
+	// the campaign: a worker between leases is invisible to the lease
+	// count but — thanks to affinity — about to come back, and a fresh
+	// worker should spread to a campaign nobody is attached to.
+	attached := make(map[int]int, len(p.affinity))
+	for w, idx := range p.affinity {
+		if w != worker && !p.completed[idx] {
+			attached[idx]++
+		}
+	}
+	best, bestLoad := -1, 0
+	for i, q := range p.queues {
+		if q == nil || p.completed[i] {
+			continue
+		}
+		pr := q.Progress(now)
+		if pr.Pending == 0 {
+			continue
+		}
+		load := pr.Leased + attached[i]
+		if best == -1 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	if best == -1 {
+		return nil, false
+	}
+	l, ok := p.queues[best].Lease(worker, now)
+	if !ok {
+		// Progress said pending; Lease disagreeing means a race we don't
+		// have (single lock) — be defensive anyway.
+		return nil, false
+	}
+	p.affinity[worker] = best
+	return l, true
+}
+
+// Complete resolves a lease with its shard's partial result, routed by
+// campaign fingerprint (lease IDs of expired leases are forgotten, so
+// the fingerprint — which the worker knows from the shard spec — is the
+// durable routing key). Late completions are accepted per shard.Queue.
+func (p *Pool) Complete(fingerprint, leaseID string, partial *shard.Partial, now time.Time) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, ok := p.byFP[fingerprint]
+	if !ok {
+		return fmt.Errorf("sweep: completion names unknown campaign %.12s", fingerprint)
+	}
+	q, err := p.openQueue(idx)
+	if err != nil {
+		return err
+	}
+	if err := q.Complete(leaseID, partial, now); err != nil {
+		return err
+	}
+	p.notifyIfDone(idx)
+	return nil
+}
+
+// Renew extends a live lease, routed like Complete.
+func (p *Pool) Renew(fingerprint, leaseID string, now time.Time) (time.Time, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, ok := p.byFP[fingerprint]
+	if !ok {
+		return time.Time{}, fmt.Errorf("sweep: renewal names unknown campaign %.12s", fingerprint)
+	}
+	q, err := p.openQueue(idx)
+	if err != nil {
+		return time.Time{}, err
+	}
+	return q.Renew(leaseID, now)
+}
+
+// Partials returns a completed campaign's shard results for merging.
+func (p *Pool) Partials(idx int) []*shard.Partial {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if idx < 0 || idx >= len(p.queues) || p.queues[idx] == nil {
+		return nil
+	}
+	return p.queues[idx].Partials()
+}
+
+// Completed delivers the index of each campaign whose last shard has
+// landed, exactly once per campaign, in completion order. The channel
+// is buffered for the whole grid, so the pool never blocks on it.
+func (p *Pool) Completed() <-chan int { return p.compCh }
+
+// Done reports whether every campaign of the sweep has completed.
+func (p *Pool) Done() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.doneCount == len(p.items)
+}
+
+// WaitDone returns a channel closed once the whole sweep has completed.
+func (p *Pool) WaitDone() <-chan struct{} { return p.doneCh }
+
+// openQueue resolves an opened campaign's queue. Callers hold p.mu.
+func (p *Pool) openQueue(idx int) (*shard.Queue, error) {
+	if idx < 0 || idx >= len(p.items) {
+		return nil, fmt.Errorf("sweep: no campaign with index %d", idx)
+	}
+	if p.queues[idx] == nil {
+		return nil, fmt.Errorf("sweep: campaign %q not opened yet", p.items[idx].Key)
+	}
+	return p.queues[idx], nil
+}
+
+// notifyIfDone signals a campaign's completion exactly once and closes
+// the sweep door after the last one. Callers hold p.mu.
+func (p *Pool) notifyIfDone(idx int) {
+	if p.completed[idx] || !p.queues[idx].Done() {
+		return
+	}
+	p.completed[idx] = true
+	p.doneCount++
+	p.compCh <- idx
+	if p.doneCount == len(p.items) {
+		close(p.doneCh)
+	}
+}
+
+// CampaignProgress is one campaign's point-in-time summary. Counts and
+// the ETA cover this campaign's shards only — a sweep never mixes shard
+// statistics across fingerprints, because shard size and runtime differ
+// wildly between, say, SoC1 and SoC10.
+type CampaignProgress struct {
+	Key         string         `json:"key"`
+	Fingerprint string         `json:"fingerprint"`
+	SoC         int            `json:"soc"`
+	Engine      string         `json:"engine"`
+	LET         float64        `json:"let"`
+	Opened      bool           `json:"opened"`
+	Done        bool           `json:"done"`
+	Shards      shard.Progress `json:"shards"`
+	// ETANS estimates this campaign's remaining wall-clock: observed mean
+	// shard runtime x remaining shards, divided by the workers currently
+	// leasing from it. Zero until a first shard completes under a live
+	// lease.
+	ETANS int64 `json:"eta_ns,omitempty"`
+}
+
+// SweepProgress is the sweep-level summary: per-campaign blocks plus
+// grid-level campaign counts (never shard counts, which are not
+// comparable across campaigns).
+type SweepProgress struct {
+	Name           string             `json:"name"`
+	Fingerprint    string             `json:"fingerprint"`
+	CampaignsTotal int                `json:"campaigns_total"`
+	CampaignsDone  int                `json:"campaigns_done"`
+	Done           bool               `json:"done"`
+	Campaigns      []CampaignProgress `json:"campaigns"`
+}
+
+// Progress summarizes the pool after expiring stale leases.
+func (p *Pool) Progress(now time.Time) SweepProgress {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sp := SweepProgress{
+		Name:           p.name,
+		Fingerprint:    p.sweepFP,
+		CampaignsTotal: len(p.items),
+		CampaignsDone:  p.doneCount,
+		Done:           p.doneCount == len(p.items),
+	}
+	for i, it := range p.items {
+		cp := CampaignProgress{
+			Key:         it.Key,
+			Fingerprint: p.fps[i],
+			SoC:         it.Campaign.SoC,
+			Engine:      it.Campaign.Engine,
+			LET:         it.Campaign.LET,
+			Opened:      p.queues[i] != nil,
+			Done:        p.completed[i],
+		}
+		if q := p.queues[i]; q != nil {
+			cp.Shards = q.Progress(now)
+			if remaining := cp.Shards.Pending + cp.Shards.Leased; remaining > 0 && cp.Shards.AvgShardNS > 0 {
+				div := cp.Shards.Leased
+				if div < 1 {
+					div = 1
+				}
+				cp.ETANS = cp.Shards.AvgShardNS * int64(remaining) / int64(div)
+			}
+		}
+		sp.Campaigns = append(sp.Campaigns, cp)
+	}
+	return sp
+}
