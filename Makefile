@@ -39,9 +39,13 @@ bench-smoke:
 
 # sweep-smoke runs a tiny two-campaign sweep (SoC1 at two LETs) through
 # the campaignd coordinator with a live worker and asserts the rendered
-# sweep output is byte-identical to the in-process ssresf path.
+# sweep output is byte-identical to the in-process ssresf path — once
+# self-submitted via the -sweep flags, and once through the resource
+# API: an empty coordinator, the grid submitted over POST /v1/sweeps by
+# the typed capi client, results fetched and diffed against the local
+# `socfault -sweep` execution path.
 sweep-smoke:
-	$(GO) test ./cmd/campaignd -run '^TestSweepSmokeByteIdentical$$' -count=1 -v
+	$(GO) test ./cmd/campaignd -run '^(TestSweepSmokeByteIdentical|TestAPISubmitSmoke)$$' -count=1 -v
 
 # bench runs the full table/figure harness (minutes).
 bench:

@@ -13,12 +13,16 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/capi"
 	"repro/internal/inject"
 	"repro/internal/runstore"
 	"repro/internal/shard"
 	"repro/internal/ssresf"
 	"repro/internal/sweep"
 )
+
+// gridPtr adapts a grid value to serveOpts' optional self-submission.
+func gridPtr(g sweep.Grid) *sweep.Grid { return &g }
 
 // e2eSpec is the small SoC1 campaign the end-to-end test distributes.
 func e2eSpec() shard.CampaignSpec {
@@ -67,7 +71,7 @@ func leaseRaw(t *testing.T, url, worker string) *shard.Lease {
 // coordinator is unreachable or answered 204 (still planning, or all
 // shards leased out).
 func leaseOnce(url, worker string) (*shard.Lease, error) {
-	body, _ := json.Marshal(leaseRequest{Worker: worker})
+	body, _ := json.Marshal(capi.LeaseRequest{Worker: worker})
 	resp, err := http.Post(url+"/v1/lease", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return nil, nil
@@ -124,7 +128,7 @@ func TestServeWorkEndToEnd(t *testing.T) {
 	outPath := filepath.Join(dir, "result.json")
 	var serveOut bytes.Buffer
 	url, serveErr := startServe(t, serveOpts{
-		grid:     singleCampaignGrid(cs),
+		grid:     gridPtr(singleCampaignGrid(cs)),
 		single:   true,
 		shards:   5,
 		journal:  journal,
@@ -182,7 +186,7 @@ func TestServeWorkEndToEnd(t *testing.T) {
 	outPath2 := filepath.Join(dir, "result2.json")
 	var serveOut2 bytes.Buffer
 	_, serveErr2 := startServe(t, serveOpts{
-		grid:     singleCampaignGrid(cs),
+		grid:     gridPtr(singleCampaignGrid(cs)),
 		single:   true,
 		shards:   5,
 		journal:  journal,
@@ -291,7 +295,7 @@ func TestServeSweepEndToEnd(t *testing.T) {
 
 	var serveOut bytes.Buffer
 	url, serveErr := startServe(t, serveOpts{
-		grid:     grid,
+		grid:     &grid,
 		shards:   2,
 		journal:  journal,
 		leaseTTL: 600 * time.Millisecond,
@@ -363,7 +367,7 @@ func TestServeSweepEndToEnd(t *testing.T) {
 	outPath2 := filepath.Join(dir, "grid2.txt")
 	var serveOut2 bytes.Buffer
 	_, serveErr2 := startServe(t, serveOpts{
-		grid:     grid,
+		grid:     &grid,
 		shards:   2,
 		journal:  journal,
 		leaseTTL: 600 * time.Millisecond,
@@ -399,7 +403,7 @@ func TestSweepSmokeByteIdentical(t *testing.T) {
 	outPath := filepath.Join(t.TempDir(), "grid.txt")
 	var serveOut bytes.Buffer
 	url, serveErr := startServe(t, serveOpts{
-		grid:     grid,
+		grid:     &grid,
 		shards:   2,
 		leaseTTL: time.Minute,
 		linger:   time.Second,
@@ -454,7 +458,7 @@ func TestProgressEndpoint(t *testing.T) {
 	cs := e2eSpec()
 	var out bytes.Buffer
 	url, serveErr := startServe(t, serveOpts{
-		grid:     singleCampaignGrid(cs),
+		grid:     gridPtr(singleCampaignGrid(cs)),
 		single:   true,
 		shards:   2,
 		leaseTTL: time.Minute,
@@ -501,5 +505,348 @@ func TestProgressEndpoint(t *testing.T) {
 	}
 	if err := <-serveErr; err != nil {
 		t.Fatalf("serve: %v", err)
+	}
+}
+
+// quickLETParams is the declarative description the submit tests POST:
+// a 2-campaign LET grid on one benchmark, quick config — the same grid
+// sweepTestGrid builds per benchmark, so fingerprints line up with the
+// in-process reference.
+func quickLETParams(soc int) sweep.GridParams {
+	return sweep.GridParams{Kind: "let", SoC: soc, LETs: sweepTestLETs, Workload: "memcpy", Quick: true}
+}
+
+// fleetFingerprints collects a status' campaign fingerprint set.
+func fleetFingerprints(st capi.SweepStatus) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range st.Progress.Campaigns {
+		out[c.Fingerprint] = true
+	}
+	return out
+}
+
+// TestSubmitTwoSweepsEndToEnd is the resource-API acceptance gate: a
+// coordinator started with no sweep flags at all serves two grids
+// submitted concurrently over POST /v1/sweeps; a worker fleet drains
+// both through the shared lease surface; each sweep's progress never
+// mixes the other's campaigns; and each sweep's fetched results are
+// byte-identical to the same grid's local in-process run. Submission
+// idempotency and the pending-results refusal ride along.
+func TestSubmitTwoSweepsEndToEnd(t *testing.T) {
+	ec := ssresf.DefaultExperimentConfig(true)
+	wantA := inProcessLETReference(t, ec, []int{1})
+	wantB := inProcessLETReference(t, ec, []int{2})
+
+	var serveOut bytes.Buffer
+	url, serveErr := startServe(t, serveOpts{
+		shards:   2,
+		leaseTTL: time.Minute,
+		linger:   20 * time.Second,
+	}, &serveOut)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 8*time.Minute)
+	defer cancel()
+	client := capi.NewClient(url)
+
+	replyA, err := client.Submit(ctx, quickLETParams(1))
+	if err != nil {
+		t.Fatalf("submit A: %v", err)
+	}
+	if !replyA.Created || replyA.Campaigns != 2 {
+		t.Fatalf("submit A reply %+v, want created with 2 campaigns", replyA)
+	}
+	replyB, err := client.Submit(ctx, quickLETParams(2))
+	if err != nil {
+		t.Fatalf("submit B: %v", err)
+	}
+	if replyA.Fingerprint == replyB.Fingerprint {
+		t.Fatal("distinct grids share a sweep fingerprint")
+	}
+
+	// Idempotency: resubmitting a live grid returns the same resource.
+	again, err := client.Submit(ctx, quickLETParams(1))
+	if err != nil {
+		t.Fatalf("resubmit A: %v", err)
+	}
+	if again.Created || again.Fingerprint != replyA.Fingerprint {
+		t.Fatalf("resubmit reply %+v, want existing resource %.12s", again, replyA.Fingerprint)
+	}
+
+	// Results before completion must refuse with the pending code.
+	if _, err := client.Results(ctx, replyA.Fingerprint); err == nil {
+		t.Fatal("results of a running sweep fetched")
+	} else if ce, ok := err.(*capi.Error); !ok || ce.Code != capi.CodePending {
+		t.Fatalf("premature results error %v, want code %q", err, capi.CodePending)
+	}
+
+	// The listing holds both resources.
+	list, err := client.Sweeps(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("listing holds %d sweeps, want 2", len(list))
+	}
+
+	var w1Out, w2Out bytes.Buffer
+	workErr := make(chan error, 2)
+	go func() { workErr <- work(ctx, workOpts{url: url, name: "w1", poll: 25 * time.Millisecond, out: &w1Out}) }()
+	go func() { workErr <- work(ctx, workOpts{url: url, name: "w2", poll: 25 * time.Millisecond, out: &w2Out}) }()
+
+	stA, err := client.WaitSweep(ctx, replyA.Fingerprint, nil)
+	if err != nil {
+		t.Fatalf("waiting on A: %v\n%s", err, serveOut.String())
+	}
+	stB, err := client.WaitSweep(ctx, replyB.Fingerprint, nil)
+	if err != nil {
+		t.Fatalf("waiting on B: %v\n%s", err, serveOut.String())
+	}
+	if stA.State != capi.StateDone || stB.State != capi.StateDone {
+		t.Fatalf("terminal states A=%s B=%s, want done/done", stA.State, stB.State)
+	}
+
+	// Per-sweep progress never mixes campaigns across sweeps.
+	fpsA, fpsB := fleetFingerprints(stA), fleetFingerprints(stB)
+	if len(fpsA) != 2 || len(fpsB) != 2 {
+		t.Fatalf("progress enumerates %d/%d campaigns, want 2/2", len(fpsA), len(fpsB))
+	}
+	for fp := range fpsA {
+		if fpsB[fp] {
+			t.Fatalf("campaign %.12s appears in both sweeps' progress", fp)
+		}
+	}
+	if stA.Progress.CampaignsDone != 2 || stB.Progress.CampaignsDone != 2 {
+		t.Fatalf("done counts A=%d B=%d, want 2/2", stA.Progress.CampaignsDone, stB.Progress.CampaignsDone)
+	}
+
+	// Byte-identity of both fetched results with the in-process path.
+	gotA, err := client.Results(ctx, replyA.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := client.Results(ctx, replyB.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotA, wantA) {
+		t.Fatalf("sweep A results diverge from in-process reference:\n--- fetched ---\n%s\n--- reference ---\n%s", gotA, wantA)
+	}
+	if !bytes.Equal(gotB, wantB) {
+		t.Fatalf("sweep B results diverge from in-process reference:\n--- fetched ---\n%s\n--- reference ---\n%s", gotB, wantB)
+	}
+
+	// With every sweep terminal the coordinator winds down by itself and
+	// the workers observe the drained signal.
+	for i := 0; i < 2; i++ {
+		if err := <-workErr; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v\n%s", err, serveOut.String())
+	}
+}
+
+// TestCancelMidFlightDeterminism pins DELETE /v1/sweeps/{fp} semantics:
+// cancelling one of two live sweeps stops its leasing immediately, its
+// one leased shard may still finish and deliver (journal stays valid),
+// the surviving sweep drains to results byte-identical to its local
+// run — and resubmitting the cancelled grid resumes from the journaled
+// shard instead of re-simulating it.
+func TestCancelMidFlightDeterminism(t *testing.T) {
+	ec := ssresf.DefaultExperimentConfig(true)
+	wantA := inProcessLETReference(t, ec, []int{1})
+	wantB := inProcessLETReference(t, ec, []int{2})
+
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "fleet.jsonl")
+	var serveOut bytes.Buffer
+	url, serveErr := startServe(t, serveOpts{
+		shards:   2,
+		journal:  journal,
+		leaseTTL: time.Minute,
+		linger:   20 * time.Second,
+	}, &serveOut)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 8*time.Minute)
+	defer cancel()
+	client := capi.NewClient(url)
+
+	// Sweep A is alone on the coordinator when the slow worker leases, so
+	// the held shard is certainly A's.
+	replyA, err := client.Submit(ctx, quickLETParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := leaseRaw(t, url, "slow-worker")
+	stA, err := client.Sweep(ctx, replyA.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fleetFingerprints(stA)[held.Spec.Fingerprint] {
+		t.Fatalf("first lease %.12s is not a campaign of sweep A", held.Spec.Fingerprint)
+	}
+	replyB, err := client.Submit(ctx, quickLETParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel A while that shard is leased out.
+	stCancel, err := client.Cancel(ctx, replyA.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stCancel.State != capi.StateCancelled {
+		t.Fatalf("cancel reply state %q", stCancel.State)
+	}
+	if _, err := client.Results(ctx, replyA.Fingerprint); err == nil || !capi.IsRefusal(err) {
+		t.Fatalf("cancelled sweep's results fetch: %v, want a cancelled refusal", err)
+	}
+
+	// The fleet drains B; none of A's shards may be handed out anymore.
+	var wOut bytes.Buffer
+	workDone := make(chan error, 1)
+	go func() { workDone <- work(ctx, workOpts{url: url, name: "w1", poll: 25 * time.Millisecond, out: &wOut}) }()
+
+	// The slow worker finishes its cancelled shard mid-flight: the
+	// completion is still accepted and journaled.
+	b, err := shard.Build(held.Spec.Campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := shard.ExecuteOn(b, held.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Complete(ctx, held.Spec.Fingerprint, held.ID, p); err != nil {
+		t.Fatalf("completion of a cancelled sweep's leased shard refused: %v", err)
+	}
+
+	stB, err := client.WaitSweep(ctx, replyB.Fingerprint, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stB.State != capi.StateDone {
+		t.Fatalf("sweep B ended %q: %s", stB.State, stB.Error)
+	}
+	gotB, err := client.Results(ctx, replyB.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotB, wantB) {
+		t.Fatalf("surviving sweep's results diverge from its local run:\n--- fetched ---\n%s\n--- reference ---\n%s", gotB, wantB)
+	}
+	// With A cancelled and B done the coordinator reads as drained, so
+	// the worker observes 410 and exits — having executed nothing of A.
+	if err := <-workDone; err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	for fp := range fleetFingerprints(stA) {
+		if bytes.Contains(wOut.Bytes(), []byte(fmt.Sprintf("%.12s", fp))) {
+			t.Fatalf("worker executed a shard of the cancelled sweep:\n%s", wOut.String())
+		}
+	}
+
+	// Resubmitting the cancelled grid (within the linger window) revives
+	// the coordinator, replaces the cancelled run and resumes from the
+	// journal: the mid-flight completion above must not re-simulate.
+	replyA2, err := client.Submit(ctx, quickLETParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replyA2.Created || replyA2.Fingerprint != replyA.Fingerprint {
+		t.Fatalf("resubmit after cancel: %+v, want a fresh run of %.12s", replyA2, replyA.Fingerprint)
+	}
+	var w2Out bytes.Buffer
+	workDone2 := make(chan error, 1)
+	go func() {
+		workDone2 <- work(ctx, workOpts{url: url, name: "w2", poll: 25 * time.Millisecond, out: &w2Out})
+	}()
+	stA2, err := client.WaitSweep(ctx, replyA2.Fingerprint, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA2.State != capi.StateDone {
+		t.Fatalf("resubmitted sweep ended %q: %s", stA2.State, stA2.Error)
+	}
+	gotA, err := client.Results(ctx, replyA2.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotA, wantA) {
+		t.Fatalf("resubmitted sweep's results diverge:\n--- fetched ---\n%s\n--- reference ---\n%s", gotA, wantA)
+	}
+	journaledLine := fmt.Sprintf("shard %d of %.12s", held.Spec.Index, held.Spec.Fingerprint)
+	if bytes.Contains(w2Out.Bytes(), []byte(journaledLine)) {
+		t.Fatalf("journaled shard re-simulated after resubmission:\n%s", w2Out.String())
+	}
+
+	if err := <-workDone2; err != nil {
+		t.Fatalf("worker 2: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v\n%s", err, serveOut.String())
+	}
+}
+
+// TestAPISubmitSmoke is the `make sweep-smoke` API leg: an empty
+// coordinator (started with no sweep flags), one submitted -quick
+// 2-campaign grid, one worker — and the fetched results must be
+// byte-identical to the same grid run through the socfault local sweep
+// path (sweep.RunLocal + Grid.Render, exactly what `socfault -sweep`
+// executes).
+func TestAPISubmitSmoke(t *testing.T) {
+	params := quickLETParams(1)
+	grid, err := params.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	localResults, err := sweep.RunLocal(grid.Spec, sweep.LocalOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := grid.Render(&want, localResults); err != nil {
+		t.Fatal(err)
+	}
+
+	var serveOut bytes.Buffer
+	url, serveErr := startServe(t, serveOpts{
+		shards:   2,
+		leaseTTL: time.Minute,
+		linger:   10 * time.Second,
+	}, &serveOut)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	client := capi.NewClient(url)
+	reply, err := client.Submit(ctx, params)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	var wOut bytes.Buffer
+	workDone := make(chan error, 1)
+	go func() { workDone <- work(ctx, workOpts{url: url, name: "w", poll: 25 * time.Millisecond, out: &wOut}) }()
+
+	st, err := client.WaitSweep(ctx, reply.Fingerprint, nil)
+	if err != nil {
+		t.Fatalf("watch: %v\n%s", err, serveOut.String())
+	}
+	if st.State != capi.StateDone {
+		t.Fatalf("sweep ended %q: %s", st.State, st.Error)
+	}
+	got, err := client.Results(ctx, reply.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("fetched results diverge from the local -sweep run:\n--- fetched ---\n%s\n--- local ---\n%s", got, want.String())
+	}
+	if err := <-workDone; err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v\n%s", err, serveOut.String())
 	}
 }

@@ -15,57 +15,29 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/capi"
 	"repro/internal/inject"
 	"repro/internal/runstore"
 	"repro/internal/shard"
 	"repro/internal/sweep"
 )
 
-// The coordinator protocol, all JSON over HTTP. One coordinator serves
-// one sweep — a whole experiment grid of campaigns, or the degenerate
-// single-campaign grid — from one lease pool:
-//
-//	POST /v1/lease    {"worker": ID}            -> 200 shard.Lease
-//	                                               204 nothing pending (poll again)
-//	                                               410 sweep complete (worker exits)
-//	POST /v1/complete {"lease_id", "fingerprint", "partial"}
-//	                                            -> 200 accepted
-//	                                               409 duplicate/unroutable (drop result)
-//	POST /v1/renew    {"lease_id", "fingerprint"}
-//	                                            -> 200 renewReply (keep heartbeating)
-//	                                               409 lease gone (stop heartbeating)
-//	GET  /v1/progress                           -> 200 progressReply
-//
-// Completions and renewals are routed by campaign fingerprint — the
-// durable key a worker always holds — because an expired lease ID is
-// forgotten by the pool. The legacy top-level progress fields describe
-// the campaign when the sweep is a single campaign; per-campaign counts
-// and ETAs live under "sweep" and never mix shards of different
-// fingerprints.
+// The coordinator is a long-lived, multi-sweep service: sweeps are
+// resources, submitted, watched and cancelled over the versioned API
+// documented in internal/capi. Any number of sweeps are live at once;
+// lease/complete/renew route across all of them (completions and
+// renewals by campaign fingerprint — the durable key a worker always
+// holds, because an expired lease ID is forgotten by the pool), and
+// each sweep builds, drains, merges and renders independently. The
+// -sweep/-soc flags are nothing special anymore: they are a
+// self-submission performed at startup, exactly equivalent to POSTing
+// the same grid to /v1/sweeps.
 
-type leaseRequest struct {
-	Worker string `json:"worker"`
-}
-
-type completeRequest struct {
-	LeaseID     string         `json:"lease_id"`
-	Fingerprint string         `json:"fingerprint"`
-	Partial     *shard.Partial `json:"partial"`
-}
-
-type renewRequest struct {
-	LeaseID     string `json:"lease_id"`
-	Fingerprint string `json:"fingerprint"`
-}
-
-type renewReply struct {
-	ExpiresAt time.Time `json:"expires_at"`
-}
-
+// progressReply is the deprecated GET /v1/progress shape, kept for one
+// release as an alias of GET /v1/sweeps/{fp} on the first-submitted
+// sweep. The legacy top-level fields describe the campaign when that
+// sweep is a single campaign.
 type progressReply struct {
-	// Fingerprint and Design identify the campaign when exactly one is
-	// being served (the pre-sweep reply shape); under a real sweep they
-	// carry the sweep fingerprint and 0.
 	Fingerprint string              `json:"fingerprint"`
 	Design      int                 `json:"soc"`
 	Progress    shard.Progress      `json:"progress"`
@@ -73,118 +45,627 @@ type progressReply struct {
 	Sweep       sweep.SweepProgress `json:"sweep"`
 }
 
-// coordinator serves one sweep's cross-campaign lease pool over HTTP and
-// journals every accepted result under its campaign's fingerprint.
-type coordinator struct {
+// errCancelled is drive's internal "the sweep was cancelled" signal.
+var errCancelled = errors.New("sweep cancelled")
+
+// sweepRun is one sweep resource: its grid, its lease pool, its
+// lifecycle state, and — once done — its rendered output.
+type sweepRun struct {
+	fp     string
+	grid   sweep.Grid
 	pool   *sweep.Pool
-	store  *runstore.Store // nil = no journal
-	now    func() time.Time
-	single *shard.CampaignSpec // set when the sweep is one campaign
+	single *shard.CampaignSpec // set when the sweep is one -soc campaign
+	seq    int                 // submission order, for lease routing
+
+	state    string // capi.State*
+	stateMsg string // failure detail when state is failed
+	rendered []byte // the grid's rendered artifact, set when done
+
+	stop     chan struct{} // closed on cancel; ends the build/merge loops
+	stopOnce sync.Once
+	finished chan struct{} // closed when the run goroutine exits
 }
 
-func (c *coordinator) mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/lease", c.handleLease)
-	mux.HandleFunc("POST /v1/complete", c.handleComplete)
-	mux.HandleFunc("POST /v1/renew", c.handleRenew)
-	mux.HandleFunc("GET /v1/progress", c.handleProgress)
-	return mux
+// registry is the coordinator's sweep table plus everything the
+// handlers share: the journal, the clock, and the change signal the
+// serve loop blocks on.
+type registry struct {
+	mu        sync.Mutex
+	sweeps    map[string]*sweepRun // by sweep fingerprint
+	order     []*sweepRun          // submission order
+	byCamp    map[string]*sweepRun // campaign fingerprint -> owning sweep
+	journaled map[string]map[int]*shard.Partial
+	store     *runstore.Store // nil = no journal
+	shards    int
+	ttl       time.Duration
+	seq       int
+	now       func() time.Time
+	stdout    *syncWriter
+	initial   *sweepRun // the self-submitted sweep, if any
+	outPath   string    // initial sweep's rendered-output file
+	outDir    string    // initial sweep's per-campaign JSON directory
+	single    bool      // initial sweep is one -soc campaign
+	changed   chan struct{}
 }
 
-func (c *coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
-	var req leaseRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad lease request: "+err.Error(), http.StatusBadRequest)
-		return
+func newRegistry(opts serveOpts, store *runstore.Store, journaled map[string]map[int]*shard.Partial, stdout *syncWriter) *registry {
+	return &registry{
+		sweeps:    map[string]*sweepRun{},
+		byCamp:    map[string]*sweepRun{},
+		journaled: journaled,
+		store:     store,
+		shards:    opts.shards,
+		ttl:       opts.leaseTTL,
+		now:       time.Now,
+		stdout:    stdout,
+		outPath:   opts.outPath,
+		outDir:    opts.outDir,
+		single:    opts.single,
+		changed:   make(chan struct{}, 1),
 	}
-	l, ok := c.pool.Lease(req.Worker, c.now())
-	if !ok {
-		if c.pool.Done() {
-			w.WriteHeader(http.StatusGone)
-			return
+}
+
+// ping nudges the serve loop after any submission or terminal
+// transition; the buffered channel coalesces bursts.
+func (g *registry) ping() {
+	select {
+	case g.changed <- struct{}{}:
+	default:
+	}
+}
+
+// idle reports whether the coordinator has nothing left to serve: at
+// least one sweep was ever submitted and all of them are terminal.
+func (g *registry) idle() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.order) == 0 {
+		return false
+	}
+	for _, sr := range g.order {
+		if !capi.TerminalState(sr.state) {
+			return false
 		}
-		// Idle: everything leased out, or later campaigns still building.
-		w.WriteHeader(http.StatusNoContent)
-		return
 	}
-	writeJSON(w, l)
+	return true
 }
 
-func (c *coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
-	var req completeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad completion: "+err.Error(), http.StatusBadRequest)
-		return
+// submit registers a sweep and starts its run goroutine. Submission is
+// idempotent on the sweep fingerprint: a live or done duplicate returns
+// the existing resource; a cancelled or failed one is replaced by a
+// fresh run (journaled shards — including those a cancelled run's
+// workers delivered mid-flight — restore on open, so re-submission
+// resumes rather than re-simulates). Grids overlapping a live sweep's
+// campaigns are refused: completions route by campaign fingerprint, and
+// two live owners would make that routing ambiguous.
+func (g *registry) submit(grid sweep.Grid, single *shard.CampaignSpec, initial bool) (*sweepRun, bool, error) {
+	fp := grid.Spec.Fingerprint()
+	pool, err := sweep.NewPool(grid.Spec, g.ttl)
+	if err != nil {
+		return nil, false, err
 	}
-	if req.Partial == nil {
-		http.Error(w, "completion carries no partial", http.StatusBadRequest)
-		return
+	g.mu.Lock()
+	if prev, ok := g.sweeps[fp]; ok && (prev.state == capi.StateRunning || prev.state == capi.StateDone) {
+		g.mu.Unlock()
+		return prev, false, nil
 	}
-	fp := req.Fingerprint
-	if fp == "" && c.single != nil {
-		// Pre-sweep workers never sent a fingerprint; with one campaign
-		// served the routing is unambiguous.
-		fp = c.single.Fingerprint()
+	// Refuse overlap with other live sweeps before touching any existing
+	// registration: a refused resubmission must leave the cancelled/failed
+	// incarnation intact as a resource.
+	for _, it := range grid.Spec.Items {
+		cfp := it.Campaign.Fingerprint()
+		if owner, ok := g.byCamp[cfp]; ok && !capi.TerminalState(owner.state) && owner.fp != fp {
+			g.mu.Unlock()
+			return nil, false, fmt.Errorf("campaign %q (%.12s) already belongs to live sweep %.12s", it.Key, cfp, owner.fp)
+		}
 	}
-	if err := c.pool.Complete(fp, req.LeaseID, req.Partial, c.now()); err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
-		return
+	if prev, ok := g.sweeps[fp]; ok {
+		// Replace the cancelled/failed incarnation in submission order.
+		for i, sr := range g.order {
+			if sr == prev {
+				g.order = append(g.order[:i], g.order[i+1:]...)
+				break
+			}
+		}
+		delete(g.sweeps, fp)
 	}
-	if c.store != nil {
-		if err := c.store.Append(fp, req.Partial); err != nil {
+	g.seq++
+	sr := &sweepRun{
+		fp:       fp,
+		grid:     grid,
+		pool:     pool,
+		single:   single,
+		seq:      g.seq,
+		state:    capi.StateRunning,
+		stop:     make(chan struct{}),
+		finished: make(chan struct{}),
+	}
+	g.sweeps[fp] = sr
+	g.order = append(g.order, sr)
+	for _, it := range grid.Spec.Items {
+		g.byCamp[it.Campaign.Fingerprint()] = sr
+	}
+	if initial {
+		g.initial = sr
+	}
+	g.mu.Unlock()
+	g.ping()
+	fmt.Fprintf(g.stdout, "campaignd: sweep %s (%.12s) submitted: %d campaigns, %d shards each\n",
+		grid.Spec.Name, fp, len(grid.Spec.Items), g.shards)
+	go g.run(sr)
+	return sr, true, nil
+}
+
+// cancel transitions a live sweep to cancelled: its pool stops leasing,
+// its build/merge loops stop, leased shards finish (their completions
+// are still accepted and journaled) or expire. Cancelling a terminal
+// sweep is a no-op returning its state.
+func (g *registry) cancel(sr *sweepRun) string {
+	g.mu.Lock()
+	if capi.TerminalState(sr.state) {
+		state := sr.state
+		g.mu.Unlock()
+		return state
+	}
+	sr.state = capi.StateCancelled
+	g.mu.Unlock()
+	sr.pool.Cancel()
+	sr.stopOnce.Do(func() { close(sr.stop) })
+	g.ping()
+	fmt.Fprintf(g.stdout, "campaignd: sweep %s (%.12s) cancelled\n", sr.grid.Spec.Name, sr.fp)
+	return capi.StateCancelled
+}
+
+// run drives one sweep to a terminal state.
+func (g *registry) run(sr *sweepRun) {
+	defer close(sr.finished)
+	err := g.drive(sr)
+	g.mu.Lock()
+	switch {
+	case sr.state == capi.StateCancelled || errors.Is(err, errCancelled):
+		sr.state = capi.StateCancelled
+	case err != nil:
+		sr.state = capi.StateFailed
+		sr.stateMsg = err.Error()
+	default:
+		sr.state = capi.StateDone
+	}
+	state := sr.state
+	g.mu.Unlock()
+	if state == capi.StateFailed {
+		// A failed sweep will never merge: stop its builder and refuse its
+		// pending shards to the fleet, exactly as a cancel does — workers
+		// must not burn hours on shards routed into a dead resource.
+		sr.pool.Cancel()
+		sr.stopOnce.Do(func() { close(sr.stop) })
+		fmt.Fprintf(g.stdout, "campaignd: sweep %s (%.12s) failed: %v\n", sr.grid.Spec.Name, sr.fp, err)
+	}
+	g.ping()
+}
+
+// drive builds and opens the sweep's campaigns incrementally (workers
+// drain earlier campaigns while later ones build), merges each campaign
+// the moment its last shard lands, and renders the grid once every
+// campaign is merged. It returns errCancelled when the sweep is
+// cancelled mid-flight.
+func (g *registry) drive(sr *sweepRun) error {
+	items := sr.grid.Spec.Items
+
+	var mu sync.Mutex
+	builts := make([]*shard.Built, len(items))
+	buildErr := make(chan error, 1)
+	go func() {
+		for i, it := range items {
+			select {
+			case <-sr.stop:
+				return
+			default:
+			}
+			b, err := shard.Build(it.Campaign)
+			if err != nil {
+				buildErr <- fmt.Errorf("building campaign %q: %v", it.Key, err)
+				return
+			}
+			// A sweep's one -shards knob covers campaigns of very different
+			// sizes, so tiny campaigns degrade to fewer shards; a single
+			// campaign keeps the strict fail-fast validation socfault has.
+			var specs []shard.Spec
+			if sr.single != nil {
+				specs, err = shard.Plan(it.Campaign, g.shards, len(b.Jobs))
+			} else {
+				specs, err = shard.PlanAtMost(it.Campaign, g.shards, len(b.Jobs))
+			}
+			if err != nil {
+				buildErr <- fmt.Errorf("planning campaign %q: %v", it.Key, err)
+				return
+			}
+			mu.Lock()
+			builts[i] = b
+			mu.Unlock()
+			select {
+			case <-sr.stop:
+				return
+			default:
+			}
+			nJournaled, err := sr.pool.Open(i, specs, g.journaledFor(b.Fingerprint))
+			if err != nil {
+				buildErr <- err
+				return
+			}
+			fmt.Fprintf(g.stdout, "campaignd: campaign %s (%.12s, SoC%d/%s on %s): %d injections in %d shards, %d journaled\n",
+				it.Key, b.Fingerprint, it.Campaign.SoC, it.Campaign.Workload, it.Campaign.Engine, len(b.Jobs), len(specs), nJournaled)
+		}
+	}()
+
+	results := make(map[string]*inject.Result, len(items))
+	for merged := 0; merged < len(items); {
+		select {
+		case idx := <-sr.pool.Completed():
+			mu.Lock()
+			b := builts[idx]
+			builts[idx] = nil
+			mu.Unlock()
+			res, err := shard.Merge(b, sr.pool.Partials(idx))
+			if err != nil {
+				return fmt.Errorf("merging campaign %q: %v", items[idx].Key, err)
+			}
+			results[b.Fingerprint] = res
+			merged++
+			fmt.Fprintf(g.stdout, "campaignd: campaign %s (%.12s) merged: %d injections, %d/%d campaigns done\n",
+				items[idx].Key, b.Fingerprint, len(res.Injections), merged, len(items))
+			if sr == g.initial && g.outDir != "" {
+				if err := writeResultJSON(filepath.Join(g.outDir, items[idx].Key+".json"), res); err != nil {
+					return err
+				}
+			}
+		case err := <-buildErr:
+			return err
+		case <-sr.stop:
+			return errCancelled
+		}
+	}
+
+	// Sweep-level aggregation: the merged results feed the grid's ssresf
+	// renderer, bit-identical to the in-process experiment drivers.
+	var rendered bytes.Buffer
+	if err := sr.grid.Render(&rendered, results); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	sr.rendered = rendered.Bytes()
+	g.mu.Unlock()
+	if sr == g.initial {
+		// The self-submitted sweep keeps the batch-job surface: rendered
+		// output on stdout and in -out, per-campaign JSONs in -outdir.
+		if _, err := g.stdout.Write(rendered.Bytes()); err != nil {
+			return err
+		}
+		if g.outPath != "" {
+			if g.single {
+				return writeResultJSON(g.outPath, results[items[0].Campaign.Fingerprint()])
+			}
+			return os.WriteFile(g.outPath, rendered.Bytes(), 0o644)
+		}
+	} else {
+		fmt.Fprintf(g.stdout, "campaignd: sweep %s (%.12s) done: results at /v1/sweeps/%s/results\n",
+			sr.grid.Spec.Name, sr.fp, sr.fp)
+	}
+	return nil
+}
+
+// journaledFor snapshots the journaled shards of one campaign. The map
+// grows as live completions land, so a later submission reusing a
+// campaign (after a cancel, say) restores everything delivered so far.
+func (g *registry) journaledFor(fp string) map[int]*shard.Partial {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	src := g.journaled[fp]
+	if len(src) == 0 {
+		return nil
+	}
+	out := make(map[int]*shard.Partial, len(src))
+	for i, p := range src {
+		out[i] = p
+	}
+	return out
+}
+
+// recordJournaled mirrors an accepted completion into the in-memory
+// journal view (and the on-disk journal, if any).
+func (g *registry) recordJournaled(fp string, p *shard.Partial) {
+	g.mu.Lock()
+	m := g.journaled[fp]
+	if m == nil {
+		m = map[int]*shard.Partial{}
+		g.journaled[fp] = m
+	}
+	m[p.Index] = p
+	store := g.store
+	g.mu.Unlock()
+	if store != nil {
+		if err := store.Append(fp, p); err != nil {
 			// The result is already accepted and merging will proceed; a
 			// journal write failure only weakens crash recovery.
 			fmt.Fprintln(os.Stderr, "campaignd: journal append:", err)
 		}
 	}
+}
+
+// liveSweeps returns the sweeps in submission order plus whether the
+// coordinator is drained (something was submitted, everything terminal).
+func (g *registry) liveSweeps() (order []*sweepRun, drained bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	order = append(order, g.order...)
+	drained = len(g.order) > 0
+	for _, sr := range g.order {
+		if !capi.TerminalState(sr.state) {
+			drained = false
+		}
+	}
+	return order, drained
+}
+
+// routeCampaign resolves the sweep owning a campaign fingerprint.
+func (g *registry) routeCampaign(fp string) (*sweepRun, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	sr, ok := g.byCamp[fp]
+	return sr, ok
+}
+
+func (g *registry) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", g.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps", g.handleList)
+	mux.HandleFunc("GET /v1/sweeps/{fp}", g.handleSweep)
+	mux.HandleFunc("GET /v1/sweeps/{fp}/results", g.handleResults)
+	mux.HandleFunc("DELETE /v1/sweeps/{fp}", g.handleCancel)
+	mux.HandleFunc("POST /v1/lease", g.handleLease)
+	mux.HandleFunc("POST /v1/complete", g.handleComplete)
+	mux.HandleFunc("POST /v1/renew", g.handleRenew)
+	mux.HandleFunc("GET /v1/progress", g.handleProgress)
+	return mux
+}
+
+func (g *registry) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req capi.SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		capi.WriteError(w, http.StatusBadRequest, capi.CodeBadRequest, "bad submit request: %v", err)
+		return
+	}
+	grid, err := req.Params.Grid()
+	if err != nil {
+		capi.WriteError(w, http.StatusBadRequest, capi.CodeBadRequest, "%v", err)
+		return
+	}
+	sr, created, err := g.submit(grid, nil, false)
+	if err != nil {
+		capi.WriteError(w, http.StatusConflict, capi.CodeConflict, "%v", err)
+		return
+	}
+	g.mu.Lock()
+	reply := capi.SubmitReply{
+		Fingerprint: sr.fp,
+		Name:        sr.grid.Spec.Name,
+		Campaigns:   len(sr.grid.Spec.Items),
+		State:       sr.state,
+		Created:     created,
+	}
+	g.mu.Unlock()
+	if created {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(reply)
+		return
+	}
+	capi.WriteJSON(w, reply)
+}
+
+func (g *registry) handleList(w http.ResponseWriter, r *http.Request) {
+	order, _ := g.liveSweeps()
+	out := make([]capi.SweepSummary, 0, len(order))
+	now := g.now()
+	for _, sr := range order {
+		pr := sr.pool.Progress(now)
+		g.mu.Lock()
+		out = append(out, capi.SweepSummary{
+			Fingerprint:    sr.fp,
+			Name:           sr.grid.Spec.Name,
+			State:          sr.state,
+			CampaignsTotal: pr.CampaignsTotal,
+			CampaignsDone:  pr.CampaignsDone,
+		})
+		g.mu.Unlock()
+	}
+	capi.WriteJSON(w, out)
+}
+
+// lookup resolves the {fp} path component; a miss writes the 404.
+func (g *registry) lookup(w http.ResponseWriter, r *http.Request) (*sweepRun, bool) {
+	fp := r.PathValue("fp")
+	g.mu.Lock()
+	sr, ok := g.sweeps[fp]
+	g.mu.Unlock()
+	if !ok {
+		capi.WriteError(w, http.StatusNotFound, capi.CodeNotFound, "no sweep %.12s; GET /v1/sweeps lists them", fp)
+		return nil, false
+	}
+	return sr, true
+}
+
+// status snapshots one sweep as its API status document.
+func (g *registry) status(sr *sweepRun) capi.SweepStatus {
+	pr := sr.pool.Progress(g.now())
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return capi.SweepStatus{
+		Fingerprint: sr.fp,
+		Name:        sr.grid.Spec.Name,
+		State:       sr.state,
+		Error:       sr.stateMsg,
+		Progress:    pr,
+	}
+}
+
+func (g *registry) handleSweep(w http.ResponseWriter, r *http.Request) {
+	sr, ok := g.lookup(w, r)
+	if !ok {
+		return
+	}
+	capi.WriteJSON(w, g.status(sr))
+}
+
+func (g *registry) handleResults(w http.ResponseWriter, r *http.Request) {
+	sr, ok := g.lookup(w, r)
+	if !ok {
+		return
+	}
+	g.mu.Lock()
+	state, msg, rendered := sr.state, sr.stateMsg, sr.rendered
+	g.mu.Unlock()
+	switch state {
+	case capi.StateDone:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(rendered)
+	case capi.StateCancelled:
+		capi.WriteError(w, http.StatusGone, capi.CodeCancelled, "sweep %.12s was cancelled", sr.fp)
+	case capi.StateFailed:
+		capi.WriteError(w, http.StatusInternalServerError, capi.CodeFailed, "sweep %.12s failed: %s", sr.fp, msg)
+	default:
+		capi.WriteError(w, http.StatusConflict, capi.CodePending, "sweep %.12s still running; poll GET /v1/sweeps/%s", sr.fp, sr.fp)
+	}
+}
+
+func (g *registry) handleCancel(w http.ResponseWriter, r *http.Request) {
+	sr, ok := g.lookup(w, r)
+	if !ok {
+		return
+	}
+	g.cancel(sr)
+	capi.WriteJSON(w, g.status(sr))
+}
+
+func (g *registry) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req capi.LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		capi.WriteError(w, http.StatusBadRequest, capi.CodeBadRequest, "bad lease request: %v", err)
+		return
+	}
+	order, drained := g.liveSweeps()
+	now := g.now()
+	for _, sr := range order {
+		if l, ok := sr.pool.Lease(req.Worker, now); ok {
+			capi.WriteJSON(w, l)
+			return
+		}
+	}
+	if drained {
+		// Everything ever submitted is terminal: the coordinator is about
+		// to wind down, workers should exit rather than poll.
+		w.WriteHeader(http.StatusGone)
+		return
+	}
+	// Idle: everything leased out, later campaigns still building, or no
+	// sweeps submitted yet.
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (g *registry) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req capi.CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		capi.WriteError(w, http.StatusBadRequest, capi.CodeBadRequest, "bad completion: %v", err)
+		return
+	}
+	if req.Partial == nil {
+		capi.WriteError(w, http.StatusBadRequest, capi.CodeBadRequest, "completion carries no partial")
+		return
+	}
+	fp := g.resolveFingerprint(req.Fingerprint)
+	sr, ok := g.routeCampaign(fp)
+	if !ok {
+		capi.WriteError(w, http.StatusConflict, capi.CodeConflict, "completion names unknown campaign %.12s", fp)
+		return
+	}
+	if err := sr.pool.Complete(fp, req.LeaseID, req.Partial, g.now()); err != nil {
+		capi.WriteError(w, http.StatusConflict, capi.CodeConflict, "%v", err)
+		return
+	}
+	g.recordJournaled(fp, req.Partial)
 	w.WriteHeader(http.StatusOK)
 }
 
-func (c *coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
-	var req renewRequest
+func (g *registry) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req capi.RenewRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad renewal: "+err.Error(), http.StatusBadRequest)
+		capi.WriteError(w, http.StatusBadRequest, capi.CodeBadRequest, "bad renewal: %v", err)
 		return
 	}
-	fp := req.Fingerprint
-	if fp == "" && c.single != nil {
-		fp = c.single.Fingerprint()
+	fp := g.resolveFingerprint(req.Fingerprint)
+	sr, ok := g.routeCampaign(fp)
+	if !ok {
+		capi.WriteError(w, http.StatusConflict, capi.CodeConflict, "renewal names unknown campaign %.12s", fp)
+		return
 	}
-	exp, err := c.pool.Renew(fp, req.LeaseID, c.now())
+	exp, err := sr.pool.Renew(fp, req.LeaseID, g.now())
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		capi.WriteError(w, http.StatusConflict, capi.CodeConflict, "%v", err)
 		return
 	}
-	writeJSON(w, renewReply{ExpiresAt: exp})
+	capi.WriteJSON(w, capi.RenewReply{ExpiresAt: exp})
 }
 
-func (c *coordinator) handleProgress(w http.ResponseWriter, r *http.Request) {
-	sp := c.pool.Progress(c.now())
+// resolveFingerprint fills in the campaign fingerprint for pre-sweep
+// workers that never sent one; with a single self-submitted campaign
+// served the routing is unambiguous.
+func (g *registry) resolveFingerprint(fp string) string {
+	if fp != "" {
+		return fp
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.initial != nil && g.initial.single != nil {
+		return g.initial.single.Fingerprint()
+	}
+	return fp
+}
+
+// handleProgress is the deprecated pre-resource progress endpoint: an
+// alias of GET /v1/sweeps/{fp} on the first-submitted sweep, kept for
+// one release. The reply carries a Deprecation header pointing at the
+// successor.
+func (g *registry) handleProgress(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	var sr *sweepRun
+	if len(g.order) > 0 {
+		sr = g.order[0]
+	}
+	g.mu.Unlock()
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/sweeps>; rel="successor-version"`)
+	if sr == nil {
+		capi.WriteError(w, http.StatusNotFound, capi.CodeNotFound, "no sweeps submitted; use GET /v1/sweeps")
+		return
+	}
+	sp := sr.pool.Progress(g.now())
 	reply := progressReply{
 		Fingerprint: sp.Fingerprint,
 		Done:        sp.Done,
 		Sweep:       sp,
 	}
-	if c.single != nil && len(sp.Campaigns) == 1 {
+	if sr.single != nil && len(sp.Campaigns) == 1 {
 		reply.Fingerprint = sp.Campaigns[0].Fingerprint
-		reply.Design = c.single.SoC
+		reply.Design = sr.single.SoC
 		reply.Progress = sp.Campaigns[0].Shards
 	}
-	writeJSON(w, reply)
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	capi.WriteJSON(w, reply)
 }
 
 // serveOpts is the parsed configuration of one serve run.
 type serveOpts struct {
-	grid     sweep.Grid
-	single   bool // one-campaign mode: legacy report + result-JSON -out
-	shards   int  // per campaign; tiny campaigns degrade to fewer
+	grid     *sweep.Grid // self-submitted at startup; nil = start empty
+	single   bool        // one-campaign mode: legacy report + result-JSON -out
+	shards   int         // per campaign; tiny campaigns degrade to fewer
 	journal  string
 	leaseTTL time.Duration
 	linger   time.Duration
@@ -195,12 +676,12 @@ type serveOpts struct {
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("campaignd serve", flag.ContinueOnError)
 	specOf := shard.CampaignFlags(fs)
-	gridOf := sweep.GridFlags(fs)
+	paramsOf := sweep.GridParamsFlags(fs)
 	addr := fs.String("addr", "127.0.0.1:8372", "listen address")
 	shards := fs.Int("shards", 8, "number of shards to split each campaign into")
 	journal := fs.String("journal", "", "append-only shard journal, namespaced per campaign; sweeps restarted with the same journal skip finished shards")
 	lease := fs.Duration("lease", 10*time.Minute, "shard lease duration; workers heartbeat at a third of it, so a live shard outrunning the lease is renewed, not re-issued")
-	linger := fs.Duration("linger", 3*time.Second, "how long to keep answering workers after the sweep completes, so pollers observe completion and exit")
+	linger := fs.Duration("linger", 3*time.Second, "idle grace: once every submitted sweep is terminal, keep serving this long (new submissions revive the server; pollers observe completion) before exiting")
 	out := fs.String("out", "", "single campaign: write the merged result JSON here; sweep: write the rendered tables here")
 	outDir := fs.String("outdir", "", "sweep: write each campaign's merged result JSON into this directory, named by campaign key")
 	if err := fs.Parse(args); err != nil {
@@ -215,17 +696,42 @@ func runServe(args []string) error {
 	if *linger < 0 {
 		return fmt.Errorf("-linger must not be negative, got %v", *linger)
 	}
-	grid, isSweep, err := gridOf()
+	params, isSweep, err := paramsOf()
 	if err != nil {
 		return err
 	}
-	single := !isSweep
-	if single {
+	// A campaign flag set explicitly means the classic single-campaign
+	// batch mode; no campaign or sweep flags at all means an empty,
+	// long-lived service that waits for POST /v1/sweeps submissions.
+	single := false
+	fs.Visit(func(f *flag.Flag) {
+		if shard.CampaignFlagNames[f.Name] {
+			single = true
+		}
+	})
+	opts := serveOpts{
+		single:   single,
+		shards:   *shards,
+		journal:  *journal,
+		leaseTTL: *lease,
+		linger:   *linger,
+		outPath:  *out,
+		outDir:   *outDir,
+	}
+	switch {
+	case isSweep:
+		grid, err := params.Grid()
+		if err != nil {
+			return err
+		}
+		opts.grid = &grid
+	case single:
 		cs, err := specOf()
 		if err != nil {
 			return err
 		}
-		grid = singleCampaignGrid(cs)
+		grid := singleCampaignGrid(cs)
+		opts.grid = &grid
 	}
 	if *outDir != "" {
 		// Create it now: failing after the fleet has simulated for
@@ -238,16 +744,7 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	return serve(serveOpts{
-		grid:     grid,
-		single:   single,
-		shards:   *shards,
-		journal:  *journal,
-		leaseTTL: *lease,
-		linger:   *linger,
-		outPath:  *out,
-		outDir:   *outDir,
-	}, ln, os.Stdout)
+	return serve(opts, ln, os.Stdout)
 }
 
 // singleCampaignGrid wraps one campaign as a degenerate sweep whose
@@ -267,8 +764,8 @@ func singleCampaignGrid(cs shard.CampaignSpec) sweep.Grid {
 	}
 }
 
-// syncWriter serializes progress lines: the campaign builder goroutine
-// and the merge loop both narrate to the same writer.
+// syncWriter serializes progress lines: sweep run goroutines and their
+// campaign builders all narrate to the same writer.
 type syncWriter struct {
 	mu sync.Mutex
 	w  io.Writer
@@ -280,21 +777,19 @@ func (s *syncWriter) Write(p []byte) (int, error) {
 	return s.w.Write(p)
 }
 
-// serve runs the coordinator on an accepted listener until every
-// campaign of the sweep has completed, then renders and shuts down.
-// Campaigns build and open one at a time while workers already drain
-// earlier ones; each campaign merges (and its golden run is released)
-// the moment its last shard lands. Split from runServe so the
-// end-to-end tests can drive it on an ephemeral port.
+// serve runs the coordinator on an accepted listener. Sweeps arrive as
+// POST /v1/sweeps submissions or as the one self-submission opts.grid
+// describes; each drives itself to a terminal state. serve exits once
+// the registry is idle — at least one sweep was submitted and all are
+// terminal — and stays idle through the -linger grace window (new
+// submissions revive it; lingering also lets polling workers observe
+// the 410 drained signal instead of a dead socket). Split from runServe
+// so the end-to-end tests can drive it on an ephemeral port.
 func serve(opts serveOpts, ln net.Listener, rawStdout io.Writer) error {
-	items := opts.grid.Spec.Items
 	stdout := &syncWriter{w: rawStdout}
-	pool, err := sweep.NewPool(opts.grid.Spec, opts.leaseTTL)
-	if err != nil {
-		return err
-	}
 	var store *runstore.Store
 	journaled := map[string]map[int]*shard.Partial{}
+	var err error
 	if opts.journal != "" {
 		if journaled, err = runstore.LoadAll(opts.journal); err != nil {
 			return err
@@ -304,128 +799,61 @@ func serve(opts serveOpts, ln net.Listener, rawStdout io.Writer) error {
 		}
 		defer store.Close()
 	}
+	g := newRegistry(opts, store, journaled, stdout)
+	fmt.Fprintf(stdout, "campaignd: serving on %s (lease %v, %d shards per campaign)\n",
+		ln.Addr(), opts.leaseTTL, opts.shards)
 
-	var single *shard.CampaignSpec
-	if opts.single {
-		single = &items[0].Campaign
-	}
-	coord := &coordinator{pool: pool, store: store, now: time.Now, single: single}
-	fmt.Fprintf(stdout, "campaignd: sweep %s (%.12s): %d campaigns, %d shards each, serving on %s\n",
-		opts.grid.Spec.Name, opts.grid.Spec.Fingerprint(), len(items), opts.shards, ln.Addr())
-
-	srv := &http.Server{Handler: coord.mux()}
+	srv := &http.Server{Handler: g.mux()}
 	defer srv.Close()
 	srvErr := make(chan error, 1)
 	go func() { srvErr <- srv.Serve(ln) }()
 
-	// Builder: campaigns become leasable in sweep order as their plans
-	// (netlist, golden run, drawn injections) come up; the built campaign
-	// is kept only until its merge. stop ends the builder when serve
-	// bails out early, so it does not keep opening campaigns (or writing
-	// progress lines) after the coordinator is gone.
-	var mu sync.Mutex
-	builts := make([]*shard.Built, len(items))
-	buildErr := make(chan error, 1)
-	stop := make(chan struct{})
-	defer close(stop)
-	go func() {
-		for i, it := range items {
-			select {
-			case <-stop:
-				return
-			default:
-			}
-			b, err := shard.Build(it.Campaign)
-			if err != nil {
-				buildErr <- fmt.Errorf("building campaign %q: %v", it.Key, err)
-				return
-			}
-			// A sweep's one -shards knob covers campaigns of very different
-			// sizes, so tiny campaigns degrade to fewer shards; a single
-			// campaign keeps the strict fail-fast validation socfault has.
-			var specs []shard.Spec
-			if opts.single {
-				specs, err = shard.Plan(it.Campaign, opts.shards, len(b.Jobs))
-			} else {
-				specs, err = shard.PlanAtMost(it.Campaign, opts.shards, len(b.Jobs))
-			}
-			if err != nil {
-				buildErr <- fmt.Errorf("planning campaign %q: %v", it.Key, err)
-				return
-			}
-			mu.Lock()
-			builts[i] = b
-			mu.Unlock()
-			select {
-			case <-stop:
-				return
-			default:
-			}
-			nJournaled, err := pool.Open(i, specs, journaled[b.Fingerprint])
-			if err != nil {
-				buildErr <- err
-				return
-			}
-			fmt.Fprintf(stdout, "campaignd: campaign %s (%.12s, SoC%d/%s on %s): %d injections in %d shards, %d journaled\n",
-				it.Key, b.Fingerprint, it.Campaign.SoC, it.Campaign.Workload, it.Campaign.Engine, len(b.Jobs), len(specs), nJournaled)
+	if opts.grid != nil {
+		var single *shard.CampaignSpec
+		if opts.single {
+			single = &opts.grid.Spec.Items[0].Campaign
 		}
-	}()
+		if _, _, err := g.submit(*opts.grid, single, true); err != nil {
+			return err
+		}
+	}
 
-	// Merge each campaign the moment it completes, releasing its build.
-	results := make(map[string]*inject.Result, len(items))
-	for merged := 0; merged < len(items); {
-		select {
-		case idx := <-pool.Completed():
-			mu.Lock()
-			b := builts[idx]
-			builts[idx] = nil
-			mu.Unlock()
-			res, err := shard.Merge(b, pool.Partials(idx))
-			if err != nil {
-				return fmt.Errorf("merging campaign %q: %v", items[idx].Key, err)
-			}
-			results[b.Fingerprint] = res
-			merged++
-			fmt.Fprintf(stdout, "campaignd: campaign %s (%.12s) merged: %d injections, %d/%d campaigns done\n",
-				items[idx].Key, b.Fingerprint, len(res.Injections), merged, len(items))
-			if opts.outDir != "" {
-				if err := writeResultJSON(filepath.Join(opts.outDir, items[idx].Key+".json"), res); err != nil {
-					return err
+	// Serve until idle: every submitted sweep terminal and the linger
+	// window passed without a new submission reviving the server.
+	for {
+		if g.idle() {
+			select {
+			case <-g.changed:
+				continue
+			case err := <-srvErr:
+				return fmt.Errorf("serving: %v", err)
+			case <-time.After(opts.linger):
+				if !g.idle() {
+					continue
 				}
 			}
-		case err := <-buildErr:
-			return err
+			break
+		}
+		select {
+		case <-g.changed:
 		case err := <-srvErr:
 			return fmt.Errorf("serving: %v", err)
 		}
 	}
-	// Keep answering for the linger window so polling workers observe the
-	// 410 completion signal and exit instead of hitting a dead socket.
-	select {
-	case <-time.After(opts.linger):
-	case err := <-srvErr:
-		return fmt.Errorf("serving: %v", err)
-	}
+
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "campaignd: shutdown:", err)
 	}
 
-	// Sweep-level aggregation: the merged results feed the grid's ssresf
-	// renderer, bit-identical to the in-process experiment drivers.
-	var rendered bytes.Buffer
-	if err := opts.grid.Render(&rendered, results); err != nil {
-		return err
-	}
-	if _, err := stdout.Write(rendered.Bytes()); err != nil {
-		return err
-	}
-	if opts.outPath != "" {
-		if opts.single {
-			return writeResultJSON(opts.outPath, results[items[0].Campaign.Fingerprint()])
-		}
-		return os.WriteFile(opts.outPath, rendered.Bytes(), 0o644)
+	// The self-submitted sweep is the batch job serve was asked to run;
+	// its failure is serve's failure. Submitted sweeps report theirs
+	// through the API instead.
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.initial != nil && g.initial.state == capi.StateFailed {
+		return errors.New(g.initial.stateMsg)
 	}
 	return nil
 }

@@ -1,25 +1,33 @@
-// Command campaignd distributes fault-injection campaigns — single ones
-// or whole experiment grids — over HTTP.
+// Command campaignd serves fault-injection sweeps — whole experiment
+// grids of campaigns — as resources over a versioned HTTP API.
 //
 // One binary, two modes:
 //
-//	campaignd serve -soc 1 -shards 16 -journal soc1.jsonl [-addr :8372] [flags]
-//	campaignd serve -sweep table1 -shards 8 -journal grid.jsonl [-outdir results]
+//	campaignd serve [-addr :8372] [-journal fleet.jsonl]           # empty service
+//	campaignd serve -sweep table1 -shards 8 -journal grid.jsonl    # self-submitted grid
+//	campaignd serve -soc 1 -shards 16 -journal soc1.jsonl          # single campaign
 //	campaignd work  -url http://coordinator:8372 [-name w1] [-poll 2s]
 //
-// serve plans each campaign (the injection plan is drawn up front, so
-// sharding is a pure index split), loads any journaled shards, then
-// hands out shard leases to workers, ingests their partial results,
-// journals each one, and merges every campaign into the exact
-// single-process result the moment its last shard lands. With -sweep, a
-// whole grid (Table I across all benchmarks, Table III's fluxes x
-// engines, a LET sweep) feeds one lease pool; the merged results render
-// the same tables the in-process ssresf drivers produce, byte for byte.
-// Leases expire: a shard leased to a worker that dies is re-issued to
-// the next worker. Live workers heartbeat their leases, so a long shard
-// is renewed, not re-issued.
+// serve is a long-lived coordinator. Sweeps are submitted to it — POST
+// /v1/sweeps with a declarative grid description, or the -sweep/-soc
+// flags, which are nothing more than a self-submission at startup —
+// listed (GET /v1/sweeps), watched (GET /v1/sweeps/{fp}), fetched (GET
+// /v1/sweeps/{fp}/results) and cancelled (DELETE /v1/sweeps/{fp}); see
+// internal/capi for the wire contract and the typed client. For every
+// sweep the coordinator builds and plans campaigns incrementally (the
+// injection plan is drawn up front, so sharding is a pure index split),
+// loads journaled shards, leases the rest to workers across all live
+// sweeps from one routing surface, journals every accepted result, and
+// merges each campaign into the exact single-process result the moment
+// its last shard lands; a drained sweep's rendered tables are byte-
+// identical to the in-process ssresf drivers. Leases expire: a shard
+// leased to a worker that dies is re-issued to the next worker. Live
+// workers heartbeat their leases, so a long shard is renewed, not
+// re-issued. serve exits once every submitted sweep is terminal and the
+// -linger grace window passes without new work.
 //
-// work polls the coordinator in a lease/execute/post loop. A worker
+// work polls the coordinator in a lease/execute/post loop through the
+// typed capi client, backing off with jitter while idle. A worker
 // builds each campaign (netlist, golden run, checkpoint schedule) once
 // per process and reuses it for every shard it executes; the
 // coordinator's golden-run-affinity scheduling keeps a worker on the
@@ -64,8 +72,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  campaignd serve -soc N -shards K [-journal FILE] [-addr HOST:PORT] [campaign flags]
+  campaignd serve [-addr HOST:PORT] [-journal FILE]        # wait for POST /v1/sweeps
   campaignd serve -sweep table1|table3|let [-lets L,..] [-fluxes F,..] [-outdir DIR] [flags]
+  campaignd serve -soc N -shards K [-journal FILE] [campaign flags]
   campaignd work -url http://HOST:PORT [-name ID] [-poll DUR]`)
 }
 

@@ -1,16 +1,14 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"time"
 
+	"repro/internal/capi"
 	"repro/internal/shard"
 )
 
@@ -26,7 +24,7 @@ func runWork(args []string) error {
 	fs := flag.NewFlagSet("campaignd work", flag.ContinueOnError)
 	url := fs.String("url", "http://127.0.0.1:8372", "coordinator base URL")
 	name := fs.String("name", defaultWorkerName(), "worker identity reported to the coordinator")
-	poll := fs.Duration("poll", 2*time.Second, "idle polling interval")
+	poll := fs.Duration("poll", 2*time.Second, "base idle polling interval; idle polls back off exponentially (jittered, capped at 20x) and reset on the next lease")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -36,51 +34,65 @@ func runWork(args []string) error {
 	return work(context.Background(), workOpts{url: *url, name: *name, poll: *poll, out: os.Stdout})
 }
 
-// maxConsecutiveFailures bounds how long a worker survives an unreachable
-// coordinator: roughly failures x poll interval of retrying.
+// maxConsecutiveFailures bounds how long a worker survives an
+// unreachable coordinator: that many exhausted client retry budgets,
+// each separated by the capped idle backoff.
 const maxConsecutiveFailures = 30
 
-// work is the lease/execute/post loop over a whole sweep. It builds each
-// distinct campaign once (golden run + checkpoints + plan) and reuses it
-// across all of that campaign's shards — the coordinator's affinity
-// scheduling keeps handing this worker the campaign it has already
-// built — and memoizes finished partials, so a requeued shard it
-// already computed is answered from cache. While a shard executes, a
-// heartbeat goroutine renews the lease at a third of its TTL, so a
-// shard outrunning the lease is never re-issued to idle workers. The
-// loop exits cleanly when the coordinator reports the sweep complete,
-// the context is cancelled, or the coordinator stays unreachable for
-// maxConsecutiveFailures polls.
+// idleBackoffFactor caps the jittered idle backoff at this multiple of
+// the base -poll interval. A fleet's idle polls would otherwise
+// synchronize — every worker knocked idle by the same drained queue or
+// coordinator restart polls on the same fixed beat — into a thundering
+// herd; the jittered, growing interval spreads them out while keeping
+// the first re-poll prompt.
+const idleBackoffFactor = 20
+
+// work is the lease/execute/post loop over every sweep a coordinator
+// serves. It builds each distinct campaign once (golden run +
+// checkpoints + plan) and reuses it across all of that campaign's
+// shards — the coordinator's affinity scheduling keeps handing this
+// worker the campaign it has already built — and memoizes finished
+// partials, so a requeued shard it already computed is answered from
+// cache. While a shard executes, a heartbeat goroutine renews the lease
+// at a third of its TTL, so a shard outrunning the lease is never
+// re-issued. The loop exits cleanly when the coordinator reports itself
+// drained (every sweep terminal), the context is cancelled, or the
+// coordinator stays unreachable for maxConsecutiveFailures rounds.
 func work(ctx context.Context, opts workOpts) error {
 	exec := shard.NewExecutor()
-	client := &http.Client{Timeout: 30 * time.Second}
+	client := capi.NewClient(opts.url)
+	idle := &capi.Backoff{Base: opts.poll, Cap: idleBackoffFactor * opts.poll}
 	failures := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		lease, status, err := requestLease(ctx, client, opts)
+		lease, outcome, err := client.Lease(ctx, opts.name)
 		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			failures++
 			if failures >= maxConsecutiveFailures {
 				return fmt.Errorf("coordinator unreachable after %d attempts: %v", failures, err)
 			}
-			if !sleepCtx(ctx, opts.poll) {
+			if !sleepCtx(ctx, idle.Next()) {
 				return ctx.Err()
 			}
 			continue
 		}
 		failures = 0
-		switch status {
-		case http.StatusGone:
+		switch outcome {
+		case capi.LeaseDrained:
 			fmt.Fprintf(opts.out, "%s: campaign complete\n", opts.name)
 			return nil
-		case http.StatusNoContent:
-			if !sleepCtx(ctx, opts.poll) {
+		case capi.LeaseIdle:
+			if !sleepCtx(ctx, idle.Next()) {
 				return ctx.Err()
 			}
 			continue
 		}
+		idle.Reset()
 		hitsBefore := exec.CacheHits()
 		stopRenew := startRenewal(ctx, client, opts, lease)
 		p, err := exec.Execute(lease.Spec)
@@ -95,10 +107,18 @@ func work(ctx context.Context, opts workOpts) error {
 		if exec.CacheHits() > hitsBefore {
 			cached = " (from cache)"
 		}
-		if err := postCompleteRetry(ctx, client, opts, lease, p); err != nil {
-			// The coordinator refused the result — the shard completed
-			// elsewhere while we computed it. Deterministic execution makes
-			// the other copy identical, so dropping ours is harmless.
+		if err := client.Complete(ctx, lease.Spec.Fingerprint, lease.ID, p); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// Either the coordinator refused the result (the shard completed
+			// elsewhere — deterministic execution makes the other copy
+			// identical, so dropping ours is harmless), or it stayed
+			// unreachable through the client's retries. Both drop and poll
+			// on: an outage is ridden out by the lease loop's failure
+			// budget, the executor's result cache answers a re-issued copy
+			// of this shard instantly, and dying here would throw away the
+			// worker's warm golden runs over a transient blip.
 			fmt.Fprintf(opts.out, "%s: shard %d of %.12s dropped: %v\n", opts.name, lease.Spec.Index, lease.Spec.Fingerprint, err)
 			continue
 		}
@@ -115,7 +135,7 @@ func work(ctx context.Context, opts workOpts) error {
 // completed from a journal) just stops the heartbeat — the late
 // completion path still delivers the result — and transport errors are
 // retried at the next tick.
-func startRenewal(ctx context.Context, client *http.Client, opts workOpts, lease *shard.Lease) (stop func()) {
+func startRenewal(ctx context.Context, client *capi.Client, opts workOpts, lease *shard.Lease) (stop func()) {
 	if lease.TTL <= 0 {
 		return func() {}
 	}
@@ -134,7 +154,7 @@ func startRenewal(ctx context.Context, client *http.Client, opts workOpts, lease
 			case <-rctx.Done():
 				return
 			case <-ticker.C:
-				if refused, err := postRenew(rctx, client, opts, lease); err != nil && refused {
+				if _, err := client.Renew(rctx, lease.Spec.Fingerprint, lease.ID); err != nil && capi.IsRefusal(err) {
 					return
 				}
 			}
@@ -144,116 +164,6 @@ func startRenewal(ctx context.Context, client *http.Client, opts workOpts, lease
 		cancel()
 		<-finished
 	}
-}
-
-// postRenew sends one heartbeat. refused reports a coordinator judgment
-// (stop heartbeating) as opposed to a transport failure (retry next
-// tick).
-func postRenew(ctx context.Context, client *http.Client, opts workOpts, lease *shard.Lease) (refused bool, err error) {
-	body, err := json.Marshal(renewRequest{LeaseID: lease.ID, Fingerprint: lease.Spec.Fingerprint})
-	if err != nil {
-		return true, err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.url+"/v1/renew", bytes.NewReader(body))
-	if err != nil {
-		return true, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		return false, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return resp.StatusCode < 500, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
-	return false, nil
-}
-
-// requestLease asks the coordinator for a shard. A nil error with a nil
-// lease carries the non-200 status (204 idle, 410 done).
-func requestLease(ctx context.Context, client *http.Client, opts workOpts) (*shard.Lease, int, error) {
-	body, err := json.Marshal(leaseRequest{Worker: opts.name})
-	if err != nil {
-		return nil, 0, err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.url+"/v1/lease", bytes.NewReader(body))
-	if err != nil {
-		return nil, 0, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-		var l shard.Lease
-		if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
-			return nil, 0, fmt.Errorf("decoding lease: %v", err)
-		}
-		return &l, http.StatusOK, nil
-	case http.StatusNoContent, http.StatusGone:
-		return nil, resp.StatusCode, nil
-	default:
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, 0, fmt.Errorf("lease refused: %s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
-}
-
-// completeAttempts bounds postCompleteRetry: a computed shard is worth
-// several poll intervals of retrying, but not an unbounded wait.
-const completeAttempts = 5
-
-// postCompleteRetry delivers a shard result, retrying transport errors —
-// a simulated shard may represent minutes of work, and a network blip at
-// exactly the wrong moment must not throw it away. A coordinator refusal
-// (non-200 status) is never retried: the result was delivered and
-// judged, retrying cannot change the verdict.
-func postCompleteRetry(ctx context.Context, client *http.Client, opts workOpts, lease *shard.Lease, p *shard.Partial) error {
-	var err error
-	for attempt := 0; attempt < completeAttempts; attempt++ {
-		if attempt > 0 && !sleepCtx(ctx, opts.poll) {
-			return ctx.Err()
-		}
-		var permanent bool
-		permanent, err = postComplete(ctx, client, opts, lease, p)
-		if err == nil || permanent {
-			return err
-		}
-	}
-	return fmt.Errorf("undeliverable after %d attempts: %v", completeAttempts, err)
-}
-
-// postComplete delivers a shard result for a held lease, routed by the
-// shard's campaign fingerprint. permanent distinguishes a coordinator
-// refusal (do not retry) from a transport failure (retryable).
-func postComplete(ctx context.Context, client *http.Client, opts workOpts, lease *shard.Lease, p *shard.Partial) (permanent bool, err error) {
-	body, err := json.Marshal(completeRequest{LeaseID: lease.ID, Fingerprint: lease.Spec.Fingerprint, Partial: p})
-	if err != nil {
-		return true, err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.url+"/v1/complete", bytes.NewReader(body))
-	if err != nil {
-		return true, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		return false, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		// Only a 4xx is a judgment on the result (stale lease, duplicate,
-		// malformed); a 5xx is the coordinator side tripping over itself —
-		// a proxy restart, overload — and worth retrying like a transport
-		// error.
-		return resp.StatusCode < 500, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
-	return true, nil
 }
 
 // sleepCtx sleeps for d unless the context ends first.

@@ -8,6 +8,7 @@
 //	         [-shards 4] [-journal run.jsonl] [-resume]
 //	socfault -sweep table1|table3|let [-lets 1,37,100] [-fluxes 4e8,..]
 //	         [-sweep-soc 1] [-quick] [-shards 4] [-journal grid.jsonl] [-resume]
+//	socfault -sweep table1 -submit http://coordinator:8372
 //
 // With -shards N each campaign executes as N independent shards of its
 // pre-drawn injection plan (same result, bit for bit — the shape
@@ -21,14 +22,23 @@
 // enumerates exactly the campaign fingerprints a `campaignd serve
 // -sweep` coordinator serves, so the same journal resumes under either
 // tool and both render identical bytes.
+//
+// With -submit the very same grid is not run here at all: its
+// declarative description is POSTed to a running campaignd coordinator,
+// progress is watched until the fleet drains it, and the rendered
+// result — byte-identical to the local -sweep run — is fetched and
+// printed.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"repro/internal/capi"
 	"repro/internal/fault"
 	"repro/internal/inject"
 	"repro/internal/runstore"
@@ -40,7 +50,9 @@ import (
 // cliConfig is the parsed and validated command line.
 type cliConfig struct {
 	spec    shard.CampaignSpec
-	grid    *sweep.Grid // non-nil: run a whole experiment grid
+	grid    *sweep.Grid      // non-nil: run a whole experiment grid
+	params  sweep.GridParams // the grid's declarative description (with grid)
+	submit  string           // non-empty: POST the grid to this coordinator
 	ckpt    int
 	shards  int
 	journal string
@@ -69,29 +81,49 @@ func main() {
 func parseFlags(args []string) (*cliConfig, error) {
 	fs := flag.NewFlagSet("socfault", flag.ContinueOnError)
 	specOf := shard.CampaignFlags(fs)
-	gridOf := sweep.GridFlags(fs)
+	paramsOf := sweep.GridParamsFlags(fs)
 	ckpt := fs.Int("ckpt", 0, "golden checkpoint pitch in cycles for warm-started injections (0 = default)")
 	shards := fs.Int("shards", 1, "execute each campaign as this many independent shards (same result, bit for bit)")
 	journal := fs.String("journal", "", "append each completed shard to this journal file")
 	resume := fs.Bool("resume", false, "reload -journal and skip shards it already records")
+	submit := fs.String("submit", "", "submit the -sweep grid to the campaignd coordinator at this URL instead of running it here, watch its progress, and print the fetched results")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	cfg := &cliConfig{
+		submit:  *submit,
 		ckpt:    *ckpt,
 		shards:  *shards,
 		journal: *journal,
 		resume:  *resume,
 	}
-	grid, isSweep, err := gridOf()
+	params, isSweep, err := paramsOf()
 	if err != nil {
 		return nil, err
 	}
 	if isSweep {
+		cfg.params = params
+		grid, err := params.Grid()
+		if err != nil {
+			return nil, err
+		}
 		cfg.grid = &grid
 	} else {
+		if *submit != "" {
+			return nil, fmt.Errorf("-submit needs -sweep: only whole grids are submitted to a coordinator")
+		}
 		if cfg.spec, err = specOf(); err != nil {
 			return nil, err
+		}
+	}
+	if *submit != "" {
+		// Everything below tunes local execution; on a submit the fleet's
+		// coordinator owns journaling and sharding, so a local flag would
+		// be silently dead weight.
+		for name, val := range map[string]bool{"-journal": *journal != "", "-resume": *resume, "-ckpt": *ckpt != 0, "-shards": *shards != 1} {
+			if val {
+				return nil, fmt.Errorf("%s has no effect with -submit: the coordinator owns execution", name)
+			}
 		}
 	}
 	if *ckpt < 0 {
@@ -125,6 +157,9 @@ func parseFlags(args []string) (*cliConfig, error) {
 }
 
 func run(cfg *cliConfig) error {
+	if cfg.submit != "" {
+		return submitSweep(cfg)
+	}
 	if cfg.grid != nil {
 		return runSweep(cfg)
 	}
@@ -227,6 +262,51 @@ func runSweep(cfg *cliConfig) error {
 		return err
 	}
 	return cfg.grid.Render(os.Stdout, results)
+}
+
+// submitSweep is the fleet path: POST the grid's declarative
+// description to a running coordinator, watch per-campaign progress
+// until the worker fleet drains it, fetch the rendered results and
+// print them — byte-identical to runSweep on the same flags, because
+// the coordinator resolves the description through the same grid
+// constructors.
+func submitSweep(cfg *cliConfig) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	client := capi.NewClient(cfg.submit)
+	reply, err := client.Submit(ctx, cfg.params)
+	if err != nil {
+		return err
+	}
+	verb := "submitted to"
+	if !reply.Created {
+		verb = "already on"
+	}
+	fmt.Fprintf(os.Stderr, "socfault: sweep %s (%.12s, %d campaigns) %s %s\n",
+		reply.Name, reply.Fingerprint, reply.Campaigns, verb, cfg.submit)
+	var lastDone int = -1
+	st, err := client.WaitSweep(ctx, reply.Fingerprint, func(st capi.SweepStatus) {
+		if st.Progress.CampaignsDone != lastDone {
+			lastDone = st.Progress.CampaignsDone
+			fmt.Fprintf(os.Stderr, "socfault: %d/%d campaigns done\n", st.Progress.CampaignsDone, st.Progress.CampaignsTotal)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	switch st.State {
+	case capi.StateDone:
+	case capi.StateCancelled:
+		return fmt.Errorf("sweep %.12s was cancelled on the coordinator", reply.Fingerprint)
+	default:
+		return fmt.Errorf("sweep %.12s %s on the coordinator: %s", reply.Fingerprint, st.State, st.Error)
+	}
+	rendered, err := client.Results(ctx, reply.Fingerprint)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(rendered)
+	return err
 }
 
 func fatal(err error) {

@@ -30,7 +30,11 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"negative ckpt", []string{"-ckpt", "-2"}, "-ckpt"},
 		{"zero shards", []string{"-shards", "0"}, "-shards"},
 		{"resume without journal", []string{"-resume"}, "-resume needs -journal"},
-		{"unknown sweep", []string{"-sweep", "table9"}, "-sweep"},
+		{"unknown sweep", []string{"-sweep", "table9"}, "sweep kind"},
+		{"submit without sweep", []string{"-submit", "http://h:1"}, "-submit needs -sweep"},
+		{"submit with journal", []string{"-sweep", "let", "-submit", "http://h:1", "-journal", "x.jsonl"}, "no effect with -submit"},
+		{"submit with shards", []string{"-sweep", "let", "-submit", "http://h:1", "-shards", "4"}, "no effect with -submit"},
+		{"submit with ckpt", []string{"-sweep", "let", "-submit", "http://h:1", "-ckpt", "5"}, "no effect with -submit"},
 		{"sweep with campaign flag", []string{"-sweep", "let", "-soc", "3"}, "no effect under -sweep"},
 		{"sweep with seed flag", []string{"-sweep", "table1", "-seed", "9"}, "no effect under -sweep"},
 		{"bad lets", []string{"-sweep", "let", "-lets", "1,x"}, "-lets"},

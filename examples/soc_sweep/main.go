@@ -8,13 +8,22 @@
 // campaigns as one sweep, each sharded and journaled, merging and
 // rendering bit-identically to the classic path — locally here, or
 // distributed over a fleet with `campaignd serve -sweep table1`.
+//
+// With -submit URL the table is produced by a running fleet instead:
+// the grid's declarative description goes to a campaignd coordinator
+// over the typed capi client, workers drain all ten campaigns, and the
+// fetched rendered Table I — byte-identical to every local path — is
+// printed.
 package main
 
 import (
+	"context"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 
+	"repro/internal/capi"
 	"repro/internal/ssresf"
 	"repro/internal/sweep"
 )
@@ -23,8 +32,13 @@ func main() {
 	shards := flag.Int("shards", 0, "run as a sharded sweep with this many shards per campaign (0 = classic in-process)")
 	journal := flag.String("journal", "", "sweep journal file (with -shards)")
 	resume := flag.Bool("resume", false, "resume from -journal, skipping recorded shards")
+	submit := flag.String("submit", "", "submit the sweep to the campaignd coordinator at this URL and fetch its results")
 	flag.Parse()
 
+	if *submit != "" {
+		submitAndFetch(*submit, sweep.GridParams{Kind: "table1", Workload: "memcpy"})
+		return
+	}
 	ec := ssresf.DefaultExperimentConfig(false)
 	if *shards > 0 {
 		grid, err := sweep.TableIGrid(ec, "memcpy")
@@ -50,4 +64,30 @@ func main() {
 		log.Fatal(err)
 	}
 	ssresf.RenderTableI(os.Stdout, rows)
+}
+
+// submitAndFetch is the submit-then-fetch-results walkthrough: one
+// Submit, a WaitSweep watching per-campaign progress, one Results.
+func submitAndFetch(url string, params sweep.GridParams) {
+	ctx := context.Background()
+	client := capi.NewClient(url)
+	reply, err := client.Submit(ctx, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("sweep %s (%.12s): %d campaigns on %s", reply.Name, reply.Fingerprint, reply.Campaigns, url)
+	st, err := client.WaitSweep(ctx, reply.Fingerprint, func(st capi.SweepStatus) {
+		log.Printf("%d/%d campaigns done", st.Progress.CampaignsDone, st.Progress.CampaignsTotal)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if st.State != capi.StateDone {
+		log.Fatalf("sweep ended %s: %s", st.State, st.Error)
+	}
+	rendered, err := client.Results(ctx, reply.Fingerprint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(string(rendered))
 }

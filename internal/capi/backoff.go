@@ -1,0 +1,83 @@
+package capi
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff produces jittered, exponentially growing delays: Base on the
+// first call, doubling per call, capped at Cap, each drawn uniformly
+// from [d/2, d]. The jitter matters at fleet scale — a hundred workers
+// started by the same orchestrator, or knocked idle by the same
+// coordinator restart, would otherwise synchronize their polls into a
+// thundering herd against one coordinator; the randomized half-window
+// spreads them out, and the exponential growth keeps an idle fleet from
+// hammering a drained queue at the base rate forever.
+//
+// The zero value is usable and uses DefaultBase/DefaultCap. A Backoff
+// is safe for concurrent use, though each retry loop normally owns its
+// own.
+type Backoff struct {
+	Base time.Duration // first delay (0 = DefaultBase)
+	Cap  time.Duration // delay ceiling (0 = DefaultCap)
+
+	mu      sync.Mutex
+	attempt int
+	// rnd allows deterministic jitter under test; nil uses the global
+	// math/rand source.
+	rnd *rand.Rand
+}
+
+// Default backoff bounds: a half-second first retry growing to
+// half-minute pauses, the right shape for polling a coordinator that
+// serves minutes-long shards.
+const (
+	DefaultBase = 500 * time.Millisecond
+	DefaultCap  = 30 * time.Second
+)
+
+// Next returns the next delay in the schedule and advances it.
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	base, cap := b.Base, b.Cap
+	if base <= 0 {
+		base = DefaultBase
+	}
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	d := base
+	for i := 0; i < b.attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	if b.attempt < 63 { // further doubling is saturated anyway
+		b.attempt++
+	}
+	// Uniform in [d/2, d]: full-jitter style, but never collapsing to a
+	// zero sleep.
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	var j time.Duration
+	if b.rnd != nil {
+		j = time.Duration(b.rnd.Int63n(int64(half) + 1))
+	} else {
+		j = time.Duration(rand.Int63n(int64(half) + 1))
+	}
+	return half + j
+}
+
+// Reset returns the schedule to its first delay — called after any
+// successful exchange, so one blip does not leave a worker polling at
+// the cap.
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.attempt = 0
+}

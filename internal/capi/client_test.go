@@ -1,0 +1,197 @@
+package capi
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// fastClient returns a client for url whose retry backoff is fast
+// enough for tests.
+func fastClient(url string) *Client {
+	c := NewClient(url)
+	c.RetryBase = 5 * time.Millisecond
+	c.RetryCap = 20 * time.Millisecond
+	return c
+}
+
+// TestBackoffShape pins the schedule: exponential growth from Base,
+// capped at Cap, each delay jittered within [d/2, d], and Reset
+// returning to the first window.
+func TestBackoffShape(t *testing.T) {
+	b := &Backoff{Base: 100 * time.Millisecond, Cap: 800 * time.Millisecond, rnd: rand.New(rand.NewSource(1))}
+	wantFull := []time.Duration{100, 200, 400, 800, 800, 800} // ms, pre-jitter
+	for i, w := range wantFull {
+		full := w * time.Millisecond
+		got := b.Next()
+		if got < full/2 || got > full {
+			t.Fatalf("delay %d: got %v, want within [%v, %v]", i, got, full/2, full)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got < 50*time.Millisecond || got > 100*time.Millisecond {
+		t.Fatalf("post-Reset delay %v, want within the first window again", got)
+	}
+	// The jitter must actually vary: a fleet polling in lockstep is the
+	// bug this type exists to prevent.
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 32; i++ {
+		b.Reset()
+		seen[b.Next()] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("backoff produced identical delays across 32 draws; jitter is dead")
+	}
+}
+
+// TestBackoffZeroValue: the zero value must be usable with the
+// documented defaults.
+func TestBackoffZeroValue(t *testing.T) {
+	var b Backoff
+	d := b.Next()
+	if d < DefaultBase/2 || d > DefaultBase {
+		t.Fatalf("zero-value first delay %v, want within [%v, %v]", d, DefaultBase/2, DefaultBase)
+	}
+}
+
+// TestClientRetriesTransient5xx: a coordinator tripping over itself (a
+// proxy restart, overload) must be retried, and the call succeed once
+// the server recovers.
+func TestClientRetriesTransient5xx(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			WriteError(w, http.StatusInternalServerError, CodeInternal, "transient")
+			return
+		}
+		WriteJSON(w, []SweepSummary{{Fingerprint: "abc", State: StateRunning}})
+	}))
+	defer srv.Close()
+	got, err := fastClient(srv.URL).Sweeps(context.Background())
+	if err != nil {
+		t.Fatalf("call failed despite recovery: %v", err)
+	}
+	if len(got) != 1 || got[0].Fingerprint != "abc" {
+		t.Fatalf("reply lost through retries: %+v", got)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want 2 failures + 1 success", n)
+	}
+}
+
+// TestClientConnectionRefusedExhaustsRetries: with nothing listening,
+// the client must retry and then fail with the attempt count, not hang.
+func TestClientConnectionRefusedExhaustsRetries(t *testing.T) {
+	// Grab a port that is certainly closed.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close()
+	c := fastClient(url)
+	c.Retries = 3
+	start := time.Now()
+	_, _, err := c.Lease(context.Background(), "w")
+	if err == nil {
+		t.Fatal("lease against a closed port succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("3 fast retries took %v", elapsed)
+	}
+}
+
+// TestClientContextCancellationMidLease: cancelling the context while
+// the coordinator sits on the request must abort promptly with the
+// context's error, not wait out the HTTP timeout or retry budget.
+func TestClientContextCancellationMidLease(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-release:
+		}
+	}))
+	defer srv.Close()
+	// Runs before srv.Close: the handler must unblock first, because the
+	// server does not cancel r.Context() while the request body sits
+	// unread.
+	defer close(release)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err := fastClient(srv.URL).Lease(ctx, "w")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to propagate", elapsed)
+	}
+}
+
+// TestClientRefusalNotRetried: a 4xx is a coordinator judgment — final,
+// typed, and never retried (retrying cannot change the verdict).
+func TestClientRefusalNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		WriteError(w, http.StatusConflict, CodeConflict, "shard 3 already completed elsewhere")
+	}))
+	defer srv.Close()
+	err := fastClient(srv.URL).Complete(context.Background(), "fp", "lease-1", &shard.Partial{Index: 3})
+	if err == nil {
+		t.Fatal("refused completion reported success")
+	}
+	if !IsRefusal(err) {
+		t.Fatalf("409 not surfaced as a refusal: %v", err)
+	}
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Code != CodeConflict || ce.Status != http.StatusConflict {
+		t.Fatalf("envelope lost: %#v", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("refusal retried: server saw %d calls", n)
+	}
+}
+
+// TestDecodeErrorToleratesBareBody: a proxy's non-envelope error text
+// must still come back as a typed *Error carrying the status.
+func TestDecodeErrorToleratesBareBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	c := fastClient(srv.URL)
+	c.Retries = -1 // single attempt; we inspect the raw error
+	_, err := c.Sweep(context.Background(), "abc")
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Status != http.StatusBadGateway {
+		t.Fatalf("bare 502 body not lifted into *Error: %v", err)
+	}
+}
+
+// TestLeaseOutcomes maps the protocol's non-200 lease statuses onto the
+// typed outcomes.
+func TestLeaseOutcomes(t *testing.T) {
+	status := atomic.Int64{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(int(status.Load()))
+	}))
+	defer srv.Close()
+	c := fastClient(srv.URL)
+	status.Store(http.StatusNoContent)
+	if _, got, err := c.Lease(context.Background(), "w"); err != nil || got != LeaseIdle {
+		t.Fatalf("204: outcome %v err %v, want LeaseIdle", got, err)
+	}
+	status.Store(http.StatusGone)
+	if _, got, err := c.Lease(context.Background(), "w"); err != nil || got != LeaseDrained {
+		t.Fatalf("410: outcome %v err %v, want LeaseDrained", got, err)
+	}
+}

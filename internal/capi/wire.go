@@ -1,0 +1,176 @@
+// Package capi is the coordinator's versioned wire surface: the request
+// and reply types of every /v1 endpoint, the uniform JSON error
+// envelope, and a typed Client that speaks the protocol with context
+// support and retry/backoff — the one place coordinator HTTP plumbing
+// lives, instead of each worker loop, CLI and test hand-rolling its own
+// http.Post calls.
+//
+// The protocol is resource-oriented: sweeps are the resources. A sweep
+// is submitted as a declarative sweep.GridParams (grid kind plus
+// parameters), which the coordinator resolves through the same grid
+// constructors the CLIs use — so a submitted sweep enumerates exactly
+// the campaign fingerprints `socfault -sweep` runs locally, and its
+// fetched results are byte-comparable to the local run.
+//
+//	POST   /v1/sweeps               SubmitRequest -> 201/200 SubmitReply
+//	GET    /v1/sweeps               -> 200 []SweepSummary
+//	GET    /v1/sweeps/{fp}          -> 200 SweepStatus
+//	GET    /v1/sweeps/{fp}/results  -> 200 text/plain rendered grid
+//	DELETE /v1/sweeps/{fp}          -> 200 SweepStatus (cancel)
+//	POST   /v1/lease                LeaseRequest -> 200 shard.Lease,
+//	                                204 idle, 410 drained
+//	POST   /v1/complete             CompleteRequest -> 200
+//	POST   /v1/renew                RenewRequest -> 200 RenewReply
+//	GET    /v1/progress             deprecated alias of GET /v1/sweeps/{fp}
+//
+// Every error reply is the JSON envelope {"error":{"code","message"}}
+// with Content-Type application/json and a meaningful status code.
+package capi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/shard"
+	"repro/internal/sweep"
+)
+
+// Version is the API version prefix every endpoint lives under.
+const Version = "v1"
+
+// Sweep lifecycle states, as reported by SweepSummary and SweepStatus.
+const (
+	StateRunning   = "running"   // building/opening campaigns or draining shards
+	StateDone      = "done"      // every campaign merged; results fetchable
+	StateCancelled = "cancelled" // cancelled; unopened campaigns never ran
+	StateFailed    = "failed"    // a campaign failed to build/plan/merge
+)
+
+// TerminalState reports whether a sweep in the given state will never
+// change again.
+func TerminalState(state string) bool {
+	return state == StateDone || state == StateCancelled || state == StateFailed
+}
+
+// SubmitRequest asks a coordinator to serve a sweep. The grid is
+// described declaratively — never as pre-built campaign specs — so the
+// coordinator resolves it through the shared constructors and the
+// submitted sweep is fingerprint-identical to the same grid anywhere
+// else.
+type SubmitRequest struct {
+	Params sweep.GridParams `json:"params"`
+}
+
+// SubmitReply identifies the submitted sweep resource. Submission is
+// idempotent on the sweep fingerprint: resubmitting a live or completed
+// grid returns the existing resource with Created false (status 200
+// instead of 201).
+type SubmitReply struct {
+	Fingerprint string `json:"fingerprint"`
+	Name        string `json:"name"`
+	Campaigns   int    `json:"campaigns"`
+	State       string `json:"state"`
+	Created     bool   `json:"created"`
+}
+
+// SweepSummary is one entry of the sweep listing.
+type SweepSummary struct {
+	Fingerprint    string `json:"fingerprint"`
+	Name           string `json:"name"`
+	State          string `json:"state"`
+	CampaignsTotal int    `json:"campaigns_total"`
+	CampaignsDone  int    `json:"campaigns_done"`
+}
+
+// SweepStatus is one sweep's full status: lifecycle state plus the
+// per-campaign progress blocks (shard counts and ETAs never mix
+// campaign fingerprints).
+type SweepStatus struct {
+	Fingerprint string              `json:"fingerprint"`
+	Name        string              `json:"name"`
+	State       string              `json:"state"`
+	Error       string              `json:"error,omitempty"` // set when State is failed
+	Progress    sweep.SweepProgress `json:"progress"`
+}
+
+// LeaseRequest asks for one shard lease.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// CompleteRequest delivers one shard's partial result, routed by the
+// shard's campaign fingerprint — the durable key a worker always holds,
+// because an expired lease ID is forgotten by the pool.
+type CompleteRequest struct {
+	LeaseID     string         `json:"lease_id"`
+	Fingerprint string         `json:"fingerprint"`
+	Partial     *shard.Partial `json:"partial"`
+}
+
+// RenewRequest heartbeats a live lease, routed like CompleteRequest.
+type RenewRequest struct {
+	LeaseID     string `json:"lease_id"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// RenewReply carries the renewed lease deadline.
+type RenewReply struct {
+	ExpiresAt time.Time `json:"expires_at"`
+}
+
+// Error is the uniform error envelope, and doubles as the typed error
+// the Client returns for any coordinator refusal: Status is the HTTP
+// status, Code a stable machine-readable slug, Message the human text.
+type Error struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes. Codes are stable API; messages are not.
+const (
+	CodeBadRequest = "bad_request" // malformed body or parameters
+	CodeNotFound   = "not_found"   // no such resource
+	CodeConflict   = "conflict"    // duplicate result, campaign overlap, stale lease
+	CodePending    = "pending"     // results requested before the sweep completed
+	CodeCancelled  = "cancelled"   // resource was cancelled
+	CodeFailed     = "failed"      // sweep failed server-side
+	CodeInternal   = "internal"    // coordinator-side error
+)
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("coordinator: %s (%s, http %d)", e.Message, e.Code, e.Status)
+}
+
+// IsRefusal reports whether err is a coordinator judgment (a 4xx
+// envelope) as opposed to a transport failure or server-side 5xx —
+// judgments are final and must not be retried.
+func IsRefusal(err error) bool {
+	e, ok := err.(*Error)
+	return ok && e.Status >= 400 && e.Status < 500
+}
+
+// errorBody is the envelope's wire shape.
+type errorBody struct {
+	Err Error `json:"error"`
+}
+
+// WriteError replies with the JSON error envelope.
+func WriteError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding a struct of two strings cannot fail; ignore the writer's
+	// error as net/http handlers conventionally do.
+	json.NewEncoder(w).Encode(errorBody{Err: Error{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// WriteJSON replies with v as JSON.
+func WriteJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are out; nothing coherent can follow a partial body.
+		return
+	}
+}

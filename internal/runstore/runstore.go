@@ -35,13 +35,63 @@ type Store struct {
 	path string
 }
 
-// Open opens (creating if needed) a journal for appending.
+// Open opens (creating if needed) a journal for appending. Any torn
+// tail — the partial record of an append interrupted by a crash — is
+// truncated first: appending after garbage would otherwise hide every
+// subsequent record from Load/LoadAll (which stop at the first
+// undecodable byte), silently losing the work of a long-lived
+// coordinator that survives its own crash-restart.
 func Open(path string) (*Store, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("runstore: %v", err)
 	}
+	if err := truncateTornTail(f, path); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return &Store{f: f, path: path}, nil
+}
+
+// truncateTornTail scans the journal and cuts everything after the last
+// decodable record (and its trailing newline). A fully garbled file
+// truncates to empty — the journal then behaves like a fresh one.
+func truncateTornTail(f *os.File, path string) error {
+	r, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("runstore: %v", err)
+	}
+	defer r.Close()
+	size, err := r.Seek(0, 2)
+	if err != nil {
+		return fmt.Errorf("runstore: %v", err)
+	}
+	if _, err := r.Seek(0, 0); err != nil {
+		return fmt.Errorf("runstore: %v", err)
+	}
+	dec := json.NewDecoder(r)
+	var good int64
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			break
+		}
+		good = dec.InputOffset()
+	}
+	// Keep the record separator so the journal stays one-record-per-line.
+	if good < size {
+		one := make([]byte, 1)
+		if n, _ := r.ReadAt(one, good); n == 1 && one[0] == '\n' {
+			good++
+		}
+	}
+	if good == size {
+		return nil
+	}
+	if err := f.Truncate(good); err != nil {
+		return fmt.Errorf("runstore: truncating torn tail: %v", err)
+	}
+	return nil
 }
 
 // Path returns the journal's file path.

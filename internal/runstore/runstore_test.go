@@ -173,7 +173,10 @@ func TestLoadToleratesTornTail(t *testing.T) {
 	if len(got) != 1 || got[0] == nil {
 		t.Fatalf("torn journal loaded %d shards, want the 1 intact one", len(got))
 	}
-	// The journal must still be appendable after the crash.
+	// The journal must still be appendable after the crash: Open truncates
+	// the torn fragment, so records appended by the restarted process are
+	// not hidden behind it — the property a long-lived coordinator that
+	// survives its own crash-restart depends on.
 	st2, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
@@ -182,14 +185,36 @@ func TestLoadToleratesTornTail(t *testing.T) {
 	if err := st2.Append("fp", stubPartial(1, 2, 4)); err != nil {
 		t.Fatal(err)
 	}
-	// The torn fragment now corrupts the middle; everything before it
-	// still loads.
 	got, err = Load(path, "fp")
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(got) != 2 || got[0] == nil || got[1] == nil {
+		t.Fatalf("post-crash journal loaded %d shards, want both the pre-crash and post-restart records", len(got))
+	}
+}
+
+// TestOpenTruncatesGarbageOnlyJournal: a journal whose every byte is
+// garbage behaves like a fresh file after Open.
+func TestOpenTruncatesGarbageOnlyJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Append("fp", stubPartial(0, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 1 {
-		t.Fatalf("post-crash journal loaded %d shards", len(got))
+		t.Fatalf("journal after garbage truncation loaded %d shards, want 1", len(got))
 	}
 }
 

@@ -199,24 +199,76 @@ func Concat(name string, grids ...Grid) Grid {
 	}
 }
 
-// GridFlags registers the sweep-defining flags on fs and returns a
-// closure that materializes the validated Grid after parsing (ok is
-// false when no sweep was requested). Like shard.CampaignFlags, this is
-// the one registration point every CLI that names a sweep goes through
-// — cmd/socfault running a grid locally and cmd/campaignd serving it to
-// a worker fleet parse identical flags into identical campaign
+// GridParams is the declarative, wire-format description of a grid: the
+// kind plus the handful of parameters the GridFlags surface exposes. It
+// is what a client POSTs to a coordinator to submit a sweep, and Grid()
+// funnels it through the exact constructors the CLIs use — so a grid
+// submitted over the wire, named on a socfault command line, or served
+// by campaignd resolves to identical campaign fingerprints, which is
+// what makes their journals interchangeable and their rendered outputs
+// byte-comparable. Zero values mean the defaults the flags document:
+// workload "memcpy", SoC 1, and each grid's own LET/flux set.
+type GridParams struct {
+	// Kind selects the grid: "table1" (all benchmarks), "table3"
+	// (fluxes x engines on SoC1) or "let" (LET sweep on one benchmark).
+	Kind     string    `json:"kind"`
+	SoC      int       `json:"soc,omitempty"`    // let: benchmark index (0 = 1)
+	LETs     []float64 `json:"lets,omitempty"`   // let: points (nil = tabulated)
+	Fluxes   []float64 `json:"fluxes,omitempty"` // table3: fluxes (nil = the paper's)
+	Workload string    `json:"workload,omitempty"`
+	Quick    bool      `json:"quick,omitempty"` // reduced-sampling experiment config
+}
+
+// Grid materializes and validates the described grid.
+func (p GridParams) Grid() (Grid, error) {
+	workload := p.Workload
+	if workload == "" {
+		workload = "memcpy"
+	}
+	soc := p.SoC
+	if soc == 0 {
+		soc = 1
+	}
+	ec := ssresf.DefaultExperimentConfig(p.Quick)
+	var g Grid
+	var err error
+	switch p.Kind {
+	case "table1":
+		g, err = TableIGrid(ec, workload)
+	case "table3":
+		g, err = TableIIIGrid(ec, p.Fluxes, workload)
+	case "let":
+		g, err = LETGrid(ec, soc, p.LETs, workload)
+	default:
+		return Grid{}, fmt.Errorf("unknown sweep kind %q (want table1, table3 or let)", p.Kind)
+	}
+	if err != nil {
+		return Grid{}, err
+	}
+	if err := g.Spec.Validate(); err != nil {
+		return Grid{}, err
+	}
+	return g, nil
+}
+
+// GridParamsFlags registers the sweep-defining flags on fs and returns a
+// closure that lifts them into a GridParams after parsing (ok is false
+// when no sweep was requested). Like shard.CampaignFlags, this is the
+// one registration point every CLI that names a sweep goes through —
+// cmd/socfault running (or submitting) a grid and cmd/campaignd serving
+// it to a worker fleet parse identical flags into identical campaign
 // fingerprints, which is what lets one journal resume under either tool
 // and makes their outputs byte-comparable.
-func GridFlags(fs *flag.FlagSet) func() (Grid, bool, error) {
+func GridParamsFlags(fs *flag.FlagSet) func() (GridParams, bool, error) {
 	mode := fs.String("sweep", "", "experiment grid to run as one sweep: table1 (all benchmarks), table3 (fluxes x engines on SoC1), let (LET sweep)")
 	socIdx := fs.Int("sweep-soc", 1, "benchmark the LET sweep runs on")
 	lets := fs.String("lets", "", "comma-separated LET points for -sweep let (default: the database's tabulated LETs)")
 	fluxes := fs.String("fluxes", "", "comma-separated fluxes for -sweep table3 (default: the paper's five)")
 	workload := fs.String("sweep-workload", "memcpy", "workload kernel every sweep campaign runs")
 	quick := fs.Bool("quick", false, "reduced sampling (the fast-test experiment config) for every sweep campaign")
-	return func() (Grid, bool, error) {
+	return func() (GridParams, bool, error) {
 		if *mode == "" {
-			return Grid{}, false, nil
+			return GridParams{}, false, nil
 		}
 		// A sweep derives every campaign from the grid flags; a
 		// single-campaign flag set alongside -sweep would be silently
@@ -229,34 +281,40 @@ func GridFlags(fs *flag.FlagSet) func() (Grid, bool, error) {
 			}
 		})
 		if len(conflicts) > 0 {
-			return Grid{}, false, fmt.Errorf("single-campaign flag(s) %s have no effect under -sweep; use the sweep flags (-sweep-soc, -lets, -fluxes, -sweep-workload, -quick)",
+			return GridParams{}, false, fmt.Errorf("single-campaign flag(s) %s have no effect under -sweep; use the sweep flags (-sweep-soc, -lets, -fluxes, -sweep-workload, -quick)",
 				strings.Join(conflicts, " "))
 		}
-		ec := ssresf.DefaultExperimentConfig(*quick)
-		var g Grid
-		var err error
-		switch *mode {
-		case "table1":
-			g, err = TableIGrid(ec, *workload)
-		case "table3":
-			var fl []float64
-			if fl, err = parseFloats(*fluxes); err != nil {
-				return Grid{}, false, fmt.Errorf("-fluxes: %v", err)
-			}
-			g, err = TableIIIGrid(ec, fl, *workload)
-		case "let":
-			var ls []float64
-			if ls, err = parseFloats(*lets); err != nil {
-				return Grid{}, false, fmt.Errorf("-lets: %v", err)
-			}
-			g, err = LETGrid(ec, *socIdx, ls, *workload)
-		default:
-			return Grid{}, false, fmt.Errorf("unknown -sweep %q (want table1, table3 or let)", *mode)
-		}
+		ls, err := parseFloats(*lets)
 		if err != nil {
-			return Grid{}, false, err
+			return GridParams{}, false, fmt.Errorf("-lets: %v", err)
 		}
-		if err := g.Spec.Validate(); err != nil {
+		fl, err := parseFloats(*fluxes)
+		if err != nil {
+			return GridParams{}, false, fmt.Errorf("-fluxes: %v", err)
+		}
+		return GridParams{
+			Kind:     *mode,
+			SoC:      *socIdx,
+			LETs:     ls,
+			Fluxes:   fl,
+			Workload: *workload,
+			Quick:    *quick,
+		}, true, nil
+	}
+}
+
+// GridFlags is GridParamsFlags with the grid already materialized — the
+// entry point for CLIs that run the grid in-process rather than submit
+// its description to a coordinator.
+func GridFlags(fs *flag.FlagSet) func() (Grid, bool, error) {
+	paramsOf := GridParamsFlags(fs)
+	return func() (Grid, bool, error) {
+		p, ok, err := paramsOf()
+		if err != nil || !ok {
+			return Grid{}, ok, err
+		}
+		g, err := p.Grid()
+		if err != nil {
 			return Grid{}, false, err
 		}
 		return g, true, nil

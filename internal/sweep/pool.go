@@ -45,6 +45,7 @@ type Pool struct {
 	affinity  map[string]int // worker -> campaign index of its last lease
 	compCh    chan int
 	doneCh    chan struct{}
+	cancelled bool
 }
 
 // NewPool builds an empty pool over a validated sweep; campaigns become
@@ -124,6 +125,9 @@ func (p *Pool) Open(idx int, specs []shard.Spec, journaled map[int]*shard.Partia
 func (p *Pool) Lease(worker string, now time.Time) (*shard.Lease, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.cancelled {
+		return nil, false
+	}
 	if idx, ok := p.affinity[worker]; ok && p.queues[idx] != nil && !p.completed[idx] {
 		if l, ok := p.queues[idx].Lease(worker, now); ok {
 			return l, true
@@ -201,6 +205,27 @@ func (p *Pool) Renew(fingerprint, leaseID string, now time.Time) (time.Time, err
 		return time.Time{}, err
 	}
 	return q.Renew(leaseID, now)
+}
+
+// Cancel stops all future leasing from the pool: Lease refuses every
+// worker from now on, so pending shards of a cancelled sweep are never
+// handed out. Completions and renewals remain accepted — a worker
+// mid-shard at cancel time may finish and deliver (its result is valid
+// and worth journaling), or silently let its lease expire; either way
+// the journal stays a consistent prefix of the sweep. Cancel is a
+// scheduling verdict, not a correctness one: campaigns already merged
+// keep their results.
+func (p *Pool) Cancel() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cancelled = true
+}
+
+// Cancelled reports whether Cancel has been called.
+func (p *Pool) Cancelled() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cancelled
 }
 
 // Partials returns a completed campaign's shard results for merging.

@@ -408,3 +408,101 @@ func TestRunLocalMatchesInProcess(t *testing.T) {
 		}
 	}
 }
+
+// TestGridParamsMatchFlagsAndConstructors pins the wire contract the
+// submit API rides on: a GridParams resolved server-side enumerates
+// exactly the fingerprints the same grid gets from the CLI flags and
+// the programmatic constructors — the property that makes a submitted
+// sweep's results byte-comparable to `socfault -sweep` and lets one
+// journal resume under any of the three paths.
+func TestGridParamsMatchFlagsAndConstructors(t *testing.T) {
+	cases := []struct {
+		name   string
+		params GridParams
+		args   []string
+	}{
+		{"let", GridParams{Kind: "let", SoC: 1, LETs: testLETs, Workload: "memcpy", Quick: true},
+			[]string{"-sweep", "let", "-lets", "1,37", "-quick"}},
+		{"table1", GridParams{Kind: "table1", Workload: "memcpy", Quick: true},
+			[]string{"-sweep", "table1", "-quick"}},
+		{"table3", GridParams{Kind: "table3", Fluxes: []float64{4e8, 5e8}, Workload: "memcpy", Quick: true},
+			[]string{"-sweep", "table3", "-fluxes", "4e8,5e8", "-quick"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fromParams, err := tc.params.Grid()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs := flag.NewFlagSet("test", flag.ContinueOnError)
+			gridOf := GridFlags(fs)
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatal(err)
+			}
+			fromFlags, ok, err := gridOf()
+			if err != nil || !ok {
+				t.Fatalf("flags: ok=%v err=%v", ok, err)
+			}
+			if fromParams.Spec.Fingerprint() != fromFlags.Spec.Fingerprint() {
+				t.Fatal("params-built grid diverges from the flag-built grid")
+			}
+		})
+	}
+	// Zero values mean the documented defaults.
+	dflt, err := GridParams{Kind: "let"}.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := GridParams{Kind: "let", SoC: 1, Workload: "memcpy"}.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dflt.Spec.Fingerprint() != explicit.Spec.Fingerprint() {
+		t.Fatal("zero-value GridParams diverge from the explicit defaults")
+	}
+	if _, err := (GridParams{Kind: "table9"}).Grid(); err == nil {
+		t.Fatal("unknown grid kind accepted")
+	}
+	if _, err := (GridParams{Kind: "let", Workload: "quicksort3"}).Grid(); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestPoolCancel pins the cancellation contract: a cancelled pool
+// refuses all further leases but keeps accepting completions of shards
+// already out, so a mid-flight worker's delivery stays journal-worthy.
+func TestPoolCancel(t *testing.T) {
+	g := mustGrid(t)(LETGrid(quickEC(), 1, testLETs, "memcpy"))
+	pool, err := NewPool(g.Spec, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := g.Spec.Items[0].Campaign
+	specs, err := shard.Plan(cs, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Open(0, specs, nil); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	held, ok := pool.Lease("w1", now)
+	if !ok {
+		t.Fatal("fresh pool refused a lease")
+	}
+	pool.Cancel()
+	if !pool.Cancelled() {
+		t.Fatal("Cancelled() false after Cancel")
+	}
+	if _, ok := pool.Lease("w2", now); ok {
+		t.Fatal("cancelled pool granted a lease")
+	}
+	p := &shard.Partial{Index: held.Spec.Index, Start: held.Spec.Start, End: held.Spec.End,
+		Injections: make([]inject.Injection, held.Spec.End-held.Spec.Start)}
+	if err := pool.Complete(held.Spec.Fingerprint, held.ID, p, now.Add(time.Second)); err != nil {
+		t.Fatalf("completion of a leased shard refused after cancel: %v", err)
+	}
+	if _, err := pool.Renew(held.Spec.Fingerprint, held.ID, now.Add(time.Second)); err == nil {
+		t.Fatal("renew of a completed shard's lease accepted")
+	}
+}
