@@ -17,15 +17,17 @@ test:
 
 ci: vet build test
 
-# bench-smoke runs the warm-start comparison once and leaves
-# BENCH_warmstart.json behind with golden/injection wall-clock and
-# cell-evaluation metrics, so the perf trajectory is tracked per commit.
-# benchgate then fails the target when evals_reduction_x regresses >20%
-# below the baseline committed at HEAD (not the working-tree file, which
-# the benchmark itself overwrites — so re-running never self-rebaselines).
+# bench-smoke runs the warm-start comparisons once — both engines plus
+# the compare_vcd detector variant — and leaves BENCH_warmstart.json
+# behind with golden/injection wall-clock, cell-evaluation, pruning and
+# delta-restore metrics, so the perf trajectory is tracked per commit (CI
+# archives the file). benchgate then fails the target when any entry's
+# evals_reduction_x regresses >20% below the baseline committed at HEAD
+# (not the working-tree file, which the benchmark itself overwrites — so
+# re-running never self-rebaselines), or when an entry stops warm-starting.
 bench-smoke:
 	@git show HEAD:BENCH_warmstart.json > BENCH_warmstart.baseline.json 2>/dev/null || rm -f BENCH_warmstart.baseline.json
-	$(GO) test -run '^$$' -bench 'BenchmarkWarmVsCold' -benchtime 1x .
+	$(GO) test -run '^$$' -bench '^BenchmarkWarmVsCold(LevelSim|VCD)?$$' -benchtime 1x .
 	@cat BENCH_warmstart.json
 	@if [ -s BENCH_warmstart.baseline.json ]; then \
 		$(GO) run ./cmd/benchgate -baseline BENCH_warmstart.baseline.json -new BENCH_warmstart.json -max-regress 0.20; \

@@ -201,9 +201,10 @@ func BenchmarkEngines(b *testing.B) {
 }
 
 // warmstartReport is the BENCH_warmstart.json schema: one entry per
-// engine with the golden/injection wall-clock and cell-evaluation metrics
-// of a cold (replay-from-zero) vs warm (checkpoint-restored) campaign, so
-// CI tracks the perf trajectory of the warm-start path.
+// engine (plus the compare_vcd detector variant) with the golden and
+// injection wall-clock and cell-evaluation metrics of a cold
+// (replay-from-zero) vs warm (checkpoint-restored) campaign, so CI tracks
+// the perf trajectory of the warm-start path.
 type warmstartReport struct {
 	Design           string  `json:"design"`
 	Engine           string  `json:"engine"`
@@ -216,6 +217,8 @@ type warmstartReport struct {
 	WarmInjectEvals  uint64  `json:"warm_inject_evals"`
 	WarmStarts       uint64  `json:"warm_starts"`
 	PrunedRuns       uint64  `json:"pruned_runs"`
+	DeltaRestores    uint64  `json:"delta_restores"`
+	RestoreWallNS    int64   `json:"restore_wall_ns"`
 	EvalsReductionX  float64 `json:"evals_reduction_x"`
 	WallReductionX   float64 `json:"wall_reduction_x"`
 }
@@ -244,13 +247,20 @@ func writeWarmstartJSON(b *testing.B, key string, rep warmstartReport) {
 // if the two results are not bit-identical.
 func runWarmColdPair(b *testing.B, kind sim.EngineKind, frac float64) (cold, warm *inject.SoCRun) {
 	b.Helper()
+	opts := inject.DefaultOptions()
+	opts.Engine = kind
+	opts.SampleFrac = frac
+	return runWarmColdPairOpts(b, opts)
+}
+
+// runWarmColdPairOpts is runWarmColdPair over explicit options (the
+// compare_vcd variant flips the detector).
+func runWarmColdPairOpts(b *testing.B, opts inject.Options) (cold, warm *inject.SoCRun) {
+	b.Helper()
 	cfg, err := socgen.ConfigByIndex(1)
 	if err != nil {
 		b.Fatal(err)
 	}
-	opts := inject.DefaultOptions()
-	opts.Engine = kind
-	opts.SampleFrac = frac
 	coldOpts := opts
 	coldOpts.ColdStart = true
 	cold, err = inject.RunSoC(cfg, riscv.MemcpyProgram(16), fault.DefaultDB(), coldOpts)
@@ -290,6 +300,8 @@ func reportWarmCold(b *testing.B, key string, cold, warm *inject.SoCRun) {
 		WarmInjectEvals:  wr.InjectEvals,
 		WarmStarts:       wr.WarmStarts,
 		PrunedRuns:       wr.PrunedRuns,
+		DeltaRestores:    wr.DeltaRestores,
+		RestoreWallNS:    wr.RestoreWall.Nanoseconds(),
 	}
 	if wr.InjectEvals > 0 {
 		rep.EvalsReductionX = float64(cr.InjectEvals) / float64(wr.InjectEvals)
@@ -323,6 +335,27 @@ func BenchmarkWarmVsColdLevelSim(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cold, warm := runWarmColdPair(b, sim.KindLevel, 0.04)
 		reportWarmCold(b, "levelsim", cold, warm)
+	}
+}
+
+// BenchmarkWarmVsColdVCD runs the comparison with the faithful VCD
+// detector: the cold side replays every injection from t=0 and diffs full
+// traces (the paper's original method and the oracle), the warm side
+// restores golden checkpoints and diffs its tail against the golden trace
+// suffix. Verdict bit-identity is asserted by the shared pair runner; the
+// benchmark additionally fails if the warm VCD path silently fell back to
+// cold. The sample fraction is reduced because every cold VCD run parses
+// and diffs a full trace.
+func BenchmarkWarmVsColdVCD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := inject.DefaultOptions()
+		opts.SampleFrac = 0.08
+		opts.CompareVCD = true
+		cold, warm := runWarmColdPairOpts(b, opts)
+		if warm.Result.WarmStarts == 0 {
+			b.Fatal("CompareVCD campaign never warm-started")
+		}
+		reportWarmCold(b, "compare_vcd", cold, warm)
 	}
 }
 

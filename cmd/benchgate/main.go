@@ -1,7 +1,12 @@
 // Command benchgate guards the warm-start speedup against regressions:
 // it compares a freshly generated BENCH_warmstart.json with the committed
-// baseline and fails when any engine's evals_reduction_x fell more than
-// the allowed fraction below it. `make bench-smoke` (and CI through it)
+// baseline and fails when any baseline entry's evals_reduction_x — the
+// eventsim headline, the levelsim one, and the compare_vcd detector
+// variant alike — fell more than the allowed fraction below it, or when
+// an entry whose baseline warm-started stopped warm-starting (the
+// warm-start path silently degrading to cold replay would otherwise show
+// up only as a reduction of ~1x, which a generous margin could mask
+// until the next rebaseline). `make bench-smoke` (and CI through it)
 // snapshots the committed file before the benchmark overwrites it and
 // runs this gate afterwards.
 //
@@ -23,6 +28,8 @@ type benchEntry struct {
 	Injections      int     `json:"injections"`
 	EvalsReductionX float64 `json:"evals_reduction_x"`
 	WallReductionX  float64 `json:"wall_reduction_x"`
+	WarmStarts      uint64  `json:"warm_starts"`
+	DeltaRestores   uint64  `json:"delta_restores"`
 }
 
 func main() {
@@ -76,8 +83,12 @@ func gate(baselinePath, freshPath string, maxRegress float64, out *os.File) erro
 			return fmt.Errorf("%s: evals_reduction_x %.2f regressed below %.2f (baseline %.2f, max regression %.0f%%)",
 				engine, g.EvalsReductionX, floor, b.EvalsReductionX, 100*maxRegress)
 		}
-		fmt.Fprintf(out, "benchgate: %s ok: evals_reduction_x %.2f vs baseline %.2f (floor %.2f)\n",
-			engine, g.EvalsReductionX, b.EvalsReductionX, floor)
+		if b.WarmStarts > 0 && g.WarmStarts == 0 {
+			return fmt.Errorf("%s: baseline warm-started %d injections but the fresh run warm-started none — the warm path degraded to cold replay",
+				engine, b.WarmStarts)
+		}
+		fmt.Fprintf(out, "benchgate: %s ok: evals_reduction_x %.2f vs baseline %.2f (floor %.2f), warm_starts %d, delta_restores %d\n",
+			engine, g.EvalsReductionX, b.EvalsReductionX, floor, g.WarmStarts, g.DeltaRestores)
 	}
 	return nil
 }

@@ -71,3 +71,20 @@ func TestGateAgainstCommittedBaseline(t *testing.T) {
 		t.Fatalf("committed baseline fails against itself: %v", err)
 	}
 }
+
+func TestGateFailsWhenWarmStartsVanish(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", `{
+	  "compare_vcd": {"injections": 60, "evals_reduction_x": 5.0, "warm_starts": 60}
+	}`)
+	fresh := writeBench(t, dir, "fresh.json", `{
+	  "compare_vcd": {"injections": 60, "evals_reduction_x": 5.1, "warm_starts": 0}
+	}`)
+	err := gate(base, fresh, 0.20, os.Stdout)
+	if err == nil {
+		t.Fatal("a variant whose baseline warm-starts must fail the gate when the fresh run never warm-starts")
+	}
+	if !strings.Contains(err.Error(), "compare_vcd") {
+		t.Fatalf("error %q does not name the degraded variant", err)
+	}
+}

@@ -850,3 +850,140 @@ func TestAPISubmitSmoke(t *testing.T) {
 		t.Fatalf("serve: %v\n%s", err, serveOut.String())
 	}
 }
+
+// TestPurgeSweepDropsResourceAndJournal covers journal compaction for
+// long-lived coordinators: a sweep that completes gets its journal
+// records marked terminal (so the next Open compacts them away), and
+// DELETE /v1/sweeps/{fp}?purge=1 goes further — the resource leaves the
+// registry (GETs 404) and the records leave the disk before the reply.
+func TestPurgeSweepDropsResourceAndJournal(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "grid.jsonl")
+	params := quickLETParams(1)
+	var serveOut bytes.Buffer
+	url, serveErr := startServe(t, serveOpts{
+		shards:   2,
+		journal:  journal,
+		leaseTTL: time.Minute,
+		linger:   10 * time.Second,
+	}, &serveOut)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	client := capi.NewClient(url)
+	reply, err := client.Submit(ctx, params)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var wOut bytes.Buffer
+	workDone := make(chan error, 1)
+	go func() { workDone <- work(ctx, workOpts{url: url, name: "w", poll: 25 * time.Millisecond, out: &wOut}) }()
+	st, err := client.WaitSweep(ctx, reply.Fingerprint, nil)
+	if err != nil {
+		t.Fatalf("watch: %v\n%s", err, serveOut.String())
+	}
+	if st.State != capi.StateDone {
+		t.Fatalf("sweep ended %q: %s", st.State, st.Error)
+	}
+
+	// Completion marked the sweep's records terminal: the file still holds
+	// them physically, but no load will ever resume them.
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("journal is empty before purge — nothing was ever recorded")
+	}
+	loaded, err := runstore.LoadAll(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fp := range fleetFingerprints(st) {
+		if len(loaded[fp]) != 0 {
+			t.Fatalf("campaign %.12s still loads %d journaled shards after its sweep completed", fp, len(loaded[fp]))
+		}
+	}
+
+	stPurge, err := client.Purge(ctx, reply.Fingerprint)
+	if err != nil {
+		t.Fatalf("purge: %v", err)
+	}
+	if stPurge.State != capi.StateDone {
+		t.Fatalf("purge reported state %q, want done", stPurge.State)
+	}
+	if _, err := client.Sweep(ctx, reply.Fingerprint); err == nil {
+		t.Fatal("purged sweep still answers GET /v1/sweeps/{fp}")
+	} else if apiErr, ok := err.(*capi.Error); !ok || apiErr.Code != capi.CodeNotFound {
+		t.Fatalf("purged sweep GET returned %v, want a %s API error", err, capi.CodeNotFound)
+	}
+	raw, err = os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 0 {
+		t.Fatalf("journal still holds %d bytes after purge:\n%s", len(raw), raw)
+	}
+
+	if err := <-workDone; err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v\n%s", err, serveOut.String())
+	}
+}
+
+// TestTerminalMarkerProtectsSharedCampaigns: a completed API sweep must
+// not mark terminal (nor purge) the records of campaigns it shares with
+// the exempt self-submitted sweep — whose journal is its recovery
+// artifact — while still dropping the campaigns only it served.
+func TestTerminalMarkerProtectsSharedCampaigns(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "j.jsonl")
+	store, err := runstore.Open(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	g := newRegistry(serveOpts{shards: 1, leaseTTL: time.Minute}, store, map[string]map[int]*shard.Partial{}, &syncWriter{w: io.Discard})
+
+	specFor := func(seed uint64) shard.CampaignSpec {
+		cs := e2eSpec()
+		cs.Seed = seed
+		return cs
+	}
+	csA, csB, csC := specFor(1), specFor(2), specFor(3)
+	mkRun := func(name string, specs ...shard.CampaignSpec) *sweepRun {
+		var items []sweep.Item
+		for i, cs := range specs {
+			items = append(items, sweep.Item{Key: fmt.Sprintf("%s-%d", name, i), Campaign: cs})
+		}
+		return &sweepRun{grid: sweep.Grid{Spec: sweep.SweepSpec{Name: name, Items: items}}, state: capi.StateDone}
+	}
+	initial := mkRun("initial", csA, csB) // self-submitted batch job
+	api := mkRun("api", csB, csC)        // later API sweep sharing csB
+	g.initial = initial
+	g.byCamp[csA.Fingerprint()] = initial
+	g.byCamp[csB.Fingerprint()] = api // api took the shared campaign over
+	g.byCamp[csC.Fingerprint()] = api
+	for _, cs := range []shard.CampaignSpec{csA, csB, csC} {
+		if err := store.Append(cs.Fingerprint(), stubSpecPartial()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	g.markJournalTerminal(api)
+	loaded, err := runstore.LoadAll(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded[csA.Fingerprint()]) != 1 || len(loaded[csB.Fingerprint()]) != 1 {
+		t.Fatalf("marker killed records shared with the initial sweep: %v", loaded)
+	}
+	if len(loaded[csC.Fingerprint()]) != 0 {
+		t.Fatal("the API-only campaign's records survived its terminal marker")
+	}
+}
+
+// stubSpecPartial is a minimal journalable shard record.
+func stubSpecPartial() *shard.Partial {
+	return &shard.Partial{Index: 0, Start: 0, End: 1, Injections: []inject.Injection{{CellID: 1, Path: "stub"}}}
+}

@@ -85,6 +85,7 @@ type registry struct {
 	outPath   string    // initial sweep's rendered-output file
 	outDir    string    // initial sweep's per-campaign JSON directory
 	single    bool      // initial sweep is one -soc campaign
+	submitted bool      // a sweep was ever submitted (survives purges)
 	changed   chan struct{}
 }
 
@@ -115,11 +116,13 @@ func (g *registry) ping() {
 }
 
 // idle reports whether the coordinator has nothing left to serve: at
-// least one sweep was ever submitted and all of them are terminal.
+// least one sweep was ever submitted and all still-registered ones are
+// terminal (a purged sweep leaves the registry but still counts as having
+// been served).
 func (g *registry) idle() bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if len(g.order) == 0 {
+	if !g.submitted {
 		return false
 	}
 	for _, sr := range g.order {
@@ -182,6 +185,7 @@ func (g *registry) submit(grid sweep.Grid, single *shard.CampaignSpec, initial b
 	}
 	g.sweeps[fp] = sr
 	g.order = append(g.order, sr)
+	g.submitted = true
 	for _, it := range grid.Spec.Items {
 		g.byCamp[it.Campaign.Fingerprint()] = sr
 	}
@@ -232,6 +236,20 @@ func (g *registry) run(sr *sweepRun) {
 	}
 	state := sr.state
 	g.mu.Unlock()
+	if state == capi.StateDone && sr != g.initialSweep() {
+		// An API-submitted sweep that merged and rendered has delivered:
+		// its results travel over GET /v1/sweeps/{fp}/results, and the
+		// journaled shards' only remaining use is speeding up an identical
+		// resubmission. Mark them terminal so the next Open compacts them
+		// away — a long-lived coordinator's journal stays proportional to
+		// its live work, not its history. (The in-memory view keeps them,
+		// so a same-process resubmission still answers instantly.) The
+		// self-submitted batch-job sweep is exempt: its journal IS its
+		// recovery artifact — a coordinator re-run on the same flags and
+		// journal must merge and render without simulating anything, which
+		// TestServeWorkEndToEnd/TestServeSweepEndToEnd pin.
+		g.markJournalTerminal(sr)
+	}
 	if state == capi.StateFailed {
 		// A failed sweep will never merge: stop its builder and refuse its
 		// pending shards to the fleet, exactly as a cancel does — workers
@@ -353,6 +371,102 @@ func (g *registry) drive(sr *sweepRun) error {
 	return nil
 }
 
+// campaignFingerprints lists one sweep's campaign fingerprints.
+func campaignFingerprints(sr *sweepRun) []string {
+	fps := make([]string, 0, len(sr.grid.Spec.Items))
+	for _, it := range sr.grid.Spec.Items {
+		fps = append(fps, it.Campaign.Fingerprint())
+	}
+	return fps
+}
+
+// initialSweep returns the self-submitted sweep, if any.
+func (g *registry) initialSweep() *sweepRun {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.initial
+}
+
+// droppableFingerprints returns the subset of sr's campaign fingerprints
+// whose journal records may be marked dead on sr's behalf: campaigns
+// another sweep has since taken over are its resumability now, and the
+// self-submitted initial sweep's campaigns are never droppable — its
+// journal is its recovery artifact, and a later API sweep sharing a
+// campaign (possible once the initial sweep is terminal) must not
+// invalidate it. Callers hold g.mu.
+func (g *registry) droppableFingerprints(sr *sweepRun) []string {
+	protected := map[string]bool{}
+	if g.initial != nil && g.initial != sr {
+		for _, cfp := range campaignFingerprints(g.initial) {
+			protected[cfp] = true
+		}
+	}
+	var fps []string
+	for _, cfp := range campaignFingerprints(sr) {
+		if owner, ok := g.byCamp[cfp]; ok && owner != sr {
+			continue
+		}
+		if protected[cfp] {
+			continue
+		}
+		fps = append(fps, cfp)
+	}
+	return fps
+}
+
+// markJournalTerminal appends a terminal marker for the sweep's
+// droppable campaigns.
+func (g *registry) markJournalTerminal(sr *sweepRun) {
+	g.mu.Lock()
+	store := g.store
+	fps := g.droppableFingerprints(sr)
+	g.mu.Unlock()
+	if store == nil || len(fps) == 0 {
+		return
+	}
+	if err := store.MarkTerminal(fps); err != nil {
+		// Only journal hygiene is lost; the records stay loadable.
+		fmt.Fprintln(os.Stderr, "campaignd: journal terminal marker:", err)
+	}
+}
+
+// purge removes a (terminal) sweep from the registry and eagerly drops
+// its droppable campaigns' journal records: later completions for it are
+// refused, GETs 404, and a resubmission starts from a clean slate.
+// Campaigns another sweep has taken over — or shared with the exempt
+// initial sweep — are left alone (see droppableFingerprints).
+func (g *registry) purge(sr *sweepRun) {
+	g.mu.Lock()
+	delete(g.sweeps, sr.fp)
+	for i, got := range g.order {
+		if got == sr {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+	// Journal state is the narrow set (droppable only); routing is the
+	// wide one — every campaign this sweep still owns stops resolving to
+	// the removed resource.
+	fps := g.droppableFingerprints(sr)
+	for _, cfp := range fps {
+		delete(g.journaled, cfp)
+	}
+	for _, cfp := range campaignFingerprints(sr) {
+		if g.byCamp[cfp] == sr {
+			delete(g.byCamp, cfp)
+		}
+	}
+	store := g.store
+	g.mu.Unlock()
+	if store != nil {
+		if err := store.Purge(fps); err != nil {
+			fmt.Fprintln(os.Stderr, "campaignd: journal purge:", err)
+		}
+	}
+	g.ping()
+	fmt.Fprintf(g.stdout, "campaignd: sweep %s (%.12s) purged\n", sr.grid.Spec.Name, sr.fp)
+}
+
 // journaledFor snapshots the journaled shards of one campaign. The map
 // grows as live completions land, so a later submission reusing a
 // campaign (after a cancel, say) restores everything delivered so far.
@@ -397,7 +511,7 @@ func (g *registry) liveSweeps() (order []*sweepRun, drained bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	order = append(order, g.order...)
-	drained = len(g.order) > 0
+	drained = g.submitted
 	for _, sr := range g.order {
 		if !capi.TerminalState(sr.state) {
 			drained = false
@@ -537,13 +651,21 @@ func (g *registry) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleCancel cancels a sweep; with ?purge=1 it additionally forgets it:
+// the resource leaves the registry (subsequent GETs 404, resubmission
+// starts fresh) and its campaigns' journal records are dropped from disk
+// before the reply — the eager path of journal compaction.
 func (g *registry) handleCancel(w http.ResponseWriter, r *http.Request) {
 	sr, ok := g.lookup(w, r)
 	if !ok {
 		return
 	}
 	g.cancel(sr)
-	capi.WriteJSON(w, g.status(sr))
+	st := g.status(sr)
+	if r.URL.Query().Get("purge") == "1" {
+		g.purge(sr)
+	}
+	capi.WriteJSON(w, st)
 }
 
 func (g *registry) handleLease(w http.ResponseWriter, r *http.Request) {

@@ -257,6 +257,18 @@ func (c *Client) Cancel(ctx context.Context, fingerprint string) (SweepStatus, e
 	return out, err
 }
 
+// Purge cancels a sweep AND forgets it: the coordinator drops the
+// resource (subsequent GETs return 404) and eagerly deletes its
+// campaigns' journal records, so a long-lived coordinator's journal does
+// not accrue every sweep ever served. The returned status is the sweep's
+// final state before removal. Retrying like Cancel; a retry that finds
+// the sweep already gone surfaces the 404 as a *Error.
+func (c *Client) Purge(ctx context.Context, fingerprint string) (SweepStatus, error) {
+	var out SweepStatus
+	_, err := c.doRetry(ctx, http.MethodDelete, "/v1/sweeps/"+fingerprint+"?purge=1", nil, &out)
+	return out, err
+}
+
 // Results fetches a completed sweep's rendered output (retrying) —
 // byte-identical to the same grid run locally. Before completion the
 // coordinator refuses with CodePending; after cancellation with

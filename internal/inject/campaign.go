@@ -11,14 +11,20 @@
 // The campaign exploits a structural property of the workload: every fault
 // strikes after cycle 3, so the prefix of every faulty run is bit-identical
 // to the golden run. During the golden run the campaign snapshots engine
-// checkpoints on a fixed cycle schedule; each injection then warm-starts
-// from the latest checkpoint at or before its strike time and simulates
-// only the post-strike tail, with per-worker engine reuse and early exit as
-// soon as the verdict is decided (first diverging output row, or full state
-// re-convergence onto the golden trajectory). See DESIGN.md.
+// checkpoints — by default at the strike-time quantiles of the already
+// drawn injection plan, so the average restore→strike tail is as short as
+// the checkpoint budget allows; each injection then warm-starts from the
+// latest checkpoint at or before its strike time and simulates only the
+// post-strike tail, with early exit as soon as the verdict is decided
+// (first diverging output row, or full state re-convergence onto the
+// golden trajectory). Each worker's injections are strike-sorted so
+// consecutive runs share a restore point and reset their engine through
+// sim.Engine.RestoreDelta — a dirty-set rewrite instead of a wholesale
+// copy. See DESIGN.md.
 package inject
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"runtime"
@@ -43,6 +49,22 @@ import (
 // re-simulated prefix is under one cycle and convergence is probed every
 // other cycle, while a 30-odd-cycle workload still only keeps ~17 snapshots.
 const DefaultCheckpointEveryCycles = 2
+
+// Checkpoint placement policies (Options.CheckpointPlacement).
+const (
+	// PlacementFixed snapshots every CheckpointEveryCycles-th cycle,
+	// regardless of where the drawn plan actually strikes.
+	PlacementFixed = "fixed"
+	// PlacementQuantile spends the same checkpoint budget the fixed pitch
+	// would use, but places the snapshots at the strike-time quantiles of
+	// the drawn injection plan, concentrating restore points where strikes
+	// concentrate. The schedule is adaptive but never worse: when the
+	// quantile layout would lengthen the average restore→strike tail (e.g.
+	// strikes uniform enough that the fixed grid is already optimal), the
+	// fixed schedule is kept. Placement changes how much tail each
+	// injection re-simulates, never any verdict.
+	PlacementQuantile = "quantile"
+)
 
 // Options configures a campaign.
 type Options struct {
@@ -73,8 +95,11 @@ type Options struct {
 	ModuleOf func(c *netlist.FlatCell) string
 	// CompareVCD switches the soft-error detector from the fast cycle
 	// signature to a full VCD diff (the paper's method); both yield the
-	// same verdicts, which TestSignatureMatchesVCD verifies. VCD runs are
-	// always simulated cold from t=0.
+	// same verdicts, which TestSignatureMatchesVCD verifies. The golden
+	// trace is dumped once during the golden run; warm-started injections
+	// diff their restored tail incrementally against the golden trace
+	// suffix, so the VCD detector warm-starts like the signature detector
+	// does. ColdStart restores the replay-and-diff-full-traces oracle.
 	CompareVCD bool
 	// Workers is the number of concurrent injection simulations. Fault
 	// runs are independent, and all random choices are drawn before the
@@ -84,8 +109,14 @@ type Options struct {
 	// CheckpointEveryCycles is the clock-cycle pitch of the golden-run
 	// checkpoint schedule that injection runs warm-start from. 0 uses
 	// DefaultCheckpointEveryCycles; the verdicts are bit-identical for any
-	// pitch, only the amount of re-simulated prefix changes.
+	// pitch, only the amount of re-simulated prefix changes. Under quantile
+	// placement the pitch defines the checkpoint budget (how many snapshots
+	// the fixed grid would have held), not the snapshot positions.
 	CheckpointEveryCycles int
+	// CheckpointPlacement chooses where the checkpoint budget is spent:
+	// PlacementFixed or PlacementQuantile. Empty means PlacementQuantile.
+	// Verdicts are bit-identical for any placement.
+	CheckpointPlacement string
 	// ColdStart disables checkpointing and warm starts entirely, restoring
 	// the replay-from-t=0 behaviour; campaign results are bit-identical
 	// either way (the warm-vs-cold regression tests rely on this switch).
@@ -185,6 +216,13 @@ type Result struct {
 	// onto the golden trajectory. Work metrics only — verdicts are
 	// bit-identical with or without warm starts.
 	WarmStarts, PrunedRuns uint64
+	// DeltaRestores counts warm starts that reset their engine through the
+	// dirty-set delta path (consecutive strike-sorted injections sharing a
+	// restore point) instead of a wholesale checkpoint copy; RestoreWall is
+	// the total wall-clock the workers spent inside restores. Work metrics
+	// only, like WarmStarts.
+	DeltaRestores uint64
+	RestoreWall   time.Duration
 }
 
 // Campaign holds the prepared state for running injections on one design.
@@ -194,26 +232,40 @@ type Campaign struct {
 	opts Options
 	db   *fault.DB
 
-	clusters  *cluster.Result
-	golden    *signature
-	goldenVCD *vcd.Trace
-	rng       *xrand.RNG
-	jobs      []Job
-	jobsDrawn bool
+	clusters *cluster.Result
+	golden   *signature
+	// goldenVCD is the parsed golden trace of the CompareVCD detector;
+	// goldenVCDRows is its value at every sampling instant (the golden
+	// trace suffix warm VCD runs diff against, row k-2 = cycle k), and
+	// goldenVCDDump holds the raw golden dump bytes whose per-checkpoint
+	// prefixes faulty tail dumps are stitched onto.
+	goldenVCD     *vcd.Trace
+	goldenVCDRows *signature
+	goldenVCDDump []byte
+	rng           *xrand.RNG
+	jobs          []Job
+	jobsDrawn     bool
 
 	// ckpts is the golden-run checkpoint schedule, ascending in time;
 	// read-only after New, shared by all workers.
-	ckpts      []goldenCheckpoint
-	warmStarts atomic.Uint64
-	prunedRuns atomic.Uint64
+	ckpts         []goldenCheckpoint
+	warmStarts    atomic.Uint64
+	prunedRuns    atomic.Uint64
+	deltaRestores atomic.Uint64
+	restoreWallNS atomic.Int64
 }
 
 // goldenCheckpoint is one snapshot of the golden run: the engine state at
-// the start of clock cycle `cycle` (just after its rising edge).
+// the start of clock cycle `cycle` (just after its rising edge). Under
+// CompareVCD it additionally carries the golden VCD writer's dump state at
+// the same instant, so a restored run can resume dumping mid-trace.
 type goldenCheckpoint struct {
 	cycle int
 	time  uint64
 	ck    *sim.Checkpoint
+
+	vcdState  *vcd.WriterState
+	vcdPrefix int // golden dump bytes emitted up to this checkpoint
 }
 
 // New prepares a campaign: validates options, clusters the cells, and
@@ -231,6 +283,12 @@ func New(f *netlist.Flat, plan *socgen.StimulusPlan, db *fault.DB, opts Options)
 	}
 	if opts.CheckpointEveryCycles < 0 {
 		return nil, nil, fmt.Errorf("inject: CheckpointEveryCycles %d must be >= 0", opts.CheckpointEveryCycles)
+	}
+	switch opts.CheckpointPlacement {
+	case "", PlacementFixed, PlacementQuantile:
+	default:
+		return nil, nil, fmt.Errorf("inject: unknown CheckpointPlacement %q (want %s or %s)",
+			opts.CheckpointPlacement, PlacementFixed, PlacementQuantile)
 	}
 	if opts.ModuleOf == nil {
 		opts.ModuleOf = socgen.ModuleOf
@@ -260,6 +318,14 @@ func New(f *netlist.Flat, plan *socgen.StimulusPlan, db *fault.DB, opts Options)
 		Options:   opts,
 		Modules:   map[string]*ModuleStats{},
 		ClusterOf: cl.Assign,
+	}
+	if c.warmStartEnabled() && c.placement() == PlacementQuantile {
+		// Quantile placement positions the golden checkpoints at the strike
+		// times of the plan, so the plan must exist before the golden run.
+		// Drawing order does not perturb the plan: the golden run consumes
+		// no campaign randomness, which is also why every placement and
+		// pitch yields the identical plan (and identical verdicts).
+		c.DrawJobs()
 	}
 	start := time.Now()
 	golden, evals, err := c.runGolden()
@@ -359,17 +425,101 @@ func (c *Campaign) checkpointInterval() int {
 	return c.opts.CheckpointEveryCycles
 }
 
+// placement resolves the configured checkpoint placement policy.
+func (c *Campaign) placement() string {
+	if c.opts.CheckpointPlacement == "" {
+		return PlacementQuantile
+	}
+	return c.opts.CheckpointPlacement
+}
+
 // warmStartEnabled reports whether injections run from golden checkpoints.
-// The VCD detector always replays from t=0 (it diffs full traces, not
-// tails), and ColdStart forces the legacy behaviour.
+// Only ColdStart forces the legacy replay-from-zero behaviour; the VCD
+// detector warm-starts too, diffing restored tails against the golden
+// trace suffix.
 func (c *Campaign) warmStartEnabled() bool {
-	return !c.opts.ColdStart && !c.opts.CompareVCD
+	return !c.opts.ColdStart
+}
+
+// fixedCheckpointCycles is the fixed-pitch checkpoint grid: every
+// interval-th cycle whose snapshot instant leaves at least one full cycle
+// of plan to resume into. Its length is the checkpoint budget quantile
+// placement is allowed to spend.
+func (c *Campaign) fixedCheckpointCycles() []int {
+	period := c.plan.PeriodPS
+	var fixed []int
+	for k := c.checkpointInterval(); uint64(k+1)*period <= c.plan.DurationPS; k += c.checkpointInterval() {
+		fixed = append(fixed, k)
+	}
+	return fixed
+}
+
+// restoreTailSum is the total restore→strike distance the schedule leaves:
+// for every strike, the picoseconds separating it from the latest
+// checkpoint instant at or before it (or from t=0 when it precedes the
+// whole schedule). The quantile placer minimizes this; the property test
+// pins that it never exceeds the fixed grid's.
+func restoreTailSum(strikes []uint64, cycles []int, period uint64) uint64 {
+	var sum uint64
+	i := 0
+	var restoreAt uint64 // 0 = replay from t=0
+	for _, s := range strikes {
+		for i < len(cycles) && uint64(cycles[i])*period+1 <= s {
+			restoreAt = uint64(cycles[i])*period + 1
+			i++
+		}
+		sum += s - restoreAt
+	}
+	return sum
+}
+
+// checkpointCycles lays out the golden-run checkpoint schedule according
+// to the placement policy, within the fixed pitch's checkpoint budget.
+func (c *Campaign) checkpointCycles() []int {
+	fixed := c.fixedCheckpointCycles()
+	if c.placement() != PlacementQuantile || len(fixed) == 0 || len(c.jobs) == 0 {
+		return fixed
+	}
+	period := c.plan.PeriodPS
+	strikes := make([]uint64, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		strikes = append(strikes, j.TimePS)
+	}
+	sort.Slice(strikes, func(i, j int) bool { return strikes[i] < strikes[j] })
+	// One candidate per budget slot, at the midpoint quantiles of the
+	// strike distribution, snapped to the strike's own cycle so the
+	// restore point lands just before it. Snapping dedupes when strikes
+	// cluster — the schedule may use less than the budget, never more.
+	budget := len(fixed)
+	seen := map[int]bool{}
+	var quant []int
+	for i := 0; i < budget; i++ {
+		s := strikes[(2*i+1)*len(strikes)/(2*budget)]
+		k := int(s / period)
+		if k < 1 || uint64(k+1)*period > c.plan.DurationPS || uint64(k)*period+1 > s {
+			continue
+		}
+		if !seen[k] {
+			seen[k] = true
+			quant = append(quant, k)
+		}
+	}
+	sort.Ints(quant)
+	// Keep the fixed grid on a tie or loss: equal restore tails mean the
+	// adaptive layout buys nothing, and the fixed grid's evenly spaced
+	// snapshots double as better-distributed convergence probes.
+	if len(quant) == 0 || restoreTailSum(strikes, quant, period) >= restoreTailSum(strikes, fixed, period) {
+		return fixed
+	}
+	return quant
 }
 
 // runGolden simulates the fault-free workload, capturing the golden
 // signature and — when warm starts are enabled — the checkpoint schedule.
-// Checkpoints are taken 1ps after the rising edge of every Nth cycle, an
-// instant that never coincides with stimulus, strikes or sampling.
+// Checkpoints are taken 1ps after the rising edge of the scheduled cycles,
+// an instant that never coincides with stimulus, strikes or sampling.
+// Under CompareVCD the same run also dumps the golden VCD trace, and each
+// checkpoint captures the writer's dump state alongside the engine state.
 func (c *Campaign) runGolden() (*signature, uint64, error) {
 	eng, err := sim.New(c.opts.Engine, c.flat)
 	if err != nil {
@@ -378,13 +528,29 @@ func (c *Campaign) runGolden() (*signature, uint64, error) {
 	if err := c.plan.Apply(eng); err != nil {
 		return nil, 0, err
 	}
+	var vw *vcd.Writer
+	var vcdBuf *bytes.Buffer
+	if c.opts.CompareVCD && c.warmStartEnabled() {
+		vcdBuf = &bytes.Buffer{}
+		vw = vcd.NewWriter(vcdBuf)
+		if err := sim.AttachVCD(eng, vw, c.plan.Monitors); err != nil {
+			return nil, 0, err
+		}
+	}
 	if c.warmStartEnabled() {
-		period := c.plan.PeriodPS
-		for k := c.checkpointInterval(); uint64(k+1)*period <= c.plan.DurationPS; k += c.checkpointInterval() {
+		for _, k := range c.checkpointCycles() {
 			k := k
-			tm := uint64(k)*period + 1
+			tm := uint64(k)*c.plan.PeriodPS + 1
 			eng.At(tm, func() {
-				c.ckpts = append(c.ckpts, goldenCheckpoint{cycle: k, time: tm, ck: eng.Snapshot()})
+				gc := goldenCheckpoint{cycle: k, time: tm, ck: eng.Snapshot()}
+				if vw != nil {
+					// The dump state and the byte offset let a faulty run
+					// resume the trace mid-dump (see TailVCD).
+					_ = vw.Flush()
+					gc.vcdState = vw.State()
+					gc.vcdPrefix = vcdBuf.Len()
+				}
+				c.ckpts = append(c.ckpts, gc)
 			})
 		}
 	}
@@ -392,6 +558,18 @@ func (c *Campaign) runGolden() (*signature, uint64, error) {
 	c.scheduleSignature(eng, sig, 2)
 	if err := eng.Run(c.plan.DurationPS); err != nil {
 		return nil, 0, err
+	}
+	if vw != nil {
+		if err := vw.Close(c.plan.DurationPS); err != nil {
+			return nil, 0, err
+		}
+		c.goldenVCDDump = vcdBuf.Bytes()
+		tr, err := vcd.Parse(bytes.NewReader(c.goldenVCDDump))
+		if err != nil {
+			return nil, 0, err
+		}
+		c.goldenVCD = tr
+		c.goldenVCDRows = c.traceRows(tr)
 	}
 	if len(c.ckpts) > 0 {
 		// Adjacent checkpoints hold mostly the same future stimulus; share
@@ -403,6 +581,28 @@ func (c *Campaign) runGolden() (*signature, uint64, error) {
 		sim.ShareTails(shared)
 	}
 	return sig, eng.CellEvals(), nil
+}
+
+// traceRows samples a parsed trace at every monitored sampling instant,
+// producing the row matrix warm VCD runs diff against. Row k-2 holds the
+// golden trace's monitor values at cycle k's pre-edge sampling instant —
+// the same cycle-boundary semantics compareCaptured applies to full
+// traces.
+func (c *Campaign) traceRows(tr *vcd.Trace) *signature {
+	sig := newSignature(len(c.plan.Monitors), c.cycles()-1)
+	for k := 2; k <= c.cycles(); k++ {
+		row := sig.addRow()
+		tm := c.sampleTime(k)
+		for i, nid := range c.plan.Monitors {
+			s := tr.Signals[c.flat.Nets[nid].Name]
+			if s == nil {
+				row[i] = logic.X
+				continue
+			}
+			row[i] = s.At(tm)[0]
+		}
+	}
+	return sig
 }
 
 // runOnce simulates the full workload from t=0, applying the fault action,
@@ -497,14 +697,70 @@ func (c *Campaign) Run(res *Result) error {
 	return nil
 }
 
+// jobBatch is one worker work unit: a run of jobs that restore from the
+// same golden checkpoint (ckIdx < 0: strikes before the first checkpoint,
+// replayed cold), in ascending strike order. Each job's checkpoint is
+// resolved once, at batch-build time; the workers never search the
+// schedule again.
+type jobBatch struct {
+	ckIdx int
+	idxs  []int // indices into the RunJobs slice, ascending by strike time
+}
+
+// buildBatches strike-sorts the slice's jobs and groups them by restore
+// checkpoint, then splits oversized groups so the batch count keeps every
+// worker busy. Batch order and shape are pure scheduling: verdicts are
+// per-injection and every random choice is pre-drawn, so any grouping
+// produces identical results (pinned by TestBatchOrderIndependence).
+func (c *Campaign) buildBatches(jobs []Job, workers int) []jobBatch {
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return jobs[order[a]].TimePS < jobs[order[b]].TimePS })
+	// Two-pointer resolution: strikes ascend, so the schedule is walked
+	// once for the whole slice instead of binary-searched per injection.
+	var batches []jobBatch
+	ck := 0
+	for _, idx := range order {
+		for ck < len(c.ckpts) && c.ckpts[ck].time <= jobs[idx].TimePS {
+			ck++
+		}
+		recIdx := ck - 1
+		if len(batches) == 0 || batches[len(batches)-1].ckIdx != recIdx {
+			batches = append(batches, jobBatch{ckIdx: recIdx})
+		}
+		last := &batches[len(batches)-1]
+		last.idxs = append(last.idxs, idx)
+	}
+	// Re-chunk so scheduling granularity stays finer than the worker
+	// count even when strikes concentrate on few checkpoints; chunks of
+	// one batch keep the shared restore point (each chunk's first restore
+	// is wholesale, the rest delta).
+	chunk := len(jobs) / (4 * workers)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var out []jobBatch
+	for _, b := range batches {
+		for len(b.idxs) > chunk {
+			out = append(out, jobBatch{ckIdx: b.ckIdx, idxs: b.idxs[:chunk]})
+			b.idxs = b.idxs[chunk:]
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
 // RunJobs executes the [start,end) slice of the drawn injection plan and
 // accumulates raw outcomes into res: injections are appended in plan
 // order and the work counters (InjectWall, InjectEvals, WarmStarts,
-// PrunedRuns) are incremented by this slice's contribution only. It is
-// the shard-scoped campaign entry point — a shard worker calls it for
-// each leased index range, reusing this campaign's golden run and
-// checkpoints across shards — and it does not aggregate: call Aggregate
-// once after every planned injection has been accumulated.
+// PrunedRuns, DeltaRestores, RestoreWall) are incremented by this slice's
+// contribution only. It is the shard-scoped campaign entry point — a
+// shard worker calls it for each leased index range, reusing this
+// campaign's golden run and checkpoints across shards — and it does not
+// aggregate: call Aggregate once after every planned injection has been
+// accumulated.
 func (c *Campaign) RunJobs(res *Result, start, end int) error {
 	all := c.DrawJobs()
 	if start < 0 || end > len(all) || start > end {
@@ -512,8 +768,10 @@ func (c *Campaign) RunJobs(res *Result, start, end int) error {
 	}
 	jobs := all[start:end]
 	if c.opts.CompareVCD && c.goldenVCD == nil && len(jobs) > 0 {
-		// Materialize the golden VCD before the fan-out so workers share it.
-		g, err := c.runOnceVCD(nil)
+		// Cold-start VCD oracle: materialize the golden trace with one
+		// replay before the fan-out so workers share it. (Warm campaigns
+		// dumped it during the golden run.)
+		g, _, err := c.runOnceVCD(nil)
 		if err != nil {
 			return err
 		}
@@ -530,47 +788,60 @@ func (c *Campaign) RunJobs(res *Result, start, end int) error {
 	if workers < 1 {
 		workers = 1
 	}
+	warm := c.warmStartEnabled() && len(c.ckpts) > 0
+	var batches []jobBatch
+	if warm {
+		batches = c.buildBatches(jobs, workers)
+	} else {
+		// Cold path: per-injection units, plan order.
+		for idx := range jobs {
+			batches = append(batches, jobBatch{ckIdx: -1, idxs: []int{idx}})
+		}
+	}
 	began := time.Now()
 	warmStarts0, prunedRuns0 := c.warmStarts.Load(), c.prunedRuns.Load()
+	deltaRestores0, restoreWall0 := c.deltaRestores.Load(), c.restoreWallNS.Load()
 	injections := make([]Injection, len(jobs))
 	errs := make([]error, len(jobs))
 	var evals atomic.Uint64
 	var wg sync.WaitGroup
-	next := make(chan int)
+	next := make(chan jobBatch)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			var wk *warmWorker
 			var wkErr error
-			if c.warmStartEnabled() && len(c.ckpts) > 0 {
+			if warm {
 				wk, wkErr = c.newWarmWorker()
 			}
-			for idx := range next {
-				if wkErr != nil {
-					errs[idx] = wkErr
-					continue
+			for b := range next {
+				for _, idx := range b.idxs {
+					if wkErr != nil {
+						errs[idx] = wkErr
+						continue
+					}
+					j := jobs[idx]
+					var inj *Injection
+					var n uint64
+					var err error
+					if wk != nil && b.ckIdx >= 0 {
+						inj, n, err = wk.injectOne(j, b.ckIdx)
+					} else {
+						inj, n, err = c.injectOne(j.CellID, j.Cluster, j.TimePS)
+					}
+					if err != nil {
+						errs[idx] = err
+						continue
+					}
+					evals.Add(n)
+					injections[idx] = *inj
 				}
-				j := jobs[idx]
-				var inj *Injection
-				var n uint64
-				var err error
-				if wk != nil {
-					inj, n, err = wk.injectOne(j.CellID, j.Cluster, j.TimePS)
-				} else {
-					inj, n, err = c.injectOne(j.CellID, j.Cluster, j.TimePS)
-				}
-				if err != nil {
-					errs[idx] = err
-					continue
-				}
-				evals.Add(n)
-				injections[idx] = *inj
 			}
 		}()
 	}
-	for idx := range jobs {
-		next <- idx
+	for _, b := range batches {
+		next <- b
 	}
 	close(next)
 	wg.Wait()
@@ -583,6 +854,8 @@ func (c *Campaign) RunJobs(res *Result, start, end int) error {
 	res.InjectWall += time.Since(began)
 	res.WarmStarts += c.warmStarts.Load() - warmStarts0
 	res.PrunedRuns += c.prunedRuns.Load() - prunedRuns0
+	res.DeltaRestores += c.deltaRestores.Load() - deltaRestores0
+	res.RestoreWall += time.Duration(c.restoreWallNS.Load() - restoreWall0)
 	res.InjectEvals += evals.Load()
 	return nil
 }
@@ -621,12 +894,12 @@ func (c *Campaign) injectOne(cellID, clusterIdx int, t uint64) (*Injection, uint
 	}
 	inj.Cluster = clusterIdx
 	if c.opts.CompareVCD {
-		diverged, err := c.compareVCDRun(fa)
+		diverged, evals, err := c.compareVCDRun(fa)
 		if err != nil {
 			return nil, 0, fmt.Errorf("inject: cell %s: %v", inj.Path, err)
 		}
 		inj.SoftError = diverged
-		return inj, 0, nil
+		return inj, evals, nil
 	}
 	sig, evals, err := c.runOnce(fa)
 	if err != nil {
@@ -647,12 +920,16 @@ func (c *Campaign) checkpointBefore(t uint64) (*goldenCheckpoint, int) {
 }
 
 // warmWorker is one worker's reusable simulation context: a single engine
-// plus its VPI session, reset via Restore for every injection instead of
-// being reconstructed, which removes per-run allocation churn.
+// plus its VPI session, reset for every injection instead of being
+// reconstructed. Within a batch the reset is a dirty-set delta restore —
+// the engine tracks what the previous injection touched and rewrites only
+// that — which is what strike-sorting the jobs buys.
 type warmWorker struct {
-	c   *Campaign
-	eng sim.Engine
-	v   *vpi.Interface
+	c      *Campaign
+	eng    sim.Engine
+	v      *vpi.Interface
+	rows   *signature // golden rows the tail is diffed against
+	lastCk *sim.Checkpoint
 }
 
 func (c *Campaign) newWarmWorker() (*warmWorker, error) {
@@ -660,29 +937,49 @@ func (c *Campaign) newWarmWorker() (*warmWorker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &warmWorker{c: c, eng: eng, v: vpi.New(eng)}, nil
+	rows := c.golden
+	if c.opts.CompareVCD {
+		// The VCD detector diffs against the golden trace suffix: the same
+		// values, but read out of the parsed golden dump rather than the
+		// signature capture (TestSignatureMatchesVCD pins their agreement).
+		rows = c.goldenVCDRows
+	}
+	return &warmWorker{c: c, eng: eng, v: vpi.New(eng), rows: rows}, nil
 }
 
-// injectOne performs one injection by restoring the latest golden
-// checkpoint at or before the strike time and simulating only the tail.
-// Monitored rows are compared against the golden signature as they are
-// captured; the run stops at the first diverging row (verdict: soft error)
-// or as soon as the faulty state re-converges onto a golden checkpoint with
-// no divergence recorded (verdict: guaranteed non-error). Verdicts are
-// bit-identical to Campaign.injectOne's replay-from-zero path.
-func (w *warmWorker) injectOne(cellID, clusterIdx int, t uint64) (*Injection, uint64, error) {
-	c := w.c
-	rec, recIdx := c.checkpointBefore(t)
-	if rec == nil {
-		// Strike before the first checkpoint: replay from t=0.
-		return c.injectOne(cellID, clusterIdx, t)
+// restore resets the worker's engine to a golden checkpoint, taking the
+// delta path when the previous injection restored the same one, and
+// accounts the restore cost.
+func (w *warmWorker) restore(ck *sim.Checkpoint) error {
+	began := time.Now()
+	err := w.eng.RestoreDelta(ck)
+	w.c.restoreWallNS.Add(time.Since(began).Nanoseconds())
+	if err != nil {
+		return err
 	}
-	inj, fa, faultEnd, err := c.buildFault(cellID, t)
+	if w.lastCk == ck {
+		w.c.deltaRestores.Add(1)
+	}
+	w.lastCk = ck
+	return nil
+}
+
+// injectOne performs one injection by restoring the job's pre-resolved
+// golden checkpoint and simulating only the tail. Monitored rows are
+// compared against the golden rows as they are captured; the run stops at
+// the first diverging row (verdict: soft error) or as soon as the faulty
+// state re-converges onto a golden checkpoint with no divergence recorded
+// (verdict: guaranteed non-error). Verdicts are bit-identical to
+// Campaign.injectOne's replay-from-zero path.
+func (w *warmWorker) injectOne(j Job, recIdx int) (*Injection, uint64, error) {
+	c := w.c
+	rec := &c.ckpts[recIdx]
+	inj, fa, faultEnd, err := c.buildFault(j.CellID, j.TimePS)
 	if err != nil {
 		return nil, 0, err
 	}
-	inj.Cluster = clusterIdx
-	if err := w.eng.Restore(rec.ck); err != nil {
+	inj.Cluster = j.Cluster
+	if err := w.restore(rec.ck); err != nil {
 		return nil, 0, err
 	}
 	c.warmStarts.Add(1)
@@ -694,13 +991,13 @@ func (w *warmWorker) injectOne(cellID, clusterIdx int, t uint64) (*Injection, ui
 	// bit-identical to golden by construction (the strike lands at or after
 	// the restore point), so only cycles after the checkpoint are sampled.
 	// All tail monitors must be registered here, before the first Run after
-	// Restore, even though pruned runs never reach most of them: pre-run
-	// registration is what gives them setup-phase event ordering, and
-	// registering lazily between segments would flip their tie-break order
-	// against in-flight transitions, breaking cold/warm bit-identity.
+	// the restore, even though pruned runs never reach most of them:
+	// pre-run registration is what gives them setup-phase event ordering,
+	// and registering lazily between segments would flip their tie-break
+	// order against in-flight transitions, breaking cold/warm bit-identity.
 	diverged := false
 	for k := rec.cycle + 1; k <= c.cycles(); k++ {
-		goldenRow := c.golden.row(k - 2)
+		goldenRow := w.rows.row(k - 2)
 		w.eng.At(c.sampleTime(k), func() {
 			if diverged {
 				return
@@ -714,8 +1011,8 @@ func (w *warmWorker) injectOne(cellID, clusterIdx int, t uint64) (*Injection, ui
 		})
 	}
 	decided := false
-	for j := recIdx + 1; j < len(c.ckpts); j++ {
-		b := &c.ckpts[j]
+	for x := recIdx + 1; x < len(c.ckpts); x++ {
+		b := &c.ckpts[x]
 		if err := w.eng.Run(b.time); err != nil {
 			return nil, 0, fmt.Errorf("inject: cell %s: %v", inj.Path, err)
 		}
@@ -780,20 +1077,20 @@ func setAction(outNet int, t, width uint64) faultAction {
 }
 
 // compareVCDRun runs the fault through the full-VCD path against a cached
-// golden VCD trace.
-func (c *Campaign) compareVCDRun(fa faultAction) (bool, error) {
+// golden VCD trace, reporting the faulty run's simulator work.
+func (c *Campaign) compareVCDRun(fa faultAction) (bool, uint64, error) {
 	if c.goldenVCD == nil {
-		g, err := c.runOnceVCD(nil)
+		g, _, err := c.runOnceVCD(nil)
 		if err != nil {
-			return false, err
+			return false, 0, err
 		}
 		c.goldenVCD = g
 	}
-	faulty, err := c.runOnceVCD(fa)
+	faulty, evals, err := c.runOnceVCD(fa)
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
-	return c.compareCaptured(c.goldenVCD, faulty), nil
+	return c.compareCaptured(c.goldenVCD, faulty), evals, nil
 }
 
 // Aggregate computes cluster, module and chip statistics from the raw

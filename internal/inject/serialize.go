@@ -24,9 +24,12 @@ type resultJSON struct {
 	SampleFrac    float64         `json:"sample_frac"`
 	Seed          uint64          `json:"seed"`
 	CkptCycles    int             `json:"checkpoint_every_cycles,omitempty"`
+	CkptPlacement string          `json:"checkpoint_placement,omitempty"`
 	ColdStart     bool            `json:"cold_start,omitempty"`
 	WarmStarts    uint64          `json:"warm_starts,omitempty"`
 	PrunedRuns    uint64          `json:"pruned_runs,omitempty"`
+	DeltaRestores uint64          `json:"delta_restores,omitempty"`
+	RestoreWallNS int64           `json:"restore_wall_ns,omitempty"`
 	ChipSER       float64         `json:"chip_ser"`
 	SETXsect      float64         `json:"set_xsect_cm2"`
 	SEUXsect      float64         `json:"seu_xsect_cm2"`
@@ -66,9 +69,12 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		SampleFrac:    r.Options.SampleFrac,
 		Seed:          r.Options.Seed,
 		CkptCycles:    r.Options.CheckpointEveryCycles,
+		CkptPlacement: r.Options.CheckpointPlacement,
 		ColdStart:     r.Options.ColdStart,
 		WarmStarts:    r.WarmStarts,
 		PrunedRuns:    r.PrunedRuns,
+		DeltaRestores: r.DeltaRestores,
+		RestoreWallNS: r.RestoreWall.Nanoseconds(),
 		ChipSER:       r.ChipSER,
 		SETXsect:      r.SETXsect,
 		SEUXsect:      r.SEUXsect,
@@ -131,9 +137,12 @@ func ReadJSON(rd io.Reader) (*Result, error) {
 	res.Options.SampleFrac = in.SampleFrac
 	res.Options.Seed = in.Seed
 	res.Options.CheckpointEveryCycles = in.CkptCycles
+	res.Options.CheckpointPlacement = in.CkptPlacement
 	res.Options.ColdStart = in.ColdStart
 	res.WarmStarts = in.WarmStarts
 	res.PrunedRuns = in.PrunedRuns
+	res.DeltaRestores = in.DeltaRestores
+	res.RestoreWall = time.Duration(in.RestoreWallNS)
 	for i := range in.Modules {
 		m := in.Modules[i]
 		res.Modules[m.Name] = &m

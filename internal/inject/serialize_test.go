@@ -82,6 +82,15 @@ func TestResultJSONRoundTrip(t *testing.T) {
 	if got.PrunedRuns != r.PrunedRuns {
 		t.Errorf("pruned_runs %d -> %d", r.PrunedRuns, got.PrunedRuns)
 	}
+	if r.DeltaRestores == 0 {
+		t.Fatal("batched warm campaign performed no delta restores; the round-trip pin needs a live value")
+	}
+	if got.DeltaRestores != r.DeltaRestores {
+		t.Errorf("delta_restores %d -> %d", r.DeltaRestores, got.DeltaRestores)
+	}
+	if got.RestoreWall != r.RestoreWall {
+		t.Errorf("restore_wall_ns %d -> %d", r.RestoreWall, got.RestoreWall)
+	}
 	if got.GoldenEvals != r.GoldenEvals || got.InjectEvals != r.InjectEvals {
 		t.Errorf("eval counters lost: golden %d -> %d, inject %d -> %d",
 			r.GoldenEvals, got.GoldenEvals, r.InjectEvals, got.InjectEvals)

@@ -3,7 +3,9 @@ package inject
 import (
 	"bytes"
 	"fmt"
+	"io"
 
+	"repro/internal/logic"
 	"repro/internal/sim"
 	"repro/internal/vcd"
 	"repro/internal/vpi"
@@ -12,34 +14,87 @@ import (
 // runOnceVCD simulates like runOnce but dumps the monitored outputs to a
 // full VCD trace — the paper's original soft-error detection path. It is
 // slower than the cycle-signature comparison and exists both as the
-// faithful method (Options.CompareVCD) and as the cross-check oracle the
-// tests use to validate the fast path.
-func (c *Campaign) runOnceVCD(fa faultAction) (*vcd.Trace, error) {
+// ColdStart oracle of the CompareVCD detector and as the cross-check the
+// tests use to validate the warm paths.
+func (c *Campaign) runOnceVCD(fa faultAction) (*vcd.Trace, uint64, error) {
 	eng, err := sim.New(c.opts.Engine, c.flat)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var buf bytes.Buffer
 	w := vcd.NewWriter(&buf)
 	if err := sim.AttachVCD(eng, w, c.plan.Monitors); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := c.plan.Apply(eng); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	v := vpi.New(eng)
 	if fa != nil {
 		if err := fa(v); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	if err := eng.Run(c.plan.DurationPS); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := w.Close(c.plan.DurationPS); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return vcd.Parse(&buf)
+	tr, err := vcd.Parse(&buf)
+	return tr, eng.CellEvals(), err
+}
+
+// TailVCD re-executes one recorded injection warm — restored from the
+// latest golden checkpoint before its strike — while resuming the golden
+// VCD dump from that checkpoint's writer state, and writes the complete
+// faulty trace into w: the golden dump's byte prefix (identical to the
+// faulty run's own prefix, since the strike lands after the restore
+// point) followed by the freshly dumped tail. The output is byte-for-byte
+// the dump a cold replay-from-zero faulty run would have produced, at
+// tail cost; TestTailVCDMatchesColdDump pins that. It requires a warm
+// CompareVCD campaign (the golden dump and per-checkpoint writer states
+// exist only there).
+func (c *Campaign) TailVCD(inj Injection, w io.Writer) error {
+	if c.goldenVCDDump == nil {
+		return fmt.Errorf("inject: TailVCD needs a warm CompareVCD campaign (no golden dump captured)")
+	}
+	rec, _ := c.checkpointBefore(inj.TimePS)
+	if rec == nil || rec.vcdState == nil {
+		return fmt.Errorf("inject: no checkpoint with VCD state before strike at %dps", inj.TimePS)
+	}
+	fa, err := c.rebuildAction(inj)
+	if err != nil {
+		return err
+	}
+	eng, err := sim.New(c.opts.Engine, c.flat)
+	if err != nil {
+		return err
+	}
+	if err := eng.Restore(rec.ck); err != nil {
+		return err
+	}
+	if _, err := w.Write(c.goldenVCDDump[:rec.vcdPrefix]); err != nil {
+		return err
+	}
+	vw := vcd.ResumeWriter(w, rec.vcdState)
+	// Restore discarded all callbacks; re-hook the dump on the restored
+	// engine, then replay the fault over the tail.
+	f := eng.Flat()
+	for _, nid := range c.plan.Monitors {
+		nid := nid
+		name := f.Nets[nid].Name
+		eng.OnNetChange(nid, func(t uint64, v logic.V) {
+			_ = vw.Change(t, name, logic.Vec{v})
+		})
+	}
+	if err := fa(vpi.New(eng)); err != nil {
+		return err
+	}
+	if err := eng.Run(c.plan.DurationPS); err != nil {
+		return err
+	}
+	return vw.Close(c.plan.DurationPS)
 }
 
 // VerifyWithVCD re-executes one recorded injection using full VCD diffing
@@ -55,11 +110,11 @@ func (c *Campaign) VerifyWithVCD(inj Injection) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	golden, err := c.runOnceVCD(nil)
+	golden, _, err := c.runOnceVCD(nil)
 	if err != nil {
 		return false, err
 	}
-	faulty, err := c.runOnceVCD(fa)
+	faulty, _, err := c.runOnceVCD(fa)
 	if err != nil {
 		return false, err
 	}

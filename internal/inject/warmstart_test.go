@@ -65,12 +65,14 @@ func TestWarmColdWorkerDeterminism(t *testing.T) {
 	}
 	ref := runWith(func(o *Options) { o.Workers = 1; o.ColdStart = true })
 	variants := map[string]func(*Options){
-		"cold-8-workers":  func(o *Options) { o.Workers = 8; o.ColdStart = true },
-		"warm-1-worker":   func(o *Options) { o.Workers = 1 },
-		"warm-8-workers":  func(o *Options) { o.Workers = 8 },
-		"warm-pitch-1":    func(o *Options) { o.Workers = 4; o.CheckpointEveryCycles = 1 },
-		"warm-pitch-5":    func(o *Options) { o.Workers = 4; o.CheckpointEveryCycles = 5 },
-		"warm-pitch-huge": func(o *Options) { o.Workers = 4; o.CheckpointEveryCycles = 1000 },
+		"cold-8-workers":   func(o *Options) { o.Workers = 8; o.ColdStart = true },
+		"warm-1-worker":    func(o *Options) { o.Workers = 1 },
+		"warm-8-workers":   func(o *Options) { o.Workers = 8 },
+		"warm-pitch-1":     func(o *Options) { o.Workers = 4; o.CheckpointEveryCycles = 1 },
+		"warm-pitch-5":     func(o *Options) { o.Workers = 4; o.CheckpointEveryCycles = 5 },
+		"warm-pitch-huge":  func(o *Options) { o.Workers = 4; o.CheckpointEveryCycles = 1000 },
+		"warm-fixed-place": func(o *Options) { o.Workers = 4; o.CheckpointPlacement = PlacementFixed },
+		"warm-quantile":    func(o *Options) { o.Workers = 4; o.CheckpointPlacement = PlacementQuantile },
 	}
 	for label, mutate := range variants {
 		got := runWith(mutate)
@@ -104,6 +106,9 @@ func TestWarmStartReducesWork(t *testing.T) {
 	}
 	if warmRun.Result.PrunedRuns == 0 {
 		t.Error("no run was pruned by convergence detection — masked faults should converge")
+	}
+	if warmRun.Result.DeltaRestores == 0 {
+		t.Error("no strike-sorted batch shared a restore point — delta restores never fired")
 	}
 	if w, c := warmRun.Result.InjectEvals, coldRun.Result.InjectEvals; 2*w > c {
 		t.Errorf("warm starts saved too little work: warm %d evals vs cold %d (want >= 2x reduction)", w, c)

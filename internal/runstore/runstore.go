@@ -20,10 +20,17 @@ import (
 	"repro/internal/shard"
 )
 
-// Record is one journal line: a completed shard bound to its campaign.
+// Record is one journal line: either a completed shard bound to its
+// campaign, or a terminal marker. A marker lists campaign fingerprints
+// whose earlier shard records are no longer needed — the coordinator
+// appends one when a sweep reaches a state its journal can never serve
+// again (merged and rendered, or explicitly purged). Records appended
+// after a marker are live again: a purged campaign that is resubmitted
+// journals from scratch.
 type Record struct {
-	Fingerprint string        `json:"fingerprint"`
-	Partial     shard.Partial `json:"partial"`
+	Fingerprint string         `json:"fingerprint,omitempty"`
+	Partial     *shard.Partial `json:"partial,omitempty"`
+	Terminal    []string       `json:"terminal,omitempty"`
 }
 
 // Store appends shard completions to a journal file. Safe for concurrent
@@ -40,7 +47,11 @@ type Store struct {
 // truncated first: appending after garbage would otherwise hide every
 // subsequent record from Load/LoadAll (which stop at the first
 // undecodable byte), silently losing the work of a long-lived
-// coordinator that survives its own crash-restart.
+// coordinator that survives its own crash-restart. The journal is then
+// compacted: shard records covered by a later terminal marker, records
+// superseded by a later record of the same (campaign, shard), and the
+// markers themselves are rewritten away — a long-lived coordinator's
+// journal holds only the shards that could still resume something.
 func Open(path string) (*Store, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
@@ -50,7 +61,124 @@ func Open(path string) (*Store, error) {
 		f.Close()
 		return nil, err
 	}
+	changed, err := compactFile(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if changed {
+		// The compaction replaced the file; the append handle must follow.
+		f.Close()
+		if f, err = os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644); err != nil {
+			return nil, fmt.Errorf("runstore: %v", err)
+		}
+	}
 	return &Store{f: f, path: path}, nil
+}
+
+// dedupeKey identifies a shard record for supersession: Load keys loaded
+// partials by (campaign, shard index) with last-record-wins, so earlier
+// records under the same key are dead weight compaction may drop.
+func dedupeKey(fp string, index int) string {
+	return fmt.Sprintf("%s#%d", fp, index)
+}
+
+// compactFile rewrites the journal without its dead records and reports
+// whether anything changed. Dead are: shard records of campaigns a later
+// terminal marker covers, shard records superseded by a later record of
+// the same (campaign, shard index), and every marker (markers only exist
+// to kill earlier records; once those are gone the marker is too).
+// Records appended after a marker are live. The rewrite goes through a
+// temp file renamed into place, so a crash mid-compaction leaves either
+// the old or the new journal, never a torn one.
+func compactFile(path string) (bool, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("runstore: %v", err)
+	}
+	var dead []bool
+	liveByFP := map[string][]int{}
+	lastByKey := map[string]int{}
+	dec := json.NewDecoder(in)
+	for i := 0; ; i++ {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			break
+		}
+		dead = append(dead, false)
+		if len(rec.Terminal) > 0 {
+			dead[i] = true
+			for _, fp := range rec.Terminal {
+				for _, j := range liveByFP[fp] {
+					dead[j] = true
+				}
+				delete(liveByFP, fp)
+			}
+			continue
+		}
+		if rec.Partial == nil {
+			dead[i] = true // defensive: decodable but empty record
+			continue
+		}
+		key := dedupeKey(rec.Fingerprint, rec.Partial.Index)
+		if j, ok := lastByKey[key]; ok {
+			dead[j] = true
+		}
+		lastByKey[key] = i
+		liveByFP[rec.Fingerprint] = append(liveByFP[rec.Fingerprint], i)
+	}
+	in.Close()
+	anyDead := false
+	for _, d := range dead {
+		anyDead = anyDead || d
+	}
+	if !anyDead {
+		return false, nil
+	}
+	in, err = os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("runstore: %v", err)
+	}
+	defer in.Close()
+	tmpPath := path + ".compact"
+	out, err := os.Create(tmpPath)
+	if err != nil {
+		return false, fmt.Errorf("runstore: %v", err)
+	}
+	defer os.Remove(tmpPath)
+	dec = json.NewDecoder(in)
+	for i := 0; i < len(dead); i++ {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			break
+		}
+		if dead[i] {
+			continue
+		}
+		line, err := json.Marshal(rec)
+		if err != nil {
+			out.Close()
+			return false, fmt.Errorf("runstore: re-encoding record %d: %v", i, err)
+		}
+		if _, err := out.Write(append(line, '\n')); err != nil {
+			out.Close()
+			return false, fmt.Errorf("runstore: %v", err)
+		}
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return false, fmt.Errorf("runstore: %v", err)
+	}
+	if err := out.Close(); err != nil {
+		return false, fmt.Errorf("runstore: %v", err)
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		return false, fmt.Errorf("runstore: %v", err)
+	}
+	return true, nil
 }
 
 // truncateTornTail scans the journal and cuts everything after the last
@@ -104,17 +232,56 @@ func (s *Store) Append(fingerprint string, p *shard.Partial) error {
 	if p == nil {
 		return fmt.Errorf("runstore: nil partial")
 	}
-	line, err := json.Marshal(Record{Fingerprint: fingerprint, Partial: *p})
+	return s.append(Record{Fingerprint: fingerprint, Partial: p})
+}
+
+func (s *Store) append(rec Record) error {
+	line, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("runstore: encoding shard %d: %v", p.Index, err)
+		return fmt.Errorf("runstore: encoding record: %v", err)
 	}
 	line = append(line, '\n')
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, err := s.f.Write(line); err != nil {
-		return fmt.Errorf("runstore: appending shard %d: %v", p.Index, err)
+		return fmt.Errorf("runstore: appending record: %v", err)
 	}
 	return s.f.Sync()
+}
+
+// MarkTerminal appends a terminal marker: the named campaigns' earlier
+// shard records are dead — loads skip them immediately, and the next Open
+// compacts them out of the file. The coordinator calls this when a sweep
+// reaches a state its journaled shards can never serve again.
+func (s *Store) MarkTerminal(fingerprints []string) error {
+	if len(fingerprints) == 0 {
+		return nil
+	}
+	return s.append(Record{Terminal: fingerprints})
+}
+
+// Purge is MarkTerminal plus an eager in-place compaction: the named
+// campaigns' records are gone from disk when Purge returns, not merely at
+// the next Open. This is what DELETE /v1/sweeps/{fp}?purge=1 rides.
+func (s *Store) Purge(fingerprints []string) error {
+	if err := s.MarkTerminal(fingerprints); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed, err := compactFile(s.path)
+	if err != nil {
+		return err
+	}
+	if changed {
+		f, err := os.OpenFile(s.path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("runstore: %v", err)
+		}
+		s.f.Close()
+		s.f = f
+	}
+	return nil
 }
 
 // Close closes the journal file.
@@ -167,21 +334,33 @@ func LoadAll(path string) (map[string]map[int]*shard.Partial, error) {
 			// EOF, or the torn tail of a crashed append: keep what decoded.
 			break
 		}
+		if len(rec.Terminal) > 0 {
+			// A terminal marker kills everything recorded so far for those
+			// campaigns; records appended after it are live again.
+			for _, fp := range rec.Terminal {
+				delete(out, fp)
+			}
+			continue
+		}
+		if rec.Partial == nil {
+			continue
+		}
 		m := out[rec.Fingerprint]
 		if m == nil {
 			m = map[int]*shard.Partial{}
 			out[rec.Fingerprint] = m
 		}
-		p := rec.Partial
-		m[p.Index] = &p
+		m[rec.Partial.Index] = rec.Partial
 	}
 	return out, nil
 }
 
-// CountAny reports how many journal records carry any of the given
-// fingerprints — the existence probe a sweep CLI uses to refuse silently
-// double-running a journaled grid. Like Count it never decodes the
-// partials themselves.
+// CountAny reports how many distinct restorable shards the journal
+// records for any of the given fingerprints — the existence probe a
+// sweep CLI uses to refuse silently double-running a journaled grid.
+// Terminal-marked and duplicate records are excluded, so the count
+// agrees with what Load would restore. Like Count it only decodes each
+// record's identity, never the injections.
 func CountAny(path string, fingerprints map[string]bool) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -191,19 +370,43 @@ func CountAny(path string, fingerprints map[string]bool) (int, error) {
 		return 0, fmt.Errorf("runstore: %v", err)
 	}
 	defer f.Close()
-	n := 0
+	perFP := map[string]map[int]bool{}
 	dec := json.NewDecoder(f)
 	for {
 		var rec struct {
-			Fingerprint string          `json:"fingerprint"`
-			Partial     json.RawMessage `json:"partial"`
+			Fingerprint string `json:"fingerprint"`
+			Partial     *struct {
+				Index int `json:"index"`
+			} `json:"partial"`
+			Terminal []string `json:"terminal"`
 		}
 		if err := dec.Decode(&rec); err != nil {
 			break // EOF or torn tail, same as Load
 		}
-		if fingerprints[rec.Fingerprint] {
-			n++
+		if len(rec.Terminal) > 0 {
+			// Marked-terminal records no longer resume anything; probing
+			// must agree with what Load would restore.
+			for _, fp := range rec.Terminal {
+				delete(perFP, fp)
+			}
+			continue
 		}
+		if rec.Partial == nil || !fingerprints[rec.Fingerprint] {
+			continue
+		}
+		// Dedupe by shard index exactly as Load does (last record wins
+		// there; for counting, first seen is equivalent), so the probe
+		// never reports more records than are restorable.
+		set := perFP[rec.Fingerprint]
+		if set == nil {
+			set = map[int]bool{}
+			perFP[rec.Fingerprint] = set
+		}
+		set[rec.Partial.Index] = true
+	}
+	n := 0
+	for _, set := range perFP {
+		n += len(set)
 	}
 	return n, nil
 }

@@ -116,8 +116,10 @@ func TestLoadAllNamespacesCampaigns(t *testing.T) {
 		t.Fatalf("Load and LoadAll disagree: %d vs %d shards", len(only), len(all["fp-a"]))
 	}
 
-	if n, err := CountAny(path, map[string]bool{"fp-b": true, "fp-z": true}); err != nil || n != 2 {
-		t.Fatalf("CountAny = %d, %v; want 2", n, err)
+	// fp-b's re-journaled duplicate counts once: the probe agrees with
+	// what Load restores, not with the raw record count.
+	if n, err := CountAny(path, map[string]bool{"fp-b": true, "fp-z": true}); err != nil || n != 1 {
+		t.Fatalf("CountAny = %d, %v; want 1", n, err)
 	}
 	if n, err := CountAny(path, map[string]bool{"fp-z": true}); err != nil || n != 0 {
 		t.Fatalf("CountAny(fp-z) = %d, %v; want 0", n, err)

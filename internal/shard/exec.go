@@ -62,14 +62,16 @@ func BuildLocal(cs CampaignSpec, tune func(*inject.Options)) (*Built, error) {
 // unit the runstore journals and the coordinator merges; verdict-relevant
 // state only, so a Partial computed by any process merges bit-identically.
 type Partial struct {
-	Index        int                `json:"index"`
-	Start        int                `json:"start"`
-	End          int                `json:"end"`
-	Injections   []inject.Injection `json:"injections"`
-	InjectWallNS int64              `json:"inject_wall_ns"`
-	InjectEvals  uint64             `json:"inject_evals"`
-	WarmStarts   uint64             `json:"warm_starts"`
-	PrunedRuns   uint64             `json:"pruned_runs"`
+	Index         int                `json:"index"`
+	Start         int                `json:"start"`
+	End           int                `json:"end"`
+	Injections    []inject.Injection `json:"injections"`
+	InjectWallNS  int64              `json:"inject_wall_ns"`
+	InjectEvals   uint64             `json:"inject_evals"`
+	WarmStarts    uint64             `json:"warm_starts"`
+	PrunedRuns    uint64             `json:"pruned_runs"`
+	DeltaRestores uint64             `json:"delta_restores,omitempty"`
+	RestoreWallNS int64              `json:"restore_wall_ns,omitempty"`
 }
 
 // Covers reports whether the partial carries a complete, internally
@@ -93,14 +95,16 @@ func ExecuteOn(b *Built, sp Spec) (*Partial, error) {
 		return nil, err
 	}
 	return &Partial{
-		Index:        sp.Index,
-		Start:        sp.Start,
-		End:          sp.End,
-		Injections:   res.Injections,
-		InjectWallNS: res.InjectWall.Nanoseconds(),
-		InjectEvals:  res.InjectEvals,
-		WarmStarts:   res.WarmStarts,
-		PrunedRuns:   res.PrunedRuns,
+		Index:         sp.Index,
+		Start:         sp.Start,
+		End:           sp.End,
+		Injections:    res.Injections,
+		InjectWallNS:  res.InjectWall.Nanoseconds(),
+		InjectEvals:   res.InjectEvals,
+		WarmStarts:    res.WarmStarts,
+		PrunedRuns:    res.PrunedRuns,
+		DeltaRestores: res.DeltaRestores,
+		RestoreWallNS: res.RestoreWall.Nanoseconds(),
 	}, nil
 }
 

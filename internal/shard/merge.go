@@ -53,6 +53,8 @@ func Merge(b *Built, partials []*Partial) (*inject.Result, error) {
 		res.InjectEvals += p.InjectEvals
 		res.WarmStarts += p.WarmStarts
 		res.PrunedRuns += p.PrunedRuns
+		res.DeltaRestores += p.DeltaRestores
+		res.RestoreWall += time.Duration(p.RestoreWallNS)
 		next = p.End
 	}
 	if next != len(b.Jobs) {

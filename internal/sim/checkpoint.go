@@ -247,9 +247,15 @@ func (s *EventSim) Restore(ck *Checkpoint) error {
 		s.pending[i] = nil
 	}
 	s.evts = make(eventHeap, e.numEvents())
+	if cap(s.restoredEvts) < e.numEvents() {
+		s.restoredEvts = make([]*event, e.numEvents())
+	}
+	s.restoredEvts = s.restoredEvts[:e.numEvents()]
 	for i := range s.evts {
 		ce := e.eventAt(i)
-		s.evts[i] = &event{t: ce.t, seq: ce.seq, phase: ce.phase, kind: ce.kind, net: ce.net, cellID: ce.cellID, val: ce.val}
+		ev := &event{t: ce.t, seq: ce.seq, phase: ce.phase, kind: ce.kind, net: ce.net, cellID: ce.cellID, val: ce.val, ckIdx: int32(i)}
+		s.evts[i] = ev
+		s.restoredEvts[i] = ev
 	}
 	for nid, idx := range e.pendingIdx {
 		if idx >= 0 {
@@ -257,6 +263,96 @@ func (s *EventSim) Restore(ck *Checkpoint) error {
 		}
 	}
 	heap.Init(&s.evts)
+	s.armDeltaTracking(ck)
+	return nil
+}
+
+// armDeltaTracking resets the dirty sets after a full restore, making ck
+// the baseline RestoreDelta rewrites against.
+func (s *EventSim) armDeltaTracking(ck *Checkpoint) {
+	if s.netDirty == nil {
+		s.netDirty = make([]bool, len(s.flat.Nets))
+		s.cellDirty = make([]bool, len(s.flat.Cells))
+	}
+	for _, nid := range s.dirtyNets {
+		s.netDirty[nid] = false
+	}
+	for _, cid := range s.dirtyCells {
+		s.cellDirty[cid] = false
+	}
+	s.dirtyNets = s.dirtyNets[:0]
+	s.dirtyCells = s.dirtyCells[:0]
+	s.lastRestored = ck
+}
+
+// RestoreDelta implements Engine. When ck is the checkpoint this engine
+// most recently restored, only the nets, cells and queue entries touched
+// since that restore are rewritten: untouched state and still-queued
+// checkpoint events are provably already equal to a full Restore's output
+// (every mutation path records its target in the dirty sets, and queue
+// entries only leave by being consumed or cancelled — both tracked via
+// their checkpoint index). Any other checkpoint falls back to Restore.
+func (s *EventSim) RestoreDelta(ck *Checkpoint) error {
+	if s.lastRestored != ck {
+		return s.Restore(ck)
+	}
+	e := ck.ev
+	// Queue: retain live checkpoint events in place, drop post-restore
+	// additions and cancelled entries, and re-materialize the consumed or
+	// cancelled originals from the checkpoint.
+	n := e.numEvents()
+	if cap(s.present) < n {
+		s.present = make([]bool, n)
+	}
+	s.present = s.present[:n]
+	for i := range s.present {
+		s.present[i] = false
+	}
+	live := s.evts[:0]
+	for _, ev := range s.evts {
+		if ev.ckIdx >= 0 && !ev.cancelled {
+			s.present[ev.ckIdx] = true
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(s.evts); i++ {
+		s.evts[i] = nil
+	}
+	s.evts = live
+	for i := 0; i < n; i++ {
+		if !s.present[i] {
+			ce := e.eventAt(i)
+			ev := &event{t: ce.t, seq: ce.seq, phase: ce.phase, kind: ce.kind, net: ce.net, cellID: ce.cellID, val: ce.val, ckIdx: int32(i)}
+			s.restoredEvts[i] = ev
+			s.evts = append(s.evts, ev)
+		}
+	}
+	heap.Init(&s.evts)
+	// State: rewrite only the dirty entries, relinking pending transitions
+	// through the refreshed event pointers.
+	for _, nid := range s.dirtyNets {
+		s.cur[nid] = e.cur[nid]
+		s.driven[nid] = e.driven[nid]
+		s.forced[nid] = e.forced[nid]
+		if idx := e.pendingIdx[nid]; idx >= 0 {
+			s.pending[nid] = s.restoredEvts[idx]
+		} else {
+			s.pending[nid] = nil
+		}
+		s.netDirty[nid] = false
+	}
+	s.dirtyNets = s.dirtyNets[:0]
+	for _, cid := range s.dirtyCells {
+		s.state[cid] = e.state[cid]
+		s.cellDirty[cid] = false
+	}
+	s.dirtyCells = s.dirtyCells[:0]
+	s.now = ck.TimePS
+	s.seq = e.seqBase
+	s.phase = 0
+	s.running = false
+	s.cellEvals = ck.Evals
+	clear(s.cbs)
 	return nil
 }
 
@@ -373,6 +469,94 @@ func (s *LevelSim) Restore(ck *Checkpoint) error {
 		s.times = append(s.times, t)
 	}
 	heap.Init(&s.times)
+	s.armDeltaTracking(ck)
+	return nil
+}
+
+// armDeltaTracking resets the dirty sets after a full restore, making ck
+// the baseline RestoreDelta rewrites against.
+func (s *LevelSim) armDeltaTracking(ck *Checkpoint) {
+	if s.netDirty == nil {
+		s.netDirty = make([]bool, len(s.flat.Nets))
+		s.cellDirty = make([]bool, len(s.flat.Cells))
+		s.touchedTimes = map[uint64]struct{}{}
+	}
+	for _, nid := range s.dirtyNets {
+		s.netDirty[nid] = false
+	}
+	for _, cid := range s.dirtyCells {
+		s.cellDirty[cid] = false
+	}
+	s.dirtyNets = s.dirtyNets[:0]
+	s.dirtyCells = s.dirtyCells[:0]
+	clear(s.touchedTimes)
+	s.consumedTimes = s.consumedTimes[:0]
+	s.lastRestored = ck
+}
+
+// ckTimeIndex locates agenda time t in the checkpoint's combined time
+// list, or -1 when the checkpoint holds no data actions at t.
+func ckTimeIndex(lv *levelCheckpoint, t uint64) int {
+	idx := sort.Search(lv.numTimes(), func(i int) bool { return lv.timeAt(i) >= t })
+	if idx < lv.numTimes() && lv.timeAt(idx) == t {
+		return idx
+	}
+	return -1
+}
+
+// RestoreDelta implements Engine. See EventSim.RestoreDelta for the
+// contract; for the levelized engine the dirty sets cover the per-net and
+// per-cell arrays, and the agenda is repaired in place — only times the
+// run consumed or a caller appended to are re-cloned from the checkpoint,
+// leaving the untouched bulk of the restored schedule alone.
+func (s *LevelSim) RestoreDelta(ck *Checkpoint) error {
+	if s.lastRestored != ck {
+		return s.Restore(ck)
+	}
+	lv := ck.lv
+	for _, nid := range s.dirtyNets {
+		s.cur[nid] = lv.cur[nid]
+		s.scratch[nid] = lv.cur[nid]
+		s.inputVal[nid] = lv.inputVal[nid]
+		s.forced[nid] = lv.forced[nid]
+		s.forcedVal[nid] = lv.forcedVal[nid]
+		s.netDirty[nid] = false
+	}
+	s.dirtyNets = s.dirtyNets[:0]
+	for _, cid := range s.dirtyCells {
+		s.state[cid] = lv.state[cid]
+		s.prevClk[cid] = lv.prevClk[cid]
+		s.cellDirty[cid] = false
+	}
+	s.dirtyCells = s.dirtyCells[:0]
+	// Agenda repair: a time the caller appended to (or the run consumed)
+	// is reset to the checkpoint's action list, or removed when the
+	// checkpoint holds nothing there; all other entries are still the
+	// untouched clones the last full restore made.
+	restoreTime := func(t uint64) {
+		if i := ckTimeIndex(lv, t); i >= 0 {
+			s.agenda[t] = append([]lsAction(nil), lv.actionsAt(i)...)
+		} else {
+			delete(s.agenda, t)
+		}
+	}
+	for t := range s.touchedTimes {
+		restoreTime(t)
+	}
+	clear(s.touchedTimes)
+	for _, t := range s.consumedTimes {
+		restoreTime(t)
+	}
+	s.consumedTimes = s.consumedTimes[:0]
+	s.times = s.times[:0]
+	for t := range s.agenda {
+		s.times = append(s.times, t)
+	}
+	heap.Init(&s.times)
+	s.now = ck.TimePS
+	s.cellEvals = ck.Evals
+	clear(s.cbs)
+	s.cbNets = s.cbNets[:0]
 	return nil
 }
 
@@ -383,9 +567,19 @@ func (s *LevelSim) MatchesCheckpoint(ck *Checkpoint) bool {
 	}
 	lv := ck.lv
 	if !equalV(s.cur, lv.cur) || !equalV(s.inputVal, lv.inputVal) ||
-		!equalB(s.forced, lv.forced) || !equalV(s.forcedVal, lv.forcedVal) ||
+		!equalB(s.forced, lv.forced) ||
 		!equalV(s.state, lv.state) || !equalV(s.prevClk, lv.prevClk) {
 		return false
+	}
+	// forcedVal is live state only while the net is forced: propagate reads
+	// it only under forced[nid], and any future lsForce overwrites it before
+	// the next read. Comparing it on released nets would keep a run that has
+	// fully re-converged onto the golden trajectory unprunable forever after
+	// a SET pulse — the value the pulse parked there is unobservable.
+	for nid, f := range s.forced {
+		if f && s.forcedVal[nid] != lv.forcedVal[nid] {
+			return false
+		}
 	}
 	seen := 0
 	for t, acts := range s.agenda {

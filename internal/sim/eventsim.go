@@ -37,6 +37,20 @@ type EventSim struct {
 
 	cbs       map[int][]NetCallback
 	cellEvals uint64
+
+	// Delta-restore tracking, active once the engine has restored a
+	// checkpoint: every net or cell mutated since the last restore is
+	// recorded exactly once, so RestoreDelta can rewrite only those
+	// entries. restoredEvts is parallel to lastRestored's combined event
+	// list (live pointer per checkpoint index); present is RestoreDelta's
+	// reusable scratch.
+	lastRestored *Checkpoint
+	netDirty     []bool
+	cellDirty    []bool
+	dirtyNets    []int32
+	dirtyCells   []int32
+	restoredEvts []*event
+	present      []bool
 }
 
 type evKind uint8
@@ -60,6 +74,11 @@ type event struct {
 	val       logic.V
 	fn        func()
 	cancelled bool
+	// ckIdx is the event's index in the last-restored checkpoint's event
+	// list, or -1 for events scheduled since (dynamically or by a caller).
+	// RestoreDelta uses it to tell retained checkpoint events apart from
+	// post-restore additions without a lookup structure.
+	ckIdx int32
 }
 
 type eventHeap []*event
@@ -162,8 +181,27 @@ func (s *EventSim) CellEvals() uint64 { return s.cellEvals }
 func (s *EventSim) schedule(e *event) {
 	e.seq = s.seq
 	e.phase = s.phase
+	e.ckIdx = -1
 	s.seq++
 	heap.Push(&s.evts, e)
+}
+
+// touchNet records that a net's simulation state (value, driver, force or
+// pending transition) mutated since the last restore. A no-op until the
+// engine first restores a checkpoint.
+func (s *EventSim) touchNet(nid int) {
+	if s.lastRestored != nil && !s.netDirty[nid] {
+		s.netDirty[nid] = true
+		s.dirtyNets = append(s.dirtyNets, int32(nid))
+	}
+}
+
+// touchCell records a sequential-state mutation since the last restore.
+func (s *EventSim) touchCell(cid int) {
+	if s.lastRestored != nil && !s.cellDirty[cid] {
+		s.cellDirty[cid] = true
+		s.dirtyCells = append(s.dirtyCells, int32(cid))
+	}
 }
 
 // ScheduleInput implements Engine.
@@ -215,6 +253,7 @@ func (s *EventSim) FlipState(cellID int) error {
 
 func (s *EventSim) applyFlip(cellID int) {
 	c := s.flat.Cells[cellID]
+	s.touchCell(cellID)
 	s.state[cellID] = s.state[cellID].Not()
 	outs := c.Def.StateOutputs(s.state[cellID])
 	// An upset corrupts the storage node directly: outputs follow with the
@@ -251,21 +290,25 @@ func (s *EventSim) Run(until uint64) error {
 		s.now = e.t
 		switch e.kind {
 		case evNet:
+			s.touchNet(e.net)
 			s.pending[e.net] = nil
 			s.driven[e.net] = e.val
 			if !s.forced[e.net] {
 				s.setNet(e.net, e.val)
 			}
 		case evInput:
+			s.touchNet(e.net)
 			s.driven[e.net] = e.val
 			if !s.forced[e.net] {
 				s.setNet(e.net, e.val)
 			}
 		case evForce:
+			s.touchNet(e.net)
 			s.forced[e.net] = true
 			s.setNet(e.net, e.val)
 		case evRelease:
 			if s.forced[e.net] {
+				s.touchNet(e.net)
 				s.forced[e.net] = false
 				s.setNet(e.net, s.driven[e.net])
 			}
@@ -313,6 +356,7 @@ func (s *EventSim) evalCell(cid, pin int, old, new logic.V) {
 	// Asynchronous controls dominate and act on any input change.
 	if v, active := def.AsyncState(in); active {
 		if s.state[cid] != v {
+			s.touchCell(cid)
 			s.state[cid] = v
 			s.pushSeqOutputs(c)
 		}
@@ -323,6 +367,7 @@ func (s *EventSim) evalCell(cid, pin int, old, new logic.V) {
 	if pin == clkPin && old == logic.L0 && new == logic.L1 {
 		next := def.NextState(s.state[cid], in)
 		if next != s.state[cid] {
+			s.touchCell(cid)
 			s.state[cid] = next
 			s.pushSeqOutputs(c)
 		}
@@ -333,6 +378,7 @@ func (s *EventSim) evalCell(cid, pin int, old, new logic.V) {
 	if pin == clkPin && old == logic.L0 && !new.IsKnown() {
 		next := def.NextState(s.state[cid], in)
 		if next != s.state[cid] {
+			s.touchCell(cid)
 			s.state[cid] = logic.X
 			s.pushSeqOutputs(c)
 		}
@@ -355,6 +401,7 @@ func (s *EventSim) scheduleCombOutput(nid int, v logic.V, d int64) {
 		}
 		p.cancelled = true
 		s.pending[nid] = nil
+		s.touchNet(nid)
 		if v == s.driven[nid] {
 			return // cancellation restored the present driven value
 		}
@@ -363,6 +410,7 @@ func (s *EventSim) scheduleCombOutput(nid int, v logic.V, d int64) {
 	}
 	e := &event{t: s.now + uint64(d), kind: evNet, net: nid, val: v}
 	s.pending[nid] = e
+	s.touchNet(nid)
 	s.schedule(e)
 }
 

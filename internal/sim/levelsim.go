@@ -37,6 +37,19 @@ type LevelSim struct {
 	cbs       map[int][]NetCallback
 	cbNets    []int // nets having callbacks, sorted, for deterministic firing
 	cellEvals uint64
+
+	// Delta-restore tracking, active once the engine has restored a
+	// checkpoint: dirty nets/cells are the per-net and per-cell state
+	// mutated since the last restore; touchedTimes are agenda times
+	// appended to since (caller monitors, fault actions), consumedTimes
+	// the times Run popped. RestoreDelta rewrites exactly these.
+	lastRestored  *Checkpoint
+	netDirty      []bool
+	cellDirty     []bool
+	dirtyNets     []int32
+	dirtyCells    []int32
+	touchedTimes  map[uint64]struct{}
+	consumedTimes []uint64
 }
 
 type lsKind uint8
@@ -140,6 +153,27 @@ func (s *LevelSim) at(t uint64, a lsAction) {
 		heap.Push(&s.times, t)
 	}
 	s.agenda[t] = append(s.agenda[t], a)
+	if s.lastRestored != nil {
+		s.touchedTimes[t] = struct{}{}
+	}
+}
+
+// touchNet records a per-net state mutation since the last restore. A
+// no-op until the engine first restores a checkpoint.
+func (s *LevelSim) touchNet(nid int) {
+	if s.lastRestored != nil && !s.netDirty[nid] {
+		s.netDirty[nid] = true
+		s.dirtyNets = append(s.dirtyNets, int32(nid))
+	}
+}
+
+// touchCell records a per-cell (state or prevClk) mutation since the last
+// restore.
+func (s *LevelSim) touchCell(cid int) {
+	if s.lastRestored != nil && !s.cellDirty[cid] {
+		s.cellDirty[cid] = true
+		s.dirtyCells = append(s.dirtyCells, int32(cid))
+	}
 }
 
 // ScheduleInput implements Engine.
@@ -190,6 +224,7 @@ func (s *LevelSim) FlipState(cellID int) error {
 	if err := validateSeqCell(s.flat, cellID); err != nil {
 		return err
 	}
+	s.touchCell(cellID)
 	s.state[cellID] = s.state[cellID].Not()
 	s.settleAndCommit()
 	return nil
@@ -204,18 +239,25 @@ func (s *LevelSim) Run(until uint64) error {
 		if t < s.now {
 			return fmt.Errorf("sim: step time %d before now %d", t, s.now)
 		}
+		if s.lastRestored != nil {
+			s.consumedTimes = append(s.consumedTimes, t)
+		}
 		s.now = t
 		var fns []func()
 		for _, a := range actions {
 			switch a.kind {
 			case lsInput:
+				s.touchNet(a.net)
 				s.inputVal[a.net] = a.val
 			case lsForce:
+				s.touchNet(a.net)
 				s.forced[a.net] = true
 				s.forcedVal[a.net] = a.val
 			case lsRelease:
+				s.touchNet(a.net)
 				s.forced[a.net] = false
 			case lsFlip:
+				s.touchCell(a.cellID)
 				s.state[a.cellID] = s.state[a.cellID].Not()
 			case lsFunc:
 				fns = append(fns, a.fn)
@@ -270,13 +312,17 @@ func (s *LevelSim) settleAndCommit() error {
 					caps = append(caps, capture{cell: cid, next: next})
 				}
 			}
-			s.prevClk[cid] = clkNow
+			if s.prevClk[cid] != clkNow {
+				s.touchCell(cid)
+				s.prevClk[cid] = clkNow
+			}
 		}
 		if len(caps) == 0 {
 			break
 		}
 		// Phase 2: commit all captures simultaneously, then re-propagate.
 		for _, cp := range caps {
+			s.touchCell(cp.cell)
 			s.state[cp.cell] = cp.next
 		}
 	}
@@ -284,6 +330,7 @@ func (s *LevelSim) settleAndCommit() error {
 	changed := make([]int, 0, 16)
 	for nid := range s.cur {
 		if s.cur[nid] != s.scratch[nid] {
+			s.touchNet(nid)
 			s.cur[nid] = s.scratch[nid]
 			if _, ok := s.cbs[nid]; ok {
 				changed = append(changed, nid)

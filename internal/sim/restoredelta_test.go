@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// pollute runs a short faulty tail from the engine's current (restored)
+// state: a forced pulse, a state flip and the tail's own activity all
+// dirty nets, cells and the event queue.
+func polluteTail(t *testing.T, e Engine, until uint64) {
+	t.Helper()
+	n1 := netID(t, e.Flat(), "n1")
+	e.ScheduleForce(5100, n1, logic.L1)
+	e.ScheduleRelease(5700, n1)
+	if err := e.ScheduleFlip(5300, cellIDByPath(t, e, "u_ff0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(until); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreDeltaMatchesFullRestore is the delta-restore contract: after
+// an arbitrary polluted tail, RestoreDelta must leave the engine in a
+// state indistinguishable from a full Restore — pinned both by
+// MatchesCheckpoint and by running the identical faulty tail afterwards
+// and comparing every sampled output.
+func TestRestoreDeltaMatchesFullRestore(t *testing.T) {
+	for name, mk := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			const last = 12
+			prod := mk()
+			setupCounter(t, prod, last*period)
+			var ck *Checkpoint
+			prod.At(4500, func() { ck = prod.Snapshot() })
+			if err := prod.Run(last * period); err != nil {
+				t.Fatal(err)
+			}
+
+			// Reference: full restore, faulty tail.
+			ref := mk()
+			if err := ref.Restore(ck); err != nil {
+				t.Fatal(err)
+			}
+			refGot := sampleInto(t, ref, 5, last)
+			polluteTail(t, ref, last*period)
+
+			// Delta path: restore, pollute with varying tail lengths, then
+			// delta-restore and verify convergence back onto the checkpoint
+			// plus a bit-identical replay of the reference tail.
+			eng := mk()
+			if err := eng.Restore(ck); err != nil {
+				t.Fatal(err)
+			}
+			for trial, until := range []uint64{6 * period, last * period, 5 * period, ck.TimePS} {
+				polluteTail(t, eng, until)
+				if err := eng.RestoreDelta(ck); err != nil {
+					t.Fatal(err)
+				}
+				if !eng.MatchesCheckpoint(ck) {
+					t.Fatalf("trial %d (tail to %dps): delta-restored state does not match the checkpoint", trial, until)
+				}
+				got := sampleInto(t, eng, 5, last)
+				polluteTail(t, eng, last*period)
+				if len(*got) != len(*refGot) {
+					t.Fatalf("trial %d: %d samples, want %d", trial, len(*got), len(*refGot))
+				}
+				for i := range *refGot {
+					if (*got)[i] != (*refGot)[i] {
+						t.Fatalf("trial %d sample %d = %s, want %s", trial, i, (*got)[i], (*refGot)[i])
+					}
+				}
+				if err := eng.RestoreDelta(ck); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreDeltaFallsBackAcrossCheckpoints: delta-restoring a different
+// checkpoint than the last restored one must behave exactly like a full
+// Restore, so callers can always use RestoreDelta unconditionally.
+func TestRestoreDeltaFallsBackAcrossCheckpoints(t *testing.T) {
+	for name, mk := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			const last = 12
+			prod := mk()
+			setupCounter(t, prod, last*period)
+			var ck1, ck2 *Checkpoint
+			prod.At(4500, func() { ck1 = prod.Snapshot() })
+			prod.At(8500, func() { ck2 = prod.Snapshot() })
+			if err := prod.Run(last * period); err != nil {
+				t.Fatal(err)
+			}
+
+			ref := mk()
+			if err := ref.Restore(ck2); err != nil {
+				t.Fatal(err)
+			}
+			refGot := sampleInto(t, ref, 9, last)
+			if err := ref.Run(last * period); err != nil {
+				t.Fatal(err)
+			}
+
+			eng := mk()
+			if err := eng.RestoreDelta(ck1); err != nil { // never restored: full fallback
+				t.Fatal(err)
+			}
+			polluteTail(t, eng, 7*period)
+			if err := eng.RestoreDelta(ck2); err != nil { // different ck: full fallback
+				t.Fatal(err)
+			}
+			if !eng.MatchesCheckpoint(ck2) {
+				t.Fatal("fallback restore does not match the checkpoint")
+			}
+			got := sampleInto(t, eng, 9, last)
+			if err := eng.Run(last * period); err != nil {
+				t.Fatal(err)
+			}
+			for i := range *refGot {
+				if (*got)[i] != (*refGot)[i] {
+					t.Fatalf("sample %d = %s, want %s", i, (*got)[i], (*refGot)[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMatchesCheckpointIgnoresReleasedForceValue pins the LevelSim pruning
+// fix: a force/release pulse that fully decays must not keep the engine
+// permanently mismatched against golden checkpoints just because the
+// released net still remembers the pulse value in its (unobservable)
+// forcedVal slot.
+func TestMatchesCheckpointIgnoresReleasedForceValue(t *testing.T) {
+	for name, mk := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			const last = 12
+			prod := mk()
+			setupCounter(t, prod, last*period)
+			var ck1, ck2 *Checkpoint
+			prod.At(4500, func() { ck1 = prod.Snapshot() })
+			prod.At(8500, func() { ck2 = prod.Snapshot() })
+			if err := prod.Run(last * period); err != nil {
+				t.Fatal(err)
+			}
+
+			warm := mk()
+			if err := warm.Restore(ck1); err != nil {
+				t.Fatal(err)
+			}
+			// Pulse a net whose value is glitch-masked: force it to the value
+			// it already carries, so nothing downstream changes and the run
+			// re-converges the moment the force is released.
+			n1 := netID(t, warm.Flat(), "n1")
+			v := warm.Value(n1)
+			warm.ScheduleForce(4600, n1, v)
+			warm.ScheduleRelease(4700, n1)
+			if err := warm.Run(8500); err != nil {
+				t.Fatal(err)
+			}
+			if !warm.MatchesCheckpoint(ck2) {
+				t.Fatal("released no-op force pulse keeps the run unprunable against later golden checkpoints")
+			}
+		})
+	}
+}

@@ -69,6 +69,16 @@ type Engine interface {
 	// Restoring is the warm-start primitive: a run resumed from a
 	// checkpoint is bit-identical to one simulated from time zero.
 	Restore(*Checkpoint) error
+	// RestoreDelta is Restore with the wholesale copy replaced by a
+	// dirty-set rewrite when ck is the checkpoint this engine most
+	// recently restored: only the state touched since that restore — and
+	// only the queue entries consumed, cancelled or added since — is
+	// rewritten. The resulting engine state is bit-identical to a full
+	// Restore(ck); the saving is proportional to how little of the tail
+	// the previous injection actually simulated, which is what lets a
+	// batch of strike-sorted injections sharing one restore point amortize
+	// the restore cost. Any other checkpoint falls back to Restore.
+	RestoreDelta(*Checkpoint) error
 	// MatchesCheckpoint reports whether the engine's present state is
 	// indistinguishable from the checkpoint (ignoring callbacks and the
 	// eval counter), i.e. whether its future evolution is guaranteed

@@ -148,12 +148,81 @@ func (vw *Writer) Change(t uint64, name string, v logic.Vec) error {
 	return vw.err
 }
 
+// Flush pushes buffered output to the underlying writer without
+// finalizing the dump — a checkpointing caller flushes before capturing
+// the byte offset a resumed tail dump will be stitched onto.
+func (vw *Writer) Flush() error { return vw.w.Flush() }
+
 // Close flushes buffered output and finalizes the dump.
 func (vw *Writer) Close(endTime uint64) error {
 	if vw.headerOK && (!vw.timeSet || endTime > vw.curTime) {
 		fmt.Fprintf(vw.w, "#%d\n", endTime)
 	}
 	return vw.w.Flush()
+}
+
+// WriterState is an immutable snapshot of a Writer's dump position: the
+// declared signals, the current dump time, and the last emitted value of
+// every signal (the change-suppression state). It is what a checkpointing
+// simulation captures alongside each engine checkpoint, so a restored run
+// can resume dumping mid-trace with ResumeWriter and produce exactly the
+// change records a never-interrupted dump would have produced from that
+// instant on.
+type WriterState struct {
+	Time    uint64
+	TimeSet bool
+	Widths  map[string]int
+	Last    map[string]logic.Vec
+	order   []string
+	ids     map[string]string
+}
+
+// State snapshots the writer's dump position. Safe to take at any point
+// after the header is written; the snapshot shares nothing with the
+// writer, so the writer may keep dumping and any number of runs may
+// resume from the same state concurrently.
+func (vw *Writer) State() *WriterState {
+	st := &WriterState{
+		Time:    vw.curTime,
+		TimeSet: vw.timeSet,
+		Widths:  make(map[string]int, len(vw.widths)),
+		Last:    make(map[string]logic.Vec, len(vw.last)),
+		order:   append([]string(nil), vw.order...),
+		ids:     make(map[string]string, len(vw.ids)),
+	}
+	for n, w := range vw.widths {
+		st.Widths[n] = w
+	}
+	for n, v := range vw.last {
+		st.Last[n] = v.Clone()
+	}
+	for n, id := range vw.ids {
+		st.ids[n] = id
+	}
+	return st
+}
+
+// ResumeWriter returns a Writer that continues a dump from a previously
+// captured state: same signals and id codes, suppression seeded with the
+// state's last values, no header re-emitted. Concatenating the prefix
+// dump (up to the state) with everything the resumed writer emits parses
+// to the same trace as one uninterrupted dump.
+func ResumeWriter(w io.Writer, st *WriterState) *Writer {
+	vw := NewWriter(w)
+	vw.headerOK = true
+	vw.curTime = st.Time
+	vw.timeSet = st.TimeSet
+	vw.order = append([]string(nil), st.order...)
+	for n, width := range st.Widths {
+		vw.widths[n] = width
+	}
+	for n, v := range st.Last {
+		vw.last[n] = v.Clone()
+	}
+	for n, id := range st.ids {
+		vw.ids[n] = id
+	}
+	return vw
 }
 
 // Sample is one value of a signal starting at Time.
