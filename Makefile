@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test ci bench-smoke sweep-smoke bench clean
+.PHONY: all vet build test race ci bench-smoke sweep-smoke chaos-smoke bench clean
 
 all: ci
 
@@ -15,7 +15,13 @@ build:
 test:
 	$(GO) test ./...
 
-ci: vet build test
+# race re-runs the concurrency-heavy packages — the shard queue, sweep
+# pool, wire client, journal tailer and the coordinator itself — under
+# the race detector.
+race:
+	$(GO) test -race -count=1 ./internal/shard ./internal/sweep ./internal/capi ./internal/runstore ./internal/chaos ./cmd/campaignd
+
+ci: vet build test race
 
 # bench-smoke runs the warm-start comparisons once — both engines plus
 # the compare_vcd detector variant — and leaves BENCH_warmstart.json
@@ -48,6 +54,14 @@ bench-smoke:
 # `socfault -sweep` execution path.
 sweep-smoke:
 	$(GO) test ./cmd/campaignd -run '^(TestSweepSmokeByteIdentical|TestAPISubmitSmoke)$$' -count=1 -v
+
+# chaos-smoke is the robustness gate: a leader crash-stopped mid-grid
+# with a warm standby taking over from the journal (byte-identical
+# output, zero re-simulation, stale-epoch completions fenced), and a
+# sweep drained through fault-injecting HTTP transports (drops, resets,
+# 503s, duplicated POSTs, delays) — both under the race detector.
+chaos-smoke:
+	$(GO) test ./cmd/campaignd -race -run '^(TestCoordinatorFailover|TestSweepUnderChaos)$$' -count=1 -v
 
 # bench runs the full table/figure harness (minutes).
 bench:

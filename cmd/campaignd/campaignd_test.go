@@ -718,7 +718,7 @@ func TestCancelMidFlightDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Complete(ctx, held.Spec.Fingerprint, held.ID, p); err != nil {
+	if err := client.Complete(ctx, held.Spec.Fingerprint, held.ID, held.Epoch, p); err != nil {
 		t.Fatalf("completion of a cancelled sweep's leased shard refused: %v", err)
 	}
 
@@ -943,7 +943,7 @@ func TestTerminalMarkerProtectsSharedCampaigns(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer store.Close()
-	g := newRegistry(serveOpts{shards: 1, leaseTTL: time.Minute}, store, map[string]map[int]*shard.Partial{}, &syncWriter{w: io.Discard})
+	g := newRegistry(serveOpts{shards: 1, leaseTTL: time.Minute}, 0, store, map[string]map[int]*shard.Partial{}, &syncWriter{w: io.Discard})
 
 	specFor := func(seed uint64) shard.CampaignSpec {
 		cs := e2eSpec()

@@ -11,8 +11,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/capi"
@@ -55,6 +57,7 @@ type sweepRun struct {
 	grid   sweep.Grid
 	pool   *sweep.Pool
 	single *shard.CampaignSpec // set when the sweep is one -soc campaign
+	params json.RawMessage     // declarative grid params, journaled so a standby can rebuild the sweep
 	seq    int                 // submission order, for lease routing
 
 	state    string // capi.State*
@@ -78,6 +81,8 @@ type registry struct {
 	store     *runstore.Store // nil = no journal
 	shards    int
 	ttl       time.Duration
+	epoch     uint64  // coordinator incarnation; stamps every lease as a fencing token
+	spec      float64 // straggler re-issue factor (0 = pool default, negative = off)
 	seq       int
 	now       func() time.Time
 	stdout    *syncWriter
@@ -86,10 +91,12 @@ type registry struct {
 	outDir    string    // initial sweep's per-campaign JSON directory
 	single    bool      // initial sweep is one -soc campaign
 	submitted bool      // a sweep was ever submitted (survives purges)
+	draining  bool      // graceful shutdown: leases and submissions answer 503 + Retry-After
+	dead      bool      // crash-stopped (deposed or test-killed): no further journal writes
 	changed   chan struct{}
 }
 
-func newRegistry(opts serveOpts, store *runstore.Store, journaled map[string]map[int]*shard.Partial, stdout *syncWriter) *registry {
+func newRegistry(opts serveOpts, epoch uint64, store *runstore.Store, journaled map[string]map[int]*shard.Partial, stdout *syncWriter) *registry {
 	return &registry{
 		sweeps:    map[string]*sweepRun{},
 		byCamp:    map[string]*sweepRun{},
@@ -97,6 +104,8 @@ func newRegistry(opts serveOpts, store *runstore.Store, journaled map[string]map
 		store:     store,
 		shards:    opts.shards,
 		ttl:       opts.leaseTTL,
+		epoch:     epoch,
+		spec:      opts.specFactor,
 		now:       time.Now,
 		stdout:    stdout,
 		outPath:   opts.outPath,
@@ -141,11 +150,15 @@ func (g *registry) idle() bool {
 // resumes rather than re-simulates). Grids overlapping a live sweep's
 // campaigns are refused: completions route by campaign fingerprint, and
 // two live owners would make that routing ambiguous.
-func (g *registry) submit(grid sweep.Grid, single *shard.CampaignSpec, initial bool) (*sweepRun, bool, error) {
+func (g *registry) submit(grid sweep.Grid, params json.RawMessage, single *shard.CampaignSpec, initial bool) (*sweepRun, bool, error) {
 	fp := grid.Spec.Fingerprint()
 	pool, err := sweep.NewPool(grid.Spec, g.ttl)
 	if err != nil {
 		return nil, false, err
+	}
+	pool.SetEpoch(g.epoch)
+	if g.spec != 0 {
+		pool.SetSpeculateFactor(g.spec)
 	}
 	g.mu.Lock()
 	if prev, ok := g.sweeps[fp]; ok && (prev.state == capi.StateRunning || prev.state == capi.StateDone) {
@@ -178,6 +191,7 @@ func (g *registry) submit(grid sweep.Grid, single *shard.CampaignSpec, initial b
 		grid:     grid,
 		pool:     pool,
 		single:   single,
+		params:   params,
 		seq:      g.seq,
 		state:    capi.StateRunning,
 		stop:     make(chan struct{}),
@@ -194,10 +208,93 @@ func (g *registry) submit(grid sweep.Grid, single *shard.CampaignSpec, initial b
 	}
 	g.mu.Unlock()
 	g.ping()
+	// Journal the submission: a warm standby rebuilds its sweep registry
+	// from these records, so a sweep whose spec lives only in a dead
+	// leader's memory would be unrecoverable.
+	g.journalSweep(sr, capi.StateRunning)
 	fmt.Fprintf(g.stdout, "campaignd: sweep %s (%.12s) submitted: %d campaigns, %d shards each\n",
 		grid.Spec.Name, fp, len(grid.Spec.Items), g.shards)
 	go g.run(sr)
 	return sr, true, nil
+}
+
+// journalSweep appends a sweep lifecycle record. runstore's compaction
+// keeps only the latest record per sweep and drops terminal ones, so
+// the journal carries exactly the registry a standby must rebuild.
+func (g *registry) journalSweep(sr *sweepRun, state string) {
+	store := g.journalStore()
+	if store == nil {
+		return
+	}
+	rec := runstore.SweepRecord{
+		Fingerprint: sr.fp,
+		Name:        sr.grid.Spec.Name,
+		State:       state,
+		Params:      sr.params,
+		Single:      sr.single,
+	}
+	if err := store.AppendSweep(rec); err != nil {
+		// Lost registry durability only; the sweep still runs here.
+		fmt.Fprintln(os.Stderr, "campaignd: journal sweep record:", err)
+	}
+}
+
+// journalStore returns the journal to append to, or nil when there is
+// none — or when this coordinator has crash-stopped: a deposed leader
+// must never write behind its successor's back.
+func (g *registry) journalStore() *runstore.Store {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.dead {
+		return nil
+	}
+	return g.store
+}
+
+// setDraining flips the registry into graceful shutdown: lease and
+// submit requests answer 503 + Retry-After from here on.
+func (g *registry) setDraining() {
+	g.mu.Lock()
+	g.draining = true
+	g.mu.Unlock()
+	g.ping()
+}
+
+func (g *registry) isDraining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// markDead crash-stops the registry's durable side effects and winds
+// down every live sweep's build/merge loops. Used when the coordinator
+// is deposed (a higher epoch holds the leader lease) or killed by the
+// test harness: the journal now belongs to the successor.
+func (g *registry) markDead() {
+	g.mu.Lock()
+	g.dead = true
+	live := append([]*sweepRun(nil), g.order...)
+	g.mu.Unlock()
+	for _, sr := range live {
+		sr.pool.Cancel()
+		sr.stopOnce.Do(func() { close(sr.stop) })
+	}
+	g.ping()
+}
+
+// leasedShards counts shards currently leased out across every sweep,
+// expiring stale leases as a side effect — the quantity a graceful
+// drain waits on.
+func (g *registry) leasedShards() int {
+	order, _ := g.liveSweeps()
+	now := g.now()
+	total := 0
+	for _, sr := range order {
+		for _, cp := range sr.pool.Progress(now).Campaigns {
+			total += cp.Shards.Leased
+		}
+	}
+	return total
 }
 
 // cancel transitions a live sweep to cancelled: its pool stops leasing,
@@ -225,16 +322,23 @@ func (g *registry) run(sr *sweepRun) {
 	defer close(sr.finished)
 	err := g.drive(sr)
 	g.mu.Lock()
+	var state string
 	switch {
 	case sr.state == capi.StateCancelled || errors.Is(err, errCancelled):
-		sr.state = capi.StateCancelled
+		state = capi.StateCancelled
 	case err != nil:
-		sr.state = capi.StateFailed
+		state = capi.StateFailed
 		sr.stateMsg = err.Error()
 	default:
-		sr.state = capi.StateDone
+		state = capi.StateDone
 	}
-	state := sr.state
+	g.mu.Unlock()
+	// Journal the terminal record before publishing the state: anyone who
+	// observes the transition (and, say, purges on it) must find the
+	// journal already past it.
+	g.journalSweep(sr, state)
+	g.mu.Lock()
+	sr.state = state
 	g.mu.Unlock()
 	if state == capi.StateDone && sr != g.initialSweep() {
 		// An API-submitted sweep that merged and rendered has delivered:
@@ -485,7 +589,11 @@ func (g *registry) journaledFor(fp string) map[int]*shard.Partial {
 }
 
 // recordJournaled mirrors an accepted completion into the in-memory
-// journal view (and the on-disk journal, if any).
+// journal view (and the on-disk journal, if any). First wins: once a
+// (fingerprint, shard index) pair has landed, later copies — a
+// speculative backup's duplicate, or a stale-epoch completion arriving
+// after a failover — are dropped without touching the journal, so the
+// bytes that merged are the bytes that persist.
 func (g *registry) recordJournaled(fp string, p *shard.Partial) {
 	g.mu.Lock()
 	m := g.journaled[fp]
@@ -493,10 +601,15 @@ func (g *registry) recordJournaled(fp string, p *shard.Partial) {
 		m = map[int]*shard.Partial{}
 		g.journaled[fp] = m
 	}
+	if _, dup := m[p.Index]; dup {
+		g.mu.Unlock()
+		return
+	}
 	m[p.Index] = p
 	store := g.store
+	dead := g.dead
 	g.mu.Unlock()
-	if store != nil {
+	if store != nil && !dead {
 		if err := store.Append(fp, p); err != nil {
 			// The result is already accepted and merging will proceed; a
 			// journal write failure only weakens crash recovery.
@@ -543,6 +656,10 @@ func (g *registry) mux() *http.ServeMux {
 }
 
 func (g *registry) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if g.isDraining() {
+		capi.WriteUnavailable(w, time.Second, "coordinator draining; resubmit to its successor")
+		return
+	}
 	var req capi.SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		capi.WriteError(w, http.StatusBadRequest, capi.CodeBadRequest, "bad submit request: %v", err)
@@ -553,7 +670,12 @@ func (g *registry) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		capi.WriteError(w, http.StatusBadRequest, capi.CodeBadRequest, "%v", err)
 		return
 	}
-	sr, created, err := g.submit(grid, nil, false)
+	params, err := json.Marshal(req.Params)
+	if err != nil {
+		capi.WriteError(w, http.StatusBadRequest, capi.CodeBadRequest, "%v", err)
+		return
+	}
+	sr, created, err := g.submit(grid, params, nil, false)
 	if err != nil {
 		capi.WriteError(w, http.StatusConflict, capi.CodeConflict, "%v", err)
 		return
@@ -669,6 +791,12 @@ func (g *registry) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (g *registry) handleLease(w http.ResponseWriter, r *http.Request) {
+	if g.isDraining() {
+		// Workers' retry loops sleep the hint and knock again — by then the
+		// successor (a promoted standby, or nobody) answers on this address.
+		capi.WriteUnavailable(w, time.Second, "coordinator draining; retry shortly")
+		return
+	}
 	var req capi.LeaseRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		capi.WriteError(w, http.StatusBadRequest, capi.CodeBadRequest, "bad lease request: %v", err)
@@ -709,7 +837,17 @@ func (g *registry) handleComplete(w http.ResponseWriter, r *http.Request) {
 		capi.WriteError(w, http.StatusConflict, capi.CodeConflict, "completion names unknown campaign %.12s", fp)
 		return
 	}
-	if err := sr.pool.Complete(fp, req.LeaseID, req.Partial, g.now()); err != nil {
+	if err := sr.pool.Complete(fp, req.LeaseID, req.Epoch, req.Partial, g.now()); err != nil {
+		if errors.Is(err, shard.ErrStaleEpoch) {
+			// A completion leased by a deposed coordinator for a shard this
+			// one already has. The journal offer is harmless — first-wins
+			// dedupe drops it when (as always here) the live copy landed
+			// first — but the worker learns its lease died with the old
+			// epoch, distinctly from an ordinary duplicate.
+			g.recordJournaled(fp, req.Partial)
+			capi.WriteError(w, http.StatusConflict, capi.CodeStaleEpoch, "%v", err)
+			return
+		}
 		capi.WriteError(w, http.StatusConflict, capi.CodeConflict, "%v", err)
 		return
 	}
@@ -785,15 +923,38 @@ func (g *registry) handleProgress(w http.ResponseWriter, r *http.Request) {
 
 // serveOpts is the parsed configuration of one serve run.
 type serveOpts struct {
-	grid     *sweep.Grid // self-submitted at startup; nil = start empty
-	single   bool        // one-campaign mode: legacy report + result-JSON -out
-	shards   int         // per campaign; tiny campaigns degrade to fewer
+	grid     *sweep.Grid     // self-submitted at startup; nil = start empty
+	params   json.RawMessage // declarative params of the self-submitted grid, for journaling
+	single   bool            // one-campaign mode: legacy report + result-JSON -out
+	shards   int             // per campaign; tiny campaigns degrade to fewer
 	journal  string
 	leaseTTL time.Duration
 	linger   time.Duration
 	outPath  string // single: merged result JSON; sweep: rendered grid text
 	outDir   string // sweep: per-campaign result JSON directory
+
+	// Failover knobs (zero values pick the defaults below).
+	addr       string        // listen address a promoted standby rebinds
+	leaderTTL  time.Duration // leader-lease duration; renewed at a third of it
+	drainGrace time.Duration // graceful-drain bound on waiting out leased shards
+	specFactor float64       // straggler re-issue factor (0 = pool default, negative = off)
+
+	// Warm-standby preloads: a promoted standby hands serve the state it
+	// tailed out of the journal instead of having serve re-read the file.
+	epoch        uint64                            // pre-acquired leader epoch; 0 = acquire at startup
+	preJournaled map[string]map[int]*shard.Partial // replaces runstore.LoadAll
+	preSweeps    []runstore.SweepRecord            // replaces runstore.LoadSweeps
+
+	// Control channels; nil channels never fire.
+	signals <-chan os.Signal // graceful drain trigger (SIGINT/SIGTERM)
+	crash   <-chan struct{}  // test hook: crash-stop as if the process died
 }
+
+const (
+	leaderSuffix      = ".leader"
+	defaultLeaderTTL  = 10 * time.Second
+	defaultDrainGrace = 30 * time.Second
+)
 
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("campaignd serve", flag.ContinueOnError)
@@ -803,7 +964,12 @@ func runServe(args []string) error {
 	shards := fs.Int("shards", 8, "number of shards to split each campaign into")
 	journal := fs.String("journal", "", "append-only shard journal, namespaced per campaign; sweeps restarted with the same journal skip finished shards")
 	lease := fs.Duration("lease", 10*time.Minute, "shard lease duration; workers heartbeat at a third of it, so a live shard outrunning the lease is renewed, not re-issued")
+	leaderTTL := fs.Duration("leader-lease", defaultLeaderTTL, "leader-lease duration on the journal (renewed at a third of it); a standby takes over once it expires")
+	drainGrace := fs.Duration("drain-grace", defaultDrainGrace, "on SIGINT/SIGTERM, how long to wait for leased shards to land before exiting anyway")
 	linger := fs.Duration("linger", 3*time.Second, "idle grace: once every submitted sweep is terminal, keep serving this long (new submissions revive the server; pollers observe completion) before exiting")
+	speculate := fs.Float64("speculate", sweep.DefaultSpeculateFactor, "straggler re-issue: speculatively back up a leased shard once its age exceeds this multiple of the observed average shard duration and the pool is otherwise idle; 0 disables")
+	standbyFlag := fs.Bool("standby", false, "warm standby: tail -follow's journal, take over serving when the leader lease expires")
+	follow := fs.String("follow", "", "standby: the leader's journal to tail (implies -journal for the takeover)")
 	out := fs.String("out", "", "single campaign: write the merged result JSON here; sweep: write the rendered tables here")
 	outDir := fs.String("outdir", "", "sweep: write each campaign's merged result JSON into this directory, named by campaign key")
 	if err := fs.Parse(args); err != nil {
@@ -813,6 +979,9 @@ func runServe(args []string) error {
 		return fmt.Errorf("-shards must be at least 1, got %d", *shards)
 	}
 	if err := positiveDuration("lease", *lease); err != nil {
+		return err
+	}
+	if err := positiveDuration("leader-lease", *leaderTTL); err != nil {
 		return err
 	}
 	if *linger < 0 {
@@ -832,14 +1001,39 @@ func runServe(args []string) error {
 		}
 	})
 	opts := serveOpts{
-		single:   single,
-		shards:   *shards,
-		journal:  *journal,
-		leaseTTL: *lease,
-		linger:   *linger,
-		outPath:  *out,
-		outDir:   *outDir,
+		single:     single,
+		shards:     *shards,
+		journal:    *journal,
+		leaseTTL:   *lease,
+		leaderTTL:  *leaderTTL,
+		drainGrace: *drainGrace,
+		specFactor: *speculate,
+		linger:     *linger,
+		outPath:    *out,
+		outDir:     *outDir,
+		addr:       *addr,
 	}
+	if *speculate <= 0 {
+		opts.specFactor = -1 // explicit off; serveOpts zero means "pool default"
+	}
+	// SIGINT/SIGTERM drain gracefully: stop leasing, wait (bounded by
+	// -drain-grace) for leased shards to land, release leadership, exit 0.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	opts.signals = sigCh
+
+	if *standbyFlag {
+		if *follow == "" {
+			return fmt.Errorf("-standby requires -follow JOURNAL")
+		}
+		if single || isSweep {
+			return fmt.Errorf("-standby takes no campaign or sweep flags; the registry is rebuilt from the journal")
+		}
+		opts.journal = *follow
+		return standby(opts, os.Stdout)
+	}
+
 	switch {
 	case isSweep:
 		grid, err := params.Grid()
@@ -847,6 +1041,9 @@ func runServe(args []string) error {
 			return err
 		}
 		opts.grid = &grid
+		if opts.params, err = json.Marshal(params); err != nil {
+			return err
+		}
 	case single:
 		cs, err := specOf()
 		if err != nil {
@@ -909,21 +1106,77 @@ func (s *syncWriter) Write(p []byte) (int, error) {
 // so the end-to-end tests can drive it on an ephemeral port.
 func serve(opts serveOpts, ln net.Listener, rawStdout io.Writer) error {
 	stdout := &syncWriter{w: rawStdout}
+	if opts.leaderTTL <= 0 {
+		opts.leaderTTL = defaultLeaderTTL
+	}
+	if opts.drainGrace <= 0 {
+		opts.drainGrace = defaultDrainGrace
+	}
+
 	var store *runstore.Store
-	journaled := map[string]map[int]*shard.Partial{}
+	journaled := opts.preJournaled
+	preSweeps := opts.preSweeps
 	var err error
 	if opts.journal != "" {
-		if journaled, err = runstore.LoadAll(opts.journal); err != nil {
-			return err
+		if journaled == nil {
+			if journaled, err = runstore.LoadAll(opts.journal); err != nil {
+				return err
+			}
+			if preSweeps, err = runstore.LoadSweeps(opts.journal); err != nil {
+				return err
+			}
 		}
 		if store, err = runstore.Open(opts.journal); err != nil {
 			return err
 		}
 		defer store.Close()
 	}
-	g := newRegistry(opts, store, journaled, stdout)
-	fmt.Fprintf(stdout, "campaignd: serving on %s (lease %v, %d shards per campaign)\n",
-		ln.Addr(), opts.leaseTTL, opts.shards)
+	if journaled == nil {
+		journaled = map[string]map[int]*shard.Partial{}
+	}
+
+	// Leadership: with a journal, serve runs under a fenced epoch recorded
+	// in the journal's .leader file and stamped on every lease. A promoted
+	// standby arrives with its epoch pre-acquired (opts.epoch); a fresh
+	// leader claims the file's epoch + 1.
+	epoch := opts.epoch
+	var leaderPath string
+	deposed := make(chan struct{})
+	stopLeader := func() {}
+	if opts.journal != "" {
+		leaderPath = opts.journal + leaderSuffix
+		if epoch == 0 {
+			prev, err := runstore.ReadLeaderLease(leaderPath)
+			if err != nil {
+				return err
+			}
+			if prev.Epoch > 0 && !prev.Expired(time.Now()) {
+				return fmt.Errorf("journal %s is led by %s (epoch %d) until %s; use -standby to take over on expiry",
+					opts.journal, prev.Owner, prev.Epoch, prev.ExpiresAt.Format(time.RFC3339))
+			}
+			epoch = prev.Epoch + 1
+		}
+		me := runstore.LeaderLease{
+			Epoch:     epoch,
+			Owner:     defaultWorkerName(),
+			Addr:      ln.Addr().String(),
+			ExpiresAt: time.Now().Add(opts.leaderTTL),
+		}
+		if err := runstore.WriteLeaderLease(leaderPath, me); err != nil {
+			return err
+		}
+		stopLeader = startLeaderRenewal(leaderPath, me, opts.leaderTTL, deposed)
+		defer stopLeader()
+	}
+
+	g := newRegistry(opts, epoch, store, journaled, stdout)
+	if epoch > 0 {
+		fmt.Fprintf(stdout, "campaignd: serving on %s (lease %v, %d shards per campaign, epoch %d)\n",
+			ln.Addr(), opts.leaseTTL, opts.shards, epoch)
+	} else {
+		fmt.Fprintf(stdout, "campaignd: serving on %s (lease %v, %d shards per campaign)\n",
+			ln.Addr(), opts.leaseTTL, opts.shards)
+	}
 
 	srv := &http.Server{Handler: g.mux()}
 	defer srv.Close()
@@ -935,20 +1188,86 @@ func serve(opts serveOpts, ln net.Listener, rawStdout io.Writer) error {
 		if opts.single {
 			single = &opts.grid.Spec.Items[0].Campaign
 		}
-		if _, _, err := g.submit(*opts.grid, single, true); err != nil {
+		if _, _, err := g.submit(*opts.grid, opts.params, single, true); err != nil {
 			return err
 		}
 	}
+	// Resubmit journaled running sweeps — the registry a dead leader left
+	// behind. Idempotent against the self-submission above, so a restart
+	// on the same flags keeps its batch-job surface.
+	for _, rec := range preSweeps {
+		if rec.State != runstore.SweepStateRunning {
+			continue
+		}
+		grid, single, err := gridFromRecord(rec)
+		if err != nil {
+			// An unreadable registry record must not sink the sweeps that do
+			// decode: serve what can be served, say what cannot.
+			fmt.Fprintf(os.Stderr, "campaignd: journaled sweep %.12s not rebuilt: %v\n", rec.Fingerprint, err)
+			continue
+		}
+		if _, _, err := g.submit(grid, rec.Params, single, false); err != nil {
+			fmt.Fprintf(os.Stderr, "campaignd: journaled sweep %.12s not rebuilt: %v\n", rec.Fingerprint, err)
+		}
+	}
 
-	// Serve until idle: every submitted sweep terminal and the linger
-	// window passed without a new submission reviving the server.
+	// crashStop tears down as an abruptly dead process would: no drain, no
+	// journal writes, and — critically — no leader-lease release, so the
+	// takeover clock a standby watches runs out for real.
+	crashStop := func(reason string) error {
+		g.markDead()
+		stopLeader()
+		srv.Close()
+		return fmt.Errorf("crash-stopped: %s", reason)
+	}
+
+	// Serve until idle (every submitted sweep terminal and the linger
+	// window passed without a new submission), or until a drain signal or
+	// crash ends the run early.
+	draining := false
+	var drainDeadline <-chan time.Time
+	drainPoll := time.NewTicker(100 * time.Millisecond)
+	defer drainPoll.Stop()
+	startDrain := func(why string) {
+		draining = true
+		g.setDraining()
+		drainDeadline = time.After(opts.drainGrace)
+		fmt.Fprintf(stdout, "campaignd: %s; draining — %d shards leased, refusing new work (grace %v)\n",
+			why, g.leasedShards(), opts.drainGrace)
+	}
+loop:
 	for {
+		if draining {
+			if g.leasedShards() == 0 {
+				break
+			}
+			select {
+			case <-drainPoll.C:
+			case <-drainDeadline:
+				fmt.Fprintf(stdout, "campaignd: drain grace expired with %d shards leased; exiting anyway\n", g.leasedShards())
+				break loop
+			case <-opts.crash:
+				return crashStop("test crash hook")
+			case <-deposed:
+				return crashStop("deposed: a newer epoch holds the leader lease")
+			case err := <-srvErr:
+				return fmt.Errorf("serving: %v", err)
+			}
+			continue
+		}
 		if g.idle() {
 			select {
 			case <-g.changed:
 				continue
 			case err := <-srvErr:
 				return fmt.Errorf("serving: %v", err)
+			case sig := <-opts.signals:
+				startDrain(sig.String() + " received")
+				continue
+			case <-opts.crash:
+				return crashStop("test crash hook")
+			case <-deposed:
+				return crashStop("deposed: a newer epoch holds the leader lease")
 			case <-time.After(opts.linger):
 				if !g.idle() {
 					continue
@@ -960,6 +1279,12 @@ func serve(opts serveOpts, ln net.Listener, rawStdout io.Writer) error {
 		case <-g.changed:
 		case err := <-srvErr:
 			return fmt.Errorf("serving: %v", err)
+		case sig := <-opts.signals:
+			startDrain(sig.String() + " received")
+		case <-opts.crash:
+			return crashStop("test crash hook")
+		case <-deposed:
+			return crashStop("deposed: a newer epoch holds the leader lease")
 		}
 	}
 
@@ -967,6 +1292,20 @@ func serve(opts serveOpts, ln net.Listener, rawStdout io.Writer) error {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "campaignd: shutdown:", err)
+	}
+	if leaderPath != "" {
+		// A clean exit hands leadership over immediately: rewrite the lease
+		// already expired so a standby needn't wait out the TTL. Addr stays:
+		// the promoted standby inherits it, so workers keep their URL across
+		// planned restarts too, not just crashes.
+		stopLeader()
+		release := runstore.LeaderLease{Epoch: epoch, Owner: defaultWorkerName(), Addr: ln.Addr().String(), ExpiresAt: time.Now()}
+		if err := runstore.WriteLeaderLease(leaderPath, release); err != nil {
+			fmt.Fprintln(os.Stderr, "campaignd: leader lease release:", err)
+		}
+	}
+	if draining {
+		fmt.Fprintf(stdout, "campaignd: drained; leadership released\n")
 	}
 
 	// The self-submitted sweep is the batch job serve was asked to run;
@@ -978,6 +1317,211 @@ func serve(opts serveOpts, ln net.Listener, rawStdout io.Writer) error {
 		return errors.New(g.initial.stateMsg)
 	}
 	return nil
+}
+
+// startLeaderRenewal heartbeats the leader lease at a third of its TTL.
+// Each tick first reads the file: a higher epoch there means a standby
+// (correctly, per the expiry this leader let happen) took over — the
+// deposed channel closes and this incarnation must crash-stop, never
+// write again. The returned stop is idempotent.
+func startLeaderRenewal(path string, me runstore.LeaderLease, ttl time.Duration, deposed chan<- struct{}) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	interval := ttl / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				cur, err := runstore.ReadLeaderLease(path)
+				if err == nil && cur.Epoch > me.Epoch {
+					close(deposed)
+					return
+				}
+				me.ExpiresAt = time.Now().Add(ttl)
+				if err := runstore.WriteLeaderLease(path, me); err != nil {
+					fmt.Fprintln(os.Stderr, "campaignd: leader lease renewal:", err)
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// gridFromRecord rebuilds a submitted sweep from its journal record —
+// the declarative params an API submission carried, or the single
+// campaign spec of a -soc self-submission.
+func gridFromRecord(rec runstore.SweepRecord) (sweep.Grid, *shard.CampaignSpec, error) {
+	if rec.Single != nil {
+		cs := *rec.Single
+		return singleCampaignGrid(cs), &cs, nil
+	}
+	if len(rec.Params) == 0 {
+		return sweep.Grid{}, nil, fmt.Errorf("sweep record carries neither params nor a campaign spec")
+	}
+	var params sweep.GridParams
+	if err := json.Unmarshal(rec.Params, &params); err != nil {
+		return sweep.Grid{}, nil, err
+	}
+	grid, err := params.Grid()
+	return grid, nil, err
+}
+
+// standby tails a leader's journal, mirroring the shard results and
+// sweep registry as they land, and takes over the moment the leader
+// lease expires: it bumps the epoch (fencing the old leader's leases),
+// rebinds the leader's address, and serves the journal's sweeps exactly
+// where the dead leader left them — journaled shards restore, only the
+// remainder is ever simulated again.
+func standby(opts serveOpts, rawStdout io.Writer) error {
+	stdout := &syncWriter{w: rawStdout}
+	if opts.leaderTTL <= 0 {
+		opts.leaderTTL = defaultLeaderTTL
+	}
+	leaderPath := opts.journal + leaderSuffix
+	tail := runstore.NewTail(opts.journal)
+	defer tail.Close()
+
+	journaled := map[string]map[int]*shard.Partial{}
+	sweeps := map[string]runstore.SweepRecord{}
+	var order []string
+	apply := func(rec runstore.Record) {
+		switch {
+		case rec.Sweep != nil:
+			if _, seen := sweeps[rec.Sweep.Fingerprint]; !seen {
+				order = append(order, rec.Sweep.Fingerprint)
+			}
+			sweeps[rec.Sweep.Fingerprint] = *rec.Sweep
+		case rec.Partial != nil:
+			m := journaled[rec.Fingerprint]
+			if m == nil {
+				m = map[int]*shard.Partial{}
+				journaled[rec.Fingerprint] = m
+			}
+			if _, dup := m[rec.Partial.Index]; !dup {
+				m[rec.Partial.Index] = rec.Partial
+			}
+		case len(rec.Terminal) > 0:
+			for _, fp := range rec.Terminal {
+				delete(journaled, fp)
+			}
+		}
+	}
+	// drainTail applies everything currently readable. A journal
+	// replacement (the leader compacting) resets the derived state and
+	// replays — replaying is idempotent because apply is first-wins.
+	drainTail := func() error {
+		for {
+			rec, ev, err := tail.Next()
+			if err != nil {
+				return err
+			}
+			switch ev {
+			case runstore.TailRecord:
+				apply(rec)
+			case runstore.TailReset:
+				journaled = map[string]map[int]*shard.Partial{}
+				sweeps = map[string]runstore.SweepRecord{}
+				order = nil
+			case runstore.TailCaughtUp:
+				return nil
+			}
+		}
+	}
+
+	poll := opts.leaderTTL / 4
+	if poll < 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	fmt.Fprintf(stdout, "campaignd: standby following %s (leader lease %v)\n", opts.journal, opts.leaderTTL)
+	announced := uint64(0)
+	var lease runstore.LeaderLease
+	for {
+		if err := drainTail(); err != nil {
+			return err
+		}
+		var err error
+		if lease, err = runstore.ReadLeaderLease(leaderPath); err != nil {
+			return err
+		}
+		// Epoch 0 means no leader has ever led this journal; a standby
+		// follows, it does not found. Wait for a leader to appear.
+		if lease.Epoch > 0 && lease.Expired(time.Now()) {
+			break
+		}
+		if lease.Epoch != announced {
+			fmt.Fprintf(stdout, "campaignd: standby: following leader %s (epoch %d) on %s\n", lease.Owner, lease.Epoch, lease.Addr)
+			announced = lease.Epoch
+		}
+		select {
+		case <-time.After(poll):
+		case sig := <-opts.signals:
+			fmt.Fprintf(stdout, "campaignd: standby: %v received; exiting without taking over\n", sig)
+			return nil
+		}
+	}
+
+	// Take over. Claim the fenced epoch first — a zombie leader's next
+	// renewal tick reads it and crash-stops — then drain the last records
+	// it flushed, then fight it for the socket.
+	epoch := lease.Epoch + 1
+	addr := opts.addr
+	if lease.Addr != "" {
+		addr = lease.Addr
+	}
+	me := runstore.LeaderLease{
+		Epoch:     epoch,
+		Owner:     defaultWorkerName(),
+		Addr:      addr,
+		ExpiresAt: time.Now().Add(opts.leaderTTL),
+	}
+	if err := runstore.WriteLeaderLease(leaderPath, me); err != nil {
+		return err
+	}
+	if err := drainTail(); err != nil {
+		return err
+	}
+	tail.Close()
+
+	// The dead leader's socket may linger (its process dying slowly, or a
+	// zombie that has not yet noticed the fence); keep trying the bind.
+	var ln net.Listener
+	var err error
+	bindDeadline := time.Now().Add(10 * opts.leaderTTL)
+	for {
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		if time.Now().After(bindDeadline) {
+			return fmt.Errorf("standby takeover: %s never freed: %v", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	nShards := 0
+	for _, m := range journaled {
+		nShards += len(m)
+	}
+	fmt.Fprintf(stdout, "campaignd: standby taking over: leader epoch %d expired; epoch %d on %s (%d sweeps, %d journaled shards)\n",
+		lease.Epoch, epoch, addr, len(order), nShards)
+
+	takeover := opts
+	takeover.grid = nil
+	takeover.params = nil
+	takeover.single = false
+	takeover.epoch = epoch
+	takeover.preJournaled = journaled
+	takeover.preSweeps = nil
+	for _, fp := range order {
+		takeover.preSweeps = append(takeover.preSweeps, sweeps[fp])
+	}
+	return serve(takeover, ln, rawStdout)
 }
 
 func writeResultJSON(path string, res *inject.Result) error {

@@ -14,10 +14,12 @@ import (
 
 // workOpts is the parsed configuration of one work loop.
 type workOpts struct {
-	url  string
-	name string
-	poll time.Duration
-	out  io.Writer
+	url        string
+	name       string
+	poll       time.Duration
+	maxOffline time.Duration // 0: fall back to the attempt-count budget
+	client     *capi.Client  // nil: a default client for url (tests inject chaos transports)
+	out        io.Writer
 }
 
 func runWork(args []string) error {
@@ -25,13 +27,17 @@ func runWork(args []string) error {
 	url := fs.String("url", "http://127.0.0.1:8372", "coordinator base URL")
 	name := fs.String("name", defaultWorkerName(), "worker identity reported to the coordinator")
 	poll := fs.Duration("poll", 2*time.Second, "base idle polling interval; idle polls back off exponentially (jittered, capped at 20x) and reset on the next lease")
+	maxOffline := fs.Duration("max-offline", 0, "give up (non-zero exit) once the coordinator has been continuously unreachable this long; 0 bounds by attempt count instead")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := positiveDuration("poll", *poll); err != nil {
 		return err
 	}
-	return work(context.Background(), workOpts{url: *url, name: *name, poll: *poll, out: os.Stdout})
+	if *maxOffline < 0 {
+		return fmt.Errorf("-max-offline must not be negative, got %v", *maxOffline)
+	}
+	return work(context.Background(), workOpts{url: *url, name: *name, poll: *poll, maxOffline: *maxOffline, out: os.Stdout})
 }
 
 // maxConsecutiveFailures bounds how long a worker survives an
@@ -56,13 +62,18 @@ const idleBackoffFactor = 20
 // cache. While a shard executes, a heartbeat goroutine renews the lease
 // at a third of its TTL, so a shard outrunning the lease is never
 // re-issued. The loop exits cleanly when the coordinator reports itself
-// drained (every sweep terminal), the context is cancelled, or the
-// coordinator stays unreachable for maxConsecutiveFailures rounds.
+// drained (every sweep terminal) or the context is cancelled, and with
+// an error when the coordinator stays unreachable past the -max-offline
+// window (or, without one, for maxConsecutiveFailures rounds).
 func work(ctx context.Context, opts workOpts) error {
 	exec := shard.NewExecutor()
-	client := capi.NewClient(opts.url)
+	client := opts.client
+	if client == nil {
+		client = capi.NewClient(opts.url)
+	}
 	idle := &capi.Backoff{Base: opts.poll, Cap: idleBackoffFactor * opts.poll}
 	failures := 0
+	var offlineSince time.Time // first failure of the current unreachable streak
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -73,7 +84,19 @@ func work(ctx context.Context, opts workOpts) error {
 				return ctx.Err()
 			}
 			failures++
-			if failures >= maxConsecutiveFailures {
+			now := time.Now()
+			if offlineSince.IsZero() {
+				offlineSince = now
+			}
+			// -max-offline bounds the streak by wall clock — the operator's
+			// "how long may a worker box sit useless" knob; without it the
+			// attempt-count budget applies.
+			if opts.maxOffline > 0 {
+				if down := now.Sub(offlineSince); down >= opts.maxOffline {
+					fmt.Fprintf(opts.out, "%s: coordinator unreachable for %v (limit %v); giving up\n", opts.name, down.Round(time.Millisecond), opts.maxOffline)
+					return fmt.Errorf("coordinator unreachable for %v (max-offline %v, %d attempts): %v", down.Round(time.Millisecond), opts.maxOffline, failures, err)
+				}
+			} else if failures >= maxConsecutiveFailures {
 				return fmt.Errorf("coordinator unreachable after %d attempts: %v", failures, err)
 			}
 			if !sleepCtx(ctx, idle.Next()) {
@@ -82,6 +105,7 @@ func work(ctx context.Context, opts workOpts) error {
 			continue
 		}
 		failures = 0
+		offlineSince = time.Time{}
 		switch outcome {
 		case capi.LeaseDrained:
 			fmt.Fprintf(opts.out, "%s: campaign complete\n", opts.name)
@@ -107,7 +131,7 @@ func work(ctx context.Context, opts workOpts) error {
 		if exec.CacheHits() > hitsBefore {
 			cached = " (from cache)"
 		}
-		if err := client.Complete(ctx, lease.Spec.Fingerprint, lease.ID, p); err != nil {
+		if err := client.Complete(ctx, lease.Spec.Fingerprint, lease.ID, lease.Epoch, p); err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -95,19 +96,37 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (int,
 
 // decodeError lifts an error reply into a typed *Error, tolerating
 // non-envelope bodies (a proxy's bare text) by wrapping them verbatim.
+// A Retry-After header (delay-seconds form) is parsed onto the error so
+// the retry loop can honor the server's pacing.
 func decodeError(resp *http.Response) error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 	var eb errorBody
 	if err := json.Unmarshal(raw, &eb); err == nil && eb.Err.Code != "" {
 		e := eb.Err
 		e.Status = resp.StatusCode
+		e.RetryAfter = retryAfter
 		return &e
 	}
 	return &Error{
-		Status:  resp.StatusCode,
-		Code:    CodeInternal,
-		Message: fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(raw)),
+		Status:     resp.StatusCode,
+		Code:       CodeInternal,
+		Message:    fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(raw)),
+		RetryAfter: retryAfter,
 	}
+}
+
+// parseRetryAfter reads the delay-seconds form of a Retry-After header;
+// the HTTP-date form and garbage read as zero (no hint).
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // retryable reports whether an exchange outcome is worth another
@@ -125,7 +144,13 @@ func retryable(ctx context.Context, err error) bool {
 
 // retryLoop runs one exchange under the client's transient-failure
 // policy: up to the attempt budget, with the configured jittered
-// backoff between attempts. what labels the call in the final error.
+// backoff between attempts. A 429/503 carrying Retry-After overrides the
+// backoff with the server's own pacing — the coordinator says "1s"
+// while draining or failing over, and sleeping less just burns attempts
+// against a socket that cannot answer yet. The context deadline bounds
+// total retry wall-clock: a sleep that cannot finish before the deadline
+// is not taken, and the last real error is returned instead of a bare
+// context error. what labels the call in the final error.
 func (c *Client) retryLoop(ctx context.Context, what string, fn func() error) error {
 	attempts := c.Retries
 	if attempts == 0 {
@@ -144,8 +169,15 @@ func (c *Client) retryLoop(ctx context.Context, what string, fn func() error) er
 	var err error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			delay := bo.Next()
+			if e, ok := err.(*Error); ok && e.RetryAfter > 0 && (e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable) {
+				delay = e.RetryAfter
+			}
+			if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) <= delay {
+				return fmt.Errorf("capi: %s: retry budget cut off by context deadline: %w", what, err)
+			}
 			select {
-			case <-time.After(bo.Next()):
+			case <-time.After(delay):
 			case <-ctx.Done():
 				return ctx.Err()
 			}
@@ -203,12 +235,13 @@ func (c *Client) Lease(ctx context.Context, worker string) (*shard.Lease, LeaseO
 
 // Complete delivers a shard result for a held lease (retrying) — a
 // simulated shard may represent minutes of work, and a network blip at
-// exactly the wrong moment must not throw it away. A refusal (4xx: the
-// shard completed elsewhere, a stale lease) comes back as a typed
+// exactly the wrong moment must not throw it away. epoch echoes the
+// lease's fencing token. A refusal (4xx: the shard completed elsewhere,
+// a stale lease, a fenced stale-epoch duplicate) comes back as a typed
 // *Error; IsRefusal distinguishes it from undeliverability.
-func (c *Client) Complete(ctx context.Context, fingerprint, leaseID string, p *shard.Partial) error {
+func (c *Client) Complete(ctx context.Context, fingerprint, leaseID string, epoch uint64, p *shard.Partial) error {
 	_, err := c.doRetry(ctx, http.MethodPost, "/v1/complete",
-		CompleteRequest{LeaseID: leaseID, Fingerprint: fingerprint, Partial: p}, nil)
+		CompleteRequest{LeaseID: leaseID, Fingerprint: fingerprint, Epoch: epoch, Partial: p}, nil)
 	return err
 }
 

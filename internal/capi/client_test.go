@@ -145,7 +145,7 @@ func TestClientRefusalNotRetried(t *testing.T) {
 		WriteError(w, http.StatusConflict, CodeConflict, "shard 3 already completed elsewhere")
 	}))
 	defer srv.Close()
-	err := fastClient(srv.URL).Complete(context.Background(), "fp", "lease-1", &shard.Partial{Index: 3})
+	err := fastClient(srv.URL).Complete(context.Background(), "fp", "lease-1", 0, &shard.Partial{Index: 3})
 	if err == nil {
 		t.Fatal("refused completion reported success")
 	}
@@ -193,5 +193,59 @@ func TestLeaseOutcomes(t *testing.T) {
 	status.Store(http.StatusGone)
 	if _, got, err := c.Lease(context.Background(), "w"); err != nil || got != LeaseDrained {
 		t.Fatalf("410: outcome %v err %v, want LeaseDrained", got, err)
+	}
+}
+
+// TestClientHonorsRetryAfter: a 503 carrying Retry-After paces the retry
+// loop — the client sleeps the server's hint, not its own (here much
+// shorter) backoff, and succeeds once the coordinator is back.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			WriteUnavailable(w, time.Second, "draining")
+			return
+		}
+		WriteJSON(w, []SweepSummary{{Fingerprint: "abc", State: StateRunning}})
+	}))
+	defer srv.Close()
+	start := time.Now()
+	if _, err := fastClient(srv.URL).Sweeps(context.Background()); err != nil {
+		t.Fatalf("call failed despite recovery: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retry slept only %v; the 1s Retry-After hint was ignored", elapsed)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("server saw %d calls, want exactly 2", n)
+	}
+}
+
+// TestClientRetryBoundedByDeadline: against a coordinator that keeps
+// answering 503 + Retry-After, the retry loop must give up before a
+// sleep that cannot finish within the context deadline — total retry
+// wall-clock is bounded, and the last coordinator error (not a bare
+// context error) is what surfaces.
+func TestClientRetryBoundedByDeadline(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteUnavailable(w, 5*time.Second, "failing over")
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := fastClient(srv.URL).Sweeps(ctx)
+	if err == nil {
+		t.Fatal("call against a permanently-503 coordinator succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ran %v past a 300ms deadline", elapsed)
+	}
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Status != http.StatusServiceUnavailable || ce.Code != CodeUnavailable {
+		t.Fatalf("last coordinator error lost: %v", err)
+	}
+	if ce.RetryAfter != 5*time.Second {
+		t.Fatalf("Retry-After hint parsed as %v, want 5s", ce.RetryAfter)
 	}
 }

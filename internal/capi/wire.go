@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/shard"
@@ -102,10 +103,13 @@ type LeaseRequest struct {
 
 // CompleteRequest delivers one shard's partial result, routed by the
 // shard's campaign fingerprint — the durable key a worker always holds,
-// because an expired lease ID is forgotten by the pool.
+// because an expired lease ID is forgotten by the pool. Epoch echoes the
+// lease's fencing token (shard.Lease.Epoch); a coordinator that has
+// failed over fences stale-epoch duplicates with CodeStaleEpoch.
 type CompleteRequest struct {
 	LeaseID     string         `json:"lease_id"`
 	Fingerprint string         `json:"fingerprint"`
+	Epoch       uint64         `json:"epoch,omitempty"`
 	Partial     *shard.Partial `json:"partial"`
 }
 
@@ -123,21 +127,27 @@ type RenewReply struct {
 // Error is the uniform error envelope, and doubles as the typed error
 // the Client returns for any coordinator refusal: Status is the HTTP
 // status, Code a stable machine-readable slug, Message the human text.
+// RetryAfter carries a parsed Retry-After header (zero when absent) —
+// the coordinator sets it on 503s while draining or failing over, and
+// the Client's retry loop honors it in place of its own backoff.
 type Error struct {
-	Status  int    `json:"-"`
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Status     int           `json:"-"`
+	Code       string        `json:"code"`
+	Message    string        `json:"message"`
+	RetryAfter time.Duration `json:"-"`
 }
 
 // Error codes. Codes are stable API; messages are not.
 const (
-	CodeBadRequest = "bad_request" // malformed body or parameters
-	CodeNotFound   = "not_found"   // no such resource
-	CodeConflict   = "conflict"    // duplicate result, campaign overlap, stale lease
-	CodePending    = "pending"     // results requested before the sweep completed
-	CodeCancelled  = "cancelled"   // resource was cancelled
-	CodeFailed     = "failed"      // sweep failed server-side
-	CodeInternal   = "internal"    // coordinator-side error
+	CodeBadRequest  = "bad_request" // malformed body or parameters
+	CodeNotFound    = "not_found"   // no such resource
+	CodeConflict    = "conflict"    // duplicate result, campaign overlap, stale lease
+	CodePending     = "pending"     // results requested before the sweep completed
+	CodeCancelled   = "cancelled"   // resource was cancelled
+	CodeFailed      = "failed"      // sweep failed server-side
+	CodeInternal    = "internal"    // coordinator-side error
+	CodeStaleEpoch  = "stale_epoch" // completion fenced: granted by a deposed coordinator
+	CodeUnavailable = "unavailable" // coordinator draining or failing over; retry later
 )
 
 func (e *Error) Error() string {
@@ -155,6 +165,19 @@ func IsRefusal(err error) bool {
 // errorBody is the envelope's wire shape.
 type errorBody struct {
 	Err Error `json:"error"`
+}
+
+// WriteUnavailable replies 503 + Retry-After: the draining/failing-over
+// signal. Workers' retry loops sleep the hinted interval and try again,
+// riding through a coordinator handoff instead of dying on a dead
+// socket. retryAfter rounds up to whole seconds (the header's unit).
+func WriteUnavailable(w http.ResponseWriter, retryAfter time.Duration, format string, args ...any) {
+	secs := int((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	WriteError(w, http.StatusServiceUnavailable, CodeUnavailable, format, args...)
 }
 
 // WriteError replies with the JSON error envelope.

@@ -1,0 +1,213 @@
+// Package chaos injects network faults into an http.RoundTripper — the
+// test harness that lets the fleet's e2e suites mangle the coordinator
+// protocol mid-grid and still demand byte-identical sweep output. A
+// fault-simulation system ought to survive the class of faults it
+// injects, and this package is how the test suite holds it to that.
+//
+// Faults are drawn from a seeded PRNG, so a failing chaos run replays
+// under the same seed. Probabilities are per-request and mutually
+// exclusive, drawn from one uniform sample in the order Drop, Err503,
+// Reset, Dup, Delay; the remainder passes the request through clean.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config sets per-request fault probabilities (each in [0,1]; their sum
+// must not exceed 1) for a Transport.
+type Config struct {
+	// Seed makes the fault sequence reproducible.
+	Seed int64
+	// Drop: the request is never sent; the caller sees a transport error.
+	Drop float64
+	// Err503: the request is never sent; the caller sees a synthesized
+	// 503 with a Retry-After: 1 header — the coordinator's own
+	// draining/failover shape, so clients exercise that path too.
+	Err503 float64
+	// Reset: the request IS sent (and may have acted on the server!), but
+	// the response is discarded and the caller sees a transport error —
+	// the classic "did my completion land?" ambiguity.
+	Reset float64
+	// Dup: the request is sent twice back to back; the caller sees the
+	// second response. Exercises idempotency of submits and completions.
+	Dup float64
+	// Delay: the request is held for a random interval up to MaxDelay
+	// before being sent.
+	Delay    float64
+	MaxDelay time.Duration
+}
+
+// Stats counts requests seen and faults injected.
+type Stats struct {
+	Requests int64
+	Drops    int64
+	Errs503  int64
+	Resets   int64
+	Dups     int64
+	Delays   int64
+}
+
+// Transport is a fault-injecting http.RoundTripper. Wrap it around a
+// worker's or client's transport:
+//
+//	client.HTTP = &http.Client{Transport: chaos.New(cfg)}
+//
+// Safe for concurrent use; the PRNG draw is serialized, the network I/O
+// is not.
+type Transport struct {
+	// Base performs the real exchanges; nil uses http.DefaultTransport.
+	Base http.RoundTripper
+
+	mu    sync.Mutex
+	rnd   *rand.Rand
+	cfg   Config
+	stats Stats
+}
+
+// New returns a Transport injecting faults per cfg over
+// http.DefaultTransport.
+func New(cfg Config) *Transport {
+	return &Transport{cfg: cfg, rnd: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats returns a snapshot of the fault counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+type fault int
+
+const (
+	faultNone fault = iota
+	faultDrop
+	fault503
+	faultReset
+	faultDup
+	faultDelay
+)
+
+// draw picks this request's fate and, for delays, its duration.
+func (t *Transport) draw() (fault, time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Requests++
+	u := t.rnd.Float64()
+	switch {
+	case u < t.cfg.Drop:
+		t.stats.Drops++
+		return faultDrop, 0
+	case u < t.cfg.Drop+t.cfg.Err503:
+		t.stats.Errs503++
+		return fault503, 0
+	case u < t.cfg.Drop+t.cfg.Err503+t.cfg.Reset:
+		t.stats.Resets++
+		return faultReset, 0
+	case u < t.cfg.Drop+t.cfg.Err503+t.cfg.Reset+t.cfg.Dup:
+		t.stats.Dups++
+		return faultDup, 0
+	case u < t.cfg.Drop+t.cfg.Err503+t.cfg.Reset+t.cfg.Dup+t.cfg.Delay:
+		t.stats.Delays++
+		d := time.Duration(t.rnd.Int63n(int64(t.cfg.MaxDelay) + 1))
+		return faultDelay, d
+	}
+	return faultNone, 0
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper with the configured faults.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f, delay := t.draw()
+	switch f {
+	case faultDrop:
+		return nil, fmt.Errorf("chaos: connection dropped before send")
+	case fault503:
+		return synth503(req), nil
+	case faultReset:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		drain(resp)
+		return nil, fmt.Errorf("chaos: connection reset while reading response")
+	case faultDup:
+		return t.sendTwice(req)
+	case faultDelay:
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	return t.base().RoundTrip(req)
+}
+
+// sendTwice delivers the request twice — the duplicate-delivery fault a
+// retrying proxy can produce — returning the second response. Requests
+// with a one-shot body that cannot be re-materialized (GetBody nil on a
+// bodied request) fall back to a single send.
+func (t *Transport) sendTwice(req *http.Request) (*http.Response, error) {
+	second := req.Clone(req.Context())
+	if req.Body != nil {
+		if req.GetBody == nil {
+			return t.base().RoundTrip(req)
+		}
+		b1, err := req.GetBody()
+		if err != nil {
+			return t.base().RoundTrip(req)
+		}
+		b2, err := req.GetBody()
+		if err != nil {
+			return t.base().RoundTrip(req)
+		}
+		req = req.Clone(req.Context())
+		req.Body = b1
+		second.Body = b2
+	}
+	first, err := t.base().RoundTrip(req)
+	if err == nil {
+		drain(first)
+	}
+	return t.base().RoundTrip(second)
+}
+
+// synth503 fabricates the coordinator's draining reply without touching
+// the network, Retry-After and error envelope included.
+func synth503(req *http.Request) *http.Response {
+	body := `{"error":{"code":"unavailable","message":"chaos: injected 503"}}` + "\n"
+	h := http.Header{}
+	h.Set("Content-Type", "application/json")
+	h.Set("Retry-After", "1")
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// drain discards and closes a response body so the underlying
+// connection is reusable.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

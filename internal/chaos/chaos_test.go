@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTransportDeterministicBySeed: two transports with the same seed
+// must make identical fault decisions — that's what makes a failing
+// chaos run replayable.
+func TestTransportDeterministicBySeed(t *testing.T) {
+	cfg := Config{Seed: 7, Drop: 0.2, Err503: 0.2, Reset: 0.2, Dup: 0.2, Delay: 0.1, MaxDelay: time.Nanosecond}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 200; i++ {
+		fa, _ := a.draw()
+		fb, _ := b.draw()
+		if fa != fb {
+			t.Fatalf("draw %d diverged: %v vs %v under the same seed", i, fa, fb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestTransportAllFaultsFire: under heavy probabilities every fault
+// class triggers, drops/resets surface as transport errors, 503s carry
+// the Retry-After hint, and clean requests still go through.
+func TestTransportAllFaultsFire(t *testing.T) {
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	tr := New(Config{Seed: 42, Drop: 0.15, Err503: 0.15, Reset: 0.15, Dup: 0.15, Delay: 0.15, MaxDelay: time.Millisecond})
+	client := &http.Client{Transport: tr}
+	var oks, errs, e503 int
+	for i := 0; i < 300; i++ {
+		req, _ := http.NewRequest(http.MethodPost, srv.URL, bytes.NewReader([]byte(`{"n":1}`)))
+		resp, err := client.Do(req)
+		if err != nil {
+			errs++
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") != "1" {
+				t.Fatalf("injected 503 without Retry-After hint: %v", resp.Header)
+			}
+			e503++
+		} else {
+			oks++
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	s := tr.Stats()
+	if s.Requests != 300 {
+		t.Fatalf("stats counted %d requests, want 300", s.Requests)
+	}
+	if s.Drops == 0 || s.Errs503 == 0 || s.Resets == 0 || s.Dups == 0 || s.Delays == 0 {
+		t.Fatalf("a fault class never fired in 300 draws: %+v", s)
+	}
+	if errs != int(s.Drops+s.Resets) {
+		t.Fatalf("%d transport errors, want drops+resets = %d", errs, s.Drops+s.Resets)
+	}
+	if e503 != int(s.Errs503) {
+		t.Fatalf("%d 503 responses, want %d", e503, s.Errs503)
+	}
+	if oks == 0 {
+		t.Fatal("no request survived cleanly")
+	}
+	// Each dup hits the server one extra time beyond its counted response;
+	// each reset hits it once despite surfacing as an error.
+	want := int64(oks) + s.Dups + s.Resets
+	if got := served.Load(); got != want {
+		t.Fatalf("server saw %d requests, want %d (ok + dup + reset)", got, want)
+	}
+}
+
+// TestTransportDupReplaysBody: a duplicated POST must deliver the full
+// body both times — GetBody re-materialization, not a drained reader.
+func TestTransportDupReplaysBody(t *testing.T) {
+	var bodies []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, string(b))
+	}))
+	defer srv.Close()
+	tr := New(Config{Dup: 1})
+	resp, err := (&http.Client{Transport: tr}).Post(srv.URL, "application/json", strings.NewReader(`{"x":9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(bodies) != 2 || bodies[0] != `{"x":9}` || bodies[1] != `{"x":9}` {
+		t.Fatalf("duplicated request bodies: %q", bodies)
+	}
+}

@@ -20,17 +20,42 @@ import (
 	"repro/internal/shard"
 )
 
-// Record is one journal line: either a completed shard bound to its
-// campaign, or a terminal marker. A marker lists campaign fingerprints
-// whose earlier shard records are no longer needed — the coordinator
-// appends one when a sweep reaches a state its journal can never serve
-// again (merged and rendered, or explicitly purged). Records appended
-// after a marker are live again: a purged campaign that is resubmitted
-// journals from scratch.
+// Record is one journal line: a completed shard bound to its campaign, a
+// terminal marker, or a sweep-registration record. A marker lists
+// campaign fingerprints whose earlier shard records are no longer needed
+// — the coordinator appends one when a sweep reaches a state its journal
+// can never serve again (merged and rendered, or explicitly purged).
+// Records appended after a marker are live again: a purged campaign that
+// is resubmitted journals from scratch. Sweep records make the journal a
+// complete description of the coordinator's registry — what was
+// submitted, not just which shards landed — which is what lets a warm
+// standby rebuild and resume every in-flight sweep from the file alone.
 type Record struct {
 	Fingerprint string         `json:"fingerprint,omitempty"`
 	Partial     *shard.Partial `json:"partial,omitempty"`
 	Terminal    []string       `json:"terminal,omitempty"`
+	Sweep       *SweepRecord   `json:"sweep,omitempty"`
+}
+
+// SweepStateRunning is the one sweep-record state with a future: records
+// whose latest state is anything else (done, cancelled, failed — the
+// coordinator echoes its API lifecycle states verbatim) are compacted
+// away, and only running sweeps are resubmitted after a restart or
+// failover.
+const SweepStateRunning = "running"
+
+// SweepRecord registers one submitted sweep in the journal. Params holds
+// the declarative grid description (capi's submit payload) as raw JSON —
+// runstore stays ignorant of grid rendering — and Single holds a
+// single-campaign submission's spec instead. The coordinator appends one
+// at submit time and another at each terminal transition; last record
+// wins per sweep fingerprint.
+type SweepRecord struct {
+	Fingerprint string              `json:"fingerprint"`
+	Name        string              `json:"name,omitempty"`
+	State       string              `json:"state"`
+	Params      json.RawMessage     `json:"params,omitempty"`
+	Single      *shard.CampaignSpec `json:"single,omitempty"`
 }
 
 // Store appends shard completions to a journal file. Safe for concurrent
@@ -102,6 +127,11 @@ func compactFile(path string) (bool, error) {
 	var dead []bool
 	liveByFP := map[string][]int{}
 	lastByKey := map[string]int{}
+	type sweepAt struct {
+		idx   int
+		state string
+	}
+	lastSweep := map[string]sweepAt{}
 	dec := json.NewDecoder(in)
 	for i := 0; ; i++ {
 		var rec Record
@@ -119,6 +149,15 @@ func compactFile(path string) (bool, error) {
 			}
 			continue
 		}
+		if rec.Sweep != nil {
+			// Last sweep record per sweep fingerprint wins; earlier ones are
+			// dead, and a terminally-stated winner dies below.
+			if prev, ok := lastSweep[rec.Sweep.Fingerprint]; ok {
+				dead[prev.idx] = true
+			}
+			lastSweep[rec.Sweep.Fingerprint] = sweepAt{idx: i, state: rec.Sweep.State}
+			continue
+		}
 		if rec.Partial == nil {
 			dead[i] = true // defensive: decodable but empty record
 			continue
@@ -131,6 +170,11 @@ func compactFile(path string) (bool, error) {
 		liveByFP[rec.Fingerprint] = append(liveByFP[rec.Fingerprint], i)
 	}
 	in.Close()
+	for _, s := range lastSweep {
+		if s.state != SweepStateRunning {
+			dead[s.idx] = true
+		}
+	}
 	anyDead := false
 	for _, d := range dead {
 		anyDead = anyDead || d
@@ -249,6 +293,17 @@ func (s *Store) append(rec Record) error {
 	return s.f.Sync()
 }
 
+// AppendSweep journals a sweep-registration record: the coordinator
+// appends one when a sweep is submitted (state running) and another at
+// each terminal transition. Last record per sweep fingerprint wins on
+// load; non-running winners are compacted away at the next Open.
+func (s *Store) AppendSweep(rec SweepRecord) error {
+	if rec.Fingerprint == "" {
+		return fmt.Errorf("runstore: sweep record without fingerprint")
+	}
+	return s.append(Record{Sweep: &rec})
+}
+
 // MarkTerminal appends a terminal marker: the named campaigns' earlier
 // shard records are dead — loads skip them immediately, and the next Open
 // compacts them out of the file. The coordinator calls this when a sweep
@@ -351,6 +406,43 @@ func LoadAll(path string) (map[string]map[int]*shard.Partial, error) {
 			out[rec.Fingerprint] = m
 		}
 		m[rec.Partial.Index] = rec.Partial
+	}
+	return out, nil
+}
+
+// LoadSweeps reads a journal and returns the latest sweep-registration
+// record of every sweep it mentions, in first-submission order — the
+// order a restarted or failed-over coordinator resubmits them in, so
+// campaign routing priority survives the restart. Missing files and torn
+// tails behave as in Load.
+func LoadSweeps(path string) ([]SweepRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("runstore: %v", err)
+	}
+	defer f.Close()
+	var order []string
+	latest := map[string]SweepRecord{}
+	dec := json.NewDecoder(f)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			break // EOF or torn tail, same as Load
+		}
+		if rec.Sweep == nil {
+			continue
+		}
+		if _, ok := latest[rec.Sweep.Fingerprint]; !ok {
+			order = append(order, rec.Sweep.Fingerprint)
+		}
+		latest[rec.Sweep.Fingerprint] = *rec.Sweep
+	}
+	out := make([]SweepRecord, 0, len(order))
+	for _, fp := range order {
+		out = append(out, latest[fp])
 	}
 	return out, nil
 }

@@ -1,0 +1,110 @@
+package runstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// TailEvent is what one Tail.Next call observed.
+type TailEvent int
+
+const (
+	// TailCaughtUp: no complete record is available yet — the reader is at
+	// the live end of the journal (or the file does not exist yet). Poll
+	// again later.
+	TailCaughtUp TailEvent = iota
+	// TailRecord: one record was read.
+	TailRecord
+	// TailReset: the journal file was replaced or truncated underneath the
+	// reader (compaction renames a rewritten file into place; torn-tail
+	// repair truncates). The caller must discard every state derived from
+	// earlier records — the tail restarts from the beginning of the new
+	// file, and re-applying records must therefore be idempotent.
+	TailReset
+)
+
+// Tail incrementally reads a journal another process is appending to —
+// the warm-standby's view of the leader's runstore. It tolerates the two
+// mutations a journal legally undergoes besides appends: replacement by
+// compaction (detected by inode change) and torn-tail truncation
+// (detected by the file shrinking below the read offset); both surface
+// as TailReset. A half-written record at the live end reads as
+// TailCaughtUp and is retried on the next call, so a tail never consumes
+// a torn record that a concurrent single-write append is still flushing.
+type Tail struct {
+	path string
+	f    *os.File
+	off  int64
+}
+
+// NewTail starts tailing path from the beginning. The file need not
+// exist yet.
+func NewTail(path string) *Tail {
+	return &Tail{path: path}
+}
+
+// Next returns the next journal record, or reports TailCaughtUp /
+// TailReset as described on TailEvent. err is only non-nil for real I/O
+// failures, never for EOF or in-progress appends.
+func (t *Tail) Next() (Record, TailEvent, error) {
+	var zero Record
+	cur, err := os.Stat(t.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			if t.f != nil {
+				// The journal vanished (e.g. removed between compaction steps);
+				// treat like a replacement.
+				t.reset()
+				return zero, TailReset, nil
+			}
+			return zero, TailCaughtUp, nil
+		}
+		return zero, TailCaughtUp, fmt.Errorf("runstore: tail: %v", err)
+	}
+	if t.f != nil {
+		held, err := t.f.Stat()
+		if err != nil || !os.SameFile(held, cur) || cur.Size() < t.off {
+			t.reset()
+			return zero, TailReset, nil
+		}
+	}
+	if t.f == nil {
+		f, err := os.Open(t.path)
+		if err != nil {
+			return zero, TailCaughtUp, fmt.Errorf("runstore: tail: %v", err)
+		}
+		t.f = f
+		t.off = 0
+	}
+	if _, err := t.f.Seek(t.off, io.SeekStart); err != nil {
+		return zero, TailCaughtUp, fmt.Errorf("runstore: tail: %v", err)
+	}
+	dec := json.NewDecoder(t.f)
+	var rec Record
+	if err := dec.Decode(&rec); err != nil {
+		// EOF, or the not-yet-complete tail of an append in flight: hold
+		// position and retry later.
+		return zero, TailCaughtUp, nil
+	}
+	t.off += dec.InputOffset()
+	return rec, TailRecord, nil
+}
+
+// reset abandons the current file; the next Next reopens from offset 0.
+func (t *Tail) reset() {
+	t.f.Close()
+	t.f = nil
+	t.off = 0
+}
+
+// Close releases the underlying file handle.
+func (t *Tail) Close() error {
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f = nil
+	return err
+}

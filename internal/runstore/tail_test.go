@@ -1,0 +1,238 @@
+package runstore
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestTailReadsConcurrentAppends is the standby's core contract: a Tail
+// reading while another goroutine appends sees every record exactly
+// once, in order, and never consumes a torn one. Appends go through the
+// real Store (single write + sync per record), so this also races the
+// production write path against the read path.
+func TestTailReadsConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const n = 200
+	errCh := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := st.Append("fp-tail", stubPartial(i, i, i+1)); err != nil {
+				errCh <- err
+				return
+			}
+		}
+		errCh <- nil
+	}()
+
+	tail := NewTail(path)
+	defer tail.Close()
+	var got []int
+	deadline := time.Now().Add(30 * time.Second)
+	for len(got) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("tail saw %d/%d records before deadline", len(got), n)
+		}
+		rec, ev, err := tail.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch ev {
+		case TailRecord:
+			if rec.Fingerprint != "fp-tail" || rec.Partial == nil {
+				t.Fatalf("unexpected record %+v", rec)
+			}
+			got = append(got, rec.Partial.Index)
+		case TailReset:
+			t.Fatal("tail reset on an append-only journal")
+		case TailCaughtUp:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range got {
+		if idx != i {
+			t.Fatalf("record %d has shard index %d — reordered or torn read", i, idx)
+		}
+	}
+}
+
+// TestTailResetOnCompaction: Purge replaces the journal file via rename;
+// the tail must notice, signal a reset, and replay the new file from the
+// start so a standby's derived state converges on the compacted truth.
+func TestTailResetOnCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Append("fp-keep", stubPartial(0, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("fp-drop", stubPartial(0, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	tail := NewTail(path)
+	defer tail.Close()
+	seen := 0
+	for seen < 2 {
+		_, ev, err := tail.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != TailRecord {
+			t.Fatalf("event %v with %d records unread", ev, 2-seen)
+		}
+		seen++
+	}
+
+	if err := st.Purge([]string{"fp-drop"}); err != nil {
+		t.Fatal(err)
+	}
+	var after []string
+	deadline := time.Now().Add(10 * time.Second)
+	sawReset := false
+	for !sawReset || len(after) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("tail never converged after compaction (reset=%v, %d records)", sawReset, len(after))
+		}
+		rec, ev, err := tail.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch ev {
+		case TailReset:
+			sawReset = true
+			after = nil
+		case TailRecord:
+			after = append(after, rec.Fingerprint)
+		case TailCaughtUp:
+			if sawReset && len(after) >= 1 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if len(after) != 1 || after[0] != "fp-keep" {
+		t.Fatalf("post-compaction replay saw %v, want only fp-keep", after)
+	}
+}
+
+// TestSweepRecordsRoundTripAndCompact pins the registry-in-the-journal
+// contract: LoadSweeps returns the latest state per sweep in submission
+// order, LoadAll ignores sweep records entirely, and Open compacts away
+// sweeps whose latest state is terminal.
+func TestSweepRecordsRoundTripAndCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := json.RawMessage(`{"kind":"let","soc":1}`)
+	if err := st.AppendSweep(SweepRecord{Fingerprint: "sw-a", Name: "grid-a", State: SweepStateRunning, Params: params}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("fp-1", stubPartial(0, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendSweep(SweepRecord{Fingerprint: "sw-b", State: SweepStateRunning}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendSweep(SweepRecord{Fingerprint: "sw-b", State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	recs, err := LoadSweeps(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Fingerprint != "sw-a" || recs[1].Fingerprint != "sw-b" {
+		t.Fatalf("LoadSweeps returned %+v", recs)
+	}
+	if recs[0].State != SweepStateRunning || string(recs[0].Params) != string(params) {
+		t.Fatalf("sw-a record mangled: %+v", recs[0])
+	}
+	if recs[1].State != "done" {
+		t.Fatalf("sw-b latest state %q, want done", recs[1].State)
+	}
+	all, err := LoadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || len(all["fp-1"]) != 1 {
+		t.Fatalf("LoadAll confused by sweep records: %+v", all)
+	}
+
+	// Reopen: the done sweep compacts away, the running one survives.
+	st2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	recs, err = LoadSweeps(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Fingerprint != "sw-a" {
+		t.Fatalf("post-compaction sweeps %+v, want only running sw-a", recs)
+	}
+	all, err = LoadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all["fp-1"]) != 1 {
+		t.Fatal("compaction dropped a live shard record")
+	}
+}
+
+// TestLeaderLeaseRoundTrip covers the leadership file: missing reads as
+// the zero (expired, epoch 0) lease, writes replace atomically, and
+// Expired follows ExpiresAt.
+func TestLeaderLeaseRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl.leader")
+	l, err := ReadLeaderLease(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(5000, 0)
+	if l.Epoch != 0 || !l.Expired(now) {
+		t.Fatalf("missing lease file read as %+v", l)
+	}
+	want := LeaderLease{Epoch: 3, Owner: "host-1:123", Addr: "127.0.0.1:9999", ExpiresAt: now.Add(10 * time.Second)}
+	if err := WriteLeaderLease(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLeaderLease(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 3 || got.Owner != want.Owner || got.Addr != want.Addr || !got.ExpiresAt.Equal(want.ExpiresAt) {
+		t.Fatalf("lease round-trip: got %+v", got)
+	}
+	if got.Expired(now) {
+		t.Fatal("live lease reads as expired")
+	}
+	if !got.Expired(now.Add(11 * time.Second)) {
+		t.Fatal("past-deadline lease reads as live")
+	}
+	// Epoch bumps replace the file in place.
+	want.Epoch = 4
+	if err := WriteLeaderLease(path, want); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = ReadLeaderLease(path); got.Epoch != 4 {
+		t.Fatalf("epoch after rewrite %d, want 4", got.Epoch)
+	}
+}

@@ -1,10 +1,19 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 )
+
+// ErrStaleEpoch marks a completion that was fenced: its lease was granted
+// by an earlier coordinator incarnation and the shard has since completed
+// under the current one. The result itself is valid (execution is
+// deterministic) — the fence only refuses a second merge, so a deposed
+// coordinator's zombie workers can never double-count a shard. Callers
+// match with errors.Is.
+var ErrStaleEpoch = errors.New("completion bears a stale coordinator epoch")
 
 // Queue is the coordinator's shard state machine. Every shard is pending,
 // leased or done; leases expire, returning their shard to pending, which
@@ -17,8 +26,10 @@ type Queue struct {
 	state     []shardState
 	partials  []*Partial
 	leases    map[string]*Lease
-	byShard   []string // shard index -> active lease ID, "" if none
+	byShard   []string       // shard index -> primary lease ID, "" if none
+	backups   map[int]string // shard index -> speculative backup lease ID
 	ttl       time.Duration
+	epoch     uint64
 	nextLease uint64
 	remaining int
 	doneCh    chan struct{}
@@ -26,6 +37,10 @@ type Queue struct {
 	// shards finished under a live lease — the ETA estimator's input.
 	durSum time.Duration
 	durN   int
+	// fenced counts completions refused under ErrStaleEpoch; speculated
+	// counts backup leases issued by SpeculativeLease.
+	fenced     int
+	speculated int
 }
 
 type shardState uint8
@@ -47,6 +62,11 @@ type Lease struct {
 	Spec      Spec          `json:"spec"`
 	ExpiresAt time.Time     `json:"expires_at"`
 	TTL       time.Duration `json:"ttl_ns"`
+	// Epoch is the coordinator incarnation that granted the lease — a
+	// fencing token. A worker echoes it on Complete; after a failover the
+	// new coordinator's queues carry a higher epoch and fence any
+	// already-done shard completed under an older one (ErrStaleEpoch).
+	Epoch uint64 `json:"epoch,omitempty"`
 
 	granted time.Time // lease grant time, for shard-duration observation
 }
@@ -62,6 +82,10 @@ type Progress struct {
 	Leased     int   `json:"leased"`
 	Pending    int   `json:"pending"`
 	AvgShardNS int64 `json:"avg_shard_ns,omitempty"`
+	// Fenced counts completions refused with ErrStaleEpoch; Speculated
+	// counts straggler backup leases issued. Both are cumulative.
+	Fenced     int `json:"fenced,omitempty"`
+	Speculated int `json:"speculated,omitempty"`
 }
 
 // NewQueue builds a queue over a planned shard set. ttl is how long a
@@ -73,6 +97,7 @@ func NewQueue(specs []Spec, ttl time.Duration) *Queue {
 		partials:  make([]*Partial, len(specs)),
 		leases:    map[string]*Lease{},
 		byShard:   make([]string, len(specs)),
+		backups:   map[int]string{},
 		ttl:       ttl,
 		remaining: len(specs),
 		doneCh:    make(chan struct{}),
@@ -81,6 +106,16 @@ func NewQueue(specs []Spec, ttl time.Duration) *Queue {
 		close(q.doneCh)
 	}
 	return q
+}
+
+// SetEpoch stamps the coordinator epoch onto every lease granted from now
+// on. A coordinator sets it once at startup (and a standby sets a higher
+// one at takeover); completions echoing a lower epoch against an
+// already-done shard are fenced with ErrStaleEpoch.
+func (q *Queue) SetEpoch(epoch uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.epoch = epoch
 }
 
 // MarkDone records a shard completed outside the lease cycle — a journal
@@ -121,6 +156,7 @@ func (q *Queue) Lease(worker string, now time.Time) (*Lease, bool) {
 			Spec:      q.specs[i],
 			ExpiresAt: now.Add(q.ttl),
 			TTL:       q.ttl,
+			Epoch:     q.epoch,
 			granted:   now,
 		}
 		q.state[i] = stateLeased
@@ -131,14 +167,69 @@ func (q *Queue) Lease(worker string, now time.Time) (*Lease, bool) {
 	return nil, false
 }
 
+// SpeculativeLease re-issues a still-leased shard to a second worker — a
+// MapReduce-style backup task. It only fires for a shard whose primary
+// lease has run at least factor x the observed mean shard duration (so
+// nothing speculates until a baseline exists), never hands a worker a
+// backup of its own shard, and issues at most one backup per shard.
+// Deterministic execution makes the race safe: whichever copy completes
+// first wins, the other is refused as a duplicate. Callers invoke this
+// only when no pending shard exists — speculation must never starve
+// first-issue work.
+func (q *Queue) SpeculativeLease(worker string, now time.Time, factor float64) (*Lease, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expire(now)
+	if factor <= 0 || q.durN == 0 {
+		return nil, false
+	}
+	threshold := time.Duration(float64(q.durSum/time.Duration(q.durN)) * factor)
+	best, bestAge := -1, time.Duration(0)
+	for i, st := range q.state {
+		if st != stateLeased {
+			continue
+		}
+		if _, ok := q.backups[i]; ok {
+			continue
+		}
+		pl := q.leases[q.byShard[i]]
+		if pl == nil || pl.Worker == worker {
+			continue
+		}
+		if age := now.Sub(pl.granted); age >= threshold && age > bestAge {
+			best, bestAge = i, age
+		}
+	}
+	if best == -1 {
+		return nil, false
+	}
+	q.nextLease++
+	l := &Lease{
+		ID:        fmt.Sprintf("lease-%d-shard-%d", q.nextLease, best),
+		Worker:    worker,
+		Spec:      q.specs[best],
+		ExpiresAt: now.Add(q.ttl),
+		TTL:       q.ttl,
+		Epoch:     q.epoch,
+		granted:   now,
+	}
+	q.leases[l.ID] = l
+	q.backups[best] = l.ID
+	q.speculated++
+	return l, true
+}
+
 // Complete resolves a lease with its shard's partial result. A result
 // arriving after its lease expired is still accepted as long as the
 // shard has not completed elsewhere: execution is deterministic, so a
 // slow worker's partial is bit-identical to whatever a re-execution
 // would produce, and rejecting it would livelock any campaign whose
 // per-shard runtime exceeds the lease TTL. Only a duplicate of an
-// already-done shard is refused (the caller just drops its copy).
-func (q *Queue) Complete(leaseID string, p *Partial, now time.Time) error {
+// already-done shard is refused (the caller just drops its copy);
+// duplicates delivered under an epoch older than the queue's are fenced
+// with ErrStaleEpoch so zombies of a deposed coordinator are visible as
+// such. epoch echoes Lease.Epoch; pass 0 when epochs are not in play.
+func (q *Queue) Complete(leaseID string, epoch uint64, p *Partial, now time.Time) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.expire(now)
@@ -154,6 +245,10 @@ func (q *Queue) Complete(leaseID string, p *Partial, now time.Time) error {
 		return fmt.Errorf("shard: lease %q is for shard %d, result is for shard %d", leaseID, l.Spec.Index, p.Index)
 	}
 	if q.state[p.Index] == stateDone {
+		if epoch < q.epoch {
+			q.fenced++
+			return fmt.Errorf("shard: shard %d already completed: %w (epoch %d < %d)", p.Index, ErrStaleEpoch, epoch, q.epoch)
+		}
 		return fmt.Errorf("shard: shard %d already completed elsewhere", p.Index)
 	}
 	if l, ok := q.leases[leaseID]; ok {
@@ -191,6 +286,10 @@ func (q *Queue) complete(idx int, p *Partial) {
 		delete(q.leases, id)
 		q.byShard[idx] = ""
 	}
+	if id, ok := q.backups[idx]; ok {
+		delete(q.leases, id)
+		delete(q.backups, idx)
+	}
 	q.state[idx] = stateDone
 	q.partials[idx] = p
 	q.remaining--
@@ -199,8 +298,10 @@ func (q *Queue) complete(idx int, p *Partial) {
 	}
 }
 
-// expire requeues every shard whose lease deadline has passed. Callers
-// hold q.mu.
+// expire requeues every shard whose lease deadline has passed. An
+// expired primary with a still-live backup hands the shard to the backup
+// instead of requeueing — the shard stays leased, never triple-issued.
+// Callers hold q.mu.
 func (q *Queue) expire(now time.Time) {
 	for id, l := range q.leases {
 		if l.ExpiresAt.After(now) {
@@ -208,8 +309,19 @@ func (q *Queue) expire(now time.Time) {
 		}
 		idx := l.Spec.Index
 		delete(q.leases, id)
+		if q.backups[idx] == id {
+			delete(q.backups, idx)
+			continue
+		}
 		if q.byShard[idx] == id {
 			q.byShard[idx] = ""
+			if bid, ok := q.backups[idx]; ok {
+				if bl := q.leases[bid]; bl != nil && bl.ExpiresAt.After(now) {
+					q.byShard[idx] = bid
+					delete(q.backups, idx)
+					continue
+				}
+			}
 			if q.state[idx] == stateLeased {
 				q.state[idx] = statePending
 			}
@@ -257,5 +369,7 @@ func (q *Queue) Progress(now time.Time) Progress {
 	if q.durN > 0 {
 		p.AvgShardNS = int64(q.durSum) / int64(q.durN)
 	}
+	p.Fenced = q.fenced
+	p.Speculated = q.speculated
 	return p
 }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -58,7 +59,7 @@ func TestQueueLeaseCompleteLifecycle(t *testing.T) {
 		t.Fatal("queue done with nothing completed")
 	}
 	for _, l := range leases {
-		if err := q.Complete(l.ID, fakePartial(l.Spec), now); err != nil {
+		if err := q.Complete(l.ID, 0, fakePartial(l.Spec), now); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -105,11 +106,11 @@ func TestQueueExpiryRequeuesDeadWorkersShard(t *testing.T) {
 	// still accepted while the shard remains unfinished — deterministic
 	// execution makes its result identical to any re-execution, and
 	// rejecting it would livelock campaigns whose shards outlive the TTL.
-	if err := q.Complete(dead.ID, fakePartial(dead.Spec), late); err != nil {
+	if err := q.Complete(dead.ID, 0, fakePartial(dead.Spec), late); err != nil {
 		t.Fatalf("late completion of an unfinished shard rejected: %v", err)
 	}
 	// The re-issued lease's duplicate is refused: the shard is done.
-	if err := q.Complete(release.ID, fakePartial(release.Spec), late); err == nil {
+	if err := q.Complete(release.ID, 0, fakePartial(release.Spec), late); err == nil {
 		t.Fatal("duplicate completion of a done shard accepted")
 	}
 	if pr := q.Progress(late); pr.Done != 1 {
@@ -138,7 +139,7 @@ func TestQueueMarkDoneFromJournal(t *testing.T) {
 		if l.Spec.Index == 1 {
 			t.Fatal("journal-completed shard leased out")
 		}
-		if err := q.Complete(l.ID, fakePartial(l.Spec), now); err != nil {
+		if err := q.Complete(l.ID, 0, fakePartial(l.Spec), now); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -192,7 +193,7 @@ func TestQueueRenewKeepsLiveShardLeased(t *testing.T) {
 		t.Fatal("renewing an expired lease succeeded")
 	}
 	// The slow original worker's completion is still accepted.
-	if err := q.Complete(l.ID, fakePartial(l.Spec), late); err != nil {
+	if err := q.Complete(l.ID, 0, fakePartial(l.Spec), late); err != nil {
 		t.Fatalf("late completion rejected after failed renew: %v", err)
 	}
 }
@@ -204,11 +205,11 @@ func TestQueueObservesShardDurations(t *testing.T) {
 	q := NewQueue(specs, time.Minute)
 	now := time.Unix(1000, 0)
 	l1, _ := q.Lease("w", now)
-	if err := q.Complete(l1.ID, fakePartial(l1.Spec), now.Add(10*time.Second)); err != nil {
+	if err := q.Complete(l1.ID, 0, fakePartial(l1.Spec), now.Add(10*time.Second)); err != nil {
 		t.Fatal(err)
 	}
 	l2, _ := q.Lease("w", now.Add(10*time.Second))
-	if err := q.Complete(l2.ID, fakePartial(l2.Spec), now.Add(30*time.Second)); err != nil {
+	if err := q.Complete(l2.ID, 0, fakePartial(l2.Spec), now.Add(30*time.Second)); err != nil {
 		t.Fatal(err)
 	}
 	pr := q.Progress(now.Add(30 * time.Second))
@@ -232,4 +233,139 @@ func TestQueueAllFromJournal(t *testing.T) {
 	default:
 		t.Fatal("fully journaled queue never reported done")
 	}
+}
+
+// TestQueueStaleEpochFenced pins the fencing-token invariant: a
+// completion delivered under an epoch older than the queue's is accepted
+// while its shard is still unfinished (first-wins — the data is valid),
+// but once the shard is done the stale duplicate is refused with
+// ErrStaleEpoch and counted, so a deposed coordinator's zombie workers
+// can never double-merge a shard.
+func TestQueueStaleEpochFenced(t *testing.T) {
+	specs := queueSpecs(t)
+	q := NewQueue(specs, time.Minute)
+	q.SetEpoch(1)
+	now := time.Unix(1000, 0)
+
+	zombie, ok := q.Lease("zombie", now)
+	if !ok {
+		t.Fatal("lease refused")
+	}
+	if zombie.Epoch != 1 {
+		t.Fatalf("lease carries epoch %d, want 1", zombie.Epoch)
+	}
+
+	// Failover: the queue (conceptually a rebuilt one) moves to epoch 2.
+	q.SetEpoch(2)
+
+	// The zombie's completion of a still-unfinished shard is accepted —
+	// first wins, regardless of epoch.
+	if err := q.Complete(zombie.ID, zombie.Epoch, fakePartial(zombie.Spec), now); err != nil {
+		t.Fatalf("stale-epoch completion of an unfinished shard rejected: %v", err)
+	}
+	// A second stale-epoch delivery of the now-done shard is fenced.
+	err := q.Complete(zombie.ID, zombie.Epoch, fakePartial(zombie.Spec), now)
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale duplicate not fenced with ErrStaleEpoch: %v", err)
+	}
+	// A current-epoch duplicate is an ordinary refusal, not a fence.
+	l2, _ := q.Lease("w2", now)
+	if err := q.Complete(l2.ID, l2.Epoch, fakePartial(l2.Spec), now); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Complete(l2.ID, l2.Epoch, fakePartial(l2.Spec), now); err == nil || errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("current-epoch duplicate misclassified: %v", err)
+	}
+	if pr := q.Progress(now); pr.Fenced != 1 {
+		t.Fatalf("progress counts %d fenced completions, want 1", pr.Fenced)
+	}
+}
+
+// TestQueueSpeculativeLease pins straggler re-issue: once a baseline
+// shard duration exists, a shard whose lease has run k x that baseline
+// is re-issued to a second worker; whichever copy lands first wins and
+// the loser's duplicate is refused — and no shard ever carries more than
+// one backup.
+func TestQueueSpeculativeLease(t *testing.T) {
+	specs := queueSpecs(t)
+	q := NewQueue(specs, time.Hour) // TTL far away: speculation must beat expiry
+	now := time.Unix(1000, 0)
+
+	slow, _ := q.Lease("slow", now)
+	fast, _ := q.Lease("fast", now)
+	// No baseline yet: nothing speculates no matter how old the leases.
+	if _, ok := q.SpeculativeLease("idle", now.Add(30*time.Minute), 3); ok {
+		t.Fatal("speculated without any observed shard duration")
+	}
+	// fast finishes in 10s — the baseline.
+	if err := q.Complete(fast.ID, 0, fakePartial(fast.Spec), now.Add(10*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// At 25s the slow lease is 2.5x the baseline: below factor 3.
+	if _, ok := q.SpeculativeLease("idle", now.Add(25*time.Second), 3); ok {
+		t.Fatal("speculated below the age threshold")
+	}
+	// At 40s it crosses 3x: re-issued to a different worker...
+	backup, ok := q.SpeculativeLease("idle", now.Add(40*time.Second), 3)
+	if !ok {
+		t.Fatal("straggler not re-issued past the age threshold")
+	}
+	if backup.Spec.Index != slow.Spec.Index {
+		t.Fatalf("backup covers shard %d, straggler is %d", backup.Spec.Index, slow.Spec.Index)
+	}
+	if backup.Worker != "idle" {
+		t.Fatalf("backup granted to %q", backup.Worker)
+	}
+	// ...but never to the straggler's own worker, and never twice.
+	if _, ok := q.SpeculativeLease("slow", now.Add(40*time.Second), 3); ok {
+		t.Fatal("straggler's own worker handed its shard back")
+	}
+	if _, ok := q.SpeculativeLease("idle2", now.Add(40*time.Second), 3); ok {
+		t.Fatal("second backup issued for the same shard")
+	}
+	// First completion wins — here the backup — and the straggler's late
+	// copy is refused as an ordinary duplicate.
+	if err := q.Complete(backup.ID, 0, fakePartial(backup.Spec), now.Add(41*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Complete(slow.ID, 0, fakePartial(slow.Spec), now.Add(42*time.Second)); err == nil {
+		t.Fatal("straggler's duplicate of a speculated shard accepted")
+	}
+	if pr := q.Progress(now.Add(42 * time.Second)); pr.Speculated != 1 || pr.Done != 2 {
+		t.Fatalf("progress %+v, want 1 speculated / 2 done", pr)
+	}
+}
+
+// TestQueueBackupPromotedOnPrimaryExpiry: when a speculated shard's
+// primary lease expires while the backup is live, the backup becomes the
+// primary — the shard stays leased exactly once instead of returning to
+// pending and being triple-issued.
+func TestQueueBackupPromotedOnPrimaryExpiry(t *testing.T) {
+	specs := queueSpecs(t)
+	q := NewQueue(specs[:2], 30*time.Second)
+	now := time.Unix(1000, 0)
+	slow, _ := q.Lease("slow", now)
+	fast, _ := q.Lease("fast", now)
+	if err := q.Complete(fast.ID, 0, fakePartial(fast.Spec), now.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	backup, ok := q.SpeculativeLease("idle", now.Add(10*time.Second), 3)
+	if !ok {
+		t.Fatal("straggler not re-issued")
+	}
+	// The primary expires at +30s; the backup (granted +10s) lives to +40s.
+	at := now.Add(35 * time.Second)
+	if _, ok := q.Lease("w3", at); ok {
+		t.Fatal("speculated shard re-issued a third time after primary expiry")
+	}
+	if pr := q.Progress(at); pr.Leased != 1 || pr.Pending != 0 {
+		t.Fatalf("progress %+v, want the shard still leased via its backup", pr)
+	}
+	if err := q.Complete(backup.ID, 0, fakePartial(backup.Spec), at); err != nil {
+		t.Fatalf("promoted backup's completion rejected: %v", err)
+	}
+	if !q.Done() {
+		t.Fatal("queue not done")
+	}
+	_ = slow
 }

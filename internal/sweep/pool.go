@@ -32,21 +32,30 @@ import (
 //     the pool signals it on Completed(), so the coordinator merges and
 //     releases that campaign without waiting for the rest of the grid.
 type Pool struct {
-	mu        sync.Mutex
-	name      string
-	sweepFP   string
-	items     []Item
-	fps       []string
-	byFP      map[string]int
-	ttl       time.Duration
-	queues    []*shard.Queue // nil until opened
-	completed []bool
-	doneCount int
-	affinity  map[string]int // worker -> campaign index of its last lease
-	compCh    chan int
-	doneCh    chan struct{}
-	cancelled bool
+	mu         sync.Mutex
+	name       string
+	sweepFP    string
+	items      []Item
+	fps        []string
+	byFP       map[string]int
+	ttl        time.Duration
+	epoch      uint64
+	specFactor float64
+	queues     []*shard.Queue // nil until opened
+	completed  []bool
+	doneCount  int
+	affinity   map[string]int // worker -> campaign index of its last lease
+	compCh     chan int
+	doneCh     chan struct{}
+	cancelled  bool
 }
+
+// DefaultSpeculateFactor is the straggler threshold: a leased shard is
+// eligible for speculative re-issue once its age exceeds this multiple
+// of the campaign's observed mean shard duration. Three keeps speculation
+// rare enough that ordinary shard-size variance (shards of one campaign
+// are near-uniform) almost never triggers it.
+const DefaultSpeculateFactor = 3.0
 
 // NewPool builds an empty pool over a validated sweep; campaigns become
 // leasable as Open is called for each.
@@ -55,23 +64,48 @@ func NewPool(ss SweepSpec, ttl time.Duration) (*Pool, error) {
 		return nil, err
 	}
 	p := &Pool{
-		name:      ss.Name,
-		sweepFP:   ss.Fingerprint(),
-		items:     ss.Items,
-		fps:       make([]string, len(ss.Items)),
-		byFP:      make(map[string]int, len(ss.Items)),
-		ttl:       ttl,
-		queues:    make([]*shard.Queue, len(ss.Items)),
-		completed: make([]bool, len(ss.Items)),
-		affinity:  map[string]int{},
-		compCh:    make(chan int, len(ss.Items)),
-		doneCh:    make(chan struct{}),
+		name:       ss.Name,
+		sweepFP:    ss.Fingerprint(),
+		items:      ss.Items,
+		fps:        make([]string, len(ss.Items)),
+		byFP:       make(map[string]int, len(ss.Items)),
+		ttl:        ttl,
+		specFactor: DefaultSpeculateFactor,
+		queues:     make([]*shard.Queue, len(ss.Items)),
+		completed:  make([]bool, len(ss.Items)),
+		affinity:   map[string]int{},
+		compCh:     make(chan int, len(ss.Items)),
+		doneCh:     make(chan struct{}),
 	}
 	for i, it := range ss.Items {
 		p.fps[i] = it.Campaign.Fingerprint()
 		p.byFP[p.fps[i]] = i
 	}
 	return p, nil
+}
+
+// SetEpoch stamps the coordinator epoch onto the pool: every queue
+// already open and every queue opened later grants leases carrying it.
+// A coordinator calls this once after construction; a standby calls it
+// with a strictly higher epoch at takeover, which is what fences the old
+// incarnation's zombie completions (shard.ErrStaleEpoch).
+func (p *Pool) SetEpoch(epoch uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.epoch = epoch
+	for _, q := range p.queues {
+		if q != nil {
+			q.SetEpoch(epoch)
+		}
+	}
+}
+
+// SetSpeculateFactor overrides the straggler threshold; factor <= 0
+// disables speculative re-issue entirely.
+func (p *Pool) SetSpeculateFactor(factor float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.specFactor = factor
 }
 
 // Open makes campaign idx leasable under the given shard plan, first
@@ -102,6 +136,7 @@ func (p *Pool) Open(idx int, specs []shard.Spec, journaled map[int]*shard.Partia
 		}
 	}
 	q := shard.NewQueue(specs, p.ttl)
+	q.SetEpoch(p.epoch)
 	for _, sp := range specs {
 		if partial, ok := journaled[sp.Index]; ok && partial.Covers(sp) {
 			if err := q.MarkDone(partial); err != nil {
@@ -118,10 +153,13 @@ func (p *Pool) Open(idx int, specs []shard.Spec, journaled map[int]*shard.Partia
 // Lease claims a shard for a worker: first from the campaign the worker
 // last leased from (its golden run is warm there), then from the open
 // campaign with pending work and the fewest active leases — ties to
-// sweep order. ok is false when nothing is pending anywhere, which
-// means the sweep is done (Done reports true), every remaining shard is
-// leased out, or the remaining campaigns have not opened yet; in the
-// latter two cases the worker polls again.
+// sweep order. When nothing is pending anywhere but shards are still
+// leased out, the otherwise-idle worker may receive a speculative backup
+// of a straggling shard (see SpeculativeLease on shard.Queue) — one slow
+// worker must not serialize a whole grid behind its tail shard. ok is
+// false when there is truly nothing to hand out: the sweep is done (Done
+// reports true), no shard has straggled, or the remaining campaigns have
+// not opened yet; the worker polls again.
 func (p *Pool) Lease(worker string, now time.Time) (*shard.Lease, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -158,7 +196,7 @@ func (p *Pool) Lease(worker string, now time.Time) (*shard.Lease, bool) {
 		}
 	}
 	if best == -1 {
-		return nil, false
+		return p.speculate(worker, now)
 	}
 	l, ok := p.queues[best].Lease(worker, now)
 	if !ok {
@@ -170,11 +208,41 @@ func (p *Pool) Lease(worker string, now time.Time) (*shard.Lease, bool) {
 	return l, true
 }
 
+// speculate hands an idle worker a backup lease of a straggling shard,
+// preferring the worker's affinity campaign (its golden run is warm
+// there, so the backup executes from cache). Callers hold p.mu and have
+// established that no shard is pending anywhere.
+func (p *Pool) speculate(worker string, now time.Time) (*shard.Lease, bool) {
+	if p.specFactor <= 0 {
+		return nil, false
+	}
+	try := func(i int) (*shard.Lease, bool) {
+		if p.queues[i] == nil || p.completed[i] {
+			return nil, false
+		}
+		return p.queues[i].SpeculativeLease(worker, now, p.specFactor)
+	}
+	if idx, ok := p.affinity[worker]; ok {
+		if l, ok := try(idx); ok {
+			return l, true
+		}
+	}
+	for i := range p.queues {
+		if l, ok := try(i); ok {
+			p.affinity[worker] = i
+			return l, true
+		}
+	}
+	return nil, false
+}
+
 // Complete resolves a lease with its shard's partial result, routed by
 // campaign fingerprint (lease IDs of expired leases are forgotten, so
 // the fingerprint — which the worker knows from the shard spec — is the
-// durable routing key). Late completions are accepted per shard.Queue.
-func (p *Pool) Complete(fingerprint, leaseID string, partial *shard.Partial, now time.Time) error {
+// durable routing key). Late completions are accepted per shard.Queue;
+// epoch echoes the lease's fencing token (0 when epochs are not in play)
+// and stale-epoch duplicates surface as shard.ErrStaleEpoch.
+func (p *Pool) Complete(fingerprint, leaseID string, epoch uint64, partial *shard.Partial, now time.Time) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	idx, ok := p.byFP[fingerprint]
@@ -185,7 +253,7 @@ func (p *Pool) Complete(fingerprint, leaseID string, partial *shard.Partial, now
 	if err != nil {
 		return err
 	}
-	if err := q.Complete(leaseID, partial, now); err != nil {
+	if err := q.Complete(leaseID, epoch, partial, now); err != nil {
 		return err
 	}
 	p.notifyIfDone(idx)

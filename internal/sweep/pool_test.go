@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -80,7 +81,7 @@ func TestPoolAffinityKeepsWorkerOnItsCampaign(t *testing.T) {
 	// w1 completes its shard; with no active lease anywhere on A, naive
 	// least-loaded scheduling would bounce w1 to B — affinity must keep
 	// it on A, where its golden run is cached.
-	if err := p.Complete(fpA, l1.ID, fakePartial(l1.Spec), now); err != nil {
+	if err := p.Complete(fpA, l1.ID, 0, fakePartial(l1.Spec), now); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2; i++ {
@@ -91,7 +92,7 @@ func TestPoolAffinityKeepsWorkerOnItsCampaign(t *testing.T) {
 		if l.Spec.Fingerprint != fpA {
 			t.Fatalf("worker switched campaigns with its own still pending (lease %d)", i)
 		}
-		if err := p.Complete(fpA, l.ID, fakePartial(l.Spec), now); err != nil {
+		if err := p.Complete(fpA, l.ID, 0, fakePartial(l.Spec), now); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -141,11 +142,11 @@ func TestPoolIncrementalOpenAndCompletion(t *testing.T) {
 	if !ok || l.Spec.Fingerprint != items[0].Campaign.Fingerprint() {
 		t.Fatalf("lease %+v, want campaign a", l)
 	}
-	if err := p.Complete(l.Spec.Fingerprint, l.ID, fakePartial(l.Spec), now); err != nil {
+	if err := p.Complete(l.Spec.Fingerprint, l.ID, 0, fakePartial(l.Spec), now); err != nil {
 		t.Fatal(err)
 	}
 	l2, _ := p.Lease("w", now)
-	if err := p.Complete(l2.Spec.Fingerprint, l2.ID, fakePartial(l2.Spec), now); err != nil {
+	if err := p.Complete(l2.Spec.Fingerprint, l2.ID, 0, fakePartial(l2.Spec), now); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -247,7 +248,7 @@ func TestPoolProgressDoesNotMixCampaigns(t *testing.T) {
 	if la.Spec.Fingerprint != fpA {
 		t.Fatal("first lease not from campaign a")
 	}
-	if err := p.Complete(fpA, la.ID, fakePartial(la.Spec), now.Add(10*time.Second)); err != nil {
+	if err := p.Complete(fpA, la.ID, 0, fakePartial(la.Spec), now.Add(10*time.Second)); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := p.Lease("wb", now.Add(10*time.Second)); !ok {
@@ -293,7 +294,7 @@ func TestPoolRoutesByFingerprint(t *testing.T) {
 	if l.Spec.Fingerprint == other {
 		other = plans[0][0].Fingerprint
 	}
-	if err := p.Complete("nonsense", l.ID, fakePartial(l.Spec), now); err == nil {
+	if err := p.Complete("nonsense", l.ID, 0, fakePartial(l.Spec), now); err == nil {
 		t.Fatal("unknown fingerprint accepted")
 	}
 	if _, err := p.Renew(other, l.ID, now); err == nil {
@@ -313,7 +314,109 @@ func TestPoolRoutesByFingerprint(t *testing.T) {
 			t.Fatal("renewed lease's shard re-issued before its extended deadline")
 		}
 	}
-	if err := p.Complete(l.Spec.Fingerprint, l.ID, fakePartial(l.Spec), now.Add(85*time.Second)); err != nil {
+	if err := p.Complete(l.Spec.Fingerprint, l.ID, 0, fakePartial(l.Spec), now.Add(85*time.Second)); err != nil {
 		t.Fatalf("completion after renewal rejected: %v", err)
 	}
+}
+
+// TestPoolSpeculativeReissue pins straggler re-issue at the sweep level:
+// with every shard of the grid either done or leased, an idle worker is
+// handed a backup of the straggling shard — and the speculative
+// duplicate resolves first-wins, whichever copy lands second refused.
+func TestPoolSpeculativeReissue(t *testing.T) {
+	p, _ := poolOf(t, 1, 2, 8)
+	now := time.Unix(1000, 0)
+
+	slow, ok := p.Lease("slow", now)
+	if !ok {
+		t.Fatal("lease refused")
+	}
+	fast, ok := p.Lease("fast", now)
+	if !ok {
+		t.Fatal("lease refused")
+	}
+	// fast finishes in 5s (the baseline); slow straggles.
+	if err := p.Complete(fast.Spec.Fingerprint, fast.ID, 0, fakePartial(fast.Spec), now.Add(5*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// Below the threshold the idle worker gets nothing.
+	if _, ok := p.Lease("idle", now.Add(10*time.Second)); ok {
+		t.Fatal("speculated below the straggler threshold")
+	}
+	// Past 3x the baseline the pool re-issues the straggler's shard.
+	backup, ok := p.Lease("idle", now.Add(20*time.Second))
+	if !ok {
+		t.Fatal("idle worker not handed a straggler backup")
+	}
+	if backup.Spec.Index != slow.Spec.Index || backup.Spec.Fingerprint != slow.Spec.Fingerprint {
+		t.Fatalf("backup covers %.12s shard %d, straggler is %.12s shard %d",
+			backup.Spec.Fingerprint, backup.Spec.Index, slow.Spec.Fingerprint, slow.Spec.Index)
+	}
+	// First completion wins; the straggler's late copy is refused and the
+	// sweep completes exactly once.
+	if err := p.Complete(backup.Spec.Fingerprint, backup.ID, 0, fakePartial(backup.Spec), now.Add(21*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Complete(slow.Spec.Fingerprint, slow.ID, 0, fakePartial(slow.Spec), now.Add(22*time.Second)); err == nil {
+		t.Fatal("speculative duplicate double-merged")
+	}
+	if !p.Done() {
+		t.Fatal("sweep not done")
+	}
+	if pr := p.Progress(now.Add(22 * time.Second)); pr.Campaigns[0].Shards.Speculated != 1 {
+		t.Fatalf("progress %+v, want 1 speculated", pr.Campaigns[0].Shards)
+	}
+}
+
+// TestPoolSpeculationDisabled: factor <= 0 switches the backup-task path
+// off entirely.
+func TestPoolSpeculationDisabled(t *testing.T) {
+	p, _ := poolOf(t, 1, 2, 8)
+	p.SetSpeculateFactor(0)
+	now := time.Unix(1000, 0)
+	slow, _ := p.Lease("slow", now)
+	fast, _ := p.Lease("fast", now)
+	if err := p.Complete(fast.Spec.Fingerprint, fast.ID, 0, fakePartial(fast.Spec), now.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Lease("idle", now.Add(30*time.Second)); ok {
+		t.Fatal("speculated with speculation disabled")
+	}
+	_ = slow
+}
+
+// TestPoolEpochThreading pins the fence at the pool level: SetEpoch
+// reaches queues opened both before and after the call, leases carry it,
+// and a stale-epoch duplicate is fenced with shard.ErrStaleEpoch while a
+// pre-takeover completion of an unfinished shard is still accepted.
+func TestPoolEpochThreading(t *testing.T) {
+	p, plans := poolOf(t, 2, 2, 8)
+	p.SetEpoch(3)
+	now := time.Unix(1000, 0)
+
+	zombie, ok := p.Lease("zombie", now)
+	if !ok {
+		t.Fatal("lease refused")
+	}
+	if zombie.Epoch != 3 {
+		t.Fatalf("lease epoch %d, want 3", zombie.Epoch)
+	}
+	// Takeover: epoch bumps under live leases.
+	p.SetEpoch(4)
+	if err := p.Complete(zombie.Spec.Fingerprint, zombie.ID, zombie.Epoch, fakePartial(zombie.Spec), now); err != nil {
+		t.Fatalf("first-wins completion under an old epoch rejected: %v", err)
+	}
+	err := p.Complete(zombie.Spec.Fingerprint, zombie.ID, zombie.Epoch, fakePartial(zombie.Spec), now)
+	if !errors.Is(err, shard.ErrStaleEpoch) {
+		t.Fatalf("stale duplicate not fenced: %v", err)
+	}
+	// Queues already open when the epoch bumps grant the new one.
+	l, ok := p.Lease("w", now)
+	if !ok {
+		t.Fatal("lease refused")
+	}
+	if l.Epoch != 4 {
+		t.Fatalf("post-bump lease epoch %d, want 4", l.Epoch)
+	}
+	_ = plans
 }

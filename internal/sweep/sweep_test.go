@@ -225,7 +225,7 @@ func TestSweepDeterminism(t *testing.T) {
 	journaled := map[string]bool{} // "fp/index" of journaled shards
 	completeOne := func(d doneShard, at time.Time) {
 		t.Helper()
-		if err := pool1.Complete(d.fp, d.leaseID, d.p, at); err != nil {
+		if err := pool1.Complete(d.fp, d.leaseID, 0, d.p, at); err != nil {
 			t.Fatal(err)
 		}
 		if err := store.Append(d.fp, d.p); err != nil {
@@ -267,7 +267,7 @@ func TestSweepDeterminism(t *testing.T) {
 	// The doomed worker's late completion: either its shard was re-drawn
 	// and finished by a live worker (duplicate, refused) or it is still
 	// open (accepted) — both keep the merge bit-identical.
-	if err := pool1.Complete(doomed.Spec.Fingerprint, doomed.ID, doomedPartial, now); err == nil {
+	if err := pool1.Complete(doomed.Spec.Fingerprint, doomed.ID, 0, doomedPartial, now); err == nil {
 		if err := store.Append(doomed.Spec.Fingerprint, doomedPartial); err != nil {
 			t.Fatal(err)
 		}
@@ -321,7 +321,7 @@ func TestSweepDeterminism(t *testing.T) {
 	}
 	for _, i := range rng.Sample(len(stash2), len(stash2)) {
 		d := stash2[i]
-		if err := pool2.Complete(d.fp, d.leaseID, d.p, now); err != nil {
+		if err := pool2.Complete(d.fp, d.leaseID, 0, d.p, now); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -499,7 +499,7 @@ func TestPoolCancel(t *testing.T) {
 	}
 	p := &shard.Partial{Index: held.Spec.Index, Start: held.Spec.Start, End: held.Spec.End,
 		Injections: make([]inject.Injection, held.Spec.End-held.Spec.Start)}
-	if err := pool.Complete(held.Spec.Fingerprint, held.ID, p, now.Add(time.Second)); err != nil {
+	if err := pool.Complete(held.Spec.Fingerprint, held.ID, 0, p, now.Add(time.Second)); err != nil {
 		t.Fatalf("completion of a leased shard refused after cancel: %v", err)
 	}
 	if _, err := pool.Renew(held.Spec.Fingerprint, held.ID, now.Add(time.Second)); err == nil {
