@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race ci bench-smoke sweep-smoke chaos-smoke bench clean
+.PHONY: all vet build test race ci bench-smoke sweep-smoke chaos-smoke obs-smoke bench clean
 
 all: ci
 
@@ -16,10 +16,10 @@ test:
 	$(GO) test ./...
 
 # race re-runs the concurrency-heavy packages — the shard queue, sweep
-# pool, wire client, journal tailer and the coordinator itself — under
-# the race detector.
+# pool, wire client, journal tailer, metrics registry and the
+# coordinator itself — under the race detector.
 race:
-	$(GO) test -race -count=1 ./internal/shard ./internal/sweep ./internal/capi ./internal/runstore ./internal/chaos ./cmd/campaignd
+	$(GO) test -race -count=1 ./internal/shard ./internal/sweep ./internal/capi ./internal/runstore ./internal/chaos ./internal/obs ./cmd/campaignd
 
 ci: vet build test race
 
@@ -57,11 +57,23 @@ sweep-smoke:
 
 # chaos-smoke is the robustness gate: a leader crash-stopped mid-grid
 # with a warm standby taking over from the journal (byte-identical
-# output, zero re-simulation, stale-epoch completions fenced), and a
-# sweep drained through fault-injecting HTTP transports (drops, resets,
-# 503s, duplicated POSTs, delays) — both under the race detector.
+# output, zero re-simulation, stale-epoch completions fenced), a sweep
+# drained through fault-injecting HTTP transports (drops, resets, 503s,
+# duplicated POSTs, delays — every class asserted to have actually fired
+# via the chaos_injected_total scrape), and a straggler shard re-issued
+# speculatively — all under the race detector. Together the three runs
+# leave the fenced, speculated and client-retry series provably nonzero.
 chaos-smoke:
-	$(GO) test ./cmd/campaignd -race -run '^(TestCoordinatorFailover|TestSweepUnderChaos)$$' -count=1 -v
+	$(GO) test ./cmd/campaignd -race -run '^(TestCoordinatorFailover|TestSweepUnderChaos|TestSpeculationObserved)$$' -count=1 -v
+
+# obs-smoke is the observability gate: a quick sweep drained end to end
+# with metrics, tracing and the pprof debug server enabled; /metrics is
+# scraped mid-flight and at drain through the strict exposition parser
+# (lifecycle series present and monotone), the exported trace must
+# validate as Chrome trace_event JSON, and the rendered sweep output
+# must be byte-identical to the uninstrumented reference.
+obs-smoke:
+	$(GO) test ./cmd/campaignd -race -run '^(TestObsSmoke)$$' -count=1 -v
 
 # bench runs the full table/figure harness (minutes).
 bench:

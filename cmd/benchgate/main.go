@@ -30,12 +30,27 @@ type benchEntry struct {
 	WallReductionX  float64 `json:"wall_reduction_x"`
 	WarmStarts      uint64  `json:"warm_starts"`
 	DeltaRestores   uint64  `json:"delta_restores"`
+	WarmInjectWall  int64   `json:"warm_inject_wall_ns"`
+	RestoreWall     int64   `json:"restore_wall_ns"`
+}
+
+// restoreShare is the fraction of warm-injection wall time spent inside
+// engine restores. Raw wall times shift with the machine, but this
+// within-run ratio is machine-independent to first order, so its growth
+// is gateable: a restore path that got relatively more expensive (e.g.
+// the delta path silently falling back to full snapshot copies) shows up
+// here long before it dents the headline reduction.
+func (e benchEntry) restoreShare() float64 {
+	if e.WarmInjectWall <= 0 {
+		return 0
+	}
+	return float64(e.RestoreWall) / float64(e.WarmInjectWall)
 }
 
 func main() {
 	baseline := flag.String("baseline", "", "committed benchmark metrics (required)")
 	fresh := flag.String("new", "BENCH_warmstart.json", "freshly generated benchmark metrics")
-	maxRegress := flag.Float64("max-regress", 0.20, "largest tolerated fractional drop of evals_reduction_x")
+	maxRegress := flag.Float64("max-regress", 0.20, "largest tolerated fractional drop of evals_reduction_x, and largest tolerated fractional growth of the restore wall share")
 	flag.Parse()
 	if *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
@@ -87,8 +102,19 @@ func gate(baselinePath, freshPath string, maxRegress float64, out *os.File) erro
 			return fmt.Errorf("%s: baseline warm-started %d injections but the fresh run warm-started none — the warm path degraded to cold replay",
 				engine, b.WarmStarts)
 		}
-		fmt.Fprintf(out, "benchgate: %s ok: evals_reduction_x %.2f vs baseline %.2f (floor %.2f), warm_starts %d, delta_restores %d\n",
-			engine, g.EvalsReductionX, b.EvalsReductionX, floor, g.WarmStarts, g.DeltaRestores)
+		// Restore-wall gate: compare the within-run share of warm wall
+		// spent restoring, not raw nanoseconds — the share cancels the
+		// machine's speed out of both sides. Baselines without restore
+		// timing (older files, or a variant that never restores) skip it.
+		if bShare := b.restoreShare(); bShare > 0 {
+			ceiling := bShare * (1 + maxRegress)
+			if gShare := g.restoreShare(); gShare > ceiling {
+				return fmt.Errorf("%s: restore share of warm wall %.1f%% grew past %.1f%% (baseline %.1f%%, max growth %.0f%%) — restore_wall_ns %d over warm_inject_wall_ns %d",
+					engine, 100*gShare, 100*ceiling, 100*bShare, 100*maxRegress, g.RestoreWall, g.WarmInjectWall)
+			}
+		}
+		fmt.Fprintf(out, "benchgate: %s ok: evals_reduction_x %.2f vs baseline %.2f (floor %.2f), warm_starts %d, delta_restores %d, restore share %.1f%%\n",
+			engine, g.EvalsReductionX, b.EvalsReductionX, floor, g.WarmStarts, g.DeltaRestores, 100*g.restoreShare())
 	}
 	return nil
 }

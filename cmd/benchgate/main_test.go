@@ -72,6 +72,54 @@ func TestGateAgainstCommittedBaseline(t *testing.T) {
 	}
 }
 
+func TestGateFailsOnRestoreShareGrowth(t *testing.T) {
+	dir := t.TempDir()
+	// Baseline: restores are 2% of warm wall. Fresh: 10% — the delta
+	// path degraded — while the headline reduction is unchanged.
+	base := writeBench(t, dir, "base.json", `{
+	  "eventsim": {"injections": 150, "evals_reduction_x": 12.5, "warm_inject_wall_ns": 50000000, "restore_wall_ns": 1000000}
+	}`)
+	fresh := writeBench(t, dir, "fresh.json", `{
+	  "eventsim": {"injections": 150, "evals_reduction_x": 12.5, "warm_inject_wall_ns": 50000000, "restore_wall_ns": 5000000}
+	}`)
+	err := gate(base, fresh, 0.20, os.Stdout)
+	if err == nil {
+		t.Fatal("restore share growing 2% -> 10% must fail the 20% gate")
+	}
+	if !strings.Contains(err.Error(), "restore share") {
+		t.Fatalf("error %q does not name the restore share", err)
+	}
+}
+
+func TestGatePassesRestoreShareWithinMargin(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", `{
+	  "eventsim": {"injections": 150, "evals_reduction_x": 12.5, "warm_inject_wall_ns": 50000000, "restore_wall_ns": 1000000}
+	}`)
+	// Same share on a machine twice as slow: raw restore wall doubled,
+	// but so did warm wall — the ratio gate must not trip.
+	fresh := writeBench(t, dir, "fresh.json", `{
+	  "eventsim": {"injections": 150, "evals_reduction_x": 12.5, "warm_inject_wall_ns": 100000000, "restore_wall_ns": 2200000}
+	}`)
+	if err := gate(base, fresh, 0.20, os.Stdout); err != nil {
+		t.Fatalf("2.2%% vs baseline 2%% share is inside the 20%% growth margin: %v", err)
+	}
+}
+
+func TestGateSkipsRestoreShareWithoutBaselineTiming(t *testing.T) {
+	dir := t.TempDir()
+	// Baseline predates restore timing (fields absent -> zero); the share
+	// gate must not divide by zero or reject the fresh run.
+	base := writeBench(t, dir, "base.json", baselineJSON)
+	fresh := writeBench(t, dir, "fresh.json", `{
+	  "eventsim": {"injections": 150, "evals_reduction_x": 12.5, "warm_inject_wall_ns": 50000000, "restore_wall_ns": 40000000},
+	  "levelsim": {"injections": 30, "evals_reduction_x": 3.1}
+	}`)
+	if err := gate(base, fresh, 0.20, os.Stdout); err != nil {
+		t.Fatalf("baseline without restore timing must skip the share gate: %v", err)
+	}
+}
+
 func TestGateFailsWhenWarmStartsVanish(t *testing.T) {
 	dir := t.TempDir()
 	base := writeBench(t, dir, "base.json", `{

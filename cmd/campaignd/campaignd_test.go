@@ -201,7 +201,7 @@ func TestServeWorkEndToEnd(t *testing.T) {
 	case <-time.After(60 * time.Second):
 		t.Fatalf("journal-resumed serve never completed:\n%s", serveOut2.String())
 	}
-	if !bytes.Contains(serveOut2.Bytes(), []byte("5 journaled")) {
+	if !bytes.Contains(serveOut2.Bytes(), []byte("journaled=5")) {
 		t.Fatalf("resumed serve did not load the journal:\n%s", serveOut2.String())
 	}
 	got2 := readResultJSON(t, outPath2)
@@ -334,11 +334,12 @@ func TestServeSweepEndToEnd(t *testing.T) {
 
 	// The restarted coordinator must have loaded the prior incarnation's
 	// shard...
-	if !bytes.Contains(serveOut.Bytes(), []byte("1 journaled")) {
+	if !bytes.Contains(serveOut.Bytes(), []byte("journaled=1")) {
 		t.Fatalf("serve did not load the pre-crash journal:\n%s", serveOut.String())
 	}
-	// ...and no worker may have re-simulated it.
-	journaledLine := fmt.Sprintf("shard %d of %.12s", prePartial.Index, preBuilt.Fingerprint)
+	// ...and no worker may have re-simulated it. The trailing space matters:
+	// shard=1 must not match shard=10.
+	journaledLine := fmt.Sprintf("campaign=%.12s shard=%d ", preBuilt.Fingerprint, prePartial.Index)
 	if bytes.Contains(w1Out.Bytes(), []byte(journaledLine)) || bytes.Contains(w2Out.Bytes(), []byte(journaledLine)) {
 		t.Fatalf("journaled shard re-simulated by a worker:\nw1:\n%s\nw2:\n%s", w1Out.String(), w2Out.String())
 	}
@@ -757,10 +758,10 @@ func TestCancelMidFlightDeterminism(t *testing.T) {
 	if !replyA2.Created || replyA2.Fingerprint != replyA.Fingerprint {
 		t.Fatalf("resubmit after cancel: %+v, want a fresh run of %.12s", replyA2, replyA.Fingerprint)
 	}
-	var w2Out bytes.Buffer
+	w2Out := &safeBuf{}
 	workDone2 := make(chan error, 1)
 	go func() {
-		workDone2 <- work(ctx, workOpts{url: url, name: "w2", poll: 25 * time.Millisecond, out: &w2Out})
+		workDone2 <- work(ctx, workOpts{url: url, name: "w2", poll: 25 * time.Millisecond, out: w2Out})
 	}()
 	stA2, err := client.WaitSweep(ctx, replyA2.Fingerprint, nil)
 	if err != nil {
@@ -776,13 +777,12 @@ func TestCancelMidFlightDeterminism(t *testing.T) {
 	if !bytes.Equal(gotA, wantA) {
 		t.Fatalf("resubmitted sweep's results diverge:\n--- fetched ---\n%s\n--- reference ---\n%s", gotA, wantA)
 	}
-	journaledLine := fmt.Sprintf("shard %d of %.12s", held.Spec.Index, held.Spec.Fingerprint)
-	if bytes.Contains(w2Out.Bytes(), []byte(journaledLine)) {
-		t.Fatalf("journaled shard re-simulated after resubmission:\n%s", w2Out.String())
-	}
-
 	if err := <-workDone2; err != nil {
 		t.Fatalf("worker 2: %v", err)
+	}
+	journaledLine := fmt.Sprintf("campaign=%.12s shard=%d ", held.Spec.Fingerprint, held.Spec.Index)
+	if bytes.Contains([]byte(w2Out.String()), []byte(journaledLine)) {
+		t.Fatalf("journaled shard re-simulated after resubmission:\n%s", w2Out.String())
 	}
 	if err := <-serveErr; err != nil {
 		t.Fatalf("serve: %v\n%s", err, serveOut.String())

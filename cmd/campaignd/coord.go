@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/capi"
 	"repro/internal/inject"
+	"repro/internal/obs"
 	"repro/internal/runstore"
 	"repro/internal/shard"
 	"repro/internal/sweep"
@@ -86,6 +88,10 @@ type registry struct {
 	seq       int
 	now       func() time.Time
 	stdout    *syncWriter
+	log       *slog.Logger   // structured narration; epoch-tagged when led
+	obs       *obs.Registry  // metrics exposition; nil only in unit tests
+	sm        *shard.Metrics // lease/fence/speculation counters, shared by every pool
+	tracer    *obs.Tracer    // shard-lifecycle span journal; nil = tracing off
 	initial   *sweepRun // the self-submitted sweep, if any
 	outPath   string    // initial sweep's rendered-output file
 	outDir    string    // initial sweep's per-campaign JSON directory
@@ -97,7 +103,12 @@ type registry struct {
 }
 
 func newRegistry(opts serveOpts, epoch uint64, store *runstore.Store, journaled map[string]map[int]*shard.Partial, stdout *syncWriter) *registry {
+	lg := newLogger(stdout)
+	if epoch > 0 {
+		lg = lg.With("epoch", epoch)
+	}
 	return &registry{
+		log:       lg,
 		sweeps:    map[string]*sweepRun{},
 		byCamp:    map[string]*sweepRun{},
 		journaled: journaled,
@@ -157,6 +168,7 @@ func (g *registry) submit(grid sweep.Grid, params json.RawMessage, single *shard
 		return nil, false, err
 	}
 	pool.SetEpoch(g.epoch)
+	pool.SetMetrics(g.sm)
 	if g.spec != 0 {
 		pool.SetSpeculateFactor(g.spec)
 	}
@@ -176,7 +188,10 @@ func (g *registry) submit(grid sweep.Grid, params json.RawMessage, single *shard
 		}
 	}
 	if prev, ok := g.sweeps[fp]; ok {
-		// Replace the cancelled/failed incarnation in submission order.
+		// Replace the cancelled/failed incarnation in submission order. Its
+		// per-sweep gauges go too: the fresh pool re-registers under the
+		// same label, and two closures exporting one series would race.
+		prev.pool.UnregisterObs()
 		for i, sr := range g.order {
 			if sr == prev {
 				g.order = append(g.order[:i], g.order[i+1:]...)
@@ -208,12 +223,16 @@ func (g *registry) submit(grid sweep.Grid, params json.RawMessage, single *shard
 	}
 	g.mu.Unlock()
 	g.ping()
+	pool.RegisterObs(g.obs)
+	g.tracer.Instant("submit", "sweep", 0, int64(sr.seq), map[string]any{
+		"sweep": fp12(fp), "campaigns": len(grid.Spec.Items),
+	})
 	// Journal the submission: a warm standby rebuilds its sweep registry
 	// from these records, so a sweep whose spec lives only in a dead
 	// leader's memory would be unrecoverable.
 	g.journalSweep(sr, capi.StateRunning)
-	fmt.Fprintf(g.stdout, "campaignd: sweep %s (%.12s) submitted: %d campaigns, %d shards each\n",
-		grid.Spec.Name, fp, len(grid.Spec.Items), g.shards)
+	g.log.Info("sweep submitted", "sweep", grid.Spec.Name, "fp", fp12(fp),
+		"campaigns", len(grid.Spec.Items), "shards", g.shards)
 	go g.run(sr)
 	return sr, true, nil
 }
@@ -235,7 +254,7 @@ func (g *registry) journalSweep(sr *sweepRun, state string) {
 	}
 	if err := store.AppendSweep(rec); err != nil {
 		// Lost registry durability only; the sweep still runs here.
-		fmt.Fprintln(os.Stderr, "campaignd: journal sweep record:", err)
+		g.log.Warn("journal sweep record failed", "fp", fp12(sr.fp), "err", err)
 	}
 }
 
@@ -313,7 +332,7 @@ func (g *registry) cancel(sr *sweepRun) string {
 	sr.pool.Cancel()
 	sr.stopOnce.Do(func() { close(sr.stop) })
 	g.ping()
-	fmt.Fprintf(g.stdout, "campaignd: sweep %s (%.12s) cancelled\n", sr.grid.Spec.Name, sr.fp)
+	g.log.Info("sweep cancelled", "sweep", sr.grid.Spec.Name, "fp", fp12(sr.fp))
 	return capi.StateCancelled
 }
 
@@ -360,7 +379,7 @@ func (g *registry) run(sr *sweepRun) {
 		// must not burn hours on shards routed into a dead resource.
 		sr.pool.Cancel()
 		sr.stopOnce.Do(func() { close(sr.stop) })
-		fmt.Fprintf(g.stdout, "campaignd: sweep %s (%.12s) failed: %v\n", sr.grid.Spec.Name, sr.fp, err)
+		g.log.Error("sweep failed", "sweep", sr.grid.Spec.Name, "fp", fp12(sr.fp), "err", err)
 	}
 	g.ping()
 }
@@ -383,11 +402,14 @@ func (g *registry) drive(sr *sweepRun) error {
 				return
 			default:
 			}
+			buildStart := time.Now()
 			b, err := shard.Build(it.Campaign)
 			if err != nil {
 				buildErr <- fmt.Errorf("building campaign %q: %v", it.Key, err)
 				return
 			}
+			g.tracer.Span("golden", "coord", 0, int64(i), buildStart,
+				map[string]any{"campaign": fp12(b.Fingerprint)})
 			// A sweep's one -shards knob covers campaigns of very different
 			// sizes, so tiny campaigns degrade to fewer shards; a single
 			// campaign keeps the strict fail-fast validation socfault has.
@@ -414,8 +436,9 @@ func (g *registry) drive(sr *sweepRun) error {
 				buildErr <- err
 				return
 			}
-			fmt.Fprintf(g.stdout, "campaignd: campaign %s (%.12s, SoC%d/%s on %s): %d injections in %d shards, %d journaled\n",
-				it.Key, b.Fingerprint, it.Campaign.SoC, it.Campaign.Workload, it.Campaign.Engine, len(b.Jobs), len(specs), nJournaled)
+			g.log.Info("campaign opened", "campaign", it.Key, "fp", fp12(b.Fingerprint),
+				"soc", it.Campaign.SoC, "workload", it.Campaign.Workload, "engine", it.Campaign.Engine,
+				"injections", len(b.Jobs), "shards", len(specs), "journaled", nJournaled)
 		}
 	}()
 
@@ -433,8 +456,8 @@ func (g *registry) drive(sr *sweepRun) error {
 			}
 			results[b.Fingerprint] = res
 			merged++
-			fmt.Fprintf(g.stdout, "campaignd: campaign %s (%.12s) merged: %d injections, %d/%d campaigns done\n",
-				items[idx].Key, b.Fingerprint, len(res.Injections), merged, len(items))
+			g.log.Info("campaign merged", "campaign", items[idx].Key, "fp", fp12(b.Fingerprint),
+				"injections", len(res.Injections), "merged", merged, "campaigns", len(items))
 			if sr == g.initial && g.outDir != "" {
 				if err := writeResultJSON(filepath.Join(g.outDir, items[idx].Key+".json"), res); err != nil {
 					return err
@@ -469,8 +492,8 @@ func (g *registry) drive(sr *sweepRun) error {
 			return os.WriteFile(g.outPath, rendered.Bytes(), 0o644)
 		}
 	} else {
-		fmt.Fprintf(g.stdout, "campaignd: sweep %s (%.12s) done: results at /v1/sweeps/%s/results\n",
-			sr.grid.Spec.Name, sr.fp, sr.fp)
+		g.log.Info("sweep done", "sweep", sr.grid.Spec.Name, "fp", fp12(sr.fp),
+			"results", "/v1/sweeps/"+sr.fp+"/results")
 	}
 	return nil
 }
@@ -530,7 +553,7 @@ func (g *registry) markJournalTerminal(sr *sweepRun) {
 	}
 	if err := store.MarkTerminal(fps); err != nil {
 		// Only journal hygiene is lost; the records stay loadable.
-		fmt.Fprintln(os.Stderr, "campaignd: journal terminal marker:", err)
+		g.log.Warn("journal terminal marker failed", "fp", fp12(sr.fp), "err", err)
 	}
 }
 
@@ -562,13 +585,15 @@ func (g *registry) purge(sr *sweepRun) {
 	}
 	store := g.store
 	g.mu.Unlock()
+	// The purged sweep's per-sweep gauges leave the exposition with it.
+	sr.pool.UnregisterObs()
 	if store != nil {
 		if err := store.Purge(fps); err != nil {
-			fmt.Fprintln(os.Stderr, "campaignd: journal purge:", err)
+			g.log.Warn("journal purge failed", "fp", fp12(sr.fp), "err", err)
 		}
 	}
 	g.ping()
-	fmt.Fprintf(g.stdout, "campaignd: sweep %s (%.12s) purged\n", sr.grid.Spec.Name, sr.fp)
+	g.log.Info("sweep purged", "sweep", sr.grid.Spec.Name, "fp", fp12(sr.fp))
 }
 
 // journaledFor snapshots the journaled shards of one campaign. The map
@@ -613,7 +638,7 @@ func (g *registry) recordJournaled(fp string, p *shard.Partial) {
 		if err := store.Append(fp, p); err != nil {
 			// The result is already accepted and merging will proceed; a
 			// journal write failure only weakens crash recovery.
-			fmt.Fprintln(os.Stderr, "campaignd: journal append:", err)
+			g.log.Warn("journal append failed", "campaign", fp12(fp), "shard", p.Index, "err", err)
 		}
 	}
 }
@@ -652,6 +677,9 @@ func (g *registry) mux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/complete", g.handleComplete)
 	mux.HandleFunc("POST /v1/renew", g.handleRenew)
 	mux.HandleFunc("GET /v1/progress", g.handleProgress)
+	if g.obs != nil {
+		mux.Handle("GET /metrics", g.obs.Handler())
+	}
 	return mux
 }
 
@@ -806,6 +834,13 @@ func (g *registry) handleLease(w http.ResponseWriter, r *http.Request) {
 	now := g.now()
 	for _, sr := range order {
 		if l, ok := sr.pool.Lease(req.Worker, now); ok {
+			name := "lease"
+			if l.Speculative {
+				name = "speculated"
+			}
+			g.tracer.Instant(name, "coord", 0, int64(l.Spec.Index), map[string]any{
+				"worker": req.Worker, "campaign": fp12(l.Spec.Fingerprint), "shard": l.Spec.Index,
+			})
 			capi.WriteJSON(w, l)
 			return
 		}
@@ -844,6 +879,9 @@ func (g *registry) handleComplete(w http.ResponseWriter, r *http.Request) {
 			// dedupe drops it when (as always here) the live copy landed
 			// first — but the worker learns its lease died with the old
 			// epoch, distinctly from an ordinary duplicate.
+			g.tracer.Instant("fenced", "coord", 0, int64(req.Partial.Index), map[string]any{
+				"campaign": fp12(fp), "shard": req.Partial.Index, "epoch": req.Epoch,
+			})
 			g.recordJournaled(fp, req.Partial)
 			capi.WriteError(w, http.StatusConflict, capi.CodeStaleEpoch, "%v", err)
 			return
@@ -851,6 +889,9 @@ func (g *registry) handleComplete(w http.ResponseWriter, r *http.Request) {
 		capi.WriteError(w, http.StatusConflict, capi.CodeConflict, "%v", err)
 		return
 	}
+	g.tracer.Instant("complete", "coord", 0, int64(req.Partial.Index), map[string]any{
+		"campaign": fp12(fp), "shard": req.Partial.Index,
+	})
 	g.recordJournaled(fp, req.Partial)
 	w.WriteHeader(http.StatusOK)
 }
@@ -939,6 +980,14 @@ type serveOpts struct {
 	drainGrace time.Duration // graceful-drain bound on waiting out leased shards
 	specFactor float64       // straggler re-issue factor (0 = pool default, negative = off)
 
+	// Observability (DESIGN.md "Observability"). Instrumentation never
+	// feeds back into scheduling or simulation: rendered sweep output is
+	// byte-identical with every field below set or unset.
+	obsReg    *obs.Registry // metrics registry; nil = serve creates its own
+	tracer    *obs.Tracer   // span journal; nil = created iff tracePath is set
+	debugAddr string        // pprof + /metrics side server; "" = off
+	tracePath string        // Chrome trace_event JSON written on exit; "" = off
+
 	// Warm-standby preloads: a promoted standby hands serve the state it
 	// tailed out of the journal instead of having serve re-read the file.
 	epoch        uint64                            // pre-acquired leader epoch; 0 = acquire at startup
@@ -972,6 +1021,8 @@ func runServe(args []string) error {
 	follow := fs.String("follow", "", "standby: the leader's journal to tail (implies -journal for the takeover)")
 	out := fs.String("out", "", "single campaign: write the merged result JSON here; sweep: write the rendered tables here")
 	outDir := fs.String("outdir", "", "sweep: write each campaign's merged result JSON into this directory, named by campaign key")
+	debugAddr := fs.String("debug-addr", "", "also serve GET /metrics and net/http/pprof on this side address (the API mux serves /metrics regardless)")
+	tracePath := fs.String("trace", "", "write the shard-lifecycle span journal as Chrome trace_event JSON to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -1012,6 +1063,8 @@ func runServe(args []string) error {
 		outPath:    *out,
 		outDir:     *outDir,
 		addr:       *addr,
+		debugAddr:  *debugAddr,
+		tracePath:  *tracePath,
 	}
 	if *speculate <= 0 {
 		opts.specFactor = -1 // explicit off; serveOpts zero means "pool default"
@@ -1113,6 +1166,18 @@ func serve(opts serveOpts, ln net.Listener, rawStdout io.Writer) error {
 		opts.drainGrace = defaultDrainGrace
 	}
 
+	// Observability: serve always has a registry (GET /metrics is part of
+	// the API surface); the tracer only exists when someone will read it.
+	reg := opts.obsReg
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	tracer := opts.tracer
+	if tracer == nil && opts.tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	rm := runstore.NewMetrics(reg)
+
 	var store *runstore.Store
 	journaled := opts.preJournaled
 	preSweeps := opts.preSweeps
@@ -1129,6 +1194,7 @@ func serve(opts serveOpts, ln net.Listener, rawStdout io.Writer) error {
 		if store, err = runstore.Open(opts.journal); err != nil {
 			return err
 		}
+		store.SetMetrics(rm)
 		defer store.Close()
 	}
 	if journaled == nil {
@@ -1165,18 +1231,29 @@ func serve(opts serveOpts, ln net.Listener, rawStdout io.Writer) error {
 		if err := runstore.WriteLeaderLease(leaderPath, me); err != nil {
 			return err
 		}
-		stopLeader = startLeaderRenewal(leaderPath, me, opts.leaderTTL, deposed)
+		rm.LeaderEpoch.Set(float64(epoch))
+		stopLeader = startLeaderRenewal(leaderPath, me, opts.leaderTTL, rm, deposed)
 		defer stopLeader()
 	}
 
 	g := newRegistry(opts, epoch, store, journaled, stdout)
-	if epoch > 0 {
-		fmt.Fprintf(stdout, "campaignd: serving on %s (lease %v, %d shards per campaign, epoch %d)\n",
-			ln.Addr(), opts.leaseTTL, opts.shards, epoch)
-	} else {
-		fmt.Fprintf(stdout, "campaignd: serving on %s (lease %v, %d shards per campaign)\n",
-			ln.Addr(), opts.leaseTTL, opts.shards)
+	g.obs, g.sm, g.tracer = reg, shard.NewMetrics(reg), tracer
+	if opts.tracePath != "" {
+		defer func() {
+			if err := tracer.WriteFile(opts.tracePath); err != nil {
+				g.log.Warn("trace write failed", "path", opts.tracePath, "err", err)
+			}
+		}()
 	}
+	if opts.debugAddr != "" {
+		dbgAddr, stopDebug, err := startDebugServer(opts.debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
+		g.log.Info("debug server listening", "addr", dbgAddr)
+	}
+	g.log.Info("serving", "addr", ln.Addr().String(), "lease", opts.leaseTTL, "shards", opts.shards)
 
 	srv := &http.Server{Handler: g.mux()}
 	defer srv.Close()
@@ -1203,11 +1280,11 @@ func serve(opts serveOpts, ln net.Listener, rawStdout io.Writer) error {
 		if err != nil {
 			// An unreadable registry record must not sink the sweeps that do
 			// decode: serve what can be served, say what cannot.
-			fmt.Fprintf(os.Stderr, "campaignd: journaled sweep %.12s not rebuilt: %v\n", rec.Fingerprint, err)
+			g.log.Warn("journaled sweep not rebuilt", "fp", fp12(rec.Fingerprint), "err", err)
 			continue
 		}
 		if _, _, err := g.submit(grid, rec.Params, single, false); err != nil {
-			fmt.Fprintf(os.Stderr, "campaignd: journaled sweep %.12s not rebuilt: %v\n", rec.Fingerprint, err)
+			g.log.Warn("journaled sweep not rebuilt", "fp", fp12(rec.Fingerprint), "err", err)
 		}
 	}
 
@@ -1232,8 +1309,7 @@ func serve(opts serveOpts, ln net.Listener, rawStdout io.Writer) error {
 		draining = true
 		g.setDraining()
 		drainDeadline = time.After(opts.drainGrace)
-		fmt.Fprintf(stdout, "campaignd: %s; draining — %d shards leased, refusing new work (grace %v)\n",
-			why, g.leasedShards(), opts.drainGrace)
+		g.log.Info("draining", "why", why, "leased", g.leasedShards(), "grace", opts.drainGrace)
 	}
 loop:
 	for {
@@ -1244,7 +1320,7 @@ loop:
 			select {
 			case <-drainPoll.C:
 			case <-drainDeadline:
-				fmt.Fprintf(stdout, "campaignd: drain grace expired with %d shards leased; exiting anyway\n", g.leasedShards())
+				g.log.Warn("drain grace expired; exiting anyway", "leased", g.leasedShards())
 				break loop
 			case <-opts.crash:
 				return crashStop("test crash hook")
@@ -1291,7 +1367,7 @@ loop:
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "campaignd: shutdown:", err)
+		g.log.Warn("shutdown", "err", err)
 	}
 	if leaderPath != "" {
 		// A clean exit hands leadership over immediately: rewrite the lease
@@ -1301,11 +1377,11 @@ loop:
 		stopLeader()
 		release := runstore.LeaderLease{Epoch: epoch, Owner: defaultWorkerName(), Addr: ln.Addr().String(), ExpiresAt: time.Now()}
 		if err := runstore.WriteLeaderLease(leaderPath, release); err != nil {
-			fmt.Fprintln(os.Stderr, "campaignd: leader lease release:", err)
+			g.log.Warn("leader lease release failed", "err", err)
 		}
 	}
 	if draining {
-		fmt.Fprintf(stdout, "campaignd: drained; leadership released\n")
+		g.log.Info("drained; leadership released")
 	}
 
 	// The self-submitted sweep is the batch job serve was asked to run;
@@ -1323,8 +1399,9 @@ loop:
 // Each tick first reads the file: a higher epoch there means a standby
 // (correctly, per the expiry this leader let happen) took over — the
 // deposed channel closes and this incarnation must crash-stop, never
-// write again. The returned stop is idempotent.
-func startLeaderRenewal(path string, me runstore.LeaderLease, ttl time.Duration, deposed chan<- struct{}) (stop func()) {
+// write again. Successful heartbeats drive runstore_leader_renewals_total
+// and refresh runstore_leader_epoch. The returned stop is idempotent.
+func startLeaderRenewal(path string, me runstore.LeaderLease, ttl time.Duration, m *runstore.Metrics, deposed chan<- struct{}) (stop func()) {
 	done := make(chan struct{})
 	var once sync.Once
 	interval := ttl / 3
@@ -1347,6 +1424,9 @@ func startLeaderRenewal(path string, me runstore.LeaderLease, ttl time.Duration,
 				me.ExpiresAt = time.Now().Add(ttl)
 				if err := runstore.WriteLeaderLease(path, me); err != nil {
 					fmt.Fprintln(os.Stderr, "campaignd: leader lease renewal:", err)
+				} else if m != nil {
+					m.LeaderRenewals.Inc()
+					m.LeaderEpoch.Set(float64(me.Epoch))
 				}
 			}
 		}
@@ -1381,12 +1461,34 @@ func gridFromRecord(rec runstore.SweepRecord) (sweep.Grid, *shard.CampaignSpec, 
 // remainder is ever simulated again.
 func standby(opts serveOpts, rawStdout io.Writer) error {
 	stdout := &syncWriter{w: rawStdout}
+	logger := newLogger(stdout)
 	if opts.leaderTTL <= 0 {
 		opts.leaderTTL = defaultLeaderTTL
 	}
 	leaderPath := opts.journal + leaderSuffix
 	tail := runstore.NewTail(opts.journal)
 	defer tail.Close()
+
+	// The standby shares one registry with the serve it may become, so a
+	// scraper watching the promoted coordinator sees the follower history
+	// too. While following, its replication lag is the metric that matters.
+	if opts.obsReg == nil {
+		opts.obsReg = obs.NewRegistry()
+	}
+	opts.obsReg.NewGaugeFunc("runstore_tail_lag_bytes",
+		"Bytes of leader journal the standby's tail has not applied yet.",
+		func() float64 { return float64(tail.Lag()) })
+	if opts.debugAddr != "" {
+		// The debug server outlives the takeover: serve is handed
+		// debugAddr="" so it does not fight for the same port.
+		dbgAddr, stopDebug, err := startDebugServer(opts.debugAddr, opts.obsReg)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
+		opts.debugAddr = ""
+		logger.Info("debug server listening", "addr", dbgAddr)
+	}
 
 	journaled := map[string]map[int]*shard.Partial{}
 	sweeps := map[string]runstore.SweepRecord{}
@@ -1439,7 +1541,7 @@ func standby(opts serveOpts, rawStdout io.Writer) error {
 	if poll < 10*time.Millisecond {
 		poll = 10 * time.Millisecond
 	}
-	fmt.Fprintf(stdout, "campaignd: standby following %s (leader lease %v)\n", opts.journal, opts.leaderTTL)
+	logger.Info("standby following", "journal", opts.journal, "leaderLease", opts.leaderTTL)
 	announced := uint64(0)
 	var lease runstore.LeaderLease
 	for {
@@ -1456,13 +1558,13 @@ func standby(opts serveOpts, rawStdout io.Writer) error {
 			break
 		}
 		if lease.Epoch != announced {
-			fmt.Fprintf(stdout, "campaignd: standby: following leader %s (epoch %d) on %s\n", lease.Owner, lease.Epoch, lease.Addr)
+			logger.Info("standby following leader", "owner", lease.Owner, "epoch", lease.Epoch, "addr", lease.Addr)
 			announced = lease.Epoch
 		}
 		select {
 		case <-time.After(poll):
 		case sig := <-opts.signals:
-			fmt.Fprintf(stdout, "campaignd: standby: %v received; exiting without taking over\n", sig)
+			logger.Info("standby exiting without taking over", "signal", sig.String())
 			return nil
 		}
 	}
@@ -1508,8 +1610,12 @@ func standby(opts serveOpts, rawStdout io.Writer) error {
 	for _, m := range journaled {
 		nShards += len(m)
 	}
-	fmt.Fprintf(stdout, "campaignd: standby taking over: leader epoch %d expired; epoch %d on %s (%d sweeps, %d journaled shards)\n",
-		lease.Epoch, epoch, addr, len(order), nShards)
+	logger.Info("standby taking over", "expiredEpoch", lease.Epoch, "epoch", epoch, "addr", addr,
+		"sweeps", len(order), "journaledShards", nShards)
+
+	// The follower's lag gauge dies with the tail; the promoted serve
+	// re-registers the runstore family over the shared registry.
+	opts.obsReg.Unregister("runstore_tail_lag_bytes")
 
 	takeover := opts
 	takeover.grid = nil

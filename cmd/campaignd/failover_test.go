@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/capi"
 	"repro/internal/chaos"
+	"repro/internal/obs"
 	"repro/internal/runstore"
 	"repro/internal/shard"
 	"repro/internal/ssresf"
@@ -97,6 +98,12 @@ func TestCoordinatorFailover(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 8*time.Minute)
 	defer cancel()
 
+	// One registry shared by both coordinator incarnations and both
+	// workers, so the post-mortem scrape sees fleet-wide totals: the
+	// fence must show up in shard_fenced_total, the outage in
+	// capi_retries_total.
+	reg := obs.NewRegistry()
+
 	// The leader: short leader lease so the standby notices the crash
 	// quickly, long shard leases and speculation off so the zombie's
 	// shard stays held until the failover — only the takeover (which
@@ -111,6 +118,7 @@ func TestCoordinatorFailover(t *testing.T) {
 		linger:     30 * time.Second,
 		specFactor: -1,
 		crash:      crash,
+		obsReg:     reg,
 	}, leaderOut)
 
 	client := capi.NewClient(url)
@@ -138,14 +146,19 @@ func TestCoordinatorFailover(t *testing.T) {
 			leaderTTL:  300 * time.Millisecond,
 			linger:     10 * time.Second,
 			specFactor: -1,
+			obsReg:     reg,
 		}, standbyOut)
 	}()
 
 	// Two live workers ride through the failover on their retry budgets.
 	w1Out, w2Out := &safeBuf{}, &safeBuf{}
 	workErr := make(chan error, 2)
-	go func() { workErr <- work(ctx, workOpts{url: url, name: "w1", poll: 25 * time.Millisecond, out: w1Out}) }()
-	go func() { workErr <- work(ctx, workOpts{url: url, name: "w2", poll: 25 * time.Millisecond, out: w2Out}) }()
+	go func() {
+		workErr <- work(ctx, workOpts{url: url, name: "w1", poll: 25 * time.Millisecond, out: w1Out, obsReg: reg})
+	}()
+	go func() {
+		workErr <- work(ctx, workOpts{url: url, name: "w2", poll: 25 * time.Millisecond, out: w2Out, obsReg: reg})
+	}()
 
 	// Kill the leader mid-grid: as soon as at least one shard is
 	// journaled (but with the zombie's shard still held, the grid cannot
@@ -188,7 +201,9 @@ func TestCoordinatorFailover(t *testing.T) {
 	full := w1Out.String() + w2Out.String()
 	for fp, shards := range journaledAtKill {
 		for idx := range shards {
-			marker := fmt.Sprintf("shard %d of %.12s done", idx, fp)
+			// The range attr only appears on "shard done" lines, never on
+			// "shard dropped" ones, so this counts completions exactly.
+			marker := fmt.Sprintf("campaign=%.12s shard=%d range", fp, idx)
 			if n := strings.Count(full, marker); n != 1 {
 				t.Fatalf("shard %d of %.12s was journaled before the crash but completed %d times:\n%s", idx, fp, n, full)
 			}
@@ -212,6 +227,20 @@ func TestCoordinatorFailover(t *testing.T) {
 		t.Fatalf("stale-epoch completion returned %v, want %s refusal", err, capi.CodeStaleEpoch)
 	}
 
+	// The shared registry must have recorded the failover's signature:
+	// the fence just provoked, and the client retries the workers burned
+	// riding out the dead-leader window.
+	sc, err := obs.ParseText(reg.Expose())
+	if err != nil {
+		t.Fatalf("post-failover exposition rejected by the strict parser: %v", err)
+	}
+	if v, ok := sc.Value("shard_fenced_total"); !ok || v < 1 {
+		t.Fatalf("shard_fenced_total = %v, %v; want >= 1 after the zombie's stale completion", v, ok)
+	}
+	if v, ok := sc.Value("capi_retries_total"); !ok || v < 1 {
+		t.Fatalf("capi_retries_total = %v, %v; want >= 1 across the leader outage", v, ok)
+	}
+
 	// Workers exit on the drained signal; their errors are nil.
 	for i := 0; i < 2; i++ {
 		if err := <-workErr; err != nil {
@@ -224,8 +253,10 @@ func TestCoordinatorFailover(t *testing.T) {
 }
 
 // chaosClient wraps a capi client around a fresh seeded chaos transport
-// with a tight retry schedule, returning both.
-func chaosClient(url string, seed int64) (*capi.Client, *chaos.Transport) {
+// with a tight retry schedule, returning both. Both report into reg:
+// the transport's injected-fault counters and the client's retry
+// counters land in the same scrape.
+func chaosClient(url string, seed int64, reg *obs.Registry) (*capi.Client, *chaos.Transport) {
 	tr := chaos.New(chaos.Config{
 		Seed:     seed,
 		Drop:     0.05,
@@ -235,11 +266,13 @@ func chaosClient(url string, seed int64) (*capi.Client, *chaos.Transport) {
 		Delay:    0.10,
 		MaxDelay: 30 * time.Millisecond,
 	})
+	tr.SetObs(reg)
 	c := capi.NewClient(url)
 	c.HTTP = &http.Client{Transport: tr, Timeout: 30 * time.Second}
 	c.Retries = 8
 	c.RetryBase = 10 * time.Millisecond
 	c.RetryCap = 100 * time.Millisecond
+	c.Obs = reg
 	return c, tr
 }
 
@@ -255,21 +288,26 @@ func TestSweepUnderChaos(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 8*time.Minute)
 	defer cancel()
 
+	// Every chaos transport and client reports into one registry, so the
+	// end-of-run scrape proves per-class injection counts from the same
+	// surface an operator would use.
+	reg := obs.NewRegistry()
 	serveOut := &safeBuf{}
 	url, serveErr := startServe(t, serveOpts{
 		shards:   2,
 		leaseTTL: 2 * time.Second,
 		linger:   5 * time.Second,
+		obsReg:   reg,
 	}, serveOut)
 
-	submit, subTr := chaosClient(url, 41)
+	submit, subTr := chaosClient(url, 41, reg)
 	reply, err := submit.Submit(ctx, quickLETParams(1))
 	if err != nil {
 		t.Fatalf("submit through chaos: %v", err)
 	}
 
-	c1, tr1 := chaosClient(url, 42)
-	c2, tr2 := chaosClient(url, 43)
+	c1, tr1 := chaosClient(url, 42, reg)
+	c2, tr2 := chaosClient(url, 43, reg)
 	w1Out, w2Out := &safeBuf{}, &safeBuf{}
 	workErr := make(chan error, 2)
 	go func() {
@@ -334,6 +372,24 @@ func TestSweepUnderChaos(t *testing.T) {
 			resp.Body.Close()
 		}
 	}
+
+	// The same evidence through the obs registry: chaos_injected_total
+	// must be nonzero for every class, and the clients must have spent
+	// retries surviving the faults. The chaos-smoke gate scrapes these
+	// series rather than reaching into Stats.
+	sc, err := obs.ParseText(reg.Expose())
+	if err != nil {
+		t.Fatalf("chaos-run exposition rejected by the strict parser: %v", err)
+	}
+	for _, class := range []string{"drop", "err503", "reset", "dup", "delay"} {
+		if v, ok := sc.Value("chaos_injected_total", "class", class); !ok || v < 1 {
+			t.Fatalf("chaos_injected_total{class=%q} = %v, %v; want >= 1", class, v, ok)
+		}
+	}
+	if v, ok := sc.Value("capi_retries_total"); !ok || v < 1 {
+		t.Fatalf("capi_retries_total = %v, %v; want >= 1 under chaos", v, ok)
+	}
+
 	if err := <-serveErr; err != nil {
 		t.Fatalf("serve: %v", err)
 	}

@@ -32,6 +32,12 @@
 // per process and reuses it for every shard it executes; the
 // coordinator's golden-run-affinity scheduling keeps a worker on the
 // campaign it has already built while that campaign has pending shards.
+//
+// Both modes are observable (see DESIGN.md "Observability"): GET
+// /metrics on the serve API, -debug-addr for a side server with
+// /metrics plus net/http/pprof in either mode, and -trace FILE to write
+// the shard-lifecycle span journal as Chrome trace_event JSON on exit.
+// Instrumentation never changes what a sweep computes.
 package main
 
 import (
@@ -75,7 +81,11 @@ func usage() {
   campaignd serve [-addr HOST:PORT] [-journal FILE]        # wait for POST /v1/sweeps
   campaignd serve -sweep table1|table3|let [-lets L,..] [-fluxes F,..] [-outdir DIR] [flags]
   campaignd serve -soc N -shards K [-journal FILE] [campaign flags]
-  campaignd work -url http://HOST:PORT [-name ID] [-poll DUR]`)
+  campaignd work -url http://HOST:PORT [-name ID] [-poll DUR]
+
+observability (either mode): -debug-addr HOST:PORT (pprof + /metrics),
+-trace FILE (Chrome trace_event span journal); serve also exposes GET
+/metrics on the API address.`)
 }
 
 // defaultWorkerName derives a worker identity that is unique enough for

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"repro/internal/capi"
+	"repro/internal/inject"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -20,6 +22,13 @@ type workOpts struct {
 	maxOffline time.Duration // 0: fall back to the attempt-count budget
 	client     *capi.Client  // nil: a default client for url (tests inject chaos transports)
 	out        io.Writer
+
+	// Observability; same contract as serveOpts — instrumentation never
+	// changes what a shard computes.
+	obsReg    *obs.Registry // metrics registry; nil = work creates its own
+	tracer    *obs.Tracer   // span journal; nil = created iff tracePath is set
+	debugAddr string        // pprof + /metrics server; "" = off
+	tracePath string        // Chrome trace_event JSON written on exit; "" = off
 }
 
 func runWork(args []string) error {
@@ -28,6 +37,8 @@ func runWork(args []string) error {
 	name := fs.String("name", defaultWorkerName(), "worker identity reported to the coordinator")
 	poll := fs.Duration("poll", 2*time.Second, "base idle polling interval; idle polls back off exponentially (jittered, capped at 20x) and reset on the next lease")
 	maxOffline := fs.Duration("max-offline", 0, "give up (non-zero exit) once the coordinator has been continuously unreachable this long; 0 bounds by attempt count instead")
+	debugAddr := fs.String("debug-addr", "", "serve GET /metrics and net/http/pprof on this address (workers serve no API, so this is their only scrape target)")
+	tracePath := fs.String("trace", "", "write the shard-lifecycle span journal as Chrome trace_event JSON to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -37,7 +48,10 @@ func runWork(args []string) error {
 	if *maxOffline < 0 {
 		return fmt.Errorf("-max-offline must not be negative, got %v", *maxOffline)
 	}
-	return work(context.Background(), workOpts{url: *url, name: *name, poll: *poll, maxOffline: *maxOffline, out: os.Stdout})
+	return work(context.Background(), workOpts{
+		url: *url, name: *name, poll: *poll, maxOffline: *maxOffline, out: os.Stdout,
+		debugAddr: *debugAddr, tracePath: *tracePath,
+	})
 }
 
 // maxConsecutiveFailures bounds how long a worker survives an
@@ -66,10 +80,46 @@ const idleBackoffFactor = 20
 // an error when the coordinator stays unreachable past the -max-offline
 // window (or, without one, for maxConsecutiveFailures rounds).
 func work(ctx context.Context, opts workOpts) error {
+	logger := newLogger(opts.out).With("worker", opts.name)
+	reg := opts.obsReg
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	tracer := opts.tracer
+	if tracer == nil && opts.tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	if opts.tracePath != "" {
+		defer func() {
+			if err := tracer.WriteFile(opts.tracePath); err != nil {
+				logger.Warn("trace write failed", "path", opts.tracePath, "err", err)
+			}
+		}()
+	}
+	if opts.debugAddr != "" {
+		dbgAddr, stopDebug, err := startDebugServer(opts.debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
+		logger.Info("debug server listening", "addr", dbgAddr)
+	}
+
 	exec := shard.NewExecutor()
+	exec.SetMetrics(shard.NewMetrics(reg), tracer)
+	// Worker-local tuning only touches Options fields excluded from the
+	// campaign fingerprint: the metrics sink changes nothing a shard
+	// computes, so instrumented and bare workers merge bit-identically.
+	im := inject.NewMetrics(reg)
+	im.Tracer = tracer
+	exec.SetTune(func(o *inject.Options) { o.Metrics = im })
+
 	client := opts.client
 	if client == nil {
 		client = capi.NewClient(opts.url)
+	}
+	if client.Obs == nil {
+		client.Obs = reg
 	}
 	idle := &capi.Backoff{Base: opts.poll, Cap: idleBackoffFactor * opts.poll}
 	failures := 0
@@ -93,7 +143,7 @@ func work(ctx context.Context, opts workOpts) error {
 			// attempt-count budget applies.
 			if opts.maxOffline > 0 {
 				if down := now.Sub(offlineSince); down >= opts.maxOffline {
-					fmt.Fprintf(opts.out, "%s: coordinator unreachable for %v (limit %v); giving up\n", opts.name, down.Round(time.Millisecond), opts.maxOffline)
+					logger.Error("coordinator unreachable; giving up", "down", down.Round(time.Millisecond), "limit", opts.maxOffline)
 					return fmt.Errorf("coordinator unreachable for %v (max-offline %v, %d attempts): %v", down.Round(time.Millisecond), opts.maxOffline, failures, err)
 				}
 			} else if failures >= maxConsecutiveFailures {
@@ -108,7 +158,7 @@ func work(ctx context.Context, opts workOpts) error {
 		offlineSince = time.Time{}
 		switch outcome {
 		case capi.LeaseDrained:
-			fmt.Fprintf(opts.out, "%s: campaign complete\n", opts.name)
+			logger.Info("campaign complete")
 			return nil
 		case capi.LeaseIdle:
 			if !sleepCtx(ctx, idle.Next()) {
@@ -127,10 +177,7 @@ func work(ctx context.Context, opts workOpts) error {
 			// picks the shard up.
 			return fmt.Errorf("executing shard %d: %v", lease.Spec.Index, err)
 		}
-		cached := ""
-		if exec.CacheHits() > hitsBefore {
-			cached = " (from cache)"
-		}
+		cached := exec.CacheHits() > hitsBefore
 		if err := client.Complete(ctx, lease.Spec.Fingerprint, lease.ID, lease.Epoch, p); err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
@@ -143,11 +190,12 @@ func work(ctx context.Context, opts workOpts) error {
 			// budget, the executor's result cache answers a re-issued copy
 			// of this shard instantly, and dying here would throw away the
 			// worker's warm golden runs over a transient blip.
-			fmt.Fprintf(opts.out, "%s: shard %d of %.12s dropped: %v\n", opts.name, lease.Spec.Index, lease.Spec.Fingerprint, err)
+			logger.Warn("shard dropped", "campaign", fp12(lease.Spec.Fingerprint), "shard", lease.Spec.Index, "err", err)
 			continue
 		}
-		fmt.Fprintf(opts.out, "%s: shard %d of %.12s done [%d,%d): %d injections%s\n",
-			opts.name, lease.Spec.Index, lease.Spec.Fingerprint, lease.Spec.Start, lease.Spec.End, len(p.Injections), cached)
+		logger.Info("shard done", "campaign", fp12(lease.Spec.Fingerprint), "shard", lease.Spec.Index,
+			"range", fmt.Sprintf("[%d,%d)", lease.Spec.Start, lease.Spec.End),
+			"injections", len(p.Injections), "cached", cached)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/sweep"
 )
@@ -33,6 +34,37 @@ type Client struct {
 	// RetryBase/RetryCap tune the retry backoff (0 = defaults).
 	RetryBase time.Duration
 	RetryCap  time.Duration
+	// Obs, when non-nil, receives request latencies
+	// (capi_request_seconds, labeled by method and normalized path —
+	// fingerprints collapse to {fp} so label cardinality stays bounded),
+	// retry attempts (capi_retries_total) and Retry-After-honoring sleeps
+	// (capi_retry_after_sleeps_total).
+	Obs *obs.Registry
+}
+
+// normPath collapses resource identifiers out of a request path so metric
+// labels enumerate endpoints, not fingerprints.
+func normPath(path string) string {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+	const pfx = "/v1/sweeps/"
+	if rest, ok := strings.CutPrefix(path, pfx); ok && rest != "" {
+		if j := strings.IndexByte(rest, '/'); j >= 0 {
+			return pfx + "{fp}" + rest[j:]
+		}
+		return pfx + "{fp}"
+	}
+	return path
+}
+
+// observe records one exchange's latency.
+func (c *Client) observe(method, path string, start time.Time) {
+	if c.Obs == nil {
+		return
+	}
+	c.Obs.NewHistogram("capi_request_seconds", "Coordinator request latency.", obs.DurationBuckets,
+		"method", method, "path", normPath(path)).Observe(time.Since(start).Seconds())
 }
 
 // DefaultRetries is the per-call transient-failure attempt budget.
@@ -74,7 +106,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (int,
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	start := time.Now()
 	resp, err := c.httpClient().Do(req)
+	c.observe(method, path, start)
 	if err != nil {
 		return 0, err
 	}
@@ -169,9 +203,11 @@ func (c *Client) retryLoop(ctx context.Context, what string, fn func() error) er
 	var err error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			c.Obs.NewCounter("capi_retries_total", "Transient-failure retry attempts.").Inc()
 			delay := bo.Next()
 			if e, ok := err.(*Error); ok && e.RetryAfter > 0 && (e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable) {
 				delay = e.RetryAfter
+				c.Obs.NewCounter("capi_retry_after_sleeps_total", "Retries paced by a server Retry-After header.").Inc()
 			}
 			if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) <= delay {
 				return fmt.Errorf("capi: %s: retry budget cut off by context deadline: %w", what, err)
@@ -324,7 +360,9 @@ func (c *Client) resultsOnce(ctx context.Context, fingerprint string) ([]byte, e
 	if err != nil {
 		return nil, fmt.Errorf("capi: %v", err)
 	}
+	start := time.Now()
 	resp, err := c.httpClient().Do(req)
+	c.observe(http.MethodGet, "/v1/sweeps/"+fingerprint+"/results", start)
 	if err != nil {
 		return nil, err
 	}

@@ -18,6 +18,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config sets per-request fault probabilities (each in [0,1]; their sum
@@ -69,6 +71,28 @@ type Transport struct {
 	rnd   *rand.Rand
 	cfg   Config
 	stats Stats
+	// obs counters mirror the Stats fields live; see SetObs.
+	obsRequests *obs.Counter
+	obsClass    map[fault]*obs.Counter
+}
+
+// SetObs exports the transport's fault counters through an obs registry:
+// chaos_requests_total plus chaos_injected_total labeled by fault class
+// (drop, err503, reset, dup, delay). Every class series is registered
+// eagerly at zero, so a scrape can tell "class never drawn" from "class
+// not wired up". Call before serving traffic; a nil registry is a no-op.
+func (t *Transport) SetObs(r *obs.Registry) {
+	const help = "Faults injected by the chaos transport, by class."
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.obsRequests = r.NewCounter("chaos_requests_total", "Requests seen by the chaos transport.")
+	t.obsClass = map[fault]*obs.Counter{
+		faultDrop:  r.NewCounter("chaos_injected_total", help, "class", "drop"),
+		fault503:   r.NewCounter("chaos_injected_total", help, "class", "err503"),
+		faultReset: r.NewCounter("chaos_injected_total", help, "class", "reset"),
+		faultDup:   r.NewCounter("chaos_injected_total", help, "class", "dup"),
+		faultDelay: r.NewCounter("chaos_injected_total", help, "class", "delay"),
+	}
 }
 
 // New returns a Transport injecting faults per cfg over
@@ -100,26 +124,31 @@ func (t *Transport) draw() (fault, time.Duration) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.stats.Requests++
+	t.obsRequests.Inc()
 	u := t.rnd.Float64()
+	f, d := faultNone, time.Duration(0)
 	switch {
 	case u < t.cfg.Drop:
 		t.stats.Drops++
-		return faultDrop, 0
+		f = faultDrop
 	case u < t.cfg.Drop+t.cfg.Err503:
 		t.stats.Errs503++
-		return fault503, 0
+		f = fault503
 	case u < t.cfg.Drop+t.cfg.Err503+t.cfg.Reset:
 		t.stats.Resets++
-		return faultReset, 0
+		f = faultReset
 	case u < t.cfg.Drop+t.cfg.Err503+t.cfg.Reset+t.cfg.Dup:
 		t.stats.Dups++
-		return faultDup, 0
+		f = faultDup
 	case u < t.cfg.Drop+t.cfg.Err503+t.cfg.Reset+t.cfg.Dup+t.cfg.Delay:
 		t.stats.Delays++
-		d := time.Duration(t.rnd.Int63n(int64(t.cfg.MaxDelay) + 1))
-		return faultDelay, d
+		f = faultDelay
+		d = time.Duration(t.rnd.Int63n(int64(t.cfg.MaxDelay) + 1))
 	}
-	return faultNone, 0
+	if f != faultNone {
+		t.obsClass[f].Inc()
+	}
+	return f, d
 }
 
 func (t *Transport) base() http.RoundTripper {

@@ -121,6 +121,10 @@ type Options struct {
 	// the replay-from-t=0 behaviour; campaign results are bit-identical
 	// either way (the warm-vs-cold regression tests rely on this switch).
 	ColdStart bool
+	// Metrics, when non-nil, mirrors the campaign's work counters into an
+	// obs registry as RunJobs ranges finish. Pure observation: excluded
+	// from fingerprints and serialization, never consulted by simulation.
+	Metrics *Metrics `json:"-"`
 }
 
 // DefaultOptions returns the options used throughout the paper
@@ -857,6 +861,9 @@ func (c *Campaign) RunJobs(res *Result, start, end int) error {
 	res.DeltaRestores += c.deltaRestores.Load() - deltaRestores0
 	res.RestoreWall += time.Duration(c.restoreWallNS.Load() - restoreWall0)
 	res.InjectEvals += evals.Load()
+	c.opts.Metrics.record(began, start, end, evals.Load(),
+		c.warmStarts.Load()-warmStarts0, c.prunedRuns.Load()-prunedRuns0,
+		c.deltaRestores.Load()-deltaRestores0, c.restoreWallNS.Load()-restoreWall0)
 	return nil
 }
 

@@ -1,0 +1,64 @@
+package inject
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics mirrors the campaign's work counters into an obs registry as
+// they accumulate, so an operator can watch warm-start efficiency live
+// instead of waiting for the end-of-run Result. All handles are nil-safe;
+// a nil *Metrics disables instrumentation entirely. Metrics never feed
+// back into simulation — verdicts and Result counters are identical with
+// or without it (TestObsByteIdentical pins this).
+type Metrics struct {
+	// Evals counts simulator cell evaluations spent in injection runs;
+	// WarmStarts, PrunedRuns, DeltaRestores, and RestoreWallNS mirror the
+	// Result counters of the same names.
+	Evals         *obs.Counter
+	WarmStarts    *obs.Counter
+	PrunedRuns    *obs.Counter
+	DeltaRestores *obs.Counter
+	RestoreWallNS *obs.Counter
+	// Tracer receives one "inject" span per RunJobs range, plus a
+	// synthetic "restore" span whose duration is the range's cumulative
+	// restore wall.
+	Tracer *obs.Tracer
+}
+
+// NewMetrics registers the inject metric family on r (eagerly, so series
+// exist at zero from the first scrape) and returns the handles. A nil
+// registry yields a usable all-no-op Metrics.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Evals:         r.NewCounter("inject_evals_total", "Simulator cell evaluations spent in injection runs."),
+		WarmStarts:    r.NewCounter("inject_warm_starts_total", "Injections resumed from a golden checkpoint instead of t=0."),
+		PrunedRuns:    r.NewCounter("inject_pruned_runs_total", "Warm starts terminated early on golden re-convergence."),
+		DeltaRestores: r.NewCounter("inject_delta_restores_total", "Warm starts reset via the dirty-set delta path."),
+		RestoreWallNS: r.NewCounter("inject_restore_wall_ns_total", "Wall nanoseconds workers spent inside engine restores."),
+	}
+}
+
+// record publishes one RunJobs range's work deltas and spans.
+func (m *Metrics) record(began time.Time, start, end int, evals, warm, pruned, deltas uint64, restoreNS int64) {
+	if m == nil {
+		return
+	}
+	m.Evals.Add(evals)
+	m.WarmStarts.Add(warm)
+	m.PrunedRuns.Add(pruned)
+	m.DeltaRestores.Add(deltas)
+	if restoreNS > 0 {
+		m.RestoreWallNS.Add(uint64(restoreNS))
+	}
+	args := map[string]any{"start": start, "end": end, "evals": evals, "warm_starts": warm}
+	m.Tracer.Span("inject", "inject", 0, int64(start), began, args)
+	if restoreNS > 0 {
+		// Synthetic span: restores are scattered inside the range, so the
+		// journal carries one back-dated span whose duration is the range's
+		// cumulative restore wall.
+		m.Tracer.Span("restore", "inject", 0, int64(start), time.Now().Add(-time.Duration(restoreNS)),
+			map[string]any{"restore_wall_ns": restoreNS, "delta_restores": deltas})
+	}
+}

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionParses drives every metric kind and checks the rendered
+// text through the strict parser.
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("jobs_total", "Jobs processed.")
+	c.Add(3)
+	r.NewCounter("faults_total", "Faults by class.", "class", "drop").Inc()
+	r.NewCounter("faults_total", "Faults by class.", "class", "err503").Add(2)
+	g := r.NewGauge("depth", "Queue depth.")
+	g.Set(7.5)
+	r.NewGaugeFunc("lag_bytes", "Tail lag.", func() float64 { return 42 }, "role", "standby")
+	h := r.NewHistogram("op_seconds", "Op latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	text := r.Expose()
+	sc, err := ParseText(text)
+	if err != nil {
+		t.Fatalf("exposition failed strict parse: %v\n%s", err, text)
+	}
+	if v, ok := sc.Value("jobs_total"); !ok || v != 3 {
+		t.Errorf("jobs_total = %v, %v; want 3", v, ok)
+	}
+	if v, ok := sc.Value("faults_total", "class", "err503"); !ok || v != 2 {
+		t.Errorf("faults_total{class=err503} = %v, %v; want 2", v, ok)
+	}
+	if v, ok := sc.Value("depth"); !ok || v != 7.5 {
+		t.Errorf("depth = %v, %v; want 7.5", v, ok)
+	}
+	if v, ok := sc.Value("lag_bytes", "role", "standby"); !ok || v != 42 {
+		t.Errorf("lag_bytes = %v, %v; want 42", v, ok)
+	}
+	if v, ok := sc.Value("op_seconds_count"); !ok || v != 3 {
+		t.Errorf("op_seconds_count = %v, %v; want 3", v, ok)
+	}
+	if v, ok := sc.Value("op_seconds_bucket", "le", "0.1"); !ok || v != 1 {
+		t.Errorf("op_seconds_bucket{le=0.1} = %v, %v; want 1", v, ok)
+	}
+	if v, ok := sc.Value("op_seconds_bucket", "le", "+Inf"); !ok || v != 3 {
+		t.Errorf("op_seconds_bucket{le=+Inf} = %v, %v; want 3", v, ok)
+	}
+	if sc.Types["op_seconds"] != "histogram" {
+		t.Errorf("op_seconds type = %q", sc.Types["op_seconds"])
+	}
+}
+
+// TestExpositionDeterministic renders the same state twice and from two
+// registries populated in different orders.
+func TestExpositionDeterministic(t *testing.T) {
+	build := func(order []string) *Registry {
+		r := NewRegistry()
+		for _, class := range order {
+			r.NewCounter("faults_total", "Faults.", "class", class).Inc()
+		}
+		r.NewGauge("zz_last", "Late family.").Set(1)
+		r.NewCounter("aa_first", "Early family.").Inc()
+		return r
+	}
+	a := build([]string{"drop", "reset", "dup"})
+	b := build([]string{"dup", "drop", "reset"})
+	if a.Expose() != b.Expose() {
+		t.Fatalf("exposition depends on registration order:\n%s\nvs\n%s", a.Expose(), b.Expose())
+	}
+	if a.Expose() != a.Expose() {
+		t.Fatal("exposition not stable across scrapes")
+	}
+	// Families must come out name-sorted.
+	text := a.Expose()
+	if strings.Index(text, "aa_first") > strings.Index(text, "faults_total") {
+		t.Fatalf("families not sorted:\n%s", text)
+	}
+}
+
+// TestNilNoOp exercises every handle method through a nil registry.
+func TestNilNoOp(t *testing.T) {
+	var r *Registry
+	c := r.NewCounter("x_total", "")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has value")
+	}
+	g := r.NewGauge("g", "")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge has value")
+	}
+	h := r.NewHistogram("h", "", []float64{1})
+	h.Observe(0.5)
+	if h.Count() != 0 {
+		t.Error("nil histogram has count")
+	}
+	r.NewGaugeFunc("f", "", func() float64 { return 1 })
+	r.Unregister("x_total")
+	if got := r.Expose(); got != "" {
+		t.Errorf("nil registry exposes %q", got)
+	}
+	var tr *Tracer
+	tr.Instant("a", "b", 0, 0, nil)
+	tr.Span("a", "b", 0, 0, time.Now(), nil)
+	if tr.Len() != 0 {
+		t.Error("nil tracer recorded events")
+	}
+}
+
+// TestSameHandle verifies re-creation returns the same series.
+func TestSameHandle(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("x_total", "", "k", "v")
+	b := r.NewCounter("x_total", "", "k", "v")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("handles not shared")
+	}
+}
+
+// TestUnregister drops per-sweep series.
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.NewGauge("sweep_done", "", "sweep", "aaa").Set(1)
+	r.NewGauge("sweep_done", "", "sweep", "bbb").Set(2)
+	r.Unregister("sweep_done", "sweep", "aaa")
+	sc, err := ParseText(r.Expose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sc.Value("sweep_done", "sweep", "aaa"); ok {
+		t.Error("unregistered series still exposed")
+	}
+	if v, ok := sc.Value("sweep_done", "sweep", "bbb"); !ok || v != 2 {
+		t.Error("surviving series lost")
+	}
+	r.Unregister("sweep_done")
+	if r.Expose() != "" {
+		t.Error("family-wide unregister left series behind")
+	}
+}
+
+// TestLabelEscaping round-trips hostile label values through exposition
+// and the strict parser.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	hostile := "a\"b\\c\nd"
+	r.NewCounter("x_total", "help with \\ backslash", "k", hostile).Add(9)
+	sc, err := ParseText(r.Expose())
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, r.Expose())
+	}
+	if v, ok := sc.Value("x_total", "k", hostile); !ok || v != 9 {
+		t.Fatalf("hostile label did not round-trip: %v %v", v, ok)
+	}
+}
+
+// TestRegistryRace hammers one registry from many goroutines; run under
+// `go test -race` (the race CI target includes this package).
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.NewCounter("jobs_total", "")
+			g := r.NewGauge("depth", "")
+			h := r.NewHistogram("lat", "", DurationBuckets)
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) / 1000)
+				r.NewCounter("per_class", "", "class", string(rune('a'+w))).Inc()
+				tr.Instant("tick", "race", int64(w), int64(i), nil)
+				if i%100 == 0 {
+					if _, err := ParseText(r.Expose()); err != nil {
+						t.Errorf("scrape during updates: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	sc, err := ParseText(r.Expose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := sc.Value("jobs_total"); v != 8*500 {
+		t.Errorf("jobs_total = %v, want %d", v, 8*500)
+	}
+	if v, _ := sc.Value("lat_count"); v != 8*500 {
+		t.Errorf("lat_count = %v, want %d", v, 8*500)
+	}
+	if tr.Len() != 8*500 {
+		t.Errorf("tracer len = %d, want %d", tr.Len(), 8*500)
+	}
+}
+
+// TestStrictParserRejects feeds the checker malformed expositions.
+func TestStrictParserRejects(t *testing.T) {
+	bad := map[string]string{
+		"unknown keyword":    "# FOO x y\n",
+		"bad name":           "1bad 3\n",
+		"bad label name":     `x{1k="v"} 3` + "\n",
+		"unquoted value":     `x{k=v} 3` + "\n",
+		"bad escape":         `x{k="a\q"} 3` + "\n",
+		"missing value":      "x\n",
+		"bad value":          "x notanumber\n",
+		"duplicate series":   "x 1\nx 2\n",
+		"dup label":          `x{k="a",k="b"} 1` + "\n",
+		"type after sample":  "x 1\n# TYPE x counter\n",
+		"unknown type":       "# TYPE x widget\n",
+		"trailing space":     "x 1 \n",
+		"hist missing inf":   "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"hist count diverge": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+	}
+	for name, text := range bad {
+		if _, err := ParseText(text); err == nil {
+			t.Errorf("%s: parser accepted %q", name, text)
+		}
+	}
+	// And a healthy one with a timestamp, for contrast.
+	if _, err := ParseText("# TYPE x counter\nx{k=\"v\"} 1 1712000000\n"); err != nil {
+		t.Errorf("parser rejected valid sample: %v", err)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "").Add(4)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("content type %q", ct)
+	}
+	sc, err := ParseText(rec.Body.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := sc.Value("x_total"); v != 4 {
+		t.Errorf("x_total = %v", v)
+	}
+}

@@ -1,0 +1,341 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Series is one parsed sample: a metric name, its rendered label string
+// (normalized, sorted by key), and the value.
+type Series struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Key renders the series identity as name{k="v",...} with sorted keys —
+// the same shape WriteProm emits, so tests can compare scrapes.
+func (s Series) Key() string {
+	return s.Name + renderLabels(flatten(s.Labels))
+}
+
+func flatten(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// renderLabels sorts pairs itself; order here is irrelevant.
+	out := make([]string, 0, 2*len(m))
+	for _, k := range keys {
+		out = append(out, k, m[k])
+	}
+	return out
+}
+
+// Scrape is a parsed exposition: series by Key plus family metadata.
+type Scrape struct {
+	Series map[string]Series
+	Types  map[string]string // family name -> counter|gauge|histogram
+}
+
+// Value returns the sample for name with the given label pairs, and
+// whether it exists.
+func (sc *Scrape) Value(name string, labels ...string) (float64, bool) {
+	s, ok := sc.Series[name+renderLabels(labels)]
+	if !ok {
+		return 0, false
+	}
+	return s.Value, true
+}
+
+// ParseText is a strict Prometheus text-format (0.0.4) checker and parser.
+// It rejects, rather than skips, anything malformed: unknown comment
+// keywords, TYPE lines after samples of the same family, invalid metric
+// or label names, bad escapes, duplicate series, histogram series without
+// a TYPE, and values that don't parse. Tests use it to assert the
+// exposition is standards-clean, and smoke tests use the parsed series.
+func ParseText(text string) (*Scrape, error) {
+	sc := &Scrape{Series: map[string]Series{}, Types: map[string]string{}}
+	seenSamples := map[string]bool{} // families that already emitted a sample
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, " ") || strings.HasSuffix(line, "\t") {
+			return nil, fmt.Errorf("line %d: trailing whitespace", lineNo)
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "# ")
+			if rest == line {
+				// Bare comment lines are legal; only "# HELP"/"# TYPE" are meta.
+				continue
+			}
+			switch {
+			case strings.HasPrefix(rest, "HELP "):
+				parts := strings.SplitN(strings.TrimPrefix(rest, "HELP "), " ", 2)
+				if !validName(parts[0]) {
+					return nil, fmt.Errorf("line %d: HELP for invalid name %q", lineNo, parts[0])
+				}
+			case strings.HasPrefix(rest, "TYPE "):
+				parts := strings.SplitN(strings.TrimPrefix(rest, "TYPE "), " ", 2)
+				if len(parts) != 2 {
+					return nil, fmt.Errorf("line %d: malformed TYPE", lineNo)
+				}
+				name, kind := parts[0], parts[1]
+				if !validName(name) {
+					return nil, fmt.Errorf("line %d: TYPE for invalid name %q", lineNo, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q", lineNo, kind)
+				}
+				if seenSamples[name] {
+					return nil, fmt.Errorf("line %d: TYPE %s after its samples", lineNo, name)
+				}
+				if _, dup := sc.Types[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				sc.Types[name] = kind
+			default:
+				return nil, fmt.Errorf("line %d: unknown comment keyword: %q", lineNo, line)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		key := s.Key()
+		if _, dup := sc.Series[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		sc.Series[key] = s
+		seenSamples[familyOf(s.Name, sc.Types)] = true
+	}
+	// Histogram families must expose _sum, _count, and a +Inf bucket whose
+	// cumulative count equals _count.
+	for name, kind := range sc.Types {
+		if kind != "histogram" {
+			continue
+		}
+		if err := sc.checkHistogram(name); err != nil {
+			return nil, err
+		}
+	}
+	return sc, nil
+}
+
+// familyOf maps a sample name to its family: histogram samples render as
+// name_bucket/_sum/_count under the family's TYPE line.
+func familyOf(sample string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suf)
+		if base != sample && types[base] == "histogram" {
+			return base
+		}
+	}
+	return sample
+}
+
+// checkHistogram validates every labeled series of one histogram family.
+func (sc *Scrape) checkHistogram(name string) error {
+	// Group _bucket samples by their non-le label set.
+	type hist struct {
+		infCount float64
+		haveInf  bool
+		buckets  map[float64]float64 // bound -> cumulative count
+	}
+	hists := map[string]*hist{}
+	for _, s := range sc.Series {
+		if s.Name != name+"_bucket" {
+			continue
+		}
+		le, ok := s.Labels["le"]
+		if !ok {
+			return fmt.Errorf("histogram %s: bucket without le label", name)
+		}
+		rest := map[string]string{}
+		for k, v := range s.Labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		key := renderLabels(flatten(rest))
+		h := hists[key]
+		if h == nil {
+			h = &hist{buckets: map[float64]float64{}}
+			hists[key] = h
+		}
+		if le == "+Inf" {
+			h.infCount, h.haveInf = s.Value, true
+			continue
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("histogram %s: bad le %q", name, le)
+		}
+		h.buckets[bound] = s.Value
+	}
+	if len(hists) == 0 {
+		return fmt.Errorf("histogram %s: no _bucket series", name)
+	}
+	for key, h := range hists {
+		if !h.haveInf {
+			return fmt.Errorf("histogram %s%s: missing +Inf bucket", name, key)
+		}
+		count, ok := sc.Series[name+"_count"+key]
+		if !ok {
+			return fmt.Errorf("histogram %s%s: missing _count", name, key)
+		}
+		if _, ok := sc.Series[name+"_sum"+key]; !ok {
+			return fmt.Errorf("histogram %s%s: missing _sum", name, key)
+		}
+		if count.Value != h.infCount {
+			return fmt.Errorf("histogram %s%s: _count %v != +Inf bucket %v", name, key, count.Value, h.infCount)
+		}
+		bounds := make([]float64, 0, len(h.buckets))
+		for b := range h.buckets {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+		prev := 0.0
+		for _, b := range bounds {
+			if h.buckets[b] < prev {
+				return fmt.Errorf("histogram %s%s: bucket counts not cumulative at le=%v", name, key, b)
+			}
+			prev = h.buckets[b]
+		}
+		if prev > h.infCount {
+			return fmt.Errorf("histogram %s%s: finite bucket exceeds +Inf", name, key)
+		}
+	}
+	return nil
+}
+
+// parseSample parses `name{labels} value` or `name value`.
+func parseSample(line string) (Series, error) {
+	s := Series{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample: %q", line)
+	}
+	s.Name = line[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, labels, err := parseLabelSet(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	if len(rest) == 0 || rest[0] != ' ' {
+		return s, fmt.Errorf("missing value separator in %q", line)
+	}
+	fields := strings.Split(rest[1:], " ")
+	if len(fields) > 2 || len(fields) == 0 {
+		// Allow an optional trailing timestamp (second field).
+		return s, fmt.Errorf("malformed value/timestamp in %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseValue accepts Go float syntax plus the Prometheus spellings of
+// infinity and NaN.
+func parseValue(f string) (float64, error) {
+	switch f {
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	v, err := strconv.ParseFloat(f, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", f)
+	}
+	return v, nil
+}
+
+// parseLabelSet parses a {k="v",...} block starting at s[0]=='{' and
+// returns the index one past the closing brace.
+func parseLabelSet(s string) (int, map[string]string, error) {
+	labels := map[string]string{}
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label set")
+		}
+		if s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		j := strings.IndexByte(s[i:], '=')
+		if j < 0 {
+			return 0, nil, fmt.Errorf("label without '=' in %q", s)
+		}
+		name := s[i : i+j]
+		if !validLabelName(name) {
+			return 0, nil, fmt.Errorf("invalid label name %q", name)
+		}
+		i += j + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("unterminated label value")
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, nil, fmt.Errorf("dangling escape")
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("bad escape \\%c", s[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[name]; dup {
+			return 0, nil, fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = val.String()
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}

@@ -1,0 +1,426 @@
+// Package obs is the repo's dependency-free observability kit: a metrics
+// registry (counters, gauges, fixed-bucket histograms) with Prometheus
+// text-format exposition, and an append-only span journal exportable as
+// Chrome trace_event JSON (trace.go).
+//
+// Two properties shape the design:
+//
+//   - Nil no-op fast path. A nil *Registry hands out nil metric handles,
+//     and every handle method nil-checks its receiver. Instrumented code
+//     never guards call sites — disabled instrumentation costs one
+//     predictable branch per update and allocates nothing.
+//   - Deterministic exposition. WriteProm renders families and series in
+//     sorted order, so scraping the same state twice yields byte-identical
+//     text and tests can assert on exact output.
+//
+// Metrics never feed back into simulation: campaign verdicts and rendered
+// sweep output are byte-identical with the registry attached or absent.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format (version 0.0.4). The zero value is not usable; call
+// NewRegistry. A nil *Registry is a valid no-op sink: every NewX method
+// returns a nil handle whose update methods do nothing.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one metric name: its type, help text, and labeled series.
+type family struct {
+	name   string
+	help   string
+	kind   string // "counter", "gauge", "histogram"
+	series map[string]metric
+	order  []string // insertion-independent: sorted at exposition
+}
+
+// metric is anything that can render itself as exposition lines.
+type metric interface {
+	write(sb *strings.Builder, name, labels string)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// lookup returns the family, creating it if absent, and the series keyed
+// by the rendered label string; makeMetric builds the series on first use.
+// It panics on name/type collisions — instrumentation wiring bugs, not
+// runtime conditions.
+func (r *Registry) lookup(name, help, kind string, labels []string, makeMetric func() metric) metric {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	lbl := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: map[string]metric{}}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	m := f.series[lbl]
+	if m == nil {
+		m = makeMetric()
+		f.series[lbl] = m
+		f.order = append(f.order, lbl)
+	}
+	return m
+}
+
+// NewCounter returns the counter for name with the given label pairs
+// (alternating key, value), creating it at zero if absent. Calling again
+// with the same name and labels returns the same counter. A nil registry
+// returns nil, which is safe to use.
+func (r *Registry) NewCounter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, "counter", labels, func() metric { return &Counter{} }).(*Counter)
+}
+
+// NewGauge is NewCounter for gauges.
+func (r *Registry) NewGauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, "gauge", labels, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// NewHistogram returns the histogram for name/labels with the given fixed
+// upper bounds (sorted ascending; a trailing +Inf bucket is implicit).
+// The bounds of the first creation win; later calls reuse the series.
+func (r *Registry) NewHistogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return r.lookup(name, help, "histogram", labels, func() metric {
+		return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+	}).(*Histogram)
+}
+
+// NewGaugeFunc registers a gauge whose value is computed by fn at scrape
+// time — for values some other structure already maintains (queue depth,
+// tail lag) where mirroring into a Gauge would race or drift.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, help, "gauge", labels, func() metric { return gaugeFunc(fn) })
+}
+
+// Unregister drops every series of name whose label set includes all the
+// given pairs; with no pairs it drops the whole family. Used when a sweep
+// is purged so its per-sweep gauges stop being exported.
+func (r *Registry) Unregister(name string, labels ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		return
+	}
+	if len(labels) == 0 {
+		delete(r.families, name)
+		return
+	}
+	keep := f.order[:0]
+	for _, lbl := range f.order {
+		if labelsMatch(lbl, labels) {
+			delete(f.series, lbl)
+		} else {
+			keep = append(keep, lbl)
+		}
+	}
+	f.order = keep
+	if len(f.series) == 0 {
+		delete(r.families, name)
+	}
+}
+
+// labelsMatch reports whether the rendered label string lbl contains every
+// key="value" pair of the (alternating) labels slice.
+func labelsMatch(lbl string, labels []string) bool {
+	for i := 0; i+1 < len(labels); i += 2 {
+		pair := labels[i] + `="` + escapeLabel(labels[i+1]) + `"`
+		if !strings.Contains(lbl, pair) {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteProm renders the registry in Prometheus text exposition format
+// 0.0.4: families sorted by name, series sorted by label string, so the
+// same state always renders byte-identically.
+func (r *Registry) WriteProm(sb *strings.Builder) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.families[name]
+		if f.help != "" {
+			fmt.Fprintf(sb, "# HELP %s %s\n", name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(sb, "# TYPE %s %s\n", name, f.kind)
+		lbls := append([]string(nil), f.order...)
+		sort.Strings(lbls)
+		for _, lbl := range lbls {
+			f.series[lbl].write(sb, name, lbl)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Expose returns the full exposition text.
+func (r *Registry) Expose() string {
+	var sb strings.Builder
+	r.WriteProm(&sb)
+	return sb.String()
+}
+
+// ContentType is the Prometheus text exposition content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler serving the exposition text, suitable
+// for mounting at GET /metrics. A nil registry serves an empty body.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		fmt.Fprint(w, r.Expose())
+	})
+}
+
+// Counter is a monotonically increasing uint64. All methods are safe on a
+// nil receiver and from concurrent goroutines.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) write(sb *strings.Builder, name, labels string) {
+	fmt.Fprintf(sb, "%s%s %s\n", name, labels, formatFloat(float64(c.v.Load())))
+}
+
+// Gauge is a settable float64 (stored as math.Float64bits).
+type Gauge struct{ v atomic.Uint64 }
+
+// Set stores x.
+func (g *Gauge) Set(x float64) {
+	if g != nil {
+		g.v.Store(math.Float64bits(x))
+	}
+}
+
+// Add adds d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.v.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.v.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.v.Load())
+}
+
+func (g *Gauge) write(sb *strings.Builder, name, labels string) {
+	fmt.Fprintf(sb, "%s%s %s\n", name, labels, formatFloat(g.Value()))
+}
+
+// gaugeFunc evaluates at scrape time.
+type gaugeFunc func() float64
+
+func (fn gaugeFunc) write(sb *strings.Builder, name, labels string) {
+	fmt.Fprintf(sb, "%s%s %s\n", name, labels, formatFloat(fn()))
+}
+
+// Histogram counts observations into fixed buckets. Updates are lock-free;
+// under concurrent Observe calls a scrape may see a sum/count pair mid
+// update (standard for atomic histograms), but each field is itself
+// consistent and monotone.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records x.
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, x) // first bound >= x
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+func (h *Histogram) write(sb *strings.Builder, name, labels string) {
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(sb, "%s_bucket%s %s\n", name, withLabel(labels, "le", formatFloat(b)), formatFloat(float64(cum)))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(sb, "%s_bucket%s %s\n", name, withLabel(labels, "le", "+Inf"), formatFloat(float64(cum)))
+	fmt.Fprintf(sb, "%s_sum%s %s\n", name, labels, formatFloat(math.Float64frombits(h.sum.Load())))
+	fmt.Fprintf(sb, "%s_count%s %s\n", name, labels, formatFloat(float64(cum)))
+}
+
+// DurationBuckets is the default latency histogram layout, in seconds:
+// 1ms to ~16s in powers of four.
+var DurationBuckets = []float64{0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384}
+
+// renderLabels renders alternating key/value pairs as {k="v",...} sorted
+// by key, or "" when empty. Odd trailing keys are dropped.
+func renderLabels(labels []string) string {
+	n := len(labels) / 2
+	if n == 0 {
+		return ""
+	}
+	pairs := make([]string, 0, n)
+	for i := 0; i+1 < len(labels); i += 2 {
+		if !validLabelName(labels[i]) {
+			panic(fmt.Sprintf("obs: invalid label name %q", labels[i]))
+		}
+		pairs = append(pairs, labels[i]+`="`+escapeLabel(labels[i+1])+`"`)
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+// withLabel appends one more k="v" pair to an already-rendered label set.
+func withLabel(labels, k, v string) string {
+	pair := k + `="` + escapeLabel(v) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, "\\", "\\\\")
+	v = strings.ReplaceAll(v, "\"", "\\\"")
+	return strings.ReplaceAll(v, "\n", "\\n")
+}
+
+// escapeHelp escapes help text: backslash and newline.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, "\\", "\\\\")
+	return strings.ReplaceAll(h, "\n", "\\n")
+}
+
+// formatFloat renders a sample value: integers without exponent or
+// trailing zeros, +Inf as Prometheus spells it.
+func formatFloat(x float64) string {
+	if math.IsInf(x, 1) {
+		return "+Inf"
+	}
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" || strings.HasPrefix(name, "__") {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

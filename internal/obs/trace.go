@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Tracer is an append-only journal of shard-lifecycle spans, exportable as
+// Chrome trace_event JSON (chrome://tracing, Perfetto). Like the metrics
+// registry, a nil *Tracer is a valid no-op sink — every method nil-checks.
+//
+// The span model is small on purpose: complete spans ("X" phase) for work
+// with duration (golden build, shard execute, inject batch, restore), and
+// instants ("i" phase) for lifecycle edges (submit, lease, complete,
+// fenced, speculated). pid groups a process-like actor (coordinator,
+// worker); tid separates lanes inside it (shard index, sweep).
+type Tracer struct {
+	mu     sync.Mutex
+	base   time.Time
+	events []TraceEvent
+}
+
+// TraceEvent is one Chrome trace_event entry. Timestamps and durations
+// are microseconds, per the trace_event format.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope; "t" = thread
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the on-disk shape: the JSON Object Format of the
+// trace_event spec.
+type traceFile struct {
+	TraceEvents []TraceEvent `json:"traceEvents"`
+	DisplayUnit string       `json:"displayTimeUnit,omitempty"`
+}
+
+// NewTracer returns an empty tracer. All timestamps are relative to its
+// creation, so traces from one process line up on a shared zero.
+func NewTracer() *Tracer {
+	return &Tracer{base: time.Now()}
+}
+
+// Span records a complete span that started at start and just ended.
+func (t *Tracer) Span(name, cat string, pid, tid int64, start time.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	end := time.Now()
+	ev := TraceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		TS:  start.Sub(t.base).Microseconds(),
+		Dur: end.Sub(start).Microseconds(),
+		PID: pid, TID: tid, Args: args,
+	}
+	if ev.Dur < 1 {
+		ev.Dur = 1 // zero-duration X events render as invisible slivers
+	}
+	if ev.TS < 0 {
+		ev.TS = 0 // span started before the tracer existed; clamp to base
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Instant records a point-in-time lifecycle edge.
+func (t *Tracer) Instant(name, cat string, pid, tid int64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	ev := TraceEvent{
+		Name: name, Cat: cat, Ph: "i", S: "t",
+		TS:  time.Since(t.base).Microseconds(),
+		PID: pid, TID: tid, Args: args,
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events (0 on nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// MarshalJSON renders the journal as trace_event JSON Object Format.
+func (t *Tracer) MarshalJSON() ([]byte, error) {
+	f := traceFile{TraceEvents: []TraceEvent{}, DisplayUnit: "ms"}
+	if t != nil {
+		t.mu.Lock()
+		f.TraceEvents = append(f.TraceEvents, t.events...)
+		t.mu.Unlock()
+	}
+	return json.MarshalIndent(f, "", " ")
+}
+
+// WriteFile writes the journal to path. A nil tracer writes a valid empty
+// trace, so `-trace` always yields an openable file.
+func (t *Tracer) WriteFile(path string) error {
+	b, err := t.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ValidateTrace parses b as Chrome trace_event JSON Object Format and
+// returns the events, rejecting structurally invalid traces: wrong
+// top-level shape, events without a name or phase, unknown phases,
+// negative timestamps, or X events with negative duration. Tests and the
+// chaos/obs smoke targets gate exported traces through it.
+func ValidateTrace(b []byte) ([]TraceEvent, error) {
+	var f traceFile
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: %v", err)
+	}
+	if f.TraceEvents == nil {
+		return nil, fmt.Errorf("trace: missing traceEvents array")
+	}
+	for i, ev := range f.TraceEvents {
+		if ev.Name == "" {
+			return nil, fmt.Errorf("trace: event %d has no name", i)
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Dur < 0 {
+				return nil, fmt.Errorf("trace: event %d (%s) negative dur", i, ev.Name)
+			}
+		case "i", "B", "E", "b", "e", "M":
+		default:
+			return nil, fmt.Errorf("trace: event %d (%s) unknown phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.TS < 0 {
+			return nil, fmt.Errorf("trace: event %d (%s) negative ts", i, ev.Name)
+		}
+	}
+	return f.TraceEvents, nil
+}

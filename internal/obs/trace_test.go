@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestTraceRoundTrip records a realistic shard lifecycle and round-trips
+// it through the trace_event JSON writer and validator.
+func TestTraceRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	tr.Instant("submit", "coord", 1, 0, map[string]any{"sweep": "abc123"})
+	tr.Instant("lease", "coord", 1, 3, map[string]any{"shard": 3, "worker": "w1"})
+	start := time.Now().Add(-5 * time.Millisecond)
+	tr.Span("golden", "worker", 2, 0, start, map[string]any{"design": "soc"})
+	tr.Span("execute", "worker", 2, 3, start, map[string]any{"shard": 3})
+	tr.Instant("fenced", "coord", 1, 3, map[string]any{"epoch": 1})
+	tr.Instant("speculated", "coord", 1, 3, nil)
+	tr.Instant("complete", "coord", 1, 3, nil)
+
+	b, err := tr.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ValidateTrace(b)
+	if err != nil {
+		t.Fatalf("exported trace invalid: %v\n%s", err, b)
+	}
+	if len(evs) != 7 {
+		t.Fatalf("got %d events, want 7", len(evs))
+	}
+	names := map[string]bool{}
+	for _, ev := range evs {
+		names[ev.Name] = true
+		if ev.Ph == "X" && ev.Dur <= 0 {
+			t.Errorf("span %s has dur %d", ev.Name, ev.Dur)
+		}
+	}
+	for _, want := range []string{"submit", "lease", "golden", "execute", "fenced", "speculated", "complete"} {
+		if !names[want] {
+			t.Errorf("missing event %q", want)
+		}
+	}
+
+	// WriteFile emits the same bytes, and a fresh json.Unmarshal sees the
+	// canonical object shape (the file opens in chrome://tracing).
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shape struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(disk, &shape); err != nil {
+		t.Fatalf("trace file is not JSON: %v", err)
+	}
+	if len(shape.TraceEvents) != 7 {
+		t.Fatalf("file has %d events", len(shape.TraceEvents))
+	}
+	for _, ev := range shape.TraceEvents {
+		if _, ok := ev["ph"].(string); !ok {
+			t.Fatalf("event missing ph: %v", ev)
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Fatalf("event missing ts: %v", ev)
+		}
+	}
+}
+
+// TestEmptyTraceValid: a nil tracer still writes an openable trace.
+func TestEmptyTraceValid(t *testing.T) {
+	var tr *Tracer
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ValidateTrace(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("empty trace has %d events", len(evs))
+	}
+}
+
+// TestValidateTraceRejects feeds the validator malformed traces.
+func TestValidateTraceRejects(t *testing.T) {
+	bad := map[string]string{
+		"not json":      "nope",
+		"wrong shape":   `{"events":[]}`,
+		"missing name":  `{"traceEvents":[{"ph":"i","ts":1}]}`,
+		"unknown phase": `{"traceEvents":[{"name":"a","ph":"Z","ts":1}]}`,
+		"negative ts":   `{"traceEvents":[{"name":"a","ph":"i","ts":-1}]}`,
+		"negative dur":  `{"traceEvents":[{"name":"a","ph":"X","ts":1,"dur":-5}]}`,
+	}
+	for name, text := range bad {
+		if _, err := ValidateTrace([]byte(text)); err == nil {
+			t.Errorf("%s: validator accepted %s", name, text)
+		}
+	}
+}

@@ -65,6 +65,23 @@ type Store struct {
 	mu   sync.Mutex
 	f    *os.File
 	path string
+	m    *Metrics
+	// openCompacted remembers whether Open's compaction rewrote the file,
+	// so SetMetrics can count it (metrics attach after Open returns).
+	openCompacted bool
+}
+
+// SetMetrics attaches obs instrumentation to the store; the compaction
+// Open already performed (if any) is counted retroactively. Pass nil to
+// detach.
+func (s *Store) SetMetrics(m *Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = m
+	if m != nil && s.openCompacted {
+		m.Compactions.Inc()
+		s.openCompacted = false
+	}
 }
 
 // Open opens (creating if needed) a journal for appending. Any torn
@@ -98,7 +115,7 @@ func Open(path string) (*Store, error) {
 			return nil, fmt.Errorf("runstore: %v", err)
 		}
 	}
-	return &Store{f: f, path: path}, nil
+	return &Store{f: f, path: path, openCompacted: changed}, nil
 }
 
 // dedupeKey identifies a shard record for supersession: Load keys loaded
@@ -290,6 +307,9 @@ func (s *Store) append(rec Record) error {
 	if _, err := s.f.Write(line); err != nil {
 		return fmt.Errorf("runstore: appending record: %v", err)
 	}
+	if s.m != nil {
+		s.m.Appends.Inc()
+	}
 	return s.f.Sync()
 }
 
@@ -335,6 +355,9 @@ func (s *Store) Purge(fingerprints []string) error {
 		}
 		s.f.Close()
 		s.f = f
+		if s.m != nil {
+			s.m.Compactions.Inc()
+		}
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 )
 
 // TailEvent is what one Tail.Next call observed.
@@ -34,6 +35,7 @@ const (
 // TailCaughtUp and is retried on the next call, so a tail never consumes
 // a torn record that a concurrent single-write append is still flushing.
 type Tail struct {
+	mu   sync.Mutex
 	path string
 	f    *os.File
 	off  int64
@@ -49,6 +51,8 @@ func NewTail(path string) *Tail {
 // TailReset as described on TailEvent. err is only non-nil for real I/O
 // failures, never for EOF or in-progress appends.
 func (t *Tail) Next() (Record, TailEvent, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var zero Record
 	cur, err := os.Stat(t.path)
 	if err != nil {
@@ -92,6 +96,25 @@ func (t *Tail) Next() (Record, TailEvent, error) {
 	return rec, TailRecord, nil
 }
 
+// Lag reports how many bytes of journal exist past the tail's read
+// offset — the standby's replication lag. 0 means caught up; a missing
+// journal also reads as 0. Exposed as the runstore_tail_lag_bytes gauge.
+func (t *Tail) Lag() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, err := os.Stat(t.path)
+	if err != nil {
+		return 0
+	}
+	if t.f == nil {
+		return st.Size()
+	}
+	if lag := st.Size() - t.off; lag > 0 {
+		return lag
+	}
+	return 0
+}
+
 // reset abandons the current file; the next Next reopens from offset 0.
 func (t *Tail) reset() {
 	t.f.Close()
@@ -101,6 +124,8 @@ func (t *Tail) reset() {
 
 // Close releases the underlying file handle.
 func (t *Tail) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.f == nil {
 		return nil
 	}

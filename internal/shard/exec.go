@@ -3,11 +3,22 @@ package shard
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/inject"
+	"repro/internal/obs"
 	"repro/internal/socgen"
 )
+
+// short truncates a fingerprint to the 12-hex prefix used everywhere a
+// human reads one (logs, traces, metric labels).
+func short(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}
 
 // Built is a campaign readied on one process: the generated design, the
 // golden run with its checkpoint schedule, and the fully drawn injection
@@ -143,11 +154,41 @@ type Executor struct {
 	results map[cacheKey]*Partial
 	recent  []string // campaign fingerprints, most recent first
 	hits    uint64
+	m       *Metrics
+	tracer  *obs.Tracer
+	tune    func(*inject.Options)
 }
 
 // NewExecutor returns an empty executor.
 func NewExecutor() *Executor {
 	return &Executor{built: map[string]*Built{}, results: map[cacheKey]*Partial{}}
+}
+
+// SetMetrics attaches obs instrumentation: cache-hit counting on m, and
+// "golden" (campaign build) / "execute" (per shard, tid = shard index)
+// spans on tr. Pass nils to detach.
+func (e *Executor) SetMetrics(m *Metrics, tr *obs.Tracer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.m = m
+	e.tracer = tr
+}
+
+// SetTune installs process-local option tuning applied to every campaign
+// this executor builds — the BuildLocal hook, reachable from the cache
+// path. Tuning changes how fast shards execute (worker count, checkpoint
+// pitch, metrics sinks), never what they compute.
+func (e *Executor) SetTune(tune func(*inject.Options)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tune = tune
+}
+
+func (e *Executor) met() *Metrics {
+	if e.m != nil {
+		return e.m
+	}
+	return noMetrics
 }
 
 // touch marks a campaign most-recently-used and evicts the stalest
@@ -198,22 +239,29 @@ func (e *Executor) Execute(sp Spec) (*Partial, error) {
 	key := cacheKey{fp: fp, start: sp.Start, end: sp.End}
 	if p, ok := e.results[key]; ok {
 		e.hits++
+		e.met().CacheHits.Inc()
 		e.touch(fp)
 		return p, nil
 	}
 	b, ok := e.built[fp]
 	if !ok {
 		var err error
-		b, err = Build(sp.Campaign)
+		start := time.Now()
+		b, err = BuildLocal(sp.Campaign, e.tune)
 		if err != nil {
 			return nil, err
 		}
+		e.tracer.Span("golden", "shard", 0, 0, start, map[string]any{"campaign": short(fp)})
 		e.built[fp] = b
 	}
+	start := time.Now()
 	p, err := ExecuteOn(b, sp)
 	if err != nil {
 		return nil, err
 	}
+	e.tracer.Span("execute", "shard", 0, int64(sp.Index), start, map[string]any{
+		"campaign": short(fp), "shard": sp.Index, "start": sp.Start, "end": sp.End,
+	})
 	e.results[key] = p
 	e.touch(fp)
 	return p, nil

@@ -1,0 +1,46 @@
+package shard
+
+import (
+	"repro/internal/obs"
+
+	"time"
+)
+
+// Metrics is the queue's and executor's instrumentation surface. All
+// fields are nil-safe obs handles, so a zero or nil *Metrics disables
+// instrumentation without any call-site guards. One Metrics is shared by
+// every queue of a sweep pool — the series are fleet totals, with
+// per-sweep breakdown left to the pool's labeled gauges.
+type Metrics struct {
+	Leases     *obs.Counter
+	Renewals   *obs.Counter
+	Expiries   *obs.Counter
+	Fenced     *obs.Counter
+	Speculated *obs.Counter
+	CacheHits  *obs.Counter
+	// ShardDur observes lease-grant-to-completion wall time, in seconds,
+	// for shards finished under a live lease.
+	ShardDur *obs.Histogram
+}
+
+// NewMetrics registers the shard metric family on r (eagerly, so every
+// series is present at zero from the first scrape) and returns the
+// handles. A nil registry yields a usable all-no-op Metrics.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Leases:     r.NewCounter("shard_leases_total", "Shard leases granted, including speculative backups."),
+		Renewals:   r.NewCounter("shard_lease_renewals_total", "Lease heartbeat renewals accepted."),
+		Expiries:   r.NewCounter("shard_lease_expiries_total", "Leases expired and requeued (or handed to a backup)."),
+		Fenced:     r.NewCounter("shard_fenced_total", "Completions refused with a stale coordinator epoch."),
+		Speculated: r.NewCounter("shard_speculated_total", "Straggler shards re-issued as speculative backup leases."),
+		CacheHits:  r.NewCounter("shard_cache_hits_total", "Executor golden-run/result cache hits."),
+		ShardDur:   r.NewHistogram("shard_duration_seconds", "Observed lease-to-completion shard wall time.", obs.DurationBuckets),
+	}
+}
+
+// observeDur records one completed shard's lease-to-completion time.
+func (m *Metrics) observeDur(d time.Duration) {
+	if m != nil {
+		m.ShardDur.Observe(d.Seconds())
+	}
+}

@@ -41,6 +41,27 @@ type Queue struct {
 	// counts backup leases issued by SpeculativeLease.
 	fenced     int
 	speculated int
+	// m mirrors lifecycle transitions into the obs registry; nil leaves
+	// the queue uninstrumented (met() substitutes all-no-op handles).
+	m *Metrics
+}
+
+// noMetrics is the all-no-op sink substituted when no Metrics is set.
+var noMetrics = &Metrics{}
+
+// SetMetrics attaches obs instrumentation to the queue. Counters are
+// shared across queues (fleet totals); pass nil to detach.
+func (q *Queue) SetMetrics(m *Metrics) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.m = m
+}
+
+func (q *Queue) met() *Metrics {
+	if q.m != nil {
+		return q.m
+	}
+	return noMetrics
 }
 
 type shardState uint8
@@ -67,6 +88,10 @@ type Lease struct {
 	// new coordinator's queues carry a higher epoch and fence any
 	// already-done shard completed under an older one (ErrStaleEpoch).
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Speculative marks a straggler backup lease issued by
+	// SpeculativeLease, so coordinators can trace and count re-issues
+	// distinctly from first-issue leases.
+	Speculative bool `json:"speculative,omitempty"`
 
 	granted time.Time // lease grant time, for shard-duration observation
 }
@@ -162,6 +187,7 @@ func (q *Queue) Lease(worker string, now time.Time) (*Lease, bool) {
 		q.state[i] = stateLeased
 		q.leases[l.ID] = l
 		q.byShard[i] = l.ID
+		q.met().Leases.Inc()
 		return l, true
 	}
 	return nil, false
@@ -205,17 +231,20 @@ func (q *Queue) SpeculativeLease(worker string, now time.Time, factor float64) (
 	}
 	q.nextLease++
 	l := &Lease{
-		ID:        fmt.Sprintf("lease-%d-shard-%d", q.nextLease, best),
-		Worker:    worker,
-		Spec:      q.specs[best],
-		ExpiresAt: now.Add(q.ttl),
-		TTL:       q.ttl,
-		Epoch:     q.epoch,
-		granted:   now,
+		ID:          fmt.Sprintf("lease-%d-shard-%d", q.nextLease, best),
+		Worker:      worker,
+		Spec:        q.specs[best],
+		ExpiresAt:   now.Add(q.ttl),
+		TTL:         q.ttl,
+		Epoch:       q.epoch,
+		Speculative: true,
+		granted:     now,
 	}
 	q.leases[l.ID] = l
 	q.backups[best] = l.ID
 	q.speculated++
+	q.met().Leases.Inc()
+	q.met().Speculated.Inc()
 	return l, true
 }
 
@@ -247,6 +276,7 @@ func (q *Queue) Complete(leaseID string, epoch uint64, p *Partial, now time.Time
 	if q.state[p.Index] == stateDone {
 		if epoch < q.epoch {
 			q.fenced++
+			q.met().Fenced.Inc()
 			return fmt.Errorf("shard: shard %d already completed: %w (epoch %d < %d)", p.Index, ErrStaleEpoch, epoch, q.epoch)
 		}
 		return fmt.Errorf("shard: shard %d already completed elsewhere", p.Index)
@@ -254,6 +284,7 @@ func (q *Queue) Complete(leaseID string, epoch uint64, p *Partial, now time.Time
 	if l, ok := q.leases[leaseID]; ok {
 		q.durSum += now.Sub(l.granted)
 		q.durN++
+		q.met().observeDur(now.Sub(l.granted))
 	}
 	q.complete(p.Index, p)
 	return nil
@@ -274,6 +305,7 @@ func (q *Queue) Renew(leaseID string, now time.Time) (time.Time, error) {
 		return time.Time{}, fmt.Errorf("shard: lease %q unknown or expired", leaseID)
 	}
 	l.ExpiresAt = now.Add(q.ttl)
+	q.met().Renewals.Inc()
 	return l.ExpiresAt, nil
 }
 
@@ -309,6 +341,7 @@ func (q *Queue) expire(now time.Time) {
 		}
 		idx := l.Spec.Index
 		delete(q.leases, id)
+		q.met().Expiries.Inc()
 		if q.backups[idx] == id {
 			delete(q.backups, idx)
 			continue

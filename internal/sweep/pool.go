@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -48,6 +49,8 @@ type Pool struct {
 	compCh     chan int
 	doneCh     chan struct{}
 	cancelled  bool
+	metrics    *shard.Metrics // applied to every queue, current and future
+	obsReg     *obs.Registry  // holds this pool's per-sweep gauges
 }
 
 // DefaultSpeculateFactor is the straggler threshold: a leased shard is
@@ -108,6 +111,84 @@ func (p *Pool) SetSpeculateFactor(factor float64) {
 	p.specFactor = factor
 }
 
+// SetMetrics attaches shard-level instrumentation: every queue already
+// open and every queue opened later mirrors lease lifecycle events into
+// m's counters. Counters are fleet totals shared across sweeps; the
+// per-sweep breakdown comes from RegisterObs gauges.
+func (p *Pool) SetMetrics(m *shard.Metrics) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.metrics = m
+	for _, q := range p.queues {
+		if q != nil {
+			q.SetMetrics(m)
+		}
+	}
+}
+
+// RegisterObs exports this sweep's live progress as scrape-time gauges on
+// r, labeled sweep=<fp12>: campaigns done/total and shard counts summed
+// over the open campaigns. Values are computed per scrape from the same
+// state Progress reports, so the two can never drift. UnregisterObs (on
+// purge) removes them.
+func (p *Pool) RegisterObs(r *obs.Registry) {
+	fp := shortFP(p.sweepFP)
+	count := func(pick func(SweepProgress) float64) func() float64 {
+		return func() float64 { return pick(p.Progress(time.Now())) }
+	}
+	r.NewGaugeFunc("sweep_campaigns_total", "Campaigns in the sweep grid.",
+		count(func(sp SweepProgress) float64 { return float64(sp.CampaignsTotal) }), "sweep", fp)
+	r.NewGaugeFunc("sweep_campaigns_done", "Campaigns fully merged.",
+		count(func(sp SweepProgress) float64 { return float64(sp.CampaignsDone) }), "sweep", fp)
+	for name, pick := range map[string]func(shard.Progress) int{
+		"sweep_shards_pending": func(s shard.Progress) int { return s.Pending },
+		"sweep_shards_leased":  func(s shard.Progress) int { return s.Leased },
+		"sweep_shards_done":    func(s shard.Progress) int { return s.Done },
+	} {
+		pick := pick
+		r.NewGaugeFunc(name, "Shard queue depth summed over open campaigns.", count(func(sp SweepProgress) float64 {
+			n := 0
+			for _, cp := range sp.Campaigns {
+				if cp.Opened {
+					n += pick(cp.Shards)
+				}
+			}
+			return float64(n)
+		}), "sweep", fp)
+	}
+	p.mu.Lock()
+	p.obsReg = r
+	p.mu.Unlock()
+}
+
+// UnregisterObs drops the gauges RegisterObs installed — called when the
+// sweep is purged, so a long-lived coordinator's exposition does not
+// accrete dead sweeps.
+func (p *Pool) UnregisterObs() {
+	p.mu.Lock()
+	r := p.obsReg
+	p.obsReg = nil
+	p.mu.Unlock()
+	if r == nil {
+		return
+	}
+	fp := shortFP(p.sweepFP)
+	for _, name := range []string{
+		"sweep_campaigns_total", "sweep_campaigns_done",
+		"sweep_shards_pending", "sweep_shards_leased", "sweep_shards_done",
+	} {
+		r.Unregister(name, "sweep", fp)
+	}
+}
+
+// shortFP truncates a fingerprint to the 12-hex prefix used in labels.
+func shortFP(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}
+
 // Open makes campaign idx leasable under the given shard plan, first
 // restoring any journaled shards — atomically, so no worker can lease a
 // journaled shard in between (which would re-simulate work the journal
@@ -137,6 +218,7 @@ func (p *Pool) Open(idx int, specs []shard.Spec, journaled map[int]*shard.Partia
 	}
 	q := shard.NewQueue(specs, p.ttl)
 	q.SetEpoch(p.epoch)
+	q.SetMetrics(p.metrics)
 	for _, sp := range specs {
 		if partial, ok := journaled[sp.Index]; ok && partial.Covers(sp) {
 			if err := q.MarkDone(partial); err != nil {
