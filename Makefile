@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race ci bench-smoke sweep-smoke chaos-smoke obs-smoke bench clean
+.PHONY: all vet build test race ci bench-smoke sweep-smoke chaos-smoke obs-smoke watch-smoke bench clean
 
 all: ci
 
@@ -74,6 +74,14 @@ chaos-smoke:
 # must be byte-identical to the uninstrumented reference.
 obs-smoke:
 	$(GO) test ./cmd/campaignd -race -run '^(TestObsSmoke)$$' -count=1 -v
+
+# watch-smoke is the federation/live-watch gate: a sweep followed over
+# the SSE stream (with a forced mid-stream reconnect) must match the
+# polled path and the uninstrumented reference byte for byte, and a
+# pushing worker must surface on GET /metrics/fleet with per-sweep cost
+# attribution.
+watch-smoke:
+	$(GO) test ./cmd/campaignd -race -run '^(TestWatchMatchesPoll|TestFleetFederation)$$' -count=1 -v
 
 # bench runs the full table/figure harness (minutes).
 bench:

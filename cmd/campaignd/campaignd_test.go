@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/capi"
 	"repro/internal/inject"
+	"repro/internal/obs"
 	"repro/internal/runstore"
 	"repro/internal/shard"
 	"repro/internal/ssresf"
@@ -411,28 +412,18 @@ func TestSweepSmokeByteIdentical(t *testing.T) {
 		outPath:  outPath,
 	}, &serveOut)
 
-	// Progress must enumerate both campaigns with distinct fingerprints.
-	deadline := time.Now().Add(30 * time.Second)
-	var pr progressReply
-	for {
-		resp, err := http.Get(url + "/v1/progress")
-		if err == nil {
-			err = json.NewDecoder(resp.Body).Decode(&pr)
-			resp.Body.Close()
-			if err != nil {
-				t.Fatal(err)
-			}
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("progress endpoint unreachable: %v", err)
-		}
-		time.Sleep(20 * time.Millisecond)
+	// Progress must enumerate both campaigns with distinct fingerprints —
+	// through the sweep resource API, which replaced the /v1/progress alias.
+	stCtx, stCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	st, err := capi.NewClient(url).Sweep(stCtx, grid.Spec.Fingerprint())
+	stCancel()
+	if err != nil {
+		t.Fatalf("sweep status: %v", err)
 	}
-	if pr.Sweep.CampaignsTotal != 2 || len(pr.Sweep.Campaigns) != 2 {
-		t.Fatalf("sweep progress %+v, want 2 campaigns", pr.Sweep)
+	if st.Progress.CampaignsTotal != 2 || len(st.Progress.Campaigns) != 2 {
+		t.Fatalf("sweep progress %+v, want 2 campaigns", st.Progress)
 	}
-	if pr.Sweep.Campaigns[0].Fingerprint == pr.Sweep.Campaigns[1].Fingerprint {
+	if st.Progress.Campaigns[0].Fingerprint == st.Progress.Campaigns[1].Fingerprint {
 		t.Fatal("sweep progress campaigns share a fingerprint")
 	}
 
@@ -454,47 +445,55 @@ func TestSweepSmokeByteIdentical(t *testing.T) {
 	}
 }
 
-// TestProgressEndpoint checks the coordinator's observability surface.
-func TestProgressEndpoint(t *testing.T) {
+// TestSweepStatusEndpoint checks the coordinator's observability
+// surface: GET /v1/sweeps/{fp} reports per-campaign shard progress, the
+// campaign's true fingerprint, and — once shards complete — the sweep's
+// cost block.
+func TestSweepStatusEndpoint(t *testing.T) {
 	cs := e2eSpec()
+	grid := singleCampaignGrid(cs)
 	var out bytes.Buffer
 	url, serveErr := startServe(t, serveOpts{
-		grid:     gridPtr(singleCampaignGrid(cs)),
+		grid:     gridPtr(grid),
 		single:   true,
 		shards:   2,
 		leaseTTL: time.Minute,
 		linger:   time.Second,
 	}, &out)
+	client := capi.NewClient(url)
+	sweepFP := grid.Spec.Fingerprint()
 
 	// Campaigns open once built; poll until the (only) campaign's shard
 	// plan is visible.
 	deadline := time.Now().Add(30 * time.Second)
-	var pr progressReply
+	var st capi.SweepStatus
 	for {
-		resp, err := http.Get(url + "/v1/progress")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		got, err := client.Sweep(ctx, sweepFP)
+		cancel()
 		if err == nil {
-			err = json.NewDecoder(resp.Body).Decode(&pr)
-			resp.Body.Close()
-			if err != nil {
-				t.Fatal(err)
-			}
-			if pr.Progress.Total == 2 {
+			st = got
+			if len(st.Progress.Campaigns) == 1 && st.Progress.Campaigns[0].Shards.Total == 2 {
 				break
 			}
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("progress never showed the opened campaign (last: %+v, err %v)", pr, err)
+			t.Fatalf("status never showed the opened campaign (last: %+v, err %v)", st, err)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if pr.Progress.Pending+pr.Progress.Leased+pr.Progress.Done != 2 || pr.Done {
-		t.Fatalf("fresh campaign progress %+v", pr)
+	cp := st.Progress.Campaigns[0]
+	if cp.Shards.Pending+cp.Shards.Leased+cp.Shards.Done != 2 || cp.Done {
+		t.Fatalf("fresh campaign progress %+v", cp)
 	}
-	if pr.Fingerprint != cs.Fingerprint() {
-		t.Fatalf("progress reports fingerprint %.12s, want %.12s", pr.Fingerprint, cs.Fingerprint())
+	if cp.Fingerprint != cs.Fingerprint() {
+		t.Fatalf("status reports fingerprint %.12s, want %.12s", cp.Fingerprint, cs.Fingerprint())
 	}
-	if pr.Sweep.CampaignsTotal != 1 || len(pr.Sweep.Campaigns) != 1 {
-		t.Fatalf("singleton sweep progress %+v", pr.Sweep)
+	if st.Progress.CampaignsTotal != 1 {
+		t.Fatalf("singleton sweep progress %+v", st.Progress)
+	}
+	if st.Cost != nil {
+		t.Fatalf("cost block present before any shard completed: %+v", st.Cost)
 	}
 
 	// Drain it with one worker so serve exits cleanly.
@@ -859,12 +858,14 @@ func TestAPISubmitSmoke(t *testing.T) {
 func TestPurgeSweepDropsResourceAndJournal(t *testing.T) {
 	journal := filepath.Join(t.TempDir(), "grid.jsonl")
 	params := quickLETParams(1)
+	reg := obs.NewRegistry()
 	var serveOut bytes.Buffer
 	url, serveErr := startServe(t, serveOpts{
 		shards:   2,
 		journal:  journal,
 		leaseTTL: time.Minute,
 		linger:   10 * time.Second,
+		obsReg:   reg,
 	}, &serveOut)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
@@ -904,6 +905,14 @@ func TestPurgeSweepDropsResourceAndJournal(t *testing.T) {
 		}
 	}
 
+	// Before the purge, the sweep's registered gauges are on the scrape,
+	// labeled with its fp12.
+	fp := fp12(reply.Fingerprint)
+	pre := scrapeProm(t, url+"/metrics")
+	if _, ok := pre.Value("sweep_campaigns_total", "sweep", fp); !ok {
+		t.Fatalf("per-sweep gauges missing before purge:\n%v", pre.Series)
+	}
+
 	stPurge, err := client.Purge(ctx, reply.Fingerprint)
 	if err != nil {
 		t.Fatalf("purge: %v", err)
@@ -922,6 +931,16 @@ func TestPurgeSweepDropsResourceAndJournal(t *testing.T) {
 	}
 	if len(raw) != 0 {
 		t.Fatalf("journal still holds %d bytes after purge:\n%s", len(raw), raw)
+	}
+
+	// The purge also unregistered the sweep's gauges: a long-lived
+	// coordinator's label cardinality stays bounded by its live sweeps,
+	// not by everything it ever served.
+	post := scrapeProm(t, url+"/metrics")
+	for key, s := range post.Series {
+		if s.Labels["sweep"] == fp {
+			t.Errorf("series %s still on the scrape after purge", key)
+		}
 	}
 
 	if err := <-workDone; err != nil {
@@ -959,7 +978,7 @@ func TestTerminalMarkerProtectsSharedCampaigns(t *testing.T) {
 		return &sweepRun{grid: sweep.Grid{Spec: sweep.SweepSpec{Name: name, Items: items}}, state: capi.StateDone}
 	}
 	initial := mkRun("initial", csA, csB) // self-submitted batch job
-	api := mkRun("api", csB, csC)        // later API sweep sharing csB
+	api := mkRun("api", csB, csC)         // later API sweep sharing csB
 	g.initial = initial
 	g.byCamp[csA.Fingerprint()] = initial
 	g.byCamp[csB.Fingerprint()] = api // api took the shared campaign over

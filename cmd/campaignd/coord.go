@@ -37,18 +37,6 @@ import (
 // self-submission performed at startup, exactly equivalent to POSTing
 // the same grid to /v1/sweeps.
 
-// progressReply is the deprecated GET /v1/progress shape, kept for one
-// release as an alias of GET /v1/sweeps/{fp} on the first-submitted
-// sweep. The legacy top-level fields describe the campaign when that
-// sweep is a single campaign.
-type progressReply struct {
-	Fingerprint string              `json:"fingerprint"`
-	Design      int                 `json:"soc"`
-	Progress    shard.Progress      `json:"progress"`
-	Done        bool                `json:"done"`
-	Sweep       sweep.SweepProgress `json:"sweep"`
-}
-
 // errCancelled is drive's internal "the sweep was cancelled" signal.
 var errCancelled = errors.New("sweep cancelled")
 
@@ -90,15 +78,16 @@ type registry struct {
 	stdout    *syncWriter
 	log       *slog.Logger   // structured narration; epoch-tagged when led
 	obs       *obs.Registry  // metrics exposition; nil only in unit tests
+	fleet     *obs.Fleet     // worker-pushed metrics federation; nil only in unit tests
 	sm        *shard.Metrics // lease/fence/speculation counters, shared by every pool
 	tracer    *obs.Tracer    // shard-lifecycle span journal; nil = tracing off
-	initial   *sweepRun // the self-submitted sweep, if any
-	outPath   string    // initial sweep's rendered-output file
-	outDir    string    // initial sweep's per-campaign JSON directory
-	single    bool      // initial sweep is one -soc campaign
-	submitted bool      // a sweep was ever submitted (survives purges)
-	draining  bool      // graceful shutdown: leases and submissions answer 503 + Retry-After
-	dead      bool      // crash-stopped (deposed or test-killed): no further journal writes
+	initial   *sweepRun      // the self-submitted sweep, if any
+	outPath   string         // initial sweep's rendered-output file
+	outDir    string         // initial sweep's per-campaign JSON directory
+	single    bool           // initial sweep is one -soc campaign
+	submitted bool           // a sweep was ever submitted (survives purges)
+	draining  bool           // graceful shutdown: leases and submissions answer 503 + Retry-After
+	dead      bool           // crash-stopped (deposed or test-killed): no further journal writes
 	changed   chan struct{}
 }
 
@@ -676,9 +665,12 @@ func (g *registry) mux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/lease", g.handleLease)
 	mux.HandleFunc("POST /v1/complete", g.handleComplete)
 	mux.HandleFunc("POST /v1/renew", g.handleRenew)
-	mux.HandleFunc("GET /v1/progress", g.handleProgress)
+	mux.HandleFunc("POST /v1/workers/{name}/metrics", g.handlePushMetrics)
 	if g.obs != nil {
 		mux.Handle("GET /metrics", g.obs.Handler())
+	}
+	if g.fleet != nil {
+		mux.Handle("GET /metrics/fleet", g.fleet.Handler())
 	}
 	return mux
 }
@@ -769,12 +761,41 @@ func (g *registry) status(sr *sweepRun) capi.SweepStatus {
 		State:       sr.state,
 		Error:       sr.stateMsg,
 		Progress:    pr,
+		Cost:        g.costOf(sr),
 	}
+}
+
+// costOf totals a sweep's journaled shard results into its accounting
+// block. The journaled map is first-result-wins per shard, so a shard
+// that was speculated or completed twice is billed once — the cost is
+// the work the sweep's results are actually built from. Nil until any
+// shard has landed. Callers hold g.mu.
+func (g *registry) costOf(sr *sweepRun) *capi.SweepCost {
+	var c capi.SweepCost
+	for _, it := range sr.grid.Spec.Items {
+		for _, p := range g.journaled[it.Campaign.Fingerprint()] {
+			c.Shards++
+			c.InjectEvals += p.InjectEvals
+			c.InjectWallNS += p.InjectWallNS
+			c.RestoreWallNS += p.RestoreWallNS
+			c.WarmStarts += p.WarmStarts
+			c.PrunedRuns += p.PrunedRuns
+			c.DeltaRestores += p.DeltaRestores
+		}
+	}
+	if c.Shards == 0 {
+		return nil
+	}
+	return &c
 }
 
 func (g *registry) handleSweep(w http.ResponseWriter, r *http.Request) {
 	sr, ok := g.lookup(w, r)
 	if !ok {
+		return
+	}
+	if r.URL.Query().Get("watch") == "1" {
+		g.watchSweep(w, r, sr)
 		return
 	}
 	capi.WriteJSON(w, g.status(sr))
@@ -929,37 +950,6 @@ func (g *registry) resolveFingerprint(fp string) string {
 		return g.initial.single.Fingerprint()
 	}
 	return fp
-}
-
-// handleProgress is the deprecated pre-resource progress endpoint: an
-// alias of GET /v1/sweeps/{fp} on the first-submitted sweep, kept for
-// one release. The reply carries a Deprecation header pointing at the
-// successor.
-func (g *registry) handleProgress(w http.ResponseWriter, r *http.Request) {
-	g.mu.Lock()
-	var sr *sweepRun
-	if len(g.order) > 0 {
-		sr = g.order[0]
-	}
-	g.mu.Unlock()
-	w.Header().Set("Deprecation", "true")
-	w.Header().Set("Link", `</v1/sweeps>; rel="successor-version"`)
-	if sr == nil {
-		capi.WriteError(w, http.StatusNotFound, capi.CodeNotFound, "no sweeps submitted; use GET /v1/sweeps")
-		return
-	}
-	sp := sr.pool.Progress(g.now())
-	reply := progressReply{
-		Fingerprint: sp.Fingerprint,
-		Done:        sp.Done,
-		Sweep:       sp,
-	}
-	if sr.single != nil && len(sp.Campaigns) == 1 {
-		reply.Fingerprint = sp.Campaigns[0].Fingerprint
-		reply.Design = sr.single.SoC
-		reply.Progress = sp.Campaigns[0].Shards
-	}
-	capi.WriteJSON(w, reply)
 }
 
 // serveOpts is the parsed configuration of one serve run.
@@ -1238,6 +1228,7 @@ func serve(opts serveOpts, ln net.Listener, rawStdout io.Writer) error {
 
 	g := newRegistry(opts, epoch, store, journaled, stdout)
 	g.obs, g.sm, g.tracer = reg, shard.NewMetrics(reg), tracer
+	g.fleet = obs.NewFleet(0)
 	if opts.tracePath != "" {
 		defer func() {
 			if err := tracer.WriteFile(opts.tracePath); err != nil {

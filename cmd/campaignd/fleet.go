@@ -1,0 +1,127 @@
+package main
+
+// Fleet federation and live watch (DESIGN.md "Fleet federation & live
+// watch"): workers push their metrics expositions to the coordinator,
+// which re-exposes the merged, worker-labeled view on GET /metrics/fleet;
+// clients follow a sweep live over GET /v1/sweeps/{fp}?watch=1, an SSE
+// stream of the pool's event log with Last-Event-ID resume.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/capi"
+)
+
+// maxPushBytes bounds one worker's pushed exposition. A worker registry
+// is tens of kilobytes; 4 MiB is generous headroom before the limit is
+// protecting the coordinator from a misdirected upload.
+const maxPushBytes = 4 << 20
+
+// handlePushMetrics ingests one worker's metrics exposition
+// (POST /v1/workers/{name}/metrics). The body is the worker registry's
+// Prometheus text exposition; ?interval= declares the push cadence the
+// liveness window derives from. A push that fails the strict parser (or
+// tries to smuggle a worker label / fleet_ series) is rejected with 400
+// and the worker's previous snapshot kept.
+func (g *registry) handlePushMetrics(w http.ResponseWriter, r *http.Request) {
+	if g.fleet == nil {
+		capi.WriteError(w, http.StatusNotFound, capi.CodeNotFound, "metrics federation is not enabled")
+		return
+	}
+	name := r.PathValue("name")
+	var interval time.Duration
+	if s := r.URL.Query().Get("interval"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d < 0 {
+			capi.WriteError(w, http.StatusBadRequest, capi.CodeBadRequest, "bad interval %q", s)
+			return
+		}
+		interval = d
+	}
+	buf, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPushBytes))
+	if err != nil {
+		capi.WriteError(w, http.StatusBadRequest, capi.CodeBadRequest, "reading push: %v", err)
+		return
+	}
+	if err := g.fleet.Push(name, string(buf), interval); err != nil {
+		capi.WriteError(w, http.StatusBadRequest, capi.CodeBadRequest, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// watchSweep streams a sweep's event log as Server-Sent Events until the
+// sweep is terminal, the client goes away, or the server shuts down.
+// Each message is `id: <seq>` + `event: sweep` + one JSON sweep.Event;
+// a Last-Event-ID request header resumes the replay after that sequence
+// number, so a reconnecting client reassembles the exact gap-free
+// stream. Once the sweep's run goroutine has exited (terminal state set,
+// no further events possible) the remaining events are flushed followed
+// by one final `event: status` message carrying the full SweepStatus,
+// and the stream ends — the watcher's signal to stop reconnecting.
+func (g *registry) watchSweep(w http.ResponseWriter, r *http.Request, sr *sweepRun) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		capi.WriteError(w, http.StatusInternalServerError, capi.CodeInternal, "streaming unsupported")
+		return
+	}
+	var after uint64
+	if h := r.Header.Get("Last-Event-ID"); h != "" {
+		if v, err := strconv.ParseUint(h, 10, 64); err == nil {
+			after = v
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	writeEvent := func(ev capi.SweepEvent) {
+		b, _ := json.Marshal(ev)
+		fmt.Fprintf(w, "id: %d\nevent: sweep\ndata: %s\n\n", ev.Seq, b)
+		after = ev.Seq
+	}
+	// Heartbeat comments keep intermediaries from timing out an idle
+	// stream while a long shard simulates.
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		evs, wake := sr.pool.EventsSince(after)
+		for _, ev := range evs {
+			writeEvent(ev)
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		select {
+		case <-sr.finished:
+			// The run goroutine exited: terminal state is set and no event
+			// can follow. Drain what was emitted since the last read, then
+			// close with the authoritative status document.
+			evs, _ := sr.pool.EventsSince(after)
+			for _, ev := range evs {
+				writeEvent(ev)
+			}
+			b, _ := json.Marshal(g.status(sr))
+			fmt.Fprintf(w, "id: %d\nevent: status\ndata: %s\n\n", after, b)
+			fl.Flush()
+			return
+		default:
+		}
+		select {
+		case <-wake:
+		case <-sr.finished:
+			// Loop once more: the next iteration drains and closes.
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+		}
+	}
+}

@@ -33,11 +33,15 @@
 // coordinator's golden-run-affinity scheduling keeps a worker on the
 // campaign it has already built while that campaign has pending shards.
 //
-// Both modes are observable (see DESIGN.md "Observability"): GET
-// /metrics on the serve API, -debug-addr for a side server with
-// /metrics plus net/http/pprof in either mode, and -trace FILE to write
-// the shard-lifecycle span journal as Chrome trace_event JSON on exit.
-// Instrumentation never changes what a sweep computes.
+// Both modes are observable (see DESIGN.md "Observability" and "Fleet
+// federation & live watch"): GET /metrics on the serve API, -debug-addr
+// for a side server with /metrics plus net/http/pprof in either mode,
+// and -trace FILE to write the shard-lifecycle span journal as Chrome
+// trace_event JSON on exit. Workers additionally push their registry to
+// the coordinator (-push, default 5s), which re-exposes the merged
+// worker-labeled view on GET /metrics/fleet, and every sweep can be
+// followed live over GET /v1/sweeps/{fp}?watch=1 (SSE; socfault
+// -submit -watch). Instrumentation never changes what a sweep computes.
 package main
 
 import (
@@ -85,7 +89,8 @@ func usage() {
 
 observability (either mode): -debug-addr HOST:PORT (pprof + /metrics),
 -trace FILE (Chrome trace_event span journal); serve also exposes GET
-/metrics on the API address.`)
+/metrics and the federated GET /metrics/fleet on the API address, and
+workers push their registry there every -push (0 disables).`)
 }
 
 // defaultWorkerName derives a worker identity that is unique enough for

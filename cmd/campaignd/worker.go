@@ -20,6 +20,7 @@ type workOpts struct {
 	name       string
 	poll       time.Duration
 	maxOffline time.Duration // 0: fall back to the attempt-count budget
+	push       time.Duration // metrics-push cadence to the coordinator; 0 = no pushing
 	client     *capi.Client  // nil: a default client for url (tests inject chaos transports)
 	out        io.Writer
 
@@ -37,6 +38,7 @@ func runWork(args []string) error {
 	name := fs.String("name", defaultWorkerName(), "worker identity reported to the coordinator")
 	poll := fs.Duration("poll", 2*time.Second, "base idle polling interval; idle polls back off exponentially (jittered, capped at 20x) and reset on the next lease")
 	maxOffline := fs.Duration("max-offline", 0, "give up (non-zero exit) once the coordinator has been continuously unreachable this long; 0 bounds by attempt count instead")
+	push := fs.Duration("push", 5*time.Second, "push this worker's metrics to the coordinator's federation endpoint (GET /metrics/fleet) at this interval; 0 disables")
 	debugAddr := fs.String("debug-addr", "", "serve GET /metrics and net/http/pprof on this address (workers serve no API, so this is their only scrape target)")
 	tracePath := fs.String("trace", "", "write the shard-lifecycle span journal as Chrome trace_event JSON to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -48,8 +50,11 @@ func runWork(args []string) error {
 	if *maxOffline < 0 {
 		return fmt.Errorf("-max-offline must not be negative, got %v", *maxOffline)
 	}
+	if *push < 0 {
+		return fmt.Errorf("-push must not be negative, got %v", *push)
+	}
 	return work(context.Background(), workOpts{
-		url: *url, name: *name, poll: *poll, maxOffline: *maxOffline, out: os.Stdout,
+		url: *url, name: *name, poll: *poll, maxOffline: *maxOffline, push: *push, out: os.Stdout,
 		debugAddr: *debugAddr, tracePath: *tracePath,
 	})
 }
@@ -121,6 +126,43 @@ func work(ctx context.Context, opts workOpts) error {
 	if client.Obs == nil {
 		client.Obs = reg
 	}
+	// Metrics federation: push the registry's exposition to the
+	// coordinator on a fixed cadence (the coordinator derives the
+	// liveness window from the declared interval), plus one final
+	// best-effort push on exit so the fleet view carries this worker's
+	// last word. Pushes are fire-and-forget: a failed push is simply
+	// superseded by the next one, and an unreachable coordinator is
+	// already the lease loop's problem.
+	if opts.push > 0 {
+		pushCtx, stopPush := context.WithCancel(ctx)
+		pushDone := make(chan struct{})
+		go func() {
+			defer close(pushDone)
+			ticker := time.NewTicker(opts.push)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-pushCtx.Done():
+					return
+				case <-ticker.C:
+					if err := client.PushMetrics(pushCtx, opts.name, reg.Expose(), opts.push); err != nil && pushCtx.Err() == nil {
+						logger.Debug("metrics push failed", "err", err)
+					}
+				}
+			}
+		}()
+		defer func() {
+			stopPush()
+			<-pushDone
+			finalCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			// The exit push declares no cadence: this worker will never
+			// push again, so the fleet's default staleness window applies
+			// rather than 3x a cadence that no longer exists.
+			client.PushMetrics(finalCtx, opts.name, reg.Expose(), 0)
+		}()
+	}
+
 	idle := &capi.Backoff{Base: opts.poll, Cap: idleBackoffFactor * opts.poll}
 	failures := 0
 	var offlineSince time.Time // first failure of the current unreachable streak
@@ -169,7 +211,7 @@ func work(ctx context.Context, opts workOpts) error {
 		idle.Reset()
 		hitsBefore := exec.CacheHits()
 		stopRenew := startRenewal(ctx, client, opts, lease)
-		p, err := exec.Execute(lease.Spec)
+		p, err := exec.ExecuteFor(lease.Spec, lease.Sweep)
 		stopRenew()
 		if err != nil {
 			// A shard this process cannot execute (bad spec, build failure)

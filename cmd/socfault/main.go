@@ -8,7 +8,7 @@
 //	         [-shards 4] [-journal run.jsonl] [-resume]
 //	socfault -sweep table1|table3|let [-lets 1,37,100] [-fluxes 4e8,..]
 //	         [-sweep-soc 1] [-quick] [-shards 4] [-journal grid.jsonl] [-resume]
-//	socfault -sweep table1 -submit http://coordinator:8372
+//	socfault -sweep table1 -submit http://coordinator:8372 [-watch]
 //
 // With -shards N each campaign executes as N independent shards of its
 // pre-drawn injection plan (same result, bit for bit — the shape
@@ -27,7 +27,10 @@
 // declarative description is POSTed to a running campaignd coordinator,
 // progress is watched until the fleet drains it, and the rendered
 // result — byte-identical to the local -sweep run — is fetched and
-// printed.
+// printed. Adding -watch swaps the polling loop for the coordinator's
+// live SSE event stream: one line per shard lease/completion as it
+// happens, a cost summary at the end, and automatic fallback to
+// polling against a coordinator that cannot stream.
 package main
 
 import (
@@ -37,6 +40,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/capi"
 	"repro/internal/fault"
@@ -53,6 +57,7 @@ type cliConfig struct {
 	grid    *sweep.Grid      // non-nil: run a whole experiment grid
 	params  sweep.GridParams // the grid's declarative description (with grid)
 	submit  string           // non-empty: POST the grid to this coordinator
+	watch   bool             // with submit: follow the live SSE event stream
 	ckpt    int
 	shards  int
 	journal string
@@ -87,11 +92,13 @@ func parseFlags(args []string) (*cliConfig, error) {
 	journal := fs.String("journal", "", "append each completed shard to this journal file")
 	resume := fs.Bool("resume", false, "reload -journal and skip shards it already records")
 	submit := fs.String("submit", "", "submit the -sweep grid to the campaignd coordinator at this URL instead of running it here, watch its progress, and print the fetched results")
+	watch := fs.Bool("watch", false, "with -submit: follow the coordinator's live event stream (SSE) for per-shard progress instead of polling, and print the sweep's cost summary")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	cfg := &cliConfig{
 		submit:  *submit,
+		watch:   *watch,
 		ckpt:    *ckpt,
 		shards:  *shards,
 		journal: *journal,
@@ -125,6 +132,8 @@ func parseFlags(args []string) (*cliConfig, error) {
 				return nil, fmt.Errorf("%s has no effect with -submit: the coordinator owns execution", name)
 			}
 		}
+	} else if *watch {
+		return nil, fmt.Errorf("-watch needs -submit: only a coordinator streams live events")
 	}
 	if *ckpt < 0 {
 		return nil, fmt.Errorf("-ckpt %d must not be negative", *ckpt)
@@ -284,15 +293,39 @@ func submitSweep(cfg *cliConfig) error {
 	}
 	fmt.Fprintf(os.Stderr, "socfault: sweep %s (%.12s, %d campaigns) %s %s\n",
 		reply.Name, reply.Fingerprint, reply.Campaigns, verb, cfg.submit)
-	var lastDone int = -1
-	st, err := client.WaitSweep(ctx, reply.Fingerprint, func(st capi.SweepStatus) {
-		if st.Progress.CampaignsDone != lastDone {
-			lastDone = st.Progress.CampaignsDone
-			fmt.Fprintf(os.Stderr, "socfault: %d/%d campaigns done\n", st.Progress.CampaignsDone, st.Progress.CampaignsTotal)
-		}
-	})
+	var st capi.SweepStatus
+	if cfg.watch {
+		// Live path: follow the coordinator's SSE event stream. Every
+		// lease, completion and fence prints as it happens; the client
+		// reconnects through drops and falls back to polling against a
+		// coordinator that cannot stream.
+		st, err = client.WatchSweep(ctx, reply.Fingerprint, func(ev capi.SweepEvent) {
+			line := ev.Type
+			if ev.Campaign != "" {
+				line = fmt.Sprintf("%s %s shard %d", ev.Type, ev.Campaign, ev.Shard)
+				if ev.Worker != "" {
+					line += " @" + ev.Worker
+				}
+			}
+			fmt.Fprintf(os.Stderr, "socfault: [%d/%d] %s\n", ev.CampaignsDone, ev.CampaignsTotal, line)
+		})
+	} else {
+		lastDone := -1
+		st, err = client.WaitSweep(ctx, reply.Fingerprint, func(st capi.SweepStatus) {
+			if st.Progress.CampaignsDone != lastDone {
+				lastDone = st.Progress.CampaignsDone
+				fmt.Fprintf(os.Stderr, "socfault: %d/%d campaigns done\n", st.Progress.CampaignsDone, st.Progress.CampaignsTotal)
+			}
+		})
+	}
 	if err != nil {
 		return err
+	}
+	if cfg.watch && st.Cost != nil {
+		c := st.Cost
+		fmt.Fprintf(os.Stderr, "socfault: cost: %d shards, %d injections, %v simulated, %d warm starts (%d delta-restored, %v restore), %d pruned runs\n",
+			c.Shards, c.InjectEvals, time.Duration(c.InjectWallNS).Round(time.Millisecond),
+			c.WarmStarts, c.DeltaRestores, time.Duration(c.RestoreWallNS).Round(time.Millisecond), c.PrunedRuns)
 	}
 	switch st.State {
 	case capi.StateDone:

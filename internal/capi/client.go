@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -43,17 +44,23 @@ type Client struct {
 }
 
 // normPath collapses resource identifiers out of a request path so metric
-// labels enumerate endpoints, not fingerprints.
+// labels enumerate endpoints, not fingerprints or worker names.
 func normPath(path string) string {
 	if i := strings.IndexByte(path, '?'); i >= 0 {
 		path = path[:i]
 	}
-	const pfx = "/v1/sweeps/"
-	if rest, ok := strings.CutPrefix(path, pfx); ok && rest != "" {
-		if j := strings.IndexByte(rest, '/'); j >= 0 {
-			return pfx + "{fp}" + rest[j:]
+	for pfx, ph := range map[string]string{
+		"/v1/sweeps/":  "{fp}",
+		"/v1/workers/": "{name}",
+	} {
+		rest, ok := strings.CutPrefix(path, pfx)
+		if !ok || rest == "" {
+			continue
 		}
-		return pfx + "{fp}"
+		if j := strings.IndexByte(rest, '/'); j >= 0 {
+			return pfx + ph + rest[j:]
+		}
+		return pfx + ph
 	}
 	return path
 }
@@ -371,6 +378,36 @@ func (c *Client) resultsOnce(ctx context.Context, fingerprint string) ([]byte, e
 		return nil, decodeError(resp)
 	}
 	return io.ReadAll(resp.Body)
+}
+
+// PushMetrics pushes one worker's metrics exposition text to the
+// coordinator's federation endpoint (single attempt — a failed push is
+// simply superseded by the next tick's, so retrying here would only
+// deliver stale snapshots late). interval, when positive, declares the
+// push cadence; the coordinator derives the worker's liveness window
+// from it (3x the interval).
+func (c *Client) PushMetrics(ctx context.Context, worker, text string, interval time.Duration) error {
+	path := "/v1/workers/" + url.PathEscape(worker) + "/metrics"
+	if interval > 0 {
+		path += "?interval=" + url.QueryEscape(interval.String())
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(path), strings.NewReader(text))
+	if err != nil {
+		return fmt.Errorf("capi: %v", err)
+	}
+	req.Header.Set("Content-Type", obs.ContentType)
+	start := time.Now()
+	resp, err := c.httpClient().Do(req)
+	c.observe(http.MethodPost, path, start)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
 }
 
 // WaitSweep polls the sweep until it reaches a terminal state (done,

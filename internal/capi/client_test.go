@@ -3,6 +3,7 @@ package capi
 import (
 	"context"
 	"errors"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -247,5 +248,59 @@ func TestClientRetryBoundedByDeadline(t *testing.T) {
 	}
 	if ce.RetryAfter != 5*time.Second {
 		t.Fatalf("Retry-After hint parsed as %v, want 5s", ce.RetryAfter)
+	}
+}
+
+// TestNormPath pins the metric-label path normalization: fingerprints
+// and worker names collapse to placeholders so capi_request_seconds
+// enumerates endpoints, never identities, and query strings are
+// stripped (the ?watch=1 stream shares its resource's label).
+func TestNormPath(t *testing.T) {
+	cases := map[string]string{
+		"/v1/lease":                             "/v1/lease",
+		"/v1/sweeps":                            "/v1/sweeps",
+		"/v1/sweeps/abc123def456":               "/v1/sweeps/{fp}",
+		"/v1/sweeps/abc123def456?watch=1":       "/v1/sweeps/{fp}",
+		"/v1/sweeps/abc123def456/results":       "/v1/sweeps/{fp}/results",
+		"/v1/workers/w-07/metrics":              "/v1/workers/{name}/metrics",
+		"/v1/workers/w%2F7/metrics?interval=5s": "/v1/workers/{name}/metrics",
+	}
+	for in, want := range cases {
+		if got := normPath(in); got != want {
+			t.Errorf("normPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPushMetricsSingleAttempt pins that a metrics push is
+// fire-and-forget: a 500 reply surfaces as an error after exactly one
+// attempt (the next tick's push supersedes it), and the request carries
+// the worker name, interval, and exposition body verbatim.
+func TestPushMetricsSingleAttempt(t *testing.T) {
+	var attempts atomic.Int32
+	var gotPath, gotQuery, gotBody string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		gotPath = r.URL.Path
+		gotQuery = r.URL.RawQuery
+		b, _ := io.ReadAll(r.Body)
+		gotBody = string(b)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	c := fastClient(srv.URL)
+	err := c.PushMetrics(context.Background(), "w1", "# TYPE up gauge\nup 1\n", 5*time.Second)
+	if err == nil {
+		t.Fatal("push against a 500 endpoint succeeded")
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Fatalf("push made %d attempts, want exactly 1", n)
+	}
+	if gotPath != "/v1/workers/w1/metrics" || gotQuery != "interval=5s" {
+		t.Fatalf("push hit %s?%s", gotPath, gotQuery)
+	}
+	if gotBody != "# TYPE up gauge\nup 1\n" {
+		t.Fatalf("push body %q", gotBody)
 	}
 }

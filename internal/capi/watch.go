@@ -1,0 +1,166 @@
+package capi
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WatchSweep follows a sweep live over the coordinator's SSE stream
+// (GET /v1/sweeps/{fp}?watch=1) until it reaches a terminal state, and
+// returns that terminal status. onEvent, if non-nil, receives every
+// sweep event exactly once, in sequence order with no gaps: the client
+// remembers the last delivered sequence number, resumes each reconnect
+// from it via Last-Event-ID, and drops any replayed duplicates — so a
+// dropped connection, a 503 mid-drain, or a coordinator failover is
+// invisible to the callback beyond a pause.
+//
+// Transport failures and 5xx replies reconnect with jittered backoff.
+// A coordinator judgment (4xx — e.g. a build that predates the watch
+// endpoint behind a proxy) and a reconnect budget exhausted without any
+// forward progress both fall back to the polling WaitSweep path, so
+// WatchSweep never does worse than polling.
+func (c *Client) WatchSweep(ctx context.Context, fingerprint string, onEvent func(SweepEvent)) (SweepStatus, error) {
+	bo := &Backoff{Base: 200 * time.Millisecond, Cap: 3 * time.Second}
+	var lastID uint64
+	stalls := 0
+	budget := c.Retries
+	if budget == 0 {
+		budget = DefaultRetries
+	}
+	for {
+		st, terminal, progressed, err := c.watchOnce(ctx, fingerprint, &lastID, onEvent)
+		if terminal {
+			return st, nil
+		}
+		if ctx.Err() != nil {
+			return SweepStatus{}, ctx.Err()
+		}
+		if IsRefusal(err) {
+			return c.WaitSweep(ctx, fingerprint, nil)
+		}
+		if progressed {
+			stalls = 0
+			bo = &Backoff{Base: 200 * time.Millisecond, Cap: 3 * time.Second}
+		} else if stalls++; stalls >= budget {
+			return c.WaitSweep(ctx, fingerprint, nil)
+		}
+		select {
+		case <-time.After(bo.Next()):
+		case <-ctx.Done():
+			return SweepStatus{}, ctx.Err()
+		}
+	}
+}
+
+// watchOnce holds one SSE connection open and pumps its messages.
+// terminal is true once a "status" message carrying a terminal state
+// arrived (st is that status); progressed reports whether any new event
+// was delivered on this connection, which is what resets the caller's
+// reconnect budget.
+func (c *Client) watchOnce(ctx context.Context, fingerprint string, lastID *uint64, onEvent func(SweepEvent)) (st SweepStatus, terminal, progressed bool, err error) {
+	path := "/v1/sweeps/" + fingerprint + "?watch=1"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return st, false, false, fmt.Errorf("capi: %v", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *lastID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(*lastID, 10))
+	}
+	start := time.Now()
+	resp, err := c.streamClient().Do(req)
+	c.observe(http.MethodGet, path, start)
+	if err != nil {
+		return st, false, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, false, false, decodeError(resp)
+	}
+
+	// Minimal SSE reader: id/event/data fields accumulate, a blank line
+	// dispatches the message, ": ..." lines are heartbeat comments.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	var id uint64
+	var event string
+	var data strings.Builder
+	reset := func() { id, event = 0, ""; data.Reset() }
+	for sc.Scan() {
+		line := sc.Text()
+		if line != "" && line[0] == ':' {
+			continue
+		}
+		if line != "" {
+			field, val, ok := strings.Cut(line, ":")
+			if !ok {
+				field, val = line, ""
+			}
+			val = strings.TrimPrefix(val, " ")
+			switch field {
+			case "id":
+				id, _ = strconv.ParseUint(val, 10, 64)
+			case "event":
+				event = val
+			case "data":
+				if data.Len() > 0 {
+					data.WriteByte('\n')
+				}
+				data.WriteString(val)
+			}
+			continue
+		}
+		// Blank line: dispatch the accumulated message.
+		switch event {
+		case "sweep":
+			var ev SweepEvent
+			if err := json.Unmarshal([]byte(data.String()), &ev); err != nil {
+				return st, false, progressed, fmt.Errorf("capi: malformed watch event: %v", err)
+			}
+			// The server replays from Last-Event-ID on resume; anything at
+			// or below the high-water mark is a duplicate, not a delivery.
+			if ev.Seq > *lastID {
+				*lastID = ev.Seq
+				progressed = true
+				if onEvent != nil {
+					onEvent(ev)
+				}
+			}
+		case "status":
+			if err := json.Unmarshal([]byte(data.String()), &st); err != nil {
+				return st, false, progressed, fmt.Errorf("capi: malformed watch status: %v", err)
+			}
+			if id > *lastID {
+				*lastID = id
+			}
+			progressed = true
+			if TerminalState(st.State) {
+				return st, true, true, nil
+			}
+		}
+		reset()
+	}
+	// The stream ended without a terminal status — a cut connection or a
+	// coordinator going away mid-sweep; the caller reconnects and resumes.
+	if err := sc.Err(); err != nil {
+		return st, false, progressed, err
+	}
+	return st, false, progressed, fmt.Errorf("capi: watch stream for %.12s ended early", fingerprint)
+}
+
+// streamClient is the HTTP client for long-lived streams: an explicit
+// c.HTTP is honored, but the default client's 30-second request timeout
+// would sever any watch longer than that, so streams otherwise use a
+// timeout-free client and rely on the context for cancellation.
+func (c *Client) streamClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{}
+}

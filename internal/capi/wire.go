@@ -15,13 +15,17 @@
 //	POST   /v1/sweeps               SubmitRequest -> 201/200 SubmitReply
 //	GET    /v1/sweeps               -> 200 []SweepSummary
 //	GET    /v1/sweeps/{fp}          -> 200 SweepStatus
+//	GET    /v1/sweeps/{fp}?watch=1  -> 200 text/event-stream of SweepEvent,
+//	                                closed by a terminal "status" message;
+//	                                Last-Event-ID resumes
 //	GET    /v1/sweeps/{fp}/results  -> 200 text/plain rendered grid
 //	DELETE /v1/sweeps/{fp}          -> 200 SweepStatus (cancel)
 //	POST   /v1/lease                LeaseRequest -> 200 shard.Lease,
 //	                                204 idle, 410 drained
 //	POST   /v1/complete             CompleteRequest -> 200
 //	POST   /v1/renew                RenewRequest -> 200 RenewReply
-//	GET    /v1/progress             deprecated alias of GET /v1/sweeps/{fp}
+//	POST   /v1/workers/{name}/metrics  exposition text -> 204 (federation
+//	                                push; merged view at GET /metrics/fleet)
 //
 // Every error reply is the JSON envelope {"error":{"code","message"}}
 // with Content-Type application/json and a meaningful status code.
@@ -94,7 +98,30 @@ type SweepStatus struct {
 	State       string              `json:"state"`
 	Error       string              `json:"error,omitempty"` // set when State is failed
 	Progress    sweep.SweepProgress `json:"progress"`
+	// Cost is the sweep's accumulated simulation spend, summed over the
+	// journaled shard results of its campaigns — per-sweep accounting for
+	// the future quota/fair-share scheduler. Present once any shard has
+	// been journaled.
+	Cost *SweepCost `json:"cost,omitempty"`
 }
+
+// SweepCost is a sweep's resource accounting: totals over every shard
+// result the coordinator has journaled for it (first result per shard
+// wins, so duplicated or speculated shards are not double-billed).
+type SweepCost struct {
+	Shards        int    `json:"shards"`
+	InjectEvals   uint64 `json:"inject_evals"`
+	InjectWallNS  int64  `json:"inject_wall_ns"`
+	RestoreWallNS int64  `json:"restore_wall_ns"`
+	WarmStarts    uint64 `json:"warm_starts"`
+	PrunedRuns    uint64 `json:"pruned_runs"`
+	DeltaRestores uint64 `json:"delta_restores"`
+}
+
+// SweepEvent is one entry of the ?watch=1 SSE stream — the wire shape is
+// sweep.Event verbatim (per-sweep monotonic Seq starting at 1, gap-free;
+// the SSE id field carries the same Seq for Last-Event-ID resume).
+type SweepEvent = sweep.Event
 
 // LeaseRequest asks for one shard lease.
 type LeaseRequest struct {

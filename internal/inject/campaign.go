@@ -259,6 +259,15 @@ type Campaign struct {
 	restoreWallNS atomic.Int64
 }
 
+// SetMetrics swaps the campaign's metrics sink. Metrics never feed back
+// into simulation, so swapping sinks between runs cannot change any
+// verdict; callers must not swap while a run is in flight
+// (shard.Executor serializes execution and swaps around each shard).
+func (c *Campaign) SetMetrics(m *Metrics) { c.opts.Metrics = m }
+
+// Metrics returns the campaign's current metrics sink (possibly nil).
+func (c *Campaign) Metrics() *Metrics { return c.opts.Metrics }
+
 // goldenCheckpoint is one snapshot of the golden run: the engine state at
 // the start of clock cycle `cycle` (just after its rising edge). Under
 // CompareVCD it additionally carries the golden VCD writer's dump state at

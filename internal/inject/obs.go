@@ -25,6 +25,12 @@ type Metrics struct {
 	// synthetic "restore" span whose duration is the range's cumulative
 	// restore wall.
 	Tracer *obs.Tracer
+	// Chain, when non-nil, receives every record call too. It lets a
+	// per-sweep cost sink stack on top of the process-lifetime fleet
+	// counters without the call site knowing about either: the executor
+	// swaps in a cost Metrics chained to the worker's original one for
+	// the duration of a shard.
+	Chain *Metrics
 }
 
 // NewMetrics registers the inject metric family on r (eagerly, so series
@@ -40,11 +46,28 @@ func NewMetrics(r *obs.Registry) *Metrics {
 	}
 }
 
+// NewCostMetrics registers the per-sweep cost attribution family on r —
+// the same counters NewMetrics mirrors, renamed sweep_cost_* and labeled
+// with the sweep's fp12 — and returns the handles. Unlike the fleet
+// totals these series exist only while their sweep is being executed on
+// this process; they are how a worker's spend is broken down by sweep on
+// the federated scrape. A nil registry yields an all-no-op Metrics.
+func NewCostMetrics(r *obs.Registry, sweep string) *Metrics {
+	return &Metrics{
+		Evals:         r.NewCounter("sweep_cost_evals_total", "Simulator cell evaluations attributed to the sweep.", "sweep", sweep),
+		WarmStarts:    r.NewCounter("sweep_cost_warm_starts_total", "Warm starts attributed to the sweep.", "sweep", sweep),
+		PrunedRuns:    r.NewCounter("sweep_cost_pruned_runs_total", "Pruned runs attributed to the sweep.", "sweep", sweep),
+		DeltaRestores: r.NewCounter("sweep_cost_delta_restores_total", "Delta restores attributed to the sweep.", "sweep", sweep),
+		RestoreWallNS: r.NewCounter("sweep_cost_restore_wall_ns_total", "Restore wall nanoseconds attributed to the sweep.", "sweep", sweep),
+	}
+}
+
 // record publishes one RunJobs range's work deltas and spans.
 func (m *Metrics) record(began time.Time, start, end int, evals, warm, pruned, deltas uint64, restoreNS int64) {
 	if m == nil {
 		return
 	}
+	m.Chain.record(began, start, end, evals, warm, pruned, deltas, restoreNS)
 	m.Evals.Add(evals)
 	m.WarmStarts.Add(warm)
 	m.PrunedRuns.Add(pruned)

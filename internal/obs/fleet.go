@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fleet merges worker-pushed expositions into one federated scrape. Each
+// worker periodically POSTs its registry's text exposition; Push runs it
+// through the same strict ParseText every test scrape uses (a malformed
+// push is rejected wholesale, never half-ingested) and stores the parsed
+// series. Expose re-renders the union with a `worker` label stamped on
+// every sample — series identity stays unique across workers by
+// construction — plus fleet_workers{state} liveness gauges derived from
+// push recency: a worker is live while the time since its last push is
+// within its staleness window (3x its declared push interval, or the
+// fleet default when it didn't declare one).
+//
+// The merged exposition round-trips through ParseText: one TYPE line per
+// family, samples after their TYPE, histogram bucket/sum/count triplets
+// kept intact per worker, deterministic sorted order.
+type Fleet struct {
+	mu      sync.Mutex
+	stale   time.Duration // default staleness window
+	now     func() time.Time
+	workers map[string]*fleetEntry
+}
+
+type fleetEntry struct {
+	scrape     *Scrape
+	pushed     time.Time
+	staleAfter time.Duration
+	pushes     uint64
+}
+
+// DefaultFleetStale is the liveness window for workers that don't declare
+// a push interval.
+const DefaultFleetStale = 30 * time.Second
+
+// NewFleet returns an empty fleet store. stale <= 0 selects
+// DefaultFleetStale.
+func NewFleet(stale time.Duration) *Fleet {
+	if stale <= 0 {
+		stale = DefaultFleetStale
+	}
+	return &Fleet{stale: stale, now: time.Now, workers: map[string]*fleetEntry{}}
+}
+
+// SetNow overrides the clock (tests).
+func (f *Fleet) SetNow(now func() time.Time) {
+	f.mu.Lock()
+	f.now = now
+	f.mu.Unlock()
+}
+
+// Push ingests one worker's exposition text, replacing whatever that
+// worker pushed before. interval is the worker's declared push cadence
+// (its staleness window becomes 3x that); interval <= 0 keeps the fleet
+// default. The push is rejected — atomically, the previous snapshot kept —
+// if the text fails the strict parser, any series already carries a
+// `worker` label, any family name collides with the fleet's own
+// `fleet_*` series, or a family's declared type conflicts with the type
+// another worker pushed for the same family.
+func (f *Fleet) Push(worker, text string, interval time.Duration) error {
+	if worker == "" {
+		return fmt.Errorf("fleet push: empty worker name")
+	}
+	sc, err := ParseText(text)
+	if err != nil {
+		return fmt.Errorf("fleet push from %q: %v", worker, err)
+	}
+	for key, s := range sc.Series {
+		if _, clash := s.Labels["worker"]; clash {
+			return fmt.Errorf("fleet push from %q: series %s already carries the reserved worker label", worker, key)
+		}
+		if strings.HasPrefix(s.Name, "fleet_") {
+			return fmt.Errorf("fleet push from %q: series %s collides with the fleet_ namespace", worker, key)
+		}
+	}
+	for name := range sc.Types {
+		if strings.HasPrefix(name, "fleet_") {
+			return fmt.Errorf("fleet push from %q: family %s collides with the fleet_ namespace", worker, name)
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for other, e := range f.workers {
+		if other == worker {
+			continue
+		}
+		for name, kind := range sc.Types {
+			if have, ok := e.scrape.Types[name]; ok && have != kind {
+				return fmt.Errorf("fleet push from %q: family %s is %s but worker %q pushed it as %s",
+					worker, name, kind, other, have)
+			}
+		}
+	}
+	staleAfter := f.stale
+	if interval > 0 {
+		staleAfter = 3 * interval
+	}
+	prev := f.workers[worker]
+	e := &fleetEntry{scrape: sc, pushed: f.now(), staleAfter: staleAfter}
+	if prev != nil {
+		e.pushes = prev.pushes
+	}
+	e.pushes++
+	f.workers[worker] = e
+	return nil
+}
+
+// Workers returns the number of live and stale workers at now.
+func (f *Fleet) Workers() (live, stale int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.countLocked(f.now())
+}
+
+func (f *Fleet) countLocked(now time.Time) (live, stale int) {
+	for _, e := range f.workers {
+		if now.Sub(e.pushed) <= e.staleAfter {
+			live++
+		} else {
+			stale++
+		}
+	}
+	return live, stale
+}
+
+// Expose renders the federated exposition: every pushed series with a
+// `worker` label added, families sorted by name with one TYPE line each
+// and lexicographically sorted samples, plus the fleet's own series
+// (fleet_workers{state} liveness gauges, fleet_pushes_total{worker}).
+// Stale workers' series remain exposed — their last known state is still
+// information — and are accounted under fleet_workers{state="stale"}.
+func (f *Fleet) Expose() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := f.now()
+
+	type fam struct {
+		kind  string
+		lines []string
+	}
+	fams := map[string]*fam{}
+	getFam := func(name string) *fam {
+		fm := fams[name]
+		if fm == nil {
+			fm = &fam{}
+			fams[name] = fm
+		}
+		return fm
+	}
+	names := make([]string, 0, len(f.workers))
+	for w := range f.workers {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	for _, w := range names {
+		e := f.workers[w]
+		for name, kind := range e.scrape.Types {
+			getFam(name).kind = kind
+		}
+		for _, s := range e.scrape.Series {
+			labels := flatten(s.Labels)
+			labels = append(labels, "worker", w)
+			line := s.Name + renderLabels(labels) + " " + formatFloat(s.Value)
+			getFam(familyOf(s.Name, e.scrape.Types)).lines = append(getFam(familyOf(s.Name, e.scrape.Types)).lines, line)
+		}
+	}
+
+	live, stale := f.countLocked(now)
+	fams["fleet_workers"] = &fam{kind: "gauge", lines: []string{
+		`fleet_workers{state="live"} ` + formatFloat(float64(live)),
+		`fleet_workers{state="stale"} ` + formatFloat(float64(stale)),
+	}}
+	pushes := &fam{kind: "counter"}
+	for _, w := range names {
+		pushes.lines = append(pushes.lines,
+			`fleet_pushes_total{worker="`+escapeLabel(w)+`"} `+formatFloat(float64(f.workers[w].pushes)))
+	}
+	if len(pushes.lines) > 0 {
+		fams["fleet_pushes_total"] = pushes
+	}
+
+	famNames := make([]string, 0, len(fams))
+	for name := range fams {
+		famNames = append(famNames, name)
+	}
+	sort.Strings(famNames)
+	var sb strings.Builder
+	for _, name := range famNames {
+		fm := fams[name]
+		if fm.kind != "" {
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", name, fm.kind)
+		}
+		sort.Strings(fm.lines)
+		for _, line := range fm.lines {
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// Handler serves the federated exposition, suitable for mounting at
+// GET /metrics/fleet.
+func (f *Fleet) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		fmt.Fprint(w, f.Expose())
+	})
+}

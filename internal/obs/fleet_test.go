@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// workerExposition builds a realistic worker registry exposition: a
+// labeled counter, a gauge, and a histogram — the three kinds a real
+// worker pushes.
+func workerExposition(t *testing.T, shards float64) string {
+	t.Helper()
+	r := NewRegistry()
+	r.NewCounter("shards_executed_total", "Shards executed.", "engine", "EventSim").Add(uint64(shards))
+	r.NewGauge("exec_busy", "Executor busy flag.").Set(1)
+	h := r.NewHistogram("shard_wall_seconds", "Shard wall clock.", []float64{0.1, 1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	return r.Expose()
+}
+
+// TestFleetMergeRoundTrips pins the federation contract: the merged
+// exposition re-parses under the same strict parser every test scrape
+// uses, every pushed series carries the worker label, values survive
+// the round trip, and the fleet's own liveness gauges are present.
+func TestFleetMergeRoundTrips(t *testing.T) {
+	f := NewFleet(0)
+	if err := f.Push("w1", workerExposition(t, 3), time.Second); err != nil {
+		t.Fatalf("push w1: %v", err)
+	}
+	if err := f.Push("w2", workerExposition(t, 7), time.Second); err != nil {
+		t.Fatalf("push w2: %v", err)
+	}
+
+	text := f.Expose()
+	sc, err := ParseText(text)
+	if err != nil {
+		t.Fatalf("merged exposition fails the strict parser: %v\n%s", err, text)
+	}
+	for key, s := range sc.Series {
+		if strings.HasPrefix(s.Name, "fleet_workers") {
+			continue
+		}
+		if s.Labels["worker"] == "" {
+			t.Errorf("merged series %s lacks the worker label", key)
+		}
+	}
+	if v, ok := sc.Value("shards_executed_total", "engine", "EventSim", "worker", "w1"); !ok || v != 3 {
+		t.Errorf("w1 counter = %v, %v; want 3, true", v, ok)
+	}
+	if v, ok := sc.Value("shards_executed_total", "engine", "EventSim", "worker", "w2"); !ok || v != 7 {
+		t.Errorf("w2 counter = %v, %v; want 7, true", v, ok)
+	}
+	if v, ok := sc.Value("shard_wall_seconds_count", "worker", "w1"); !ok || v != 2 {
+		t.Errorf("w1 histogram count = %v, %v; want 2, true", v, ok)
+	}
+	if v, ok := sc.Value("fleet_workers", "state", "live"); !ok || v != 2 {
+		t.Errorf("fleet_workers live = %v, %v; want 2, true", v, ok)
+	}
+	if v, ok := sc.Value("fleet_workers", "state", "stale"); !ok || v != 0 {
+		t.Errorf("fleet_workers stale = %v, %v; want 0, true", v, ok)
+	}
+	if v, ok := sc.Value("fleet_pushes_total", "worker", "w1"); !ok || v != 1 {
+		t.Errorf("fleet_pushes_total w1 = %v, %v; want 1, true", v, ok)
+	}
+}
+
+// TestFleetPushRejections pins the whole-push rejection rules: malformed
+// text, the reserved worker label, the fleet_ namespace, cross-worker
+// type conflicts, and the empty worker name are all refused — and a
+// refused push leaves the worker's previous snapshot intact.
+func TestFleetPushRejections(t *testing.T) {
+	f := NewFleet(0)
+	if err := f.Push("w1", "# TYPE good counter\ngood 1\n", 0); err != nil {
+		t.Fatalf("seed push: %v", err)
+	}
+	bad := []struct {
+		worker, text, reason string
+	}{
+		{"w1", "not a metric line at all{{{\n", "malformed text"},
+		{"w1", "# TYPE x counter\nx{worker=\"smuggled\"} 1\n", "reserved worker label"},
+		{"w1", "# TYPE fleet_workers gauge\nfleet_workers 1\n", "fleet_ namespace"},
+		{"w2", "# TYPE good gauge\ngood 1\n", "type conflict with w1"},
+		{"", "# TYPE x counter\nx 1\n", "empty worker name"},
+	}
+	for _, tc := range bad {
+		if err := f.Push(tc.worker, tc.text, 0); err == nil {
+			t.Errorf("push (%s) unexpectedly accepted", tc.reason)
+		}
+	}
+	sc, err := ParseText(f.Expose())
+	if err != nil {
+		t.Fatalf("exposition after rejected pushes: %v", err)
+	}
+	if v, ok := sc.Value("good", "worker", "w1"); !ok || v != 1 {
+		t.Errorf("w1 snapshot after rejected pushes = %v, %v; want 1, true", v, ok)
+	}
+	if live, stale := f.Workers(); live != 1 || stale != 0 {
+		t.Errorf("workers = %d live, %d stale; want 1, 0", live, stale)
+	}
+}
+
+// TestFleetStaleness pins the liveness rule: a worker goes stale 3x its
+// declared push interval after its last push, its last series stay
+// exposed, and the next push revives it and bumps its push counter.
+func TestFleetStaleness(t *testing.T) {
+	f := NewFleet(0)
+	clock := time.Unix(1000, 0)
+	f.SetNow(func() time.Time { return clock })
+
+	if err := f.Push("w1", "# TYPE up gauge\nup 1\n", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if live, stale := f.Workers(); live != 1 || stale != 0 {
+		t.Fatalf("fresh worker: %d live, %d stale", live, stale)
+	}
+
+	clock = clock.Add(3*time.Second + time.Millisecond) // past 3x interval
+	if live, stale := f.Workers(); live != 0 || stale != 1 {
+		t.Fatalf("after window: %d live, %d stale", live, stale)
+	}
+	sc, err := ParseText(f.Expose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sc.Value("fleet_workers", "state", "stale"); !ok || v != 1 {
+		t.Errorf("fleet_workers stale = %v, %v; want 1, true", v, ok)
+	}
+	if _, ok := sc.Value("up", "worker", "w1"); !ok {
+		t.Error("stale worker's last series vanished from the exposition")
+	}
+
+	if err := f.Push("w1", "# TYPE up gauge\nup 1\n", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if live, stale := f.Workers(); live != 1 || stale != 0 {
+		t.Fatalf("after re-push: %d live, %d stale", live, stale)
+	}
+	sc, err = ParseText(f.Expose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sc.Value("fleet_pushes_total", "worker", "w1"); !ok || v != 2 {
+		t.Errorf("fleet_pushes_total = %v, %v; want 2, true", v, ok)
+	}
+}

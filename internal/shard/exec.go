@@ -230,8 +230,23 @@ func (e *Executor) Adopt(b *Built) {
 // Execution is serialized: a shard already fans out over all cores
 // internally, so concurrent Execute calls would only thrash.
 func (e *Executor) Execute(sp Spec) (*Partial, error) {
+	return e.ExecuteFor(sp, "")
+}
+
+// ExecuteFor is Execute with the shard's spend attributed to a sweep:
+// for the duration of the shard the campaign's metrics sink is swapped
+// for a sweep-labeled cost sink chained to the original (fleet totals
+// keep accumulating), and shard wall / cache hits are counted under the
+// same label. sweep is the fp12 from Lease.Sweep; empty disables
+// attribution. Attribution is pure accounting — the computed Partial is
+// bit-identical either way.
+func (e *Executor) ExecuteFor(sp Spec, sweep string) (*Partial, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	reg := e.m.Registry()
+	if reg == nil {
+		sweep = ""
+	}
 	fp := sp.Campaign.Fingerprint()
 	if sp.Fingerprint != "" && sp.Fingerprint != fp {
 		return nil, fmt.Errorf("shard: spec fingerprint %.12s does not match its campaign spec %.12s", sp.Fingerprint, fp)
@@ -240,6 +255,9 @@ func (e *Executor) Execute(sp Spec) (*Partial, error) {
 	if p, ok := e.results[key]; ok {
 		e.hits++
 		e.met().CacheHits.Inc()
+		if sweep != "" {
+			reg.NewCounter("sweep_cost_cache_hits_total", "Executor cache hits attributed to the sweep.", "sweep", sweep).Inc()
+		}
 		e.touch(fp)
 		return p, nil
 	}
@@ -254,10 +272,21 @@ func (e *Executor) Execute(sp Spec) (*Partial, error) {
 		e.tracer.Span("golden", "shard", 0, 0, start, map[string]any{"campaign": short(fp)})
 		e.built[fp] = b
 	}
+	if sweep != "" {
+		cm := inject.NewCostMetrics(reg, sweep)
+		cm.Chain = b.Run.Campaign.Metrics()
+		b.Run.Campaign.SetMetrics(cm)
+		defer b.Run.Campaign.SetMetrics(cm.Chain)
+	}
 	start := time.Now()
 	p, err := ExecuteOn(b, sp)
 	if err != nil {
 		return nil, err
+	}
+	if sweep != "" {
+		reg.NewCounter("sweep_cost_shards_total", "Shards executed for the sweep on this worker.", "sweep", sweep).Inc()
+		reg.NewCounter("sweep_cost_shard_wall_ns_total", "Shard execution wall nanoseconds attributed to the sweep.", "sweep", sweep).
+			Add(uint64(time.Since(start).Nanoseconds()))
 	}
 	e.tracer.Span("execute", "shard", 0, int64(sp.Index), start, map[string]any{
 		"campaign": short(fp), "shard": sp.Index, "start": sp.Start, "end": sp.End,

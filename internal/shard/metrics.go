@@ -21,6 +21,11 @@ type Metrics struct {
 	// ShardDur observes lease-grant-to-completion wall time, in seconds,
 	// for shards finished under a live lease.
 	ShardDur *obs.Histogram
+
+	// reg is the registry the handles were minted from. The executor uses
+	// it to register per-sweep cost series on demand (the sweep set isn't
+	// known at NewMetrics time). Nil when instrumentation is off.
+	reg *obs.Registry
 }
 
 // NewMetrics registers the shard metric family on r (eagerly, so every
@@ -35,7 +40,17 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		Speculated: r.NewCounter("shard_speculated_total", "Straggler shards re-issued as speculative backup leases."),
 		CacheHits:  r.NewCounter("shard_cache_hits_total", "Executor golden-run/result cache hits."),
 		ShardDur:   r.NewHistogram("shard_duration_seconds", "Observed lease-to-completion shard wall time.", obs.DurationBuckets),
+		reg:        r,
 	}
+}
+
+// Registry returns the registry the metrics were minted from (nil when
+// instrumentation is off or m is nil).
+func (m *Metrics) Registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
 }
 
 // observeDur records one completed shard's lease-to-completion time.

@@ -92,6 +92,12 @@ type Lease struct {
 	// SpeculativeLease, so coordinators can trace and count re-issues
 	// distinctly from first-issue leases.
 	Speculative bool `json:"speculative,omitempty"`
+	// Sweep is the fp12 of the sweep the shard belongs to, stamped by
+	// sweep.Pool when it grants the lease. Workers thread it through
+	// Executor.ExecuteFor so the shard's simulation spend is attributed
+	// to its sweep (sweep_cost_* series). Empty outside a sweep pool;
+	// purely accounting, never a routing or correctness input.
+	Sweep string `json:"sweep,omitempty"`
 
 	granted time.Time // lease grant time, for shard-duration observation
 }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -51,6 +52,7 @@ type Pool struct {
 	cancelled  bool
 	metrics    *shard.Metrics // applied to every queue, current and future
 	obsReg     *obs.Registry  // holds this pool's per-sweep gauges
+	events     *eventLog      // ordered progress stream for watchers
 }
 
 // DefaultSpeculateFactor is the straggler threshold: a leased shard is
@@ -79,11 +81,13 @@ func NewPool(ss SweepSpec, ttl time.Duration) (*Pool, error) {
 		affinity:   map[string]int{},
 		compCh:     make(chan int, len(ss.Items)),
 		doneCh:     make(chan struct{}),
+		events:     newEventLog(),
 	}
 	for i, it := range ss.Items {
 		p.fps[i] = it.Campaign.Fingerprint()
 		p.byFP[p.fps[i]] = i
 	}
+	p.emit("submit", "", -1, "")
 	return p, nil
 }
 
@@ -250,7 +254,7 @@ func (p *Pool) Lease(worker string, now time.Time) (*shard.Lease, bool) {
 	}
 	if idx, ok := p.affinity[worker]; ok && p.queues[idx] != nil && !p.completed[idx] {
 		if l, ok := p.queues[idx].Lease(worker, now); ok {
-			return l, true
+			return p.granted(l, idx), true
 		}
 	}
 	// Load counts both active leases and workers whose last lease was on
@@ -287,7 +291,20 @@ func (p *Pool) Lease(worker string, now time.Time) (*shard.Lease, bool) {
 		return nil, false
 	}
 	p.affinity[worker] = best
-	return l, true
+	return p.granted(l, best), true
+}
+
+// granted stamps the sweep's identity onto a freshly issued lease — the
+// worker threads it through execution for per-sweep cost attribution —
+// and records the grant on the event stream. Callers hold p.mu.
+func (p *Pool) granted(l *shard.Lease, idx int) *shard.Lease {
+	l.Sweep = shortFP(p.sweepFP)
+	typ := "lease"
+	if l.Speculative {
+		typ = "speculate"
+	}
+	p.emit(typ, p.fps[idx], l.Spec.Index, l.Worker)
+	return l
 }
 
 // speculate hands an idle worker a backup lease of a straggling shard,
@@ -306,13 +323,13 @@ func (p *Pool) speculate(worker string, now time.Time) (*shard.Lease, bool) {
 	}
 	if idx, ok := p.affinity[worker]; ok {
 		if l, ok := try(idx); ok {
-			return l, true
+			return p.granted(l, idx), true
 		}
 	}
 	for i := range p.queues {
 		if l, ok := try(i); ok {
 			p.affinity[worker] = i
-			return l, true
+			return p.granted(l, i), true
 		}
 	}
 	return nil, false
@@ -335,9 +352,17 @@ func (p *Pool) Complete(fingerprint, leaseID string, epoch uint64, partial *shar
 	if err != nil {
 		return err
 	}
+	shardIdx := -1
+	if partial != nil {
+		shardIdx = partial.Index
+	}
 	if err := q.Complete(leaseID, epoch, partial, now); err != nil {
+		if errors.Is(err, shard.ErrStaleEpoch) {
+			p.emit("fence", fingerprint, shardIdx, "")
+		}
 		return err
 	}
+	p.emit("complete", fingerprint, shardIdx, "")
 	p.notifyIfDone(idx)
 	return nil
 }
@@ -425,6 +450,7 @@ func (p *Pool) notifyIfDone(idx int) {
 	p.compCh <- idx
 	if p.doneCount == len(p.items) {
 		close(p.doneCh)
+		p.emit("done", "", -1, "")
 	}
 }
 
