@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race ci bench-smoke sweep-smoke chaos-smoke obs-smoke watch-smoke bench clean
+.PHONY: all vet build test race ci bench-smoke sweep-smoke chaos-smoke obs-smoke watch-smoke lake-smoke bench clean
 
 all: ci
 
@@ -19,7 +19,7 @@ test:
 # pool, wire client, journal tailer, metrics registry and the
 # coordinator itself — under the race detector.
 race:
-	$(GO) test -race -count=1 ./internal/shard ./internal/sweep ./internal/capi ./internal/runstore ./internal/chaos ./internal/obs ./cmd/campaignd
+	$(GO) test -race -count=1 ./internal/shard ./internal/sweep ./internal/capi ./internal/runstore ./internal/chaos ./internal/obs ./internal/lake ./cmd/campaignd
 
 ci: vet build test race
 
@@ -82,6 +82,15 @@ obs-smoke:
 # attribution.
 watch-smoke:
 	$(GO) test ./cmd/campaignd -race -run '^(TestWatchMatchesPoll|TestFleetFederation)$$' -count=1 -v
+
+# lake-smoke is the artifact-lake gate: two workers share one golden
+# build through the coordinator's lake (exactly one "golden" span
+# fleet-wide, worker lake hits nonzero), a resubmitted sweep on the same
+# lake completes with zero re-simulated shards and no workers at all,
+# and a lake chaos-failed mid-sweep still drains to output byte-identical
+# to the in-process reference — all under the race detector.
+lake-smoke:
+	$(GO) test ./cmd/campaignd -race -run '^(TestLakeGoldenSharedOnce|TestLakeCrossSweepReuse|TestLakeChaosMidSweep)$$' -count=1 -v
 
 # bench runs the full table/figure harness (minutes).
 bench:

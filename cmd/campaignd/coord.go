@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/capi"
 	"repro/internal/inject"
+	"repro/internal/lake"
 	"repro/internal/obs"
 	"repro/internal/runstore"
 	"repro/internal/shard"
@@ -81,6 +82,9 @@ type registry struct {
 	fleet     *obs.Fleet     // worker-pushed metrics federation; nil only in unit tests
 	sm        *shard.Metrics // lease/fence/speculation counters, shared by every pool
 	tracer    *obs.Tracer    // shard-lifecycle span journal; nil = tracing off
+	lake      *lake.Store    // fleet-wide artifact lake; nil = disabled
+	builder   shard.Builder  // campaign construction backend (lake-backed when lake is set)
+	partials  shard.PartialCache // lake partial cache; nil = disabled
 	initial   *sweepRun      // the self-submitted sweep, if any
 	outPath   string         // initial sweep's rendered-output file
 	outDir    string         // initial sweep's per-campaign JSON directory
@@ -392,13 +396,18 @@ func (g *registry) drive(sr *sweepRun) error {
 			default:
 			}
 			buildStart := time.Now()
-			b, err := shard.Build(it.Campaign)
+			b, fetched, err := g.buildCampaign(it.Campaign)
 			if err != nil {
 				buildErr <- fmt.Errorf("building campaign %q: %v", it.Key, err)
 				return
 			}
-			g.tracer.Span("golden", "coord", 0, int64(i), buildStart,
-				map[string]any{"campaign": fp12(b.Fingerprint)})
+			// The "golden" span marks a real golden simulation; a campaign
+			// adopted from the artifact lake emits none, which is what lets a
+			// fleet trace assert each golden run happened exactly once anywhere.
+			if !fetched {
+				g.tracer.Span("golden", "coord", 0, int64(i), buildStart,
+					map[string]any{"campaign": fp12(b.Fingerprint)})
+			}
 			// A sweep's one -shards knob covers campaigns of very different
 			// sizes, so tiny campaigns degrade to fewer shards; a single
 			// campaign keeps the strict fail-fast validation socfault has.
@@ -420,7 +429,7 @@ func (g *registry) drive(sr *sweepRun) error {
 				return
 			default:
 			}
-			nJournaled, err := sr.pool.Open(i, specs, g.journaledFor(b.Fingerprint))
+			nJournaled, err := sr.pool.Open(i, specs, g.seedPartials(b.Fingerprint, specs))
 			if err != nil {
 				buildErr <- err
 				return
@@ -485,6 +494,52 @@ func (g *registry) drive(sr *sweepRun) error {
 			"results", "/v1/sweeps/"+sr.fp+"/results")
 	}
 	return nil
+}
+
+// buildCampaign constructs a campaign through the configured backend:
+// the artifact lake's claim-or-fetch builder when a lake is attached
+// (publishing after a real build, falling back to local on any lake
+// error), a plain local build otherwise. fetched reports golden-run
+// adoption — those builds emit no "golden" span.
+func (g *registry) buildCampaign(cs shard.CampaignSpec) (*shard.Built, bool, error) {
+	if g.builder != nil {
+		return g.builder.Build(cs, nil)
+	}
+	b, err := shard.Build(cs)
+	return b, false, err
+}
+
+// seedPartials assembles a campaign's restore map for Pool.Open: the
+// journal's shards first, then — for every planned shard the journal
+// does not cover — the artifact lake's memoized partial for that plan
+// range, if any. Lake partials were published by another sweep's plan,
+// so their shard index is rewritten to this plan's before keying; the
+// Covers check in Open still validates range and length. This is the
+// cross-sweep path: a resubmitted overlapping sweep on a fresh journal
+// completes without re-simulating the shards the fleet already ran.
+func (g *registry) seedPartials(fp string, specs []shard.Spec) map[int]*shard.Partial {
+	seed := g.journaledFor(fp)
+	if g.partials == nil {
+		return seed
+	}
+	for _, sp := range specs {
+		if _, ok := seed[sp.Index]; ok {
+			continue
+		}
+		p := g.partials.GetPartial(fp, sp.Start, sp.End)
+		if p == nil {
+			continue
+		}
+		p.Index = sp.Index
+		if !p.Covers(sp) {
+			continue
+		}
+		if seed == nil {
+			seed = map[int]*shard.Partial{}
+		}
+		seed[sp.Index] = p
+	}
+	return seed
 }
 
 // campaignFingerprints lists one sweep's campaign fingerprints.
@@ -622,6 +677,7 @@ func (g *registry) recordJournaled(fp string, p *shard.Partial) {
 	m[p.Index] = p
 	store := g.store
 	dead := g.dead
+	pc := g.partials
 	g.mu.Unlock()
 	if store != nil && !dead {
 		if err := store.Append(fp, p); err != nil {
@@ -629,6 +685,12 @@ func (g *registry) recordJournaled(fp string, p *shard.Partial) {
 			// journal write failure only weakens crash recovery.
 			g.log.Warn("journal append failed", "campaign", fp12(fp), "shard", p.Index, "err", err)
 		}
+	}
+	if pc != nil && !dead {
+		// Promote the journaled shard to a durable fleet-wide cache object:
+		// any future sweep whose plan covers the same range adopts it
+		// instead of re-simulating. Best-effort by PartialCache contract.
+		pc.PutPartial(fp, p)
 	}
 }
 
@@ -666,6 +728,9 @@ func (g *registry) mux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/complete", g.handleComplete)
 	mux.HandleFunc("POST /v1/renew", g.handleRenew)
 	mux.HandleFunc("POST /v1/workers/{name}/metrics", g.handlePushMetrics)
+	if g.lake != nil {
+		g.lake.Register(mux)
+	}
 	if g.obs != nil {
 		mux.Handle("GET /metrics", g.obs.Handler())
 	}
@@ -959,6 +1024,9 @@ type serveOpts struct {
 	single   bool            // one-campaign mode: legacy report + result-JSON -out
 	shards   int             // per campaign; tiny campaigns degrade to fewer
 	journal  string
+	lakeDir  string          // artifact-lake directory; "" = lake disabled
+	lakeMax  int64           // lake size bound in bytes; 0 = lake.DefaultMaxBytes
+	lake     *lake.Store     // pre-opened store (tests inject one to chaos-fail it mid-sweep)
 	leaseTTL time.Duration
 	linger   time.Duration
 	outPath  string // single: merged result JSON; sweep: rendered grid text
@@ -1002,6 +1070,8 @@ func runServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8372", "listen address")
 	shards := fs.Int("shards", 8, "number of shards to split each campaign into")
 	journal := fs.String("journal", "", "append-only shard journal, namespaced per campaign; sweeps restarted with the same journal skip finished shards")
+	lakeDir := fs.String("lake-dir", "", "content-addressed artifact lake directory: golden builds and finished shard partials are published here and reused fleet-wide and across sweeps; empty disables the lake")
+	lakeMax := fs.Int64("lake-max-bytes", 0, "artifact-lake size bound; least-recently-used blobs are evicted past it (0 = 4 GiB default)")
 	lease := fs.Duration("lease", 10*time.Minute, "shard lease duration; workers heartbeat at a third of it, so a live shard outrunning the lease is renewed, not re-issued")
 	leaderTTL := fs.Duration("leader-lease", defaultLeaderTTL, "leader-lease duration on the journal (renewed at a third of it); a standby takes over once it expires")
 	drainGrace := fs.Duration("drain-grace", defaultDrainGrace, "on SIGINT/SIGTERM, how long to wait for leased shards to land before exiting anyway")
@@ -1045,6 +1115,8 @@ func runServe(args []string) error {
 		single:     single,
 		shards:     *shards,
 		journal:    *journal,
+		lakeDir:    *lakeDir,
+		lakeMax:    *lakeMax,
 		leaseTTL:   *lease,
 		leaderTTL:  *leaderTTL,
 		drainGrace: *drainGrace,
@@ -1229,6 +1301,25 @@ func serve(opts serveOpts, ln net.Listener, rawStdout io.Writer) error {
 	g := newRegistry(opts, epoch, store, journaled, stdout)
 	g.obs, g.sm, g.tracer = reg, shard.NewMetrics(reg), tracer
 	g.fleet = obs.NewFleet(0)
+
+	// Artifact lake: golden builds and finished partials become durable,
+	// fleet-wide, cross-sweep cache objects. Strictly an accelerator — the
+	// registry's build and merge paths fall back to local computation on
+	// any lake error, so rendered output is byte-identical with the lake
+	// on, off, or failing mid-sweep.
+	lakeStore := opts.lake
+	if lakeStore == nil && opts.lakeDir != "" {
+		if lakeStore, err = lake.Open(opts.lakeDir, opts.lakeMax); err != nil {
+			return err
+		}
+	}
+	if lakeStore != nil {
+		lakeStore.SetMetrics(lake.NewMetrics(reg))
+		g.lake = lakeStore
+		g.builder = lake.NewStoreBuilder(lakeStore, defaultWorkerName())
+		g.partials = lake.NewStorePartials(lakeStore)
+		g.log.Info("artifact lake attached", "dir", lakeStore.Dir(), "bytes", lakeStore.Bytes())
+	}
 	if opts.tracePath != "" {
 		defer func() {
 			if err := tracer.WriteFile(opts.tracePath); err != nil {

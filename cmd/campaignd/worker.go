@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/capi"
 	"repro/internal/inject"
+	"repro/internal/lake"
 	"repro/internal/obs"
 	"repro/internal/shard"
 )
@@ -21,6 +22,7 @@ type workOpts struct {
 	poll       time.Duration
 	maxOffline time.Duration // 0: fall back to the attempt-count budget
 	push       time.Duration // metrics-push cadence to the coordinator; 0 = no pushing
+	lake       bool          // use the coordinator's artifact lake (fetch golden builds, share partials)
 	client     *capi.Client  // nil: a default client for url (tests inject chaos transports)
 	out        io.Writer
 
@@ -39,6 +41,7 @@ func runWork(args []string) error {
 	poll := fs.Duration("poll", 2*time.Second, "base idle polling interval; idle polls back off exponentially (jittered, capped at 20x) and reset on the next lease")
 	maxOffline := fs.Duration("max-offline", 0, "give up (non-zero exit) once the coordinator has been continuously unreachable this long; 0 bounds by attempt count instead")
 	push := fs.Duration("push", 5*time.Second, "push this worker's metrics to the coordinator's federation endpoint (GET /metrics/fleet) at this interval; 0 disables")
+	useLake := fs.Bool("lake", true, "use the coordinator's artifact lake when it serves one: fetch golden builds other processes already ran, publish this worker's, and share finished shard partials; any lake error falls back to local computation")
 	debugAddr := fs.String("debug-addr", "", "serve GET /metrics and net/http/pprof on this address (workers serve no API, so this is their only scrape target)")
 	tracePath := fs.String("trace", "", "write the shard-lifecycle span journal as Chrome trace_event JSON to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -54,8 +57,8 @@ func runWork(args []string) error {
 		return fmt.Errorf("-push must not be negative, got %v", *push)
 	}
 	return work(context.Background(), workOpts{
-		url: *url, name: *name, poll: *poll, maxOffline: *maxOffline, push: *push, out: os.Stdout,
-		debugAddr: *debugAddr, tracePath: *tracePath,
+		url: *url, name: *name, poll: *poll, maxOffline: *maxOffline, push: *push, lake: *useLake,
+		out: os.Stdout, debugAddr: *debugAddr, tracePath: *tracePath,
 	})
 }
 
@@ -125,6 +128,17 @@ func work(ctx context.Context, opts workOpts) error {
 	}
 	if client.Obs == nil {
 		client.Obs = reg
+	}
+	if opts.lake {
+		// Lake-backed backends: claim-or-fetch golden builds instead of
+		// always simulating them, and share finished partials fleet-wide.
+		// The worker's own lake_* counters land on reg, so -push federates
+		// them into the coordinator's /metrics/fleet view. A coordinator
+		// without a lake answers 404, which the backends treat as a miss —
+		// the executor then behaves exactly as without a lake.
+		lm := lake.NewMetrics(reg)
+		exec.SetBuilder(lake.NewClientBuilder(client, opts.name, lm))
+		exec.SetPartialCache(lake.NewClientPartials(client, lm))
 	}
 	// Metrics federation: push the registry's exposition to the
 	// coordinator on a fixed cadence (the coordinator derives the

@@ -285,6 +285,28 @@ type goldenCheckpoint struct {
 // captures the golden signature plus the checkpoint schedule injections
 // warm-start from.
 func New(f *netlist.Flat, plan *socgen.StimulusPlan, db *fault.DB, opts Options) (*Campaign, *Result, error) {
+	c, res, err := prepare(f, plan, db, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	golden, evals, err := c.runGolden()
+	if err != nil {
+		return nil, nil, fmt.Errorf("inject: golden run: %v", err)
+	}
+	res.GoldenWall = time.Since(start)
+	res.GoldenEvals = evals
+	c.golden = golden
+	return c, res, nil
+}
+
+// prepare performs everything New does short of the golden run itself:
+// option validation, clustering, RNG seeding, and — under quantile
+// checkpoint placement — drawing the injection plan. It is shared by New
+// and NewFromGolden so a campaign adopting a serialized golden artifact
+// consumes exactly the same randomness, in the same order, as one that
+// simulates the golden run locally.
+func prepare(f *netlist.Flat, plan *socgen.StimulusPlan, db *fault.DB, opts Options) (*Campaign, *Result, error) {
 	if opts.KN < 1 || opts.LN < 1 {
 		return nil, nil, fmt.Errorf("inject: KN/LN must be positive")
 	}
@@ -340,14 +362,6 @@ func New(f *netlist.Flat, plan *socgen.StimulusPlan, db *fault.DB, opts Options)
 		// pitch yields the identical plan (and identical verdicts).
 		c.DrawJobs()
 	}
-	start := time.Now()
-	golden, evals, err := c.runGolden()
-	if err != nil {
-		return nil, nil, fmt.Errorf("inject: golden run: %v", err)
-	}
-	res.GoldenWall = time.Since(start)
-	res.GoldenEvals = evals
-	c.golden = golden
 	return c, res, nil
 }
 

@@ -1,0 +1,368 @@
+package inject
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/socgen"
+	"repro/internal/vcd"
+)
+
+// Golden-run artifact codec. EncodeGolden serializes everything the
+// golden run produced — the golden signature, the eval count, the
+// checkpoint schedule (engine snapshots plus, under CompareVCD, the VCD
+// writer states and dump prefix offsets) and the raw golden VCD dump —
+// into one versioned blob. NewFromGolden rebuilds a campaign from that
+// blob without simulating the golden run, consuming exactly the
+// randomness New would, so the resulting campaign's injection plan,
+// verdicts and rendered output are bit-identical to a locally built one.
+//
+// Artifacts are exchanged keyed by campaign fingerprint (a hash over the
+// design, plan and options), so a well-behaved peer can never hand us a
+// blob for different options; every structural property is nevertheless
+// re-validated on decode, and any mismatch is an error the caller turns
+// into a local golden build.
+
+const (
+	goldenMagic   uint32 = 0x474c4431 // "GLD1"
+	goldenVersion byte   = 1
+
+	// maxGoldenLen bounds decoded counts before allocation.
+	maxGoldenLen = 1 << 30
+)
+
+// EncodeGolden writes the campaign's golden-run artifact to w.
+// goldenEvals is the Result.GoldenEvals the golden run reported; it
+// travels with the artifact so an adopting process can report the same
+// simulation cost accounting.
+func (c *Campaign) EncodeGolden(w io.Writer, goldenEvals uint64) error {
+	if c.golden == nil {
+		return fmt.Errorf("inject: campaign has no golden signature to encode")
+	}
+	var buf bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	uv := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		buf.Write(scratch[:n])
+	}
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		buf.Write(scratch[:8])
+	}
+	str := func(s string) {
+		uv(uint64(len(s)))
+		buf.WriteString(s)
+	}
+	blob := func(b []byte) {
+		uv(uint64(len(b)))
+		buf.Write(b)
+	}
+
+	binary.LittleEndian.PutUint32(scratch[:4], goldenMagic)
+	buf.Write(scratch[:4])
+	buf.WriteByte(goldenVersion)
+	str(c.flat.Name)
+	str(string(c.opts.Engine))
+	uv(uint64(c.cycles()))
+	uv(uint64(len(c.plan.Monitors)))
+	u64(goldenEvals)
+
+	uv(uint64(c.golden.cols))
+	blobV := make([]byte, len(c.golden.slab))
+	for i, v := range c.golden.slab {
+		blobV[i] = byte(v)
+	}
+	blob(blobV)
+
+	uv(uint64(len(c.ckpts)))
+	for i := range c.ckpts {
+		gc := &c.ckpts[i]
+		uv(uint64(gc.cycle))
+		u64(gc.time)
+		var ckBuf bytes.Buffer
+		if err := sim.EncodeCheckpoint(&ckBuf, gc.ck); err != nil {
+			return fmt.Errorf("inject: encode golden checkpoint %d: %w", i, err)
+		}
+		blob(ckBuf.Bytes())
+		if gc.vcdState != nil {
+			buf.WriteByte(1)
+			var vsBuf bytes.Buffer
+			if err := gc.vcdState.Encode(&vsBuf); err != nil {
+				return fmt.Errorf("inject: encode golden VCD state %d: %w", i, err)
+			}
+			blob(vsBuf.Bytes())
+			uv(uint64(gc.vcdPrefix))
+		} else {
+			buf.WriteByte(0)
+		}
+	}
+	blob(c.goldenVCDDump)
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// NewFromGolden prepares a campaign exactly as New does but adopts the
+// serialized golden artifact in r instead of simulating the golden run.
+// The artifact must have been produced by EncodeGolden on a campaign with
+// the same design, plan and options; every structural property is
+// validated and a mismatched or corrupt blob is rejected with an error,
+// leaving the caller to fall back to New.
+func NewFromGolden(f *netlist.Flat, plan *socgen.StimulusPlan, db *fault.DB, opts Options, r io.Reader) (*Campaign, *Result, error) {
+	c, res, err := prepare(f, plan, db, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	evals, err := c.adoptGolden(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	// GoldenWall is the wall-clock this process spent acquiring the golden
+	// state — here the decode, not a simulation. GoldenEvals stays the
+	// builder's count: the artifact carries the simulation cost accounting.
+	res.GoldenWall = time.Since(start)
+	res.GoldenEvals = evals
+	return c, res, nil
+}
+
+// adoptGolden decodes and validates a golden artifact into c, returning
+// the builder's golden eval count.
+func (c *Campaign) adoptGolden(r io.Reader) (uint64, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return 0, fmt.Errorf("inject: read golden artifact: %w", err)
+	}
+	d := &goldenDecoder{raw: raw}
+	if m := d.u32(); d.err == nil && m != goldenMagic {
+		return 0, fmt.Errorf("inject: golden artifact has bad magic %#x", m)
+	}
+	if v := d.byte(); d.err == nil && v != goldenVersion {
+		return 0, fmt.Errorf("inject: unsupported golden artifact version %d", v)
+	}
+	design := d.str()
+	engine := d.str()
+	cycles := d.count("cycles")
+	monitors := d.count("monitors")
+	evals := d.u64()
+	if d.err != nil {
+		return 0, d.err
+	}
+	if design != c.flat.Name {
+		return 0, fmt.Errorf("inject: golden artifact is for design %q, want %q", design, c.flat.Name)
+	}
+	if engine != string(c.opts.Engine) {
+		return 0, fmt.Errorf("inject: golden artifact is for engine %q, want %q", engine, c.opts.Engine)
+	}
+	if cycles != c.cycles() || monitors != len(c.plan.Monitors) {
+		return 0, fmt.Errorf("inject: golden artifact shape (%d cycles, %d monitors) does not match plan (%d, %d)",
+			cycles, monitors, c.cycles(), len(c.plan.Monitors))
+	}
+
+	cols := d.count("signature cols")
+	slab := d.blob("signature slab")
+	if d.err != nil {
+		return 0, d.err
+	}
+	if cols != len(c.plan.Monitors) || len(slab) != cols*(c.cycles()-1) {
+		return 0, fmt.Errorf("inject: golden signature shape %dx%d does not match plan", cols, len(slab))
+	}
+	sig := &signature{cols: cols, slab: make([]logic.V, len(slab))}
+	for i, b := range slab {
+		if logic.V(b) > logic.Z {
+			return 0, fmt.Errorf("inject: golden signature has invalid logic value %d", b)
+		}
+		sig.slab[i] = logic.V(b)
+	}
+
+	nCk := d.count("checkpoints")
+	if d.err != nil {
+		return 0, d.err
+	}
+	wantCycles := []int{}
+	if c.warmStartEnabled() {
+		wantCycles = c.checkpointCycles()
+	}
+	if nCk != len(wantCycles) {
+		return 0, fmt.Errorf("inject: golden artifact has %d checkpoints, schedule wants %d", nCk, len(wantCycles))
+	}
+	needVCD := c.opts.CompareVCD && c.warmStartEnabled()
+	ckpts := make([]goldenCheckpoint, nCk)
+	for i := range ckpts {
+		gc := &ckpts[i]
+		gc.cycle = d.count("checkpoint cycle")
+		gc.time = d.u64()
+		ckBlob := d.blob("checkpoint")
+		if d.err != nil {
+			return 0, d.err
+		}
+		if gc.cycle != wantCycles[i] {
+			return 0, fmt.Errorf("inject: golden checkpoint %d is at cycle %d, schedule wants %d", i, gc.cycle, wantCycles[i])
+		}
+		if want := uint64(gc.cycle)*c.plan.PeriodPS + 1; gc.time != want {
+			return 0, fmt.Errorf("inject: golden checkpoint %d time %d, want %d", i, gc.time, want)
+		}
+		ck, err := sim.DecodeCheckpoint(bytes.NewReader(ckBlob))
+		if err != nil {
+			return 0, fmt.Errorf("inject: golden checkpoint %d: %w", i, err)
+		}
+		if err := ck.CheckDesign(c.flat); err != nil {
+			return 0, fmt.Errorf("inject: golden checkpoint %d: %w", i, err)
+		}
+		if ck.Kind != c.opts.Engine || ck.TimePS != gc.time {
+			return 0, fmt.Errorf("inject: golden checkpoint %d header does not match schedule", i)
+		}
+		gc.ck = ck
+		hasVCD := d.byte()
+		if d.err != nil {
+			return 0, d.err
+		}
+		switch hasVCD {
+		case 0:
+			if needVCD {
+				return 0, fmt.Errorf("inject: golden checkpoint %d lacks the VCD state CompareVCD needs", i)
+			}
+		case 1:
+			vsBlob := d.blob("vcd state")
+			prefix := d.count("vcd prefix")
+			if d.err != nil {
+				return 0, d.err
+			}
+			st, err := vcd.DecodeWriterState(bytes.NewReader(vsBlob))
+			if err != nil {
+				return 0, fmt.Errorf("inject: golden checkpoint %d: %w", i, err)
+			}
+			gc.vcdState = st
+			gc.vcdPrefix = prefix
+		default:
+			return 0, fmt.Errorf("inject: golden checkpoint %d has invalid VCD flag %d", i, hasVCD)
+		}
+	}
+	dump := d.blob("vcd dump")
+	if d.err != nil {
+		return 0, d.err
+	}
+	if d.off != len(d.raw) {
+		return 0, fmt.Errorf("inject: golden artifact has %d trailing bytes", len(d.raw)-d.off)
+	}
+	if needVCD {
+		if len(dump) == 0 {
+			return 0, fmt.Errorf("inject: golden artifact lacks the VCD dump CompareVCD needs")
+		}
+		for i := range ckpts {
+			if ckpts[i].vcdPrefix > len(dump) {
+				return 0, fmt.Errorf("inject: golden checkpoint %d VCD prefix %d exceeds dump length %d",
+					i, ckpts[i].vcdPrefix, len(dump))
+			}
+		}
+		tr, err := vcd.Parse(bytes.NewReader(dump))
+		if err != nil {
+			return 0, fmt.Errorf("inject: golden artifact VCD dump: %w", err)
+		}
+		c.goldenVCDDump = dump
+		c.goldenVCD = tr
+		c.goldenVCDRows = c.traceRows(tr)
+	}
+	if len(ckpts) > 0 {
+		shared := make([]*sim.Checkpoint, len(ckpts))
+		for i := range ckpts {
+			shared[i] = ckpts[i].ck
+		}
+		sim.ShareTails(shared)
+	}
+	c.ckpts = ckpts
+	c.golden = sig
+	return evals, nil
+}
+
+// goldenDecoder walks the flat golden-artifact byte layout, latching the
+// first error.
+type goldenDecoder struct {
+	raw []byte
+	off int
+	err error
+}
+
+func (d *goldenDecoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *goldenDecoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.raw) {
+		d.fail(fmt.Errorf("inject: truncated golden artifact"))
+		return nil
+	}
+	b := d.raw[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *goldenDecoder) byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *goldenDecoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *goldenDecoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *goldenDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.raw[d.off:])
+	if n <= 0 {
+		d.fail(fmt.Errorf("inject: truncated golden artifact"))
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *goldenDecoder) count(what string) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > maxGoldenLen {
+		d.fail(fmt.Errorf("inject: golden artifact %s count %d exceeds limit", what, v))
+		return 0
+	}
+	return int(v)
+}
+
+func (d *goldenDecoder) str() string {
+	n := d.count("string")
+	return string(d.take(n))
+}
+
+func (d *goldenDecoder) blob(what string) []byte {
+	n := d.count(what)
+	return d.take(n)
+}

@@ -1,0 +1,122 @@
+package inject
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/riscv"
+	"repro/internal/socgen"
+)
+
+// encodeGoldenFor builds a campaign locally and returns its serialized
+// golden artifact alongside the run.
+func encodeGoldenFor(t *testing.T, opts Options) (*SoCRun, []byte) {
+	t.Helper()
+	run := prep(t, 1, opts)
+	var buf bytes.Buffer
+	if err := run.Campaign.EncodeGolden(&buf, run.Result.GoldenEvals); err != nil {
+		t.Fatal(err)
+	}
+	return run, buf.Bytes()
+}
+
+func prepFromGolden(t *testing.T, opts Options, blob []byte) *SoCRun {
+	t.Helper()
+	cfg, err := socgen.ConfigByIndex(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := PrepareSoCFromGolden(cfg, riscv.MemcpyProgram(8), fault.DefaultDB(), opts, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// TestGoldenArtifactAdoptionBitIdentical is the lake-never-changes-output
+// gate at the campaign level: a campaign adopting a serialized golden
+// artifact must produce results bit-identical to one that simulated the
+// golden run itself — on both engines, and with the CompareVCD detector
+// whose checkpoints additionally carry VCD writer states.
+func TestGoldenArtifactAdoptionBitIdentical(t *testing.T) {
+	cases := map[string]func(*Options){
+		"EventSim":   func(o *Options) {},
+		"LevelSim":   func(o *Options) { o.Engine = "LevelSim"; o.SampleFrac = 0.02 },
+		"CompareVCD": func(o *Options) { o.CompareVCD = true; o.SampleFrac = 0.02 },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			opts := testOptions()
+			mutate(&opts)
+
+			local, blob := encodeGoldenFor(t, opts)
+			if err := local.Campaign.Run(local.Result); err != nil {
+				t.Fatal(err)
+			}
+
+			adopted := prepFromGolden(t, opts, blob)
+			if adopted.Result.GoldenEvals != local.Result.GoldenEvals {
+				t.Fatalf("adopted GoldenEvals %d, builder reported %d",
+					adopted.Result.GoldenEvals, local.Result.GoldenEvals)
+			}
+			if err := adopted.Campaign.Run(adopted.Result); err != nil {
+				t.Fatal(err)
+			}
+			assertResultsIdentical(t, name, local.Result, adopted.Result)
+			if adopted.Result.WarmStarts == 0 {
+				t.Fatal("adopted campaign never warm-started — checkpoint schedule was not adopted")
+			}
+		})
+	}
+}
+
+// TestGoldenArtifactDeterministic pins that the artifact bytes are a pure
+// function of the campaign — the property content addressing keys on.
+func TestGoldenArtifactDeterministic(t *testing.T) {
+	opts := testOptions()
+	_, a := encodeGoldenFor(t, opts)
+	_, b := encodeGoldenFor(t, opts)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical campaigns encoded different golden artifacts")
+	}
+}
+
+// TestGoldenArtifactRejectsCorruptAndMismatched covers the refusal paths:
+// truncation, bit flips in the header, and an artifact built for different
+// options must all error out rather than install a wrong golden state.
+func TestGoldenArtifactRejectsCorruptAndMismatched(t *testing.T) {
+	opts := testOptions()
+	_, blob := encodeGoldenFor(t, opts)
+	cfg, err := socgen.ConfigByIndex(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	try := func(o Options, b []byte) error {
+		_, err := PrepareSoCFromGolden(cfg, riscv.MemcpyProgram(8), fault.DefaultDB(), o, b)
+		return err
+	}
+
+	for _, cut := range []int{0, 4, len(blob) / 3, len(blob) - 1} {
+		if err := try(opts, blob[:cut]); err == nil {
+			t.Errorf("truncated artifact (%d bytes) accepted", cut)
+		}
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xff
+	if err := try(opts, bad); err == nil {
+		t.Error("artifact with corrupt magic accepted")
+	}
+
+	other := opts
+	other.Engine = "LevelSim"
+	other.SampleFrac = 0.02
+	if err := try(other, blob); err == nil {
+		t.Error("EventSim artifact accepted by a LevelSim campaign")
+	}
+	vcdOpts := opts
+	vcdOpts.CompareVCD = true
+	if err := try(vcdOpts, blob); err == nil {
+		t.Error("artifact without VCD state accepted by a CompareVCD campaign")
+	}
+}

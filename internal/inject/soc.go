@@ -1,6 +1,7 @@
 package inject
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/fault"
@@ -45,6 +46,39 @@ func PrepareSoC(cfg socgen.Config, prog riscv.Program, db *fault.DB, opts Option
 		opts.CellWeight = socgen.Weights(cfg)
 	}
 	camp, res, err := New(f, plan, db, opts)
+	if err != nil {
+		return nil, fmt.Errorf("inject: SoC%d: %v", cfg.Index, err)
+	}
+	return &SoCRun{Config: cfg, Flat: f, Plan: plan, Campaign: camp, Result: res}, nil
+}
+
+// PrepareSoCFromGolden is PrepareSoC with the golden run adopted from a
+// serialized artifact (see EncodeGolden) instead of simulated: same
+// netlist generation, stimulus and validation, but the campaign decodes
+// the golden signature, eval count and checkpoint schedule from blob.
+// A mismatched or corrupt blob is an error; callers fall back to
+// PrepareSoC, which is always correct.
+func PrepareSoCFromGolden(cfg socgen.Config, prog riscv.Program, db *fault.DB, opts Options, blob []byte) (*SoCRun, error) {
+	d, err := socgen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f, err := netlist.Flatten(d)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := socgen.RunWorkload(prog, WorkloadCycles)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := socgen.BuildStimulus(f, wl)
+	if err != nil {
+		return nil, err
+	}
+	if opts.CellWeight == nil {
+		opts.CellWeight = socgen.Weights(cfg)
+	}
+	camp, res, err := NewFromGolden(f, plan, db, opts, bytes.NewReader(blob))
 	if err != nil {
 		return nil, fmt.Errorf("inject: SoC%d: %v", cfg.Index, err)
 	}

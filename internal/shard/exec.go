@@ -149,19 +149,62 @@ const maxCachedCampaigns = 4
 // bit-identical to a fresh one. Both caches hold at most
 // maxCachedCampaigns campaigns, least-recently-used first out.
 type Executor struct {
-	mu      sync.Mutex
-	built   map[string]*Built
-	results map[cacheKey]*Partial
-	recent  []string // campaign fingerprints, most recent first
-	hits    uint64
-	m       *Metrics
-	tracer  *obs.Tracer
-	tune    func(*inject.Options)
+	mu       sync.Mutex
+	built    map[string]*Built
+	building map[string]*buildState
+	results  map[cacheKey]*Partial
+	recent   []string       // campaign fingerprints, most recent first
+	pins     map[string]int // in-flight ExecuteFor calls per campaign
+	hits     uint64
+	m        *Metrics
+	tracer   *obs.Tracer
+	tune     func(*inject.Options)
+	builder  Builder
+	partials PartialCache
+
+	// execMu serializes actual shard simulation: a shard already fans out
+	// over all cores internally, so concurrent simulations would only
+	// thrash. Builds and cache lookups do not hold it.
+	execMu sync.Mutex
+
+	// execHook, when set, runs after the campaign is built and before the
+	// shard simulates — the window in which cache eviction used to be able
+	// to drop a Built a batch still held. Test-only.
+	execHook func()
+}
+
+// buildState tracks one in-flight campaign build so concurrent
+// ExecuteFor calls for the same campaign wait for it instead of building
+// twice.
+type buildState struct {
+	done chan struct{}
+	err  error
 }
 
 // NewExecutor returns an empty executor.
 func NewExecutor() *Executor {
-	return &Executor{built: map[string]*Built{}, results: map[cacheKey]*Partial{}}
+	return &Executor{
+		built:    map[string]*Built{},
+		building: map[string]*buildState{},
+		results:  map[cacheKey]*Partial{},
+		pins:     map[string]int{},
+	}
+}
+
+// SetBuilder installs the campaign-construction backend; nil restores
+// the default local build.
+func (e *Executor) SetBuilder(b Builder) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.builder = b
+}
+
+// SetPartialCache installs the fleet-wide result-cache backend; nil
+// disables it.
+func (e *Executor) SetPartialCache(pc PartialCache) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.partials = pc
 }
 
 // SetMetrics attaches obs instrumentation: cache-hit counting on m, and
@@ -193,25 +236,37 @@ func (e *Executor) met() *Metrics {
 
 // touch marks a campaign most-recently-used and evicts the stalest
 // campaigns (their build and cached partials) beyond the cache bound.
+// Campaigns pinned by an in-flight ExecuteFor are never evicted — a
+// batch mid-simulation must keep its golden checkpoints — so the cache
+// may transiently exceed the bound while everything in it is in use.
 // Callers hold e.mu.
 func (e *Executor) touch(fp string) {
+	found := false
 	for i, got := range e.recent {
 		if got == fp {
 			copy(e.recent[1:i+1], e.recent[:i])
 			e.recent[0] = fp
-			return
+			found = true
+			break
 		}
 	}
-	e.recent = append([]string{fp}, e.recent...)
-	for len(e.recent) > maxCachedCampaigns {
-		evict := e.recent[len(e.recent)-1]
-		e.recent = e.recent[:len(e.recent)-1]
+	if !found {
+		e.recent = append([]string{fp}, e.recent...)
+	}
+	over := len(e.recent) - maxCachedCampaigns
+	for i := len(e.recent) - 1; i >= 0 && over > 0; i-- {
+		evict := e.recent[i]
+		if e.pins[evict] > 0 {
+			continue
+		}
+		e.recent = append(e.recent[:i], e.recent[i+1:]...)
 		delete(e.built, evict)
 		for key := range e.results {
 			if key.fp == evict {
 				delete(e.results, key)
 			}
 		}
+		over--
 	}
 }
 
@@ -241,17 +296,17 @@ func (e *Executor) Execute(sp Spec) (*Partial, error) {
 // attribution. Attribution is pure accounting — the computed Partial is
 // bit-identical either way.
 func (e *Executor) ExecuteFor(sp Spec, sweep string) (*Partial, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	reg := e.m.Registry()
-	if reg == nil {
-		sweep = ""
-	}
 	fp := sp.Campaign.Fingerprint()
 	if sp.Fingerprint != "" && sp.Fingerprint != fp {
 		return nil, fmt.Errorf("shard: spec fingerprint %.12s does not match its campaign spec %.12s", sp.Fingerprint, fp)
 	}
 	key := cacheKey{fp: fp, start: sp.Start, end: sp.End}
+
+	e.mu.Lock()
+	reg := e.m.Registry()
+	if reg == nil {
+		sweep = ""
+	}
 	if p, ok := e.results[key]; ok {
 		e.hits++
 		e.met().CacheHits.Inc()
@@ -259,28 +314,68 @@ func (e *Executor) ExecuteFor(sp Spec, sweep string) (*Partial, error) {
 			reg.NewCounter("sweep_cost_cache_hits_total", "Executor cache hits attributed to the sweep.", "sweep", sweep).Inc()
 		}
 		e.touch(fp)
+		e.mu.Unlock()
 		return p, nil
 	}
-	b, ok := e.built[fp]
-	if !ok {
-		var err error
-		start := time.Now()
-		b, err = BuildLocal(sp.Campaign, e.tune)
-		if err != nil {
-			return nil, err
+	// Pin the campaign for the rest of the call: eviction skips pinned
+	// fingerprints, so the Built (and its golden checkpoints) cannot be
+	// dropped out from under this shard by concurrent Adopt/Execute
+	// traffic on other campaigns.
+	e.pins[fp]++
+	defer func() {
+		e.mu.Lock()
+		if e.pins[fp]--; e.pins[fp] <= 0 {
+			delete(e.pins, fp)
 		}
-		e.tracer.Span("golden", "shard", 0, 0, start, map[string]any{"campaign": short(fp)})
-		e.built[fp] = b
+		e.mu.Unlock()
+	}()
+	b, err := e.campaignFor(fp, sp)
+	pc := e.partials
+	hook := e.execHook
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
 	}
+
+	// Fleet-wide partial cache: a finished result published by any process
+	// for this exact (fingerprint, range) is bit-identical to what this
+	// shard would compute, so adopt it instead of re-simulating. The shard
+	// index is plan-local and rewritten for this spec.
+	if pc != nil {
+		if p := pc.GetPartial(fp, sp.Start, sp.End); p != nil {
+			adopted := *p
+			adopted.Index = sp.Index
+			if adopted.Covers(sp) {
+				e.mu.Lock()
+				e.results[key] = &adopted
+				e.touch(fp)
+				e.mu.Unlock()
+				return &adopted, nil
+			}
+		}
+	}
+
+	if hook != nil {
+		hook()
+	}
+
+	e.execMu.Lock()
+	var restoreMetrics func()
 	if sweep != "" {
+		// The metrics swap is scoped to the execMu critical section:
+		// SetMetrics must not race with another shard of the same campaign.
 		cm := inject.NewCostMetrics(reg, sweep)
 		cm.Chain = b.Run.Campaign.Metrics()
 		b.Run.Campaign.SetMetrics(cm)
-		defer b.Run.Campaign.SetMetrics(cm.Chain)
+		restoreMetrics = func() { b.Run.Campaign.SetMetrics(cm.Chain) }
 	}
 	start := time.Now()
 	p, err := ExecuteOn(b, sp)
+	if restoreMetrics != nil {
+		restoreMetrics()
+	}
 	if err != nil {
+		e.execMu.Unlock()
 		return nil, err
 	}
 	if sweep != "" {
@@ -291,9 +386,70 @@ func (e *Executor) ExecuteFor(sp Spec, sweep string) (*Partial, error) {
 	e.tracer.Span("execute", "shard", 0, int64(sp.Index), start, map[string]any{
 		"campaign": short(fp), "shard": sp.Index, "start": sp.Start, "end": sp.End,
 	})
+	e.execMu.Unlock()
+
+	e.mu.Lock()
 	e.results[key] = p
 	e.touch(fp)
+	e.mu.Unlock()
+	if pc != nil {
+		pc.PutPartial(fp, p)
+	}
 	return p, nil
+}
+
+// campaignFor returns the Built for fp, building it via the installed
+// Builder on first use. Concurrent callers for the same campaign wait
+// for the in-flight build instead of duplicating it. Called with e.mu
+// held; returns with e.mu held.
+func (e *Executor) campaignFor(fp string, sp Spec) (*Built, error) {
+	for {
+		if b, ok := e.built[fp]; ok {
+			e.touch(fp)
+			return b, nil
+		}
+		if st, ok := e.building[fp]; ok {
+			e.mu.Unlock()
+			<-st.done
+			e.mu.Lock()
+			if st.err != nil {
+				return nil, st.err
+			}
+			continue
+		}
+		st := &buildState{done: make(chan struct{})}
+		e.building[fp] = st
+		builder := e.builder
+		tune := e.tune
+		tracer := e.tracer
+		e.mu.Unlock()
+
+		start := time.Now()
+		var b *Built
+		var fetched bool
+		var err error
+		if builder != nil {
+			b, fetched, err = builder.Build(sp.Campaign, tune)
+		} else {
+			b, err = BuildLocal(sp.Campaign, tune)
+		}
+		if err == nil && !fetched {
+			// Only a real local golden build earns the span — a fetch from
+			// the artifact lake is not a build, which is what lets traces
+			// prove a campaign's golden run happened once fleet-wide.
+			tracer.Span("golden", "shard", 0, 0, start, map[string]any{"campaign": short(fp)})
+		}
+
+		e.mu.Lock()
+		st.err = err
+		if err == nil {
+			e.built[fp] = b
+			e.touch(fp)
+		}
+		delete(e.building, fp)
+		close(st.done)
+		return b, err
+	}
 }
 
 // CacheHits reports how many Execute calls were served from the result

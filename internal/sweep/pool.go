@@ -44,6 +44,7 @@ type Pool struct {
 	epoch      uint64
 	specFactor float64
 	queues     []*shard.Queue // nil until opened
+	restored   []int          // per campaign: shards served from journal/lake at Open
 	completed  []bool
 	doneCount  int
 	affinity   map[string]int // worker -> campaign index of its last lease
@@ -77,6 +78,7 @@ func NewPool(ss SweepSpec, ttl time.Duration) (*Pool, error) {
 		ttl:        ttl,
 		specFactor: DefaultSpeculateFactor,
 		queues:     make([]*shard.Queue, len(ss.Items)),
+		restored:   make([]int, len(ss.Items)),
 		completed:  make([]bool, len(ss.Items)),
 		affinity:   map[string]int{},
 		compCh:     make(chan int, len(ss.Items)),
@@ -232,6 +234,7 @@ func (p *Pool) Open(idx int, specs []shard.Spec, journaled map[int]*shard.Partia
 		}
 	}
 	p.queues[idx] = q
+	p.restored[idx] = restored
 	p.notifyIfDone(idx)
 	return restored, nil
 }
@@ -466,7 +469,10 @@ type CampaignProgress struct {
 	LET         float64        `json:"let"`
 	Opened      bool           `json:"opened"`
 	Done        bool           `json:"done"`
-	Shards      shard.Progress `json:"shards"`
+	// Restored counts shards answered at Open from prior results — the
+	// coordinator's journal or the artifact lake — instead of simulation.
+	Restored int            `json:"restored,omitempty"`
+	Shards   shard.Progress `json:"shards"`
 	// ETANS estimates this campaign's remaining wall-clock: observed mean
 	// shard runtime x remaining shards, divided by the workers currently
 	// leasing from it. Zero until a first shard completes under a live
@@ -506,6 +512,7 @@ func (p *Pool) Progress(now time.Time) SweepProgress {
 			LET:         it.Campaign.LET,
 			Opened:      p.queues[i] != nil,
 			Done:        p.completed[i],
+			Restored:    p.restored[i],
 		}
 		if q := p.queues[i]; q != nil {
 			cp.Shards = q.Progress(now)
