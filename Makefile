@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race ci bench-smoke sweep-smoke chaos-smoke obs-smoke watch-smoke lake-smoke bench clean
+.PHONY: all vet build test race ci bench-smoke sweep-smoke chaos-smoke obs-smoke watch-smoke lake-smoke integrity-smoke bench clean
 
 all: ci
 
@@ -17,7 +17,10 @@ test:
 
 # race re-runs the concurrency-heavy packages — the shard queue, sweep
 # pool, wire client, journal tailer, metrics registry and the
-# coordinator itself — under the race detector.
+# coordinator itself — under the race detector. This list also covers
+# every package the integrity & quarantine subsystem touches (shard
+# checksums/audits, capi typed errors, chaos corrupt faults, runstore
+# replay verification, campaignd wiring).
 race:
 	$(GO) test -race -count=1 ./internal/shard ./internal/sweep ./internal/capi ./internal/runstore ./internal/chaos ./internal/obs ./internal/lake ./cmd/campaignd
 
@@ -91,6 +94,18 @@ watch-smoke:
 # to the in-process reference — all under the race detector.
 lake-smoke:
 	$(GO) test ./cmd/campaignd -race -run '^(TestLakeGoldenSharedOnce|TestLakeCrossSweepReuse|TestLakeChaosMidSweep)$$' -count=1 -v
+
+# integrity-smoke is the end-to-end result-integrity gate: a sweep
+# drained with a wire that corrupts most completion payloads (every one
+# refused with integrity_mismatch, merged grid still byte-identical to
+# the clean reference), a faulty worker computing wrong-but-checksummed
+# results caught by audit re-execution and quarantined
+# (fleet_workers{state="quarantined"} nonzero), a poison shard that
+# crashes every executor landing in quarantined state instead of
+# hanging its sweep, and a journal record damaged at rest skipped on
+# replay and re-simulated — all under the race detector.
+integrity-smoke:
+	$(GO) test ./cmd/campaignd -race -run '^(TestIntegritySmoke|TestPoisonShardQuarantine|TestJournalCorruptRecordReplay)$$' -count=1 -v
 
 # bench runs the full table/figure harness (minutes).
 bench:

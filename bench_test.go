@@ -11,12 +11,14 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/inject"
 	"repro/internal/netlist"
 	"repro/internal/riscv"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/socgen"
 	"repro/internal/ssresf"
@@ -219,6 +221,7 @@ type warmstartReport struct {
 	PrunedRuns       uint64  `json:"pruned_runs"`
 	DeltaRestores    uint64  `json:"delta_restores"`
 	RestoreWallNS    int64   `json:"restore_wall_ns"`
+	ChecksumWallNS   int64   `json:"checksum_wall_ns"`
 	EvalsReductionX  float64 `json:"evals_reduction_x"`
 	WallReductionX   float64 `json:"wall_reduction_x"`
 }
@@ -285,6 +288,42 @@ func runWarmColdPairOpts(b *testing.B, opts inject.Options) (cold, warm *inject.
 	return cold, warm
 }
 
+// stampWall measures the integrity-checksum cost an executor pays per
+// shard: canonically encoding and hashing the warm run's full result
+// payload as one shard.Partial (a real shard covers a slice of it, so
+// this is the conservative upper bound). Minimum of a few runs —
+// encode+hash is deterministic work, so min is the honest figure and
+// scheduler noise only inflates the others. cmd/benchgate gates this
+// wall against the warm-injection wall: with -audit-frac=0 checksums
+// are the integrity subsystem's entire steady-state overhead.
+func stampWall(b *testing.B, warm *inject.SoCRun) int64 {
+	b.Helper()
+	res := warm.Result
+	p := &shard.Partial{
+		Start:         0,
+		End:           len(res.Injections),
+		Injections:    res.Injections,
+		InjectWallNS:  res.InjectWall.Nanoseconds(),
+		InjectEvals:   res.InjectEvals,
+		WarmStarts:    res.WarmStarts,
+		PrunedRuns:    res.PrunedRuns,
+		DeltaRestores: res.DeltaRestores,
+		RestoreWallNS: res.RestoreWall.Nanoseconds(),
+	}
+	best := int64(-1)
+	for i := 0; i < 5; i++ {
+		p.Checksum = ""
+		t0 := time.Now()
+		if err := p.Stamp(); err != nil {
+			b.Fatal(err)
+		}
+		if d := time.Since(t0).Nanoseconds(); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
 func reportWarmCold(b *testing.B, key string, cold, warm *inject.SoCRun) {
 	b.Helper()
 	cr, wr := cold.Result, warm.Result
@@ -302,6 +341,7 @@ func reportWarmCold(b *testing.B, key string, cold, warm *inject.SoCRun) {
 		PrunedRuns:       wr.PrunedRuns,
 		DeltaRestores:    wr.DeltaRestores,
 		RestoreWallNS:    wr.RestoreWall.Nanoseconds(),
+		ChecksumWallNS:   stampWall(b, warm),
 	}
 	if wr.InjectEvals > 0 {
 		rep.EvalsReductionX = float64(cr.InjectEvals) / float64(wr.InjectEvals)

@@ -32,6 +32,7 @@ type benchEntry struct {
 	DeltaRestores   uint64  `json:"delta_restores"`
 	WarmInjectWall  int64   `json:"warm_inject_wall_ns"`
 	RestoreWall     int64   `json:"restore_wall_ns"`
+	ChecksumWall    int64   `json:"checksum_wall_ns"`
 }
 
 // restoreShare is the fraction of warm-injection wall time spent inside
@@ -47,10 +48,22 @@ func (e benchEntry) restoreShare() float64 {
 	return float64(e.RestoreWall) / float64(e.WarmInjectWall)
 }
 
+// checksumShare is the fraction of warm-injection wall time the
+// integrity checksum (canonical encode + sha256 over the shard payload)
+// would add per shard. With -audit-frac=0 this stamp is the integrity
+// subsystem's entire steady-state cost, so it is gated absolutely: a
+// share past the ceiling means checksumming went from noise to tax.
+func (e benchEntry) checksumShare() float64 {
+	if e.WarmInjectWall <= 0 {
+		return 0
+	}
+	return float64(e.ChecksumWall) / float64(e.WarmInjectWall)
+}
+
 func main() {
 	baseline := flag.String("baseline", "", "committed benchmark metrics (required)")
 	fresh := flag.String("new", "BENCH_warmstart.json", "freshly generated benchmark metrics")
-	maxRegress := flag.Float64("max-regress", 0.20, "largest tolerated fractional drop of evals_reduction_x, and largest tolerated fractional growth of the restore wall share")
+	maxRegress := flag.Float64("max-regress", 0.20, "largest tolerated fractional drop of evals_reduction_x, largest tolerated fractional growth of the restore wall share, and the absolute ceiling on the integrity-checksum share of warm wall")
 	flag.Parse()
 	if *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
@@ -113,8 +126,16 @@ func gate(baselinePath, freshPath string, maxRegress float64, out *os.File) erro
 					engine, 100*gShare, 100*ceiling, 100*bShare, 100*maxRegress, g.RestoreWall, g.WarmInjectWall)
 			}
 		}
-		fmt.Fprintf(out, "benchgate: %s ok: evals_reduction_x %.2f vs baseline %.2f (floor %.2f), warm_starts %d, delta_restores %d, restore share %.1f%%\n",
-			engine, g.EvalsReductionX, b.EvalsReductionX, floor, g.WarmStarts, g.DeltaRestores, 100*g.restoreShare())
+		// Checksum gate: absolute, not baseline-relative — the integrity
+		// stamp must stay a rounding error on warm wall regardless of what
+		// any earlier run measured. Entries without checksum timing (older
+		// baselines) simply have share 0 and pass.
+		if cShare := g.checksumShare(); cShare > maxRegress {
+			return fmt.Errorf("%s: checksum share of warm wall %.1f%% exceeds %.0f%% — with -audit-frac=0 the integrity stamp is the whole overhead budget (checksum_wall_ns %d over warm_inject_wall_ns %d)",
+				engine, 100*cShare, 100*maxRegress, g.ChecksumWall, g.WarmInjectWall)
+		}
+		fmt.Fprintf(out, "benchgate: %s ok: evals_reduction_x %.2f vs baseline %.2f (floor %.2f), warm_starts %d, delta_restores %d, restore share %.1f%%, checksum share %.2f%%\n",
+			engine, g.EvalsReductionX, b.EvalsReductionX, floor, g.WarmStarts, g.DeltaRestores, 100*g.restoreShare(), 100*g.checksumShare())
 	}
 	return nil
 }

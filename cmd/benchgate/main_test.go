@@ -120,6 +120,39 @@ func TestGateSkipsRestoreShareWithoutBaselineTiming(t *testing.T) {
 	}
 }
 
+func TestGateFailsOnChecksumShareOverCeiling(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baselineJSON)
+	// Checksumming eats 25% of warm wall — with -audit-frac=0 that stamp
+	// is the integrity subsystem's entire overhead, and it blew the
+	// absolute 20% budget even though nothing regressed vs baseline.
+	fresh := writeBench(t, dir, "fresh.json", `{
+	  "eventsim": {"injections": 150, "evals_reduction_x": 12.5, "warm_inject_wall_ns": 50000000, "checksum_wall_ns": 12500000},
+	  "levelsim": {"injections": 30, "evals_reduction_x": 3.1}
+	}`)
+	err := gate(base, fresh, 0.20, os.Stdout)
+	if err == nil {
+		t.Fatal("checksum share of 25% must fail the absolute 20% ceiling")
+	}
+	if !strings.Contains(err.Error(), "checksum share") {
+		t.Fatalf("error %q does not name the checksum share", err)
+	}
+}
+
+func TestGatePassesChecksumShareUnderCeiling(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baselineJSON)
+	// A realistic stamp: well under 1% of warm wall. Entries without
+	// checksum timing (levelsim here) skip the gate entirely.
+	fresh := writeBench(t, dir, "fresh.json", `{
+	  "eventsim": {"injections": 150, "evals_reduction_x": 12.5, "warm_inject_wall_ns": 50000000, "checksum_wall_ns": 150000},
+	  "levelsim": {"injections": 30, "evals_reduction_x": 3.1}
+	}`)
+	if err := gate(base, fresh, 0.20, os.Stdout); err != nil {
+		t.Fatalf("0.3%% checksum share is far under the ceiling: %v", err)
+	}
+}
+
 func TestGateFailsWhenWarmStartsVanish(t *testing.T) {
 	dir := t.TempDir()
 	base := writeBench(t, dir, "base.json", `{

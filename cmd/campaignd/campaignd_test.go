@@ -415,7 +415,7 @@ func TestSweepSmokeByteIdentical(t *testing.T) {
 	// Progress must enumerate both campaigns with distinct fingerprints —
 	// through the sweep resource API, which replaced the /v1/progress alias.
 	stCtx, stCancel := context.WithTimeout(context.Background(), 30*time.Second)
-	st, err := capi.NewClient(url).Sweep(stCtx, grid.Spec.Fingerprint())
+	st, err := capi.NewClient(url).Sweep(stCtx, sfpOf(t, grid.Spec))
 	stCancel()
 	if err != nil {
 		t.Fatalf("sweep status: %v", err)
@@ -461,7 +461,7 @@ func TestSweepStatusEndpoint(t *testing.T) {
 		linger:   time.Second,
 	}, &out)
 	client := capi.NewClient(url)
-	sweepFP := grid.Spec.Fingerprint()
+	sweepFP := sfpOf(t, grid.Spec)
 
 	// Campaigns open once built; poll until the (only) campaign's shard
 	// plan is visible.
@@ -486,8 +486,8 @@ func TestSweepStatusEndpoint(t *testing.T) {
 	if cp.Shards.Pending+cp.Shards.Leased+cp.Shards.Done != 2 || cp.Done {
 		t.Fatalf("fresh campaign progress %+v", cp)
 	}
-	if cp.Fingerprint != cs.Fingerprint() {
-		t.Fatalf("status reports fingerprint %.12s, want %.12s", cp.Fingerprint, cs.Fingerprint())
+	if cp.Fingerprint != cfpOf(t, cs) {
+		t.Fatalf("status reports fingerprint %.12s, want %.12s", cp.Fingerprint, cfpOf(t, cs))
 	}
 	if st.Progress.CampaignsTotal != 1 {
 		t.Fatalf("singleton sweep progress %+v", st.Progress)
@@ -895,7 +895,7 @@ func TestPurgeSweepDropsResourceAndJournal(t *testing.T) {
 	if len(raw) == 0 {
 		t.Fatal("journal is empty before purge — nothing was ever recorded")
 	}
-	loaded, err := runstore.LoadAll(journal)
+	loaded, _, err := runstore.LoadAll(journal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -975,31 +975,55 @@ func TestTerminalMarkerProtectsSharedCampaigns(t *testing.T) {
 		for i, cs := range specs {
 			items = append(items, sweep.Item{Key: fmt.Sprintf("%s-%d", name, i), Campaign: cs})
 		}
-		return &sweepRun{grid: sweep.Grid{Spec: sweep.SweepSpec{Name: name, Items: items}}, state: capi.StateDone}
+		var cfps []string
+		for _, cs := range specs {
+			cfps = append(cfps, cfpOf(t, cs))
+		}
+		return &sweepRun{grid: sweep.Grid{Spec: sweep.SweepSpec{Name: name, Items: items}}, cfps: cfps, state: capi.StateDone}
 	}
 	initial := mkRun("initial", csA, csB) // self-submitted batch job
 	api := mkRun("api", csB, csC)         // later API sweep sharing csB
 	g.initial = initial
-	g.byCamp[csA.Fingerprint()] = initial
-	g.byCamp[csB.Fingerprint()] = api // api took the shared campaign over
-	g.byCamp[csC.Fingerprint()] = api
+	g.byCamp[cfpOf(t, csA)] = initial
+	g.byCamp[cfpOf(t, csB)] = api // api took the shared campaign over
+	g.byCamp[cfpOf(t, csC)] = api
 	for _, cs := range []shard.CampaignSpec{csA, csB, csC} {
-		if err := store.Append(cs.Fingerprint(), stubSpecPartial()); err != nil {
+		if err := store.Append(cfpOf(t, cs), stubSpecPartial()); err != nil {
 			t.Fatal(err)
 		}
 	}
 
 	g.markJournalTerminal(api)
-	loaded, err := runstore.LoadAll(journal)
+	loaded, _, err := runstore.LoadAll(journal)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(loaded[csA.Fingerprint()]) != 1 || len(loaded[csB.Fingerprint()]) != 1 {
+	if len(loaded[cfpOf(t, csA)]) != 1 || len(loaded[cfpOf(t, csB)]) != 1 {
 		t.Fatalf("marker killed records shared with the initial sweep: %v", loaded)
 	}
-	if len(loaded[csC.Fingerprint()]) != 0 {
+	if len(loaded[cfpOf(t, csC)]) != 0 {
 		t.Fatal("the API-only campaign's records survived its terminal marker")
 	}
+}
+
+// cfpOf computes a campaign fingerprint, failing the test on error.
+func cfpOf(t *testing.T, cs shard.CampaignSpec) string {
+	t.Helper()
+	fp, err := cs.Fingerprint()
+	if err != nil {
+		t.Fatalf("campaign fingerprint: %v", err)
+	}
+	return fp
+}
+
+// sfpOf computes a sweep fingerprint, failing the test on error.
+func sfpOf(t *testing.T, ss sweep.SweepSpec) string {
+	t.Helper()
+	fp, err := ss.Fingerprint()
+	if err != nil {
+		t.Fatalf("sweep fingerprint: %v", err)
+	}
+	return fp
 }
 
 // stubSpecPartial is a minimal journalable shard record.

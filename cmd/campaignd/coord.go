@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"sync"
 	"syscall"
 	"time"
@@ -47,6 +48,7 @@ type sweepRun struct {
 	fp     string
 	grid   sweep.Grid
 	pool   *sweep.Pool
+	cfps   []string            // campaign fingerprints, parallel to grid.Spec.Items
 	single *shard.CampaignSpec // set when the sweep is one -soc campaign
 	params json.RawMessage     // declarative grid params, journaled so a standby can rebuild the sweep
 	seq    int                 // submission order, for lease routing
@@ -74,26 +76,41 @@ type registry struct {
 	ttl       time.Duration
 	epoch     uint64  // coordinator incarnation; stamps every lease as a fencing token
 	spec      float64 // straggler re-issue factor (0 = pool default, negative = off)
+	auditFrac float64 // fraction of completed shards re-executed for cross-checking (0 = off)
+	maxAtt    int     // per-shard execution bound before quarantine (0 = unbounded)
 	seq       int
 	now       func() time.Time
 	stdout    *syncWriter
-	log       *slog.Logger   // structured narration; epoch-tagged when led
-	obs       *obs.Registry  // metrics exposition; nil only in unit tests
-	fleet     *obs.Fleet     // worker-pushed metrics federation; nil only in unit tests
-	sm        *shard.Metrics // lease/fence/speculation counters, shared by every pool
-	tracer    *obs.Tracer    // shard-lifecycle span journal; nil = tracing off
-	lake      *lake.Store    // fleet-wide artifact lake; nil = disabled
-	builder   shard.Builder  // campaign construction backend (lake-backed when lake is set)
+	log       *slog.Logger       // structured narration; epoch-tagged when led
+	obs       *obs.Registry      // metrics exposition; nil only in unit tests
+	fleet     *obs.Fleet         // worker-pushed metrics federation; nil only in unit tests
+	sm        *shard.Metrics     // lease/fence/speculation counters, shared by every pool
+	tracer    *obs.Tracer        // shard-lifecycle span journal; nil = tracing off
+	lake      *lake.Store        // fleet-wide artifact lake; nil = disabled
+	builder   shard.Builder      // campaign construction backend (lake-backed when lake is set)
 	partials  shard.PartialCache // lake partial cache; nil = disabled
-	initial   *sweepRun      // the self-submitted sweep, if any
-	outPath   string         // initial sweep's rendered-output file
-	outDir    string         // initial sweep's per-campaign JSON directory
-	single    bool           // initial sweep is one -soc campaign
-	submitted bool           // a sweep was ever submitted (survives purges)
-	draining  bool           // graceful shutdown: leases and submissions answer 503 + Retry-After
-	dead      bool           // crash-stopped (deposed or test-killed): no further journal writes
+	initial   *sweepRun          // the self-submitted sweep, if any
+	outPath   string             // initial sweep's rendered-output file
+	outDir    string             // initial sweep's per-campaign JSON directory
+	single    bool               // initial sweep is one -soc campaign
+	submitted bool               // a sweep was ever submitted (survives purges)
+	draining  bool               // graceful shutdown: leases and submissions answer 503 + Retry-After
+	dead      bool               // crash-stopped (deposed or test-killed): no further journal writes
 	changed   chan struct{}
+
+	// Worker health, guarded by its own mutex: the pool's audit hooks run
+	// while the pool lock is held, so they must not call back into any
+	// pool (g.mu alone is safe — no g.mu section takes a pool lock). A
+	// worker outvoted in workerStrikeThreshold audits is quarantined: its
+	// lease requests are refused with a typed error until the coordinator
+	// restarts.
+	healthMu    sync.Mutex
+	strikes     map[string]int
+	quarWorkers map[string]bool
 }
+
+// workerStrikeThreshold is how many lost audit votes quarantine a worker.
+const workerStrikeThreshold = 2
 
 func newRegistry(opts serveOpts, epoch uint64, store *runstore.Store, journaled map[string]map[int]*shard.Partial, stdout *syncWriter) *registry {
 	lg := newLogger(stdout)
@@ -101,21 +118,25 @@ func newRegistry(opts serveOpts, epoch uint64, store *runstore.Store, journaled 
 		lg = lg.With("epoch", epoch)
 	}
 	return &registry{
-		log:       lg,
-		sweeps:    map[string]*sweepRun{},
-		byCamp:    map[string]*sweepRun{},
-		journaled: journaled,
-		store:     store,
-		shards:    opts.shards,
-		ttl:       opts.leaseTTL,
-		epoch:     epoch,
-		spec:      opts.specFactor,
-		now:       time.Now,
-		stdout:    stdout,
-		outPath:   opts.outPath,
-		outDir:    opts.outDir,
-		single:    opts.single,
-		changed:   make(chan struct{}, 1),
+		log:         lg,
+		sweeps:      map[string]*sweepRun{},
+		byCamp:      map[string]*sweepRun{},
+		journaled:   journaled,
+		store:       store,
+		shards:      opts.shards,
+		ttl:         opts.leaseTTL,
+		epoch:       epoch,
+		spec:        opts.specFactor,
+		auditFrac:   opts.auditFrac,
+		maxAtt:      opts.maxAttempts,
+		now:         time.Now,
+		stdout:      stdout,
+		outPath:     opts.outPath,
+		outDir:      opts.outDir,
+		single:      opts.single,
+		changed:     make(chan struct{}, 1),
+		strikes:     map[string]int{},
+		quarWorkers: map[string]bool{},
 	}
 }
 
@@ -155,7 +176,16 @@ func (g *registry) idle() bool {
 // campaigns are refused: completions route by campaign fingerprint, and
 // two live owners would make that routing ambiguous.
 func (g *registry) submit(grid sweep.Grid, params json.RawMessage, single *shard.CampaignSpec, initial bool) (*sweepRun, bool, error) {
-	fp := grid.Spec.Fingerprint()
+	fp, err := grid.Spec.Fingerprint()
+	if err != nil {
+		return nil, false, err
+	}
+	cfps := make([]string, len(grid.Spec.Items))
+	for i, it := range grid.Spec.Items {
+		if cfps[i], err = it.Campaign.Fingerprint(); err != nil {
+			return nil, false, err
+		}
+	}
 	pool, err := sweep.NewPool(grid.Spec, g.ttl)
 	if err != nil {
 		return nil, false, err
@@ -165,6 +195,11 @@ func (g *registry) submit(grid sweep.Grid, params json.RawMessage, single *shard
 	if g.spec != 0 {
 		pool.SetSpeculateFactor(g.spec)
 	}
+	pool.SetMaxAttempts(g.maxAtt)
+	if g.auditFrac > 0 {
+		pool.SetAudit(g.auditFrac, g.now().UnixNano())
+	}
+	pool.SetAuditSink(g.strikeWorker, g.auditReplace)
 	g.mu.Lock()
 	if prev, ok := g.sweeps[fp]; ok && (prev.state == capi.StateRunning || prev.state == capi.StateDone) {
 		g.mu.Unlock()
@@ -173,8 +208,8 @@ func (g *registry) submit(grid sweep.Grid, params json.RawMessage, single *shard
 	// Refuse overlap with other live sweeps before touching any existing
 	// registration: a refused resubmission must leave the cancelled/failed
 	// incarnation intact as a resource.
-	for _, it := range grid.Spec.Items {
-		cfp := it.Campaign.Fingerprint()
+	for i, it := range grid.Spec.Items {
+		cfp := cfps[i]
 		if owner, ok := g.byCamp[cfp]; ok && !capi.TerminalState(owner.state) && owner.fp != fp {
 			g.mu.Unlock()
 			return nil, false, fmt.Errorf("campaign %q (%.12s) already belongs to live sweep %.12s", it.Key, cfp, owner.fp)
@@ -198,6 +233,7 @@ func (g *registry) submit(grid sweep.Grid, params json.RawMessage, single *shard
 		fp:       fp,
 		grid:     grid,
 		pool:     pool,
+		cfps:     cfps,
 		single:   single,
 		params:   params,
 		seq:      g.seq,
@@ -208,8 +244,8 @@ func (g *registry) submit(grid sweep.Grid, params json.RawMessage, single *shard
 	g.sweeps[fp] = sr
 	g.order = append(g.order, sr)
 	g.submitted = true
-	for _, it := range grid.Spec.Items {
-		g.byCamp[it.Campaign.Fingerprint()] = sr
+	for _, cfp := range cfps {
+		g.byCamp[cfp] = sr
 	}
 	if initial {
 		g.initial = sr
@@ -444,6 +480,19 @@ func (g *registry) drive(sr *sweepRun) error {
 	for merged := 0; merged < len(items); {
 		select {
 		case idx := <-sr.pool.Completed():
+			// A campaign whose queue finished by quarantining shards has no
+			// complete result set: fail the sweep with the poison shards named
+			// rather than hang on partials that will never arrive (the bound
+			// exists so one crashing shard cannot pin the fleet forever).
+			if quar := sr.pool.Quarantined(idx); len(quar) > 0 {
+				idxs := make([]int, 0, len(quar))
+				for si := range quar {
+					idxs = append(idxs, si)
+				}
+				sort.Ints(idxs)
+				return fmt.Errorf("campaign %q: %d shard(s) quarantined as poison work; shard %d: %s",
+					items[idx].Key, len(quar), idxs[0], quar[idxs[0]])
+			}
 			mu.Lock()
 			b := builts[idx]
 			builts[idx] = nil
@@ -485,7 +534,7 @@ func (g *registry) drive(sr *sweepRun) error {
 		}
 		if g.outPath != "" {
 			if g.single {
-				return writeResultJSON(g.outPath, results[items[0].Campaign.Fingerprint()])
+				return writeResultJSON(g.outPath, results[sr.cfps[0]])
 			}
 			return os.WriteFile(g.outPath, rendered.Bytes(), 0o644)
 		}
@@ -542,13 +591,10 @@ func (g *registry) seedPartials(fp string, specs []shard.Spec) map[int]*shard.Pa
 	return seed
 }
 
-// campaignFingerprints lists one sweep's campaign fingerprints.
+// campaignFingerprints lists one sweep's campaign fingerprints,
+// computed once at submission.
 func campaignFingerprints(sr *sweepRun) []string {
-	fps := make([]string, 0, len(sr.grid.Spec.Items))
-	for _, it := range sr.grid.Spec.Items {
-		fps = append(fps, it.Campaign.Fingerprint())
-	}
-	return fps
+	return sr.cfps
 }
 
 // initialSweep returns the self-submitted sweep, if any.
@@ -694,6 +740,73 @@ func (g *registry) recordJournaled(fp string, p *shard.Partial) {
 	}
 }
 
+// strikeWorker records one lost audit vote against a worker; at
+// workerStrikeThreshold the worker is quarantined — its lease requests
+// answer 403 quarantined from then on, and it is counted under
+// fleet_workers{state="quarantined"}. Runs as a pool audit hook (pool
+// lock held), so it touches only healthMu.
+func (g *registry) strikeWorker(worker string) {
+	if worker == "" {
+		return
+	}
+	g.healthMu.Lock()
+	g.strikes[worker]++
+	n := g.strikes[worker]
+	newly := n >= workerStrikeThreshold && !g.quarWorkers[worker]
+	if newly {
+		g.quarWorkers[worker] = true
+	}
+	g.healthMu.Unlock()
+	if newly {
+		g.log.Warn("worker quarantined after repeated audit divergence", "worker", worker, "strikes", n)
+	} else {
+		g.log.Warn("worker outvoted in audit", "worker", worker, "strikes", n)
+	}
+}
+
+// workerQuarantined reports whether a worker's leases are refused.
+func (g *registry) workerQuarantined(worker string) bool {
+	g.healthMu.Lock()
+	defer g.healthMu.Unlock()
+	return g.quarWorkers[worker]
+}
+
+// quarantinedWorkerCount feeds fleet_workers{state="quarantined"}.
+func (g *registry) quarantinedWorkerCount() int {
+	g.healthMu.Lock()
+	defer g.healthMu.Unlock()
+	return len(g.quarWorkers)
+}
+
+// auditReplace re-journals a corrected partial after an audit majority
+// outvoted the original completion. The in-memory view is first-wins
+// (recordJournaled), so the correction must overwrite explicitly; the
+// on-disk journal replays last-record-wins (runstore.LoadAll), so an
+// appended record supersedes the wrong one without rewriting the file.
+// Runs as a pool audit hook: it takes g.mu but never a pool lock.
+func (g *registry) auditReplace(fp string, p *shard.Partial) {
+	g.mu.Lock()
+	m := g.journaled[fp]
+	if m == nil {
+		m = map[int]*shard.Partial{}
+		g.journaled[fp] = m
+	}
+	m[p.Index] = p
+	store := g.store
+	dead := g.dead
+	pc := g.partials
+	g.mu.Unlock()
+	g.log.Warn("audit majority replaced shard result", "campaign", fp12(fp), "shard", p.Index)
+	if store != nil && !dead {
+		if err := store.Append(fp, p); err != nil {
+			g.log.Warn("journal append failed", "campaign", fp12(fp), "shard", p.Index, "err", err)
+		}
+	}
+	if pc != nil && !dead {
+		pc.PutPartial(fp, p)
+	}
+}
+
 // liveSweeps returns the sweeps in submission order plus whether the
 // coordinator is drained (something was submitted, everything terminal).
 func (g *registry) liveSweeps() (order []*sweepRun, drained bool) {
@@ -726,6 +839,7 @@ func (g *registry) mux() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/sweeps/{fp}", g.handleCancel)
 	mux.HandleFunc("POST /v1/lease", g.handleLease)
 	mux.HandleFunc("POST /v1/complete", g.handleComplete)
+	mux.HandleFunc("POST /v1/shards/fail", g.handleFail)
 	mux.HandleFunc("POST /v1/renew", g.handleRenew)
 	mux.HandleFunc("POST /v1/workers/{name}/metrics", g.handlePushMetrics)
 	if g.lake != nil {
@@ -837,8 +951,8 @@ func (g *registry) status(sr *sweepRun) capi.SweepStatus {
 // shard has landed. Callers hold g.mu.
 func (g *registry) costOf(sr *sweepRun) *capi.SweepCost {
 	var c capi.SweepCost
-	for _, it := range sr.grid.Spec.Items {
-		for _, p := range g.journaled[it.Campaign.Fingerprint()] {
+	for _, cfp := range sr.cfps {
+		for _, p := range g.journaled[cfp] {
 			c.Shards++
 			c.InjectEvals += p.InjectEvals
 			c.InjectWallNS += p.InjectWallNS
@@ -916,13 +1030,21 @@ func (g *registry) handleLease(w http.ResponseWriter, r *http.Request) {
 		capi.WriteError(w, http.StatusBadRequest, capi.CodeBadRequest, "bad lease request: %v", err)
 		return
 	}
+	if g.workerQuarantined(req.Worker) {
+		capi.WriteError(w, http.StatusForbidden, capi.CodeQuarantined,
+			"worker %q is quarantined after repeated audit divergence; its results are not trusted", req.Worker)
+		return
+	}
 	order, drained := g.liveSweeps()
 	now := g.now()
 	for _, sr := range order {
 		if l, ok := sr.pool.Lease(req.Worker, now); ok {
 			name := "lease"
-			if l.Speculative {
+			switch {
+			case l.Speculative:
 				name = "speculated"
+			case l.Audit:
+				name = "audit"
 			}
 			g.tracer.Instant(name, "coord", 0, int64(l.Spec.Index), map[string]any{
 				"worker": req.Worker, "campaign": fp12(l.Spec.Fingerprint), "shard": l.Spec.Index,
@@ -972,6 +1094,16 @@ func (g *registry) handleComplete(w http.ResponseWriter, r *http.Request) {
 			capi.WriteError(w, http.StatusConflict, capi.CodeStaleEpoch, "%v", err)
 			return
 		}
+		if errors.Is(err, shard.ErrIntegrity) {
+			// The payload's bytes do not match its own checksum: wire (or
+			// worker-side) corruption. The result is refused, never journaled,
+			// and the shard is back on the queue for a clean re-execution.
+			g.tracer.Instant("integrity_reject", "coord", 0, int64(req.Partial.Index), map[string]any{
+				"campaign": fp12(fp), "shard": req.Partial.Index,
+			})
+			capi.WriteError(w, http.StatusConflict, capi.CodeIntegrityMismatch, "%v", err)
+			return
+		}
 		capi.WriteError(w, http.StatusConflict, capi.CodeConflict, "%v", err)
 		return
 	}
@@ -979,6 +1111,33 @@ func (g *registry) handleComplete(w http.ResponseWriter, r *http.Request) {
 		"campaign": fp12(fp), "shard": req.Partial.Index,
 	})
 	g.recordJournaled(fp, req.Partial)
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleFail is a worker's typed "this shard crashed me" report: the
+// lease is released immediately (no TTL wait) and the shard's attempt
+// count moves it toward quarantine — the containment path for poison
+// work that panics every executor it lands on.
+func (g *registry) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req capi.FailRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		capi.WriteError(w, http.StatusBadRequest, capi.CodeBadRequest, "bad failure report: %v", err)
+		return
+	}
+	fp := g.resolveFingerprint(req.Fingerprint)
+	sr, ok := g.routeCampaign(fp)
+	if !ok {
+		capi.WriteError(w, http.StatusConflict, capi.CodeConflict, "failure report names unknown campaign %.12s", fp)
+		return
+	}
+	if err := sr.pool.Fail(fp, req.LeaseID, req.Reason, g.now()); err != nil {
+		capi.WriteError(w, http.StatusConflict, capi.CodeConflict, "%v", err)
+		return
+	}
+	g.tracer.Instant("fail", "coord", 0, 0, map[string]any{
+		"campaign": fp12(fp), "worker": req.Worker, "reason": req.Reason,
+	})
+	g.ping()
 	w.WriteHeader(http.StatusOK)
 }
 
@@ -1012,7 +1171,9 @@ func (g *registry) resolveFingerprint(fp string) string {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.initial != nil && g.initial.single != nil {
-		return g.initial.single.Fingerprint()
+		// The single campaign validated at submission; cfps[0] is its
+		// fingerprint, computed once there.
+		return g.initial.cfps[0]
 	}
 	return fp
 }
@@ -1024,9 +1185,9 @@ type serveOpts struct {
 	single   bool            // one-campaign mode: legacy report + result-JSON -out
 	shards   int             // per campaign; tiny campaigns degrade to fewer
 	journal  string
-	lakeDir  string          // artifact-lake directory; "" = lake disabled
-	lakeMax  int64           // lake size bound in bytes; 0 = lake.DefaultMaxBytes
-	lake     *lake.Store     // pre-opened store (tests inject one to chaos-fail it mid-sweep)
+	lakeDir  string      // artifact-lake directory; "" = lake disabled
+	lakeMax  int64       // lake size bound in bytes; 0 = lake.DefaultMaxBytes
+	lake     *lake.Store // pre-opened store (tests inject one to chaos-fail it mid-sweep)
 	leaseTTL time.Duration
 	linger   time.Duration
 	outPath  string // single: merged result JSON; sweep: rendered grid text
@@ -1037,6 +1198,10 @@ type serveOpts struct {
 	leaderTTL  time.Duration // leader-lease duration; renewed at a third of it
 	drainGrace time.Duration // graceful-drain bound on waiting out leased shards
 	specFactor float64       // straggler re-issue factor (0 = pool default, negative = off)
+
+	// Integrity knobs (DESIGN.md "Integrity & quarantine").
+	auditFrac   float64 // fraction of completions re-executed on another worker (0 = off)
+	maxAttempts int     // executions per shard before it is quarantined as poison (0 = unbounded)
 
 	// Observability (DESIGN.md "Observability"). Instrumentation never
 	// feeds back into scheduling or simulation: rendered sweep output is
@@ -1077,6 +1242,8 @@ func runServe(args []string) error {
 	drainGrace := fs.Duration("drain-grace", defaultDrainGrace, "on SIGINT/SIGTERM, how long to wait for leased shards to land before exiting anyway")
 	linger := fs.Duration("linger", 3*time.Second, "idle grace: once every submitted sweep is terminal, keep serving this long (new submissions revive the server; pollers observe completion) before exiting")
 	speculate := fs.Float64("speculate", sweep.DefaultSpeculateFactor, "straggler re-issue: speculatively back up a leased shard once its age exceeds this multiple of the observed average shard duration and the pool is otherwise idle; 0 disables")
+	auditFrac := fs.Float64("audit-frac", 0, "result auditing: re-execute this fraction of completed shards on a different worker and cross-check verdict checksums; divergence is settled by majority vote and outvoted workers are quarantined (0 disables)")
+	maxAttempts := fs.Int("max-attempts", shard.DefaultMaxAttempts, "poison-work bound: executions (primary and speculative) a shard may consume before it is quarantined and its sweep failed instead of hung (0 = unbounded)")
 	standbyFlag := fs.Bool("standby", false, "warm standby: tail -follow's journal, take over serving when the leader lease expires")
 	follow := fs.String("follow", "", "standby: the leader's journal to tail (implies -journal for the takeover)")
 	out := fs.String("out", "", "single campaign: write the merged result JSON here; sweep: write the rendered tables here")
@@ -1098,6 +1265,12 @@ func runServe(args []string) error {
 	if *linger < 0 {
 		return fmt.Errorf("-linger must not be negative, got %v", *linger)
 	}
+	if *auditFrac < 0 || *auditFrac > 1 {
+		return fmt.Errorf("-audit-frac must be in [0,1], got %v", *auditFrac)
+	}
+	if *maxAttempts < 0 {
+		return fmt.Errorf("-max-attempts must not be negative, got %d", *maxAttempts)
+	}
 	params, isSweep, err := paramsOf()
 	if err != nil {
 		return err
@@ -1112,21 +1285,23 @@ func runServe(args []string) error {
 		}
 	})
 	opts := serveOpts{
-		single:     single,
-		shards:     *shards,
-		journal:    *journal,
-		lakeDir:    *lakeDir,
-		lakeMax:    *lakeMax,
-		leaseTTL:   *lease,
-		leaderTTL:  *leaderTTL,
-		drainGrace: *drainGrace,
-		specFactor: *speculate,
-		linger:     *linger,
-		outPath:    *out,
-		outDir:     *outDir,
-		addr:       *addr,
-		debugAddr:  *debugAddr,
-		tracePath:  *tracePath,
+		single:      single,
+		shards:      *shards,
+		journal:     *journal,
+		lakeDir:     *lakeDir,
+		lakeMax:     *lakeMax,
+		leaseTTL:    *lease,
+		leaderTTL:   *leaderTTL,
+		drainGrace:  *drainGrace,
+		specFactor:  *speculate,
+		auditFrac:   *auditFrac,
+		maxAttempts: *maxAttempts,
+		linger:      *linger,
+		outPath:     *out,
+		outDir:      *outDir,
+		addr:        *addr,
+		debugAddr:   *debugAddr,
+		tracePath:   *tracePath,
 	}
 	if *speculate <= 0 {
 		opts.specFactor = -1 // explicit off; serveOpts zero means "pool default"
@@ -1188,9 +1363,13 @@ func singleCampaignGrid(cs shard.CampaignSpec) sweep.Grid {
 	return sweep.Grid{
 		Spec: sweep.SweepSpec{Name: "campaign", Items: []sweep.Item{it}},
 		Render: func(w io.Writer, results map[string]*inject.Result) error {
-			r, ok := results[cs.Fingerprint()]
+			fp, err := cs.Fingerprint()
+			if err != nil {
+				return err
+			}
+			r, ok := results[fp]
 			if !ok {
-				return fmt.Errorf("campaign %.12s has no merged result", cs.Fingerprint())
+				return fmt.Errorf("campaign %.12s has no merged result", fp)
 			}
 			fmt.Fprint(w, r.String())
 			return nil
@@ -1243,10 +1422,11 @@ func serve(opts serveOpts, ln net.Listener, rawStdout io.Writer) error {
 	var store *runstore.Store
 	journaled := opts.preJournaled
 	preSweeps := opts.preSweeps
+	droppedRecords := 0
 	var err error
 	if opts.journal != "" {
 		if journaled == nil {
-			if journaled, err = runstore.LoadAll(opts.journal); err != nil {
+			if journaled, droppedRecords, err = runstore.LoadAll(opts.journal); err != nil {
 				return err
 			}
 			if preSweeps, err = runstore.LoadSweeps(opts.journal); err != nil {
@@ -1301,6 +1481,11 @@ func serve(opts serveOpts, ln net.Listener, rawStdout io.Writer) error {
 	g := newRegistry(opts, epoch, store, journaled, stdout)
 	g.obs, g.sm, g.tracer = reg, shard.NewMetrics(reg), tracer
 	g.fleet = obs.NewFleet(0)
+	g.fleet.SetQuarantined(g.quarantinedWorkerCount)
+	if droppedRecords > 0 {
+		g.log.Warn("journal records failed their integrity checksum and were skipped; those shards re-simulate",
+			"journal", opts.journal, "dropped", droppedRecords)
+	}
 
 	// Artifact lake: golden builds and finished partials become durable,
 	// fleet-wide, cross-sweep cache objects. Strictly an accelerator — the
@@ -1583,14 +1768,21 @@ func standby(opts serveOpts, rawStdout io.Writer) error {
 			}
 			sweeps[rec.Sweep.Fingerprint] = *rec.Sweep
 		case rec.Partial != nil:
+			if rec.Partial.Verify() != nil {
+				// A record whose payload fails its own checksum must never
+				// restore: drop it here and the shard re-simulates after
+				// takeover, exactly as runstore.LoadAll would have decided.
+				return
+			}
 			m := journaled[rec.Fingerprint]
 			if m == nil {
 				m = map[int]*shard.Partial{}
 				journaled[rec.Fingerprint] = m
 			}
-			if _, dup := m[rec.Partial.Index]; !dup {
-				m[rec.Partial.Index] = rec.Partial
-			}
+			// Last record wins, mirroring runstore.LoadAll: the journal holds
+			// one record per shard except when an audit correction was
+			// appended after the original — the correction must supersede.
+			m[rec.Partial.Index] = rec.Partial
 		case len(rec.Terminal) > 0:
 			for _, fp := range rec.Terminal {
 				delete(journaled, fp)
@@ -1599,7 +1791,8 @@ func standby(opts serveOpts, rawStdout io.Writer) error {
 	}
 	// drainTail applies everything currently readable. A journal
 	// replacement (the leader compacting) resets the derived state and
-	// replays — replaying is idempotent because apply is first-wins.
+	// replays — replaying is idempotent because apply is deterministic
+	// in record order.
 	drainTail := func() error {
 		for {
 			rec, ev, err := tail.Next()

@@ -166,7 +166,7 @@ func TestCoordinatorFailover(t *testing.T) {
 	var journaledAtKill map[string]map[int]*shard.Partial
 	killBy := time.Now().Add(3 * time.Minute)
 	for {
-		m, err := runstore.LoadAll(journal)
+		m, _, err := runstore.LoadAll(journal)
 		if err == nil && countShards(m) >= 1 {
 			journaledAtKill = m
 			break

@@ -264,7 +264,7 @@ func TestLakeChaosMidSweep(t *testing.T) {
 	deadline := time.Now().Add(time.Minute)
 	for {
 		sctx, scancel := context.WithTimeout(ctx, 5*time.Second)
-		status, err := client.Sweep(sctx, grid.Spec.Fingerprint())
+		status, err := client.Sweep(sctx, sfpOf(t, grid.Spec))
 		scancel()
 		if err == nil {
 			done := 0

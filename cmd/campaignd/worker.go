@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +33,14 @@ type workOpts struct {
 	tracer    *obs.Tracer   // span journal; nil = created iff tracePath is set
 	debugAddr string        // pprof + /metrics server; "" = off
 	tracePath string        // Chrome trace_event JSON written on exit; "" = off
+
+	// Test hooks. tamper mutates a finished partial before it is posted —
+	// the faulty-worker stand-in the audit path exists to catch (mutate
+	// then re-Stamp: the checksum is self-consistent, only the verdict is
+	// wrong). failShard, when it returns an error for a spec, stands in
+	// for an execution that crashes — the poison-work path.
+	tamper    func(p *shard.Partial)
+	failShard func(sp shard.Spec) error
 }
 
 func runWork(args []string) error {
@@ -189,6 +198,15 @@ func work(ctx context.Context, opts workOpts) error {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
+			var ce *capi.Error
+			if errors.As(err, &ce) && ce.Code == capi.CodeQuarantined {
+				// The coordinator no longer trusts this worker's results;
+				// polling on would be refused forever. Exit distinctly so an
+				// operator (or supervisor) sees a health verdict, not a
+				// connectivity one.
+				logger.Error("worker quarantined by coordinator; exiting", "err", err)
+				return fmt.Errorf("quarantined by coordinator: %v", err)
+			}
 			failures++
 			now := time.Now()
 			if offlineSince.IsZero() {
@@ -225,13 +243,38 @@ func work(ctx context.Context, opts workOpts) error {
 		idle.Reset()
 		hitsBefore := exec.CacheHits()
 		stopRenew := startRenewal(ctx, client, opts, lease)
-		p, err := exec.ExecuteFor(lease.Spec, lease.Sweep)
+		var p *shard.Partial
+		if opts.failShard != nil {
+			if ferr := opts.failShard(lease.Spec); ferr != nil {
+				err = &shard.ExecPanicError{Msg: ferr.Error()}
+			}
+		}
+		if err == nil {
+			p, err = exec.ExecuteFor(lease.Spec, lease.Sweep)
+		}
 		stopRenew()
 		if err != nil {
+			var pe *shard.ExecPanicError
+			if errors.As(err, &pe) {
+				// The shard crashed its executor — the executor's recover
+				// converted the panic into this typed error, so the worker
+				// process survives. Report the failure so the coordinator
+				// releases the lease now (no TTL wait) and counts the attempt
+				// toward the shard's quarantine bound, then poll on.
+				logger.Error("shard execution panicked", "campaign", fp12(lease.Spec.Fingerprint),
+					"shard", lease.Spec.Index, "err", err)
+				if ferr := client.Fail(ctx, lease.Spec.Fingerprint, lease.ID, opts.name, err.Error()); ferr != nil && ctx.Err() == nil {
+					logger.Warn("failure report dropped", "err", ferr)
+				}
+				continue
+			}
 			// A shard this process cannot execute (bad spec, build failure)
 			// is fatal for the worker; the lease expires and another worker
 			// picks the shard up.
 			return fmt.Errorf("executing shard %d: %v", lease.Spec.Index, err)
+		}
+		if opts.tamper != nil {
+			opts.tamper(p)
 		}
 		cached := exec.CacheHits() > hitsBefore
 		if err := client.Complete(ctx, lease.Spec.Fingerprint, lease.ID, lease.Epoch, p); err != nil {

@@ -150,9 +150,16 @@ func parseFlags(args []string) (*cliConfig, error) {
 		// file.
 		fps := map[string]bool{}
 		if cfg.grid != nil {
-			fps = cfg.grid.Spec.Fingerprints()
+			var err error
+			if fps, err = cfg.grid.Spec.Fingerprints(); err != nil {
+				return nil, err
+			}
 		} else {
-			fps[cfg.spec.Fingerprint()] = true
+			fp, err := cfg.spec.Fingerprint()
+			if err != nil {
+				return nil, err
+			}
+			fps[fp] = true
 		}
 		n, err := runstore.CountAny(*journal, fps)
 		if err != nil {

@@ -87,7 +87,11 @@ func TestParseFlagsRefusesStaleJournalWithoutResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Append(cfg.spec.Fingerprint(), &shard.Partial{Index: 0, Start: 0, End: 1}); err != nil {
+	specFP, err := cfg.spec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(specFP, &shard.Partial{Index: 0, Start: 0, End: 1}); err != nil {
 		t.Fatal(err)
 	}
 	st.Close()
@@ -127,7 +131,15 @@ func TestParseFlagsSweepGrid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.grid.Spec.Fingerprint() != wantGrid.Spec.Fingerprint() {
+	gotFP, err := cfg.grid.Spec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFP, err := wantGrid.Spec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFP != wantFP {
 		t.Fatal("socfault sweep grid diverges from the shared constructor")
 	}
 	// A non-sweep parse leaves the grid nil.
@@ -155,7 +167,10 @@ func TestParseFlagsRefusesStaleSweepJournal(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Record a shard of the grid's second campaign.
-	fp := cfg.grid.Spec.Items[1].Campaign.Fingerprint()
+	fp, err := cfg.grid.Spec.Items[1].Campaign.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := st.Append(fp, &shard.Partial{Index: 0, Start: 0, End: 1}); err != nil {
 		t.Fatal(err)
 	}

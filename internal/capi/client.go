@@ -84,6 +84,13 @@ func (c *Client) observe(method, path string, start time.Time) {
 // DefaultRetries is the per-call transient-failure attempt budget.
 const DefaultRetries = 5
 
+// MaxRetryAfter caps how long the retry loop will sleep on a server's
+// Retry-After hint. The header is advisory pacing, not a command: a
+// hostile or buggy coordinator advertising "Retry-After: 86400" must
+// not stall a worker for a day when its own backoff would have retried
+// within seconds.
+const MaxRetryAfter = 30 * time.Second
+
 // NewClient returns a client for the coordinator at baseURL.
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
@@ -221,6 +228,9 @@ func (c *Client) retryLoop(ctx context.Context, what string, fn func() error) er
 			delay := bo.Next()
 			if e, ok := err.(*Error); ok && e.RetryAfter > 0 && (e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable) {
 				delay = e.RetryAfter
+				if delay > MaxRetryAfter {
+					delay = MaxRetryAfter
+				}
 				c.Obs.NewCounter("capi_retry_after_sleeps_total", "Retries paced by a server Retry-After header.").Inc()
 			}
 			if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) <= delay {
@@ -292,6 +302,17 @@ func (c *Client) Lease(ctx context.Context, worker string) (*shard.Lease, LeaseO
 func (c *Client) Complete(ctx context.Context, fingerprint, leaseID string, epoch uint64, p *shard.Partial) error {
 	_, err := c.doRetry(ctx, http.MethodPost, "/v1/complete",
 		CompleteRequest{LeaseID: leaseID, Fingerprint: fingerprint, Epoch: epoch, Partial: p}, nil)
+	return err
+}
+
+// Fail reports a shard execution failure for a held lease (retrying —
+// the report is what lets the coordinator bound a poison shard's
+// re-issue, so it is worth delivering through a network blip). The
+// coordinator requeues the shard or, past its attempt bound,
+// quarantines it.
+func (c *Client) Fail(ctx context.Context, fingerprint, leaseID, worker, reason string) error {
+	_, err := c.doRetry(ctx, http.MethodPost, "/v1/shards/fail",
+		FailRequest{LeaseID: leaseID, Fingerprint: fingerprint, Worker: worker, Reason: reason}, nil)
 	return err
 }
 

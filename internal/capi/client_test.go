@@ -251,6 +251,34 @@ func TestClientRetryBoundedByDeadline(t *testing.T) {
 	}
 }
 
+// TestClientClampsHostileRetryAfter: a coordinator advertising an
+// absurd Retry-After ("come back tomorrow") must not park the worker
+// for the advertised interval — the hint is clamped to MaxRetryAfter.
+// The probe: under a deadline comfortably above the clamp but far below
+// the hint, a clamped client enters the (cancellable) sleep, while an
+// unclamped one would refuse immediately with a deadline-cut-off error.
+// Cancelling mid-sleep distinguishes the two without waiting out either.
+func TestClientClampsHostileRetryAfter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteUnavailable(w, 24*time.Hour, "hostile pacing")
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := fastClient(srv.URL).Sweeps(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled: the clamped retry sleep was never entered", err)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond || elapsed > MaxRetryAfter {
+		t.Fatalf("retry slept %v, want a cancellable sleep of at most MaxRetryAfter", elapsed)
+	}
+}
+
 // TestNormPath pins the metric-label path normalization: fingerprints
 // and worker names collapse to placeholders so capi_request_seconds
 // enumerates endpoints, never identities, and query strings are

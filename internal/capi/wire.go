@@ -22,8 +22,13 @@
 //	DELETE /v1/sweeps/{fp}          -> 200 SweepStatus (cancel)
 //	POST   /v1/lease                LeaseRequest -> 200 shard.Lease,
 //	                                204 idle, 410 drained
-//	POST   /v1/complete             CompleteRequest -> 200
+//	POST   /v1/complete             CompleteRequest -> 200,
+//	                                409 integrity_mismatch on checksum
+//	                                failure (the shard is re-issued)
 //	POST   /v1/renew                RenewRequest -> 200 RenewReply
+//	POST   /v1/shards/fail          FailRequest -> 200 (execution failure
+//	                                report; the shard requeues or, past
+//	                                its attempt bound, quarantines)
 //	POST   /v1/workers/{name}/metrics  exposition text -> 204 (federation
 //	                                push; merged view at GET /metrics/fleet)
 //
@@ -161,6 +166,18 @@ type RenewRequest struct {
 	Fingerprint string `json:"fingerprint"`
 }
 
+// FailRequest reports a shard execution failure — typically a panic the
+// worker's executor recovered — routed like CompleteRequest. Reporting
+// lets the coordinator requeue (or quarantine) the shard immediately
+// and with a reason, instead of inferring the failure from a silent
+// lease expiry.
+type FailRequest struct {
+	LeaseID     string `json:"lease_id"`
+	Fingerprint string `json:"fingerprint"`
+	Worker      string `json:"worker,omitempty"`
+	Reason      string `json:"reason"`
+}
+
 // RenewReply carries the renewed lease deadline.
 type RenewReply struct {
 	ExpiresAt time.Time `json:"expires_at"`
@@ -223,6 +240,15 @@ const (
 	CodeInternal    = "internal"    // coordinator-side error
 	CodeStaleEpoch  = "stale_epoch" // completion fenced: granted by a deposed coordinator
 	CodeUnavailable = "unavailable" // coordinator draining or failing over; retry later
+	// CodeIntegrityMismatch refuses a partial whose integrity checksum
+	// does not match its bytes — corruption on the wire, in a journal or
+	// in a lake blob. The shard is re-issued; the sender just drops its
+	// copy (re-sending the same bytes can never succeed).
+	CodeIntegrityMismatch = "integrity_mismatch"
+	// CodeQuarantined refuses a lease to a worker whose audited results
+	// diverged from the fleet majority too often. The worker should exit;
+	// its results are no longer trusted.
+	CodeQuarantined = "quarantined"
 )
 
 func (e *Error) Error() string {

@@ -44,6 +44,18 @@ type Config struct {
 	// before being sent.
 	Delay    float64
 	MaxDelay time.Duration
+	// Corrupt: a POST body has one ASCII digit flipped to a different
+	// digit before being sent — the wire-corruption fault the integrity
+	// checksums exist to catch. Flipping digit-to-digit keeps the JSON
+	// syntactically valid, so the damage reaches the checksum verifier
+	// instead of dying as a 400 parse error. Digits after an
+	// `"injections"` substring are preferred, so the damage lands in the
+	// result payload rather than in routing fields. Bodyless requests
+	// pass through clean.
+	Corrupt float64
+	// CorruptPath, when non-empty, restricts Corrupt to requests whose
+	// URL path contains it (e.g. "/v1/complete").
+	CorruptPath string
 }
 
 // Stats counts requests seen and faults injected.
@@ -54,6 +66,7 @@ type Stats struct {
 	Resets   int64
 	Dups     int64
 	Delays   int64
+	Corrupts int64
 }
 
 // Transport is a fault-injecting http.RoundTripper. Wrap it around a
@@ -78,7 +91,7 @@ type Transport struct {
 
 // SetObs exports the transport's fault counters through an obs registry:
 // chaos_requests_total plus chaos_injected_total labeled by fault class
-// (drop, err503, reset, dup, delay). Every class series is registered
+// (drop, err503, reset, dup, delay, corrupt). Every class series is registered
 // eagerly at zero, so a scrape can tell "class never drawn" from "class
 // not wired up". Call before serving traffic; a nil registry is a no-op.
 func (t *Transport) SetObs(r *obs.Registry) {
@@ -87,11 +100,12 @@ func (t *Transport) SetObs(r *obs.Registry) {
 	defer t.mu.Unlock()
 	t.obsRequests = r.NewCounter("chaos_requests_total", "Requests seen by the chaos transport.")
 	t.obsClass = map[fault]*obs.Counter{
-		faultDrop:  r.NewCounter("chaos_injected_total", help, "class", "drop"),
-		fault503:   r.NewCounter("chaos_injected_total", help, "class", "err503"),
-		faultReset: r.NewCounter("chaos_injected_total", help, "class", "reset"),
-		faultDup:   r.NewCounter("chaos_injected_total", help, "class", "dup"),
-		faultDelay: r.NewCounter("chaos_injected_total", help, "class", "delay"),
+		faultDrop:    r.NewCounter("chaos_injected_total", help, "class", "drop"),
+		fault503:     r.NewCounter("chaos_injected_total", help, "class", "err503"),
+		faultReset:   r.NewCounter("chaos_injected_total", help, "class", "reset"),
+		faultDup:     r.NewCounter("chaos_injected_total", help, "class", "dup"),
+		faultDelay:   r.NewCounter("chaos_injected_total", help, "class", "delay"),
+		faultCorrupt: r.NewCounter("chaos_injected_total", help, "class", "corrupt"),
 	}
 }
 
@@ -117,33 +131,43 @@ const (
 	faultReset
 	faultDup
 	faultDelay
+	faultCorrupt
 )
 
 // draw picks this request's fate and, for delays, its duration.
-func (t *Transport) draw() (fault, time.Duration) {
+// corruptable reports whether the request could carry a corrupt fault
+// (bodied, path-matched); a corrupt draw on an ineligible request
+// passes through clean and is not counted.
+func (t *Transport) draw(corruptable bool) (fault, time.Duration) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.stats.Requests++
 	t.obsRequests.Inc()
 	u := t.rnd.Float64()
 	f, d := faultNone, time.Duration(0)
+	sum := t.cfg.Drop
 	switch {
-	case u < t.cfg.Drop:
+	case u < sum:
 		t.stats.Drops++
 		f = faultDrop
-	case u < t.cfg.Drop+t.cfg.Err503:
+	case u < sum+t.cfg.Err503:
 		t.stats.Errs503++
 		f = fault503
-	case u < t.cfg.Drop+t.cfg.Err503+t.cfg.Reset:
+	case u < sum+t.cfg.Err503+t.cfg.Reset:
 		t.stats.Resets++
 		f = faultReset
-	case u < t.cfg.Drop+t.cfg.Err503+t.cfg.Reset+t.cfg.Dup:
+	case u < sum+t.cfg.Err503+t.cfg.Reset+t.cfg.Dup:
 		t.stats.Dups++
 		f = faultDup
-	case u < t.cfg.Drop+t.cfg.Err503+t.cfg.Reset+t.cfg.Dup+t.cfg.Delay:
+	case u < sum+t.cfg.Err503+t.cfg.Reset+t.cfg.Dup+t.cfg.Delay:
 		t.stats.Delays++
 		f = faultDelay
 		d = time.Duration(t.rnd.Int63n(int64(t.cfg.MaxDelay) + 1))
+	case u < sum+t.cfg.Err503+t.cfg.Reset+t.cfg.Dup+t.cfg.Delay+t.cfg.Corrupt:
+		if corruptable {
+			t.stats.Corrupts++
+			f = faultCorrupt
+		}
 	}
 	if f != faultNone {
 		t.obsClass[f].Inc()
@@ -160,12 +184,18 @@ func (t *Transport) base() http.RoundTripper {
 
 // RoundTrip implements http.RoundTripper with the configured faults.
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
-	f, delay := t.draw()
+	corruptable := req.Body != nil && req.GetBody != nil &&
+		(t.cfg.CorruptPath == "" || strings.Contains(req.URL.Path, t.cfg.CorruptPath))
+	f, delay := t.draw(corruptable)
 	switch f {
 	case faultDrop:
 		return nil, fmt.Errorf("chaos: connection dropped before send")
 	case fault503:
 		return synth503(req), nil
+	case faultCorrupt:
+		if mangled, ok := t.corruptBody(req); ok {
+			req = mangled
+		}
 	case faultReset:
 		resp, err := t.base().RoundTrip(req)
 		if err != nil {
@@ -212,6 +242,62 @@ func (t *Transport) sendTwice(req *http.Request) (*http.Response, error) {
 		drain(first)
 	}
 	return t.base().RoundTrip(second)
+}
+
+// corruptBody rewrites the request with one digit of its body flipped to
+// a different digit — deterministic under the transport's seed. The
+// flip targets the first digit after an `"injections"` substring when
+// one exists (the result payload), else the first digit anywhere; a
+// body with no digits is returned unchanged. Digit-to-digit keeps the
+// JSON valid: the corruption must survive parsing to prove the checksum
+// layer catches it.
+func (t *Transport) corruptBody(req *http.Request) (*http.Request, bool) {
+	rc, err := req.GetBody()
+	if err != nil {
+		return nil, false
+	}
+	body, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		return nil, false
+	}
+	at := -1
+	start := 0
+	if i := strings.Index(string(body), `"injections"`); i >= 0 {
+		start = i
+	}
+	for i := start; i < len(body); i++ {
+		if body[i] >= '0' && body[i] <= '9' {
+			at = i
+			break
+		}
+	}
+	if at == -1 {
+		for i := 0; i < len(body); i++ {
+			if body[i] >= '0' && body[i] <= '9' {
+				at = i
+				break
+			}
+		}
+	}
+	if at == -1 {
+		return nil, false
+	}
+	t.mu.Lock()
+	flip := byte(t.rnd.Intn(8)) // 0..7
+	t.mu.Unlock()
+	// Map into 1..9, never the original digit and never '0': flipping a
+	// number's first digit to zero would mint a leading-zero literal
+	// ("07"), which is invalid JSON and would die as a 400 instead of
+	// reaching the checksum verifier.
+	body[at] = '0' + (body[at]-'0'+flip)%9 + 1
+	out := req.Clone(req.Context())
+	out.Body = io.NopCloser(strings.NewReader(string(body)))
+	out.ContentLength = int64(len(body))
+	out.GetBody = func() (io.ReadCloser, error) {
+		return io.NopCloser(strings.NewReader(string(body))), nil
+	}
+	return out, true
 }
 
 // synth503 fabricates the coordinator's draining reply without touching

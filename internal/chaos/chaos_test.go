@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -18,8 +19,8 @@ func TestTransportDeterministicBySeed(t *testing.T) {
 	cfg := Config{Seed: 7, Drop: 0.2, Err503: 0.2, Reset: 0.2, Dup: 0.2, Delay: 0.1, MaxDelay: time.Nanosecond}
 	a, b := New(cfg), New(cfg)
 	for i := 0; i < 200; i++ {
-		fa, _ := a.draw()
-		fb, _ := b.draw()
+		fa, _ := a.draw(true)
+		fb, _ := b.draw(true)
 		if fa != fb {
 			t.Fatalf("draw %d diverged: %v vs %v under the same seed", i, fa, fb)
 		}
@@ -83,6 +84,90 @@ func TestTransportAllFaultsFire(t *testing.T) {
 	want := int64(oks) + s.Dups + s.Resets
 	if got := served.Load(); got != want {
 		t.Fatalf("server saw %d requests, want %d (ok + dup + reset)", got, want)
+	}
+}
+
+// TestTransportCorruptFlipsOneDigit pins the wire-corruption fault's
+// contract: exactly one body byte changes, digit to a different digit,
+// preferring the result payload after `"injections"`, and the mangled
+// body still parses as JSON — the damage must reach the checksum
+// verifier, not die as a 400.
+func TestTransportCorruptFlipsOneDigit(t *testing.T) {
+	var got string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		got = string(b)
+	}))
+	defer srv.Close()
+	tr := New(Config{Seed: 3, Corrupt: 1, CorruptPath: "/v1/complete"})
+	client := &http.Client{Transport: tr}
+	sent := `{"lease_id":"lease-42","partial":{"index":1,"injections":[{"cell_id":77,"time_ps":1234}],"evals":999}}`
+	resp, err := client.Post(srv.URL+"/v1/complete", "application/json", strings.NewReader(sent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got == sent {
+		t.Fatal("corrupt fault at probability 1 left the body untouched")
+	}
+	if len(got) != len(sent) {
+		t.Fatalf("corruption changed the body length: %d vs %d", len(got), len(sent))
+	}
+	diffs := 0
+	at := -1
+	for i := range sent {
+		if got[i] != sent[i] {
+			diffs++
+			at = i
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("%d bytes changed, want exactly 1\nsent %s\ngot  %s", diffs, sent, got)
+	}
+	if sent[at] < '0' || sent[at] > '9' || got[at] < '0' || got[at] > '9' {
+		t.Fatalf("flip %q -> %q is not digit-to-digit", sent[at], got[at])
+	}
+	if inj := strings.Index(sent, `"injections"`); at < inj {
+		t.Fatalf("flip at offset %d landed before the injections payload (%d)", at, inj)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(got), &parsed); err != nil {
+		t.Fatalf("corrupted body no longer parses as JSON: %v\n%s", err, got)
+	}
+	if s := tr.Stats(); s.Corrupts != 1 {
+		t.Fatalf("stats counted %d corruptions, want 1: %+v", s.Corrupts, s)
+	}
+}
+
+// TestTransportCorruptSparesIneligibleRequests: path-filtered and
+// bodyless requests pass through clean and uncounted even at
+// probability 1 — a corrupt draw on an ineligible request is a no-op,
+// not a deferred fault.
+func TestTransportCorruptSparesIneligibleRequests(t *testing.T) {
+	var got string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		got = string(b)
+	}))
+	defer srv.Close()
+	tr := New(Config{Seed: 3, Corrupt: 1, CorruptPath: "/v1/complete"})
+	client := &http.Client{Transport: tr}
+	sent := `{"worker":"w1","n":123}`
+	resp, err := client.Post(srv.URL+"/v1/lease", "application/json", strings.NewReader(sent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got != sent {
+		t.Fatalf("path-filtered request corrupted: %q", got)
+	}
+	resp, err = client.Get(srv.URL + "/v1/complete")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if s := tr.Stats(); s.Corrupts != 0 || s.Requests != 2 {
+		t.Fatalf("ineligible requests counted as corrupted: %+v", s)
 	}
 }
 

@@ -122,7 +122,11 @@ func (b *Builder) waitBudget() time.Duration {
 // Build implements shard.Builder.
 func (b *Builder) Build(cs shard.CampaignSpec, tune func(*inject.Options)) (*shard.Built, bool, error) {
 	ctx := context.Background()
-	key := GoldenKey(cs.Fingerprint())
+	fp, err := cs.Fingerprint()
+	if err != nil {
+		return nil, false, err
+	}
+	key := GoldenKey(fp)
 	deadline := time.Now().Add(b.waitBudget())
 	for {
 		reply, err := b.lake.claim(ctx, key, b.owner)
@@ -222,8 +226,10 @@ func (p *Partials) GetPartial(fp string, start, end int) *shard.Partial {
 		return nil
 	}
 	// A published object that does not actually describe (fp, start, end)
-	// must never be adopted — it would silently corrupt a merge.
-	if partial.Start != start || partial.End != end {
+	// must never be adopted — it would silently corrupt a merge. The same
+	// goes for a blob whose integrity checksum no longer matches its
+	// bytes: a damaged lake object reads as a miss and re-simulates.
+	if partial.Start != start || partial.End != end || partial.Verify() != nil {
 		p.m.Miss("partial")
 		return nil
 	}

@@ -64,10 +64,10 @@ type ClaimState struct {
 }
 
 type blobMeta struct {
-	size     int64
-	lastUse  int64 // monotonic use counter, higher = more recent
-	refs     map[string]bool
-	pins     int
+	size    int64
+	lastUse int64 // monotonic use counter, higher = more recent
+	refs    map[string]bool
+	pins    int
 }
 
 type claim struct {

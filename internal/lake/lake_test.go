@@ -26,6 +26,16 @@ func openStore(t *testing.T, dir string, maxBytes int64) *Store {
 	return s
 }
 
+// fpOf computes a campaign fingerprint, failing the test on error.
+func fpOf(t *testing.T, cs shard.CampaignSpec) string {
+	t.Helper()
+	fp, err := cs.Fingerprint()
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	return fp
+}
+
 func TestStorePutGetRoundTrip(t *testing.T) {
 	s := openStore(t, t.TempDir(), 0)
 	data := []byte("golden artifact bytes")
@@ -339,7 +349,7 @@ func TestBuilderShareAndFallback(t *testing.T) {
 	if fetched {
 		t.Fatal("first builder claims it fetched from an empty lake")
 	}
-	if _, ok := s.Resolve(GoldenKey(cs.Fingerprint())); !ok {
+	if _, ok := s.Resolve(GoldenKey(fpOf(t, cs))); !ok {
 		t.Fatal("first build did not publish its golden artifact")
 	}
 
@@ -404,7 +414,7 @@ func TestBuilderShareAndFallback(t *testing.T) {
 func TestBuilderRejectsPoisonedArtifact(t *testing.T) {
 	s := openStore(t, t.TempDir(), 0)
 	cs := lakeSpec()
-	key := GoldenKey(cs.Fingerprint())
+	key := GoldenKey(fpOf(t, cs))
 	hash, err := s.Put([]byte("not a golden artifact"))
 	if err != nil {
 		t.Fatal(err)
@@ -434,7 +444,7 @@ func TestBuilderRejectsPoisonedArtifact(t *testing.T) {
 func TestBuilderHeldClaimWait(t *testing.T) {
 	s := openStore(t, t.TempDir(), 0)
 	cs := lakeSpec()
-	key := GoldenKey(cs.Fingerprint())
+	key := GoldenKey(fpOf(t, cs))
 	if _, err := s.Claim(key, "other-builder"); err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,11 @@ type Fleet struct {
 	stale   time.Duration // default staleness window
 	now     func() time.Time
 	workers map[string]*fleetEntry
+	// quarantined, when set, supplies the count behind
+	// fleet_workers{state="quarantined"} — workers the coordinator
+	// refuses to lease to after repeated audit divergence. The hook runs
+	// outside f.mu at Expose time.
+	quarantined func() int
 }
 
 type fleetEntry struct {
@@ -54,6 +59,15 @@ func NewFleet(stale time.Duration) *Fleet {
 func (f *Fleet) SetNow(now func() time.Time) {
 	f.mu.Lock()
 	f.now = now
+	f.mu.Unlock()
+}
+
+// SetQuarantined installs the quarantined-worker count source behind
+// fleet_workers{state="quarantined"}; nil (the default) omits the
+// series. The hook is called without the fleet lock held.
+func (f *Fleet) SetQuarantined(count func() int) {
+	f.mu.Lock()
+	f.quarantined = count
 	f.mu.Unlock()
 }
 
@@ -139,6 +153,13 @@ func (f *Fleet) countLocked(now time.Time) (live, stale int) {
 // information — and are accounted under fleet_workers{state="stale"}.
 func (f *Fleet) Expose() string {
 	f.mu.Lock()
+	qcount := f.quarantined
+	f.mu.Unlock()
+	quarantined := -1
+	if qcount != nil {
+		quarantined = qcount()
+	}
+	f.mu.Lock()
 	defer f.mu.Unlock()
 	now := f.now()
 
@@ -174,10 +195,14 @@ func (f *Fleet) Expose() string {
 	}
 
 	live, stale := f.countLocked(now)
-	fams["fleet_workers"] = &fam{kind: "gauge", lines: []string{
+	workerLines := []string{
 		`fleet_workers{state="live"} ` + formatFloat(float64(live)),
 		`fleet_workers{state="stale"} ` + formatFloat(float64(stale)),
-	}}
+	}
+	if quarantined >= 0 {
+		workerLines = append(workerLines, `fleet_workers{state="quarantined"} `+formatFloat(float64(quarantined)))
+	}
+	fams["fleet_workers"] = &fam{kind: "gauge", lines: workerLines}
 	pushes := &fam{kind: "counter"}
 	for _, w := range names {
 		pushes.lines = append(pushes.lines,

@@ -47,7 +47,7 @@ func TestTerminalMarkerHidesRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	all, err := LoadAll(path)
+	all, _, err := LoadAll(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestOpenCompactsMarkedAndSupersededRecords(t *testing.T) {
 	if n := len(journalLines(t, path)); n != 4 {
 		t.Fatalf("pre-compaction journal has %d lines, want 4", n)
 	}
-	before, err := LoadAll(path)
+	before, _, err := LoadAll(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestOpenCompactsMarkedAndSupersededRecords(t *testing.T) {
 	if strings.Contains(lines[0], "terminal") || strings.Contains(lines[0], "fp-a") {
 		t.Fatalf("compacted journal still carries dead content: %s", lines[0])
 	}
-	after, err := LoadAll(path)
+	after, _, err := LoadAll(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestPurgeDropsRecordsEagerly(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	all, err := LoadAll(path)
+	all, _, err := LoadAll(path)
 	if err != nil {
 		t.Fatal(err)
 	}

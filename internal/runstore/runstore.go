@@ -377,7 +377,7 @@ func (s *Store) Close() error {
 // record that fails to decode ends the load silently: it is the expected
 // torn tail of a crashed append, and everything before it is intact.
 func Load(path, fingerprint string) (map[int]*shard.Partial, error) {
-	all, err := LoadAll(path)
+	all, _, err := LoadAll(path)
 	if err != nil {
 		return nil, err
 	}
@@ -394,14 +394,17 @@ func Load(path, fingerprint string) (map[int]*shard.Partial, error) {
 // holds the shards of every campaign in a grid, each namespaced by its
 // fingerprint, so a restarted sweep coordinator resumes all of them from
 // a single pass over the file. Missing files and torn tails behave as in
-// Load.
-func LoadAll(path string) (map[string]map[int]*shard.Partial, error) {
+// Load. A record that decodes but whose partial fails its integrity
+// checksum (bytes damaged at rest or by a torn-then-overwritten write)
+// is skipped and counted in dropped: the shard simply re-simulates,
+// which is always correct, never wrong.
+func LoadAll(path string) (all map[string]map[int]*shard.Partial, dropped int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return map[string]map[int]*shard.Partial{}, nil
+			return map[string]map[int]*shard.Partial{}, 0, nil
 		}
-		return nil, fmt.Errorf("runstore: %v", err)
+		return nil, 0, fmt.Errorf("runstore: %v", err)
 	}
 	defer f.Close()
 	out := map[string]map[int]*shard.Partial{}
@@ -423,6 +426,10 @@ func LoadAll(path string) (map[string]map[int]*shard.Partial, error) {
 		if rec.Partial == nil {
 			continue
 		}
+		if rec.Partial.Verify() != nil {
+			dropped++
+			continue
+		}
 		m := out[rec.Fingerprint]
 		if m == nil {
 			m = map[int]*shard.Partial{}
@@ -430,7 +437,7 @@ func LoadAll(path string) (map[string]map[int]*shard.Partial, error) {
 		}
 		m[rec.Partial.Index] = rec.Partial
 	}
-	return out, nil
+	return out, dropped, nil
 }
 
 // LoadSweeps reads a journal and returns the latest sweep-registration

@@ -167,7 +167,7 @@ func TestSweepRecordsRoundTripAndCompact(t *testing.T) {
 	if recs[1].State != "done" {
 		t.Fatalf("sw-b latest state %q, want done", recs[1].State)
 	}
-	all, err := LoadAll(path)
+	all, _, err := LoadAll(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestSweepRecordsRoundTripAndCompact(t *testing.T) {
 	if len(recs) != 1 || recs[0].Fingerprint != "sw-a" {
 		t.Fatalf("post-compaction sweeps %+v, want only running sw-a", recs)
 	}
-	all, err = LoadAll(path)
+	all, _, err = LoadAll(path)
 	if err != nil {
 		t.Fatal(err)
 	}

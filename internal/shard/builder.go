@@ -79,9 +79,13 @@ func BuildFromGolden(cs CampaignSpec, tune func(*inject.Options), artifact []byt
 	if err != nil {
 		return nil, err
 	}
+	fp, err := cs.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
 	return &Built{
 		Spec:        cs,
-		Fingerprint: cs.Fingerprint(),
+		Fingerprint: fp,
 		Run:         run,
 		Jobs:        run.Campaign.DrawJobs(),
 	}, nil

@@ -52,6 +52,10 @@ func BuildLocal(cs CampaignSpec, tune func(*inject.Options)) (*Built, error) {
 	if err != nil {
 		return nil, err
 	}
+	fp, err := cs.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
 	opts := cs.Options()
 	if tune != nil {
 		tune(&opts)
@@ -62,7 +66,7 @@ func BuildLocal(cs CampaignSpec, tune func(*inject.Options)) (*Built, error) {
 	}
 	return &Built{
 		Spec:        cs,
-		Fingerprint: cs.Fingerprint(),
+		Fingerprint: fp,
 		Run:         run,
 		Jobs:        run.Campaign.DrawJobs(),
 	}, nil
@@ -83,6 +87,13 @@ type Partial struct {
 	PrunedRuns    uint64             `json:"pruned_runs"`
 	DeltaRestores uint64             `json:"delta_restores,omitempty"`
 	RestoreWallNS int64              `json:"restore_wall_ns,omitempty"`
+	// Checksum is the integrity stamp over the canonical encoding of the
+	// fields above (Index excluded — see Sum). The executor stamps it at
+	// execution time; Queue.Complete, journal replay and lake promotion
+	// re-verify, so corruption anywhere downstream surfaces as a typed
+	// refusal and a re-simulation, never as wrong merged output. Empty on
+	// records from before checksums existed.
+	Checksum string `json:"checksum,omitempty"`
 }
 
 // Covers reports whether the partial carries a complete, internally
@@ -92,8 +103,12 @@ func (p *Partial) Covers(sp Spec) bool {
 }
 
 // ExecuteOn runs one shard of an already-built campaign and returns its
-// partial result. Calls on the same Built must not overlap; Executor
-// serializes them.
+// partial result, integrity-stamped. A panic inside the simulator is
+// recovered into a typed *ExecPanicError instead of killing the caller:
+// the work loop reports it through POST /v1/shards/fail so the
+// coordinator can count the attempt, rather than learning about the
+// crash from a silent lease expiry. Calls on the same Built must not
+// overlap; Executor serializes them.
 func ExecuteOn(b *Built, sp Spec) (*Partial, error) {
 	if sp.Fingerprint != "" && sp.Fingerprint != b.Fingerprint {
 		return nil, fmt.Errorf("shard: spec fingerprint %.12s does not match built campaign %.12s", sp.Fingerprint, b.Fingerprint)
@@ -102,10 +117,10 @@ func ExecuteOn(b *Built, sp Spec) (*Partial, error) {
 		return nil, fmt.Errorf("shard: range [%d,%d) invalid for a plan of %d injections", sp.Start, sp.End, len(b.Jobs))
 	}
 	var res inject.Result
-	if err := b.Run.Campaign.RunJobs(&res, sp.Start, sp.End); err != nil {
+	if err := runJobsRecovering(b, &res, sp.Start, sp.End); err != nil {
 		return nil, err
 	}
-	return &Partial{
+	p := &Partial{
 		Index:         sp.Index,
 		Start:         sp.Start,
 		End:           sp.End,
@@ -116,7 +131,21 @@ func ExecuteOn(b *Built, sp Spec) (*Partial, error) {
 		PrunedRuns:    res.PrunedRuns,
 		DeltaRestores: res.DeltaRestores,
 		RestoreWallNS: res.RestoreWall.Nanoseconds(),
-	}, nil
+	}
+	if err := p.Stamp(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// runJobsRecovering converts a simulator panic into *ExecPanicError.
+func runJobsRecovering(b *Built, res *inject.Result, start, end int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &ExecPanicError{Msg: fmt.Sprint(r)}
+		}
+	}()
+	return b.Run.Campaign.RunJobs(res, start, end)
 }
 
 // cacheKey identifies one executed shard: the campaign it belongs to and
@@ -296,7 +325,10 @@ func (e *Executor) Execute(sp Spec) (*Partial, error) {
 // attribution. Attribution is pure accounting — the computed Partial is
 // bit-identical either way.
 func (e *Executor) ExecuteFor(sp Spec, sweep string) (*Partial, error) {
-	fp := sp.Campaign.Fingerprint()
+	fp, err := sp.Campaign.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
 	if sp.Fingerprint != "" && sp.Fingerprint != fp {
 		return nil, fmt.Errorf("shard: spec fingerprint %.12s does not match its campaign spec %.12s", sp.Fingerprint, fp)
 	}
@@ -340,12 +372,15 @@ func (e *Executor) ExecuteFor(sp Spec, sweep string) (*Partial, error) {
 	// Fleet-wide partial cache: a finished result published by any process
 	// for this exact (fingerprint, range) is bit-identical to what this
 	// shard would compute, so adopt it instead of re-simulating. The shard
-	// index is plan-local and rewritten for this spec.
+	// index is plan-local and rewritten for this spec (the integrity
+	// checksum excludes it, so the stamp survives the rewrite). A partial
+	// that fails verification is a corrupt cache object: treat it as a
+	// miss and simulate — the lake accelerates, it never decides.
 	if pc != nil {
 		if p := pc.GetPartial(fp, sp.Start, sp.End); p != nil {
 			adopted := *p
 			adopted.Index = sp.Index
-			if adopted.Covers(sp) {
+			if adopted.Covers(sp) && adopted.Verify() == nil {
 				e.mu.Lock()
 				e.results[key] = &adopted
 				e.touch(fp)

@@ -28,7 +28,7 @@ func (c *countingBuilder) Build(cs CampaignSpec, tune func(*inject.Options)) (*B
 // concurrent eviction pressure.
 func TestExecutorEvictionPinsInFlight(t *testing.T) {
 	cs := testSpec("EventSim", 0.05)
-	fp := cs.Fingerprint()
+	fp := fpOf(t, cs)
 	e := NewExecutor()
 	cb := &countingBuilder{inner: LocalBuilder{}}
 	e.SetBuilder(cb)
@@ -116,7 +116,7 @@ func TestExecutorBuilderSeamGoldenSpan(t *testing.T) {
 
 	var prebuilt *Built
 	local.mu.Lock()
-	prebuilt = local.built[cs.Fingerprint()]
+	prebuilt = local.built[fpOf(t, cs)]
 	local.mu.Unlock()
 
 	fetched := NewExecutor()
@@ -162,7 +162,7 @@ func (m *mapPartials) PutPartial(fp string, p *Partial) {
 // partials are published back.
 func TestExecutorPartialCache(t *testing.T) {
 	cs := testSpec("EventSim", 0.05)
-	fp := cs.Fingerprint()
+	fp := fpOf(t, cs)
 	specs, err := Plan(cs, 2, 4)
 	if err != nil {
 		t.Fatal(err)

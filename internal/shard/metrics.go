@@ -18,6 +18,15 @@ type Metrics struct {
 	Fenced     *obs.Counter
 	Speculated *obs.Counter
 	CacheHits  *obs.Counter
+	// Integrity & quarantine family: completions refused on checksum
+	// mismatch, audits opened, audits that diverged, shards quarantined
+	// after exhausting their attempt bound, and worker-reported execution
+	// failures (POST /v1/shards/fail).
+	IntegrityRejects *obs.Counter
+	Audits           *obs.Counter
+	AuditDivergences *obs.Counter
+	Quarantines      *obs.Counter
+	Failures         *obs.Counter
 	// ShardDur observes lease-grant-to-completion wall time, in seconds,
 	// for shards finished under a live lease.
 	ShardDur *obs.Histogram
@@ -39,8 +48,17 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		Fenced:     r.NewCounter("shard_fenced_total", "Completions refused with a stale coordinator epoch."),
 		Speculated: r.NewCounter("shard_speculated_total", "Straggler shards re-issued as speculative backup leases."),
 		CacheHits:  r.NewCounter("shard_cache_hits_total", "Executor golden-run/result cache hits."),
-		ShardDur:   r.NewHistogram("shard_duration_seconds", "Observed lease-to-completion shard wall time.", obs.DurationBuckets),
-		reg:        r,
+		IntegrityRejects: r.NewCounter("shard_integrity_rejects_total",
+			"Completions refused because the partial's integrity checksum did not match its bytes."),
+		Audits: r.NewCounter("shard_audits_total", "Completed shards sampled for audit re-execution."),
+		AuditDivergences: r.NewCounter("shard_audit_divergences_total",
+			"Audits where two executions of one shard disagreed on the verdict sum."),
+		Quarantines: r.NewCounter("shard_quarantines_total",
+			"Shards quarantined after exhausting their execution attempt bound."),
+		Failures: r.NewCounter("shard_failures_total",
+			"Worker-reported shard execution failures (POST /v1/shards/fail)."),
+		ShardDur: r.NewHistogram("shard_duration_seconds", "Observed lease-to-completion shard wall time.", obs.DurationBuckets),
+		reg:      r,
 	}
 }
 

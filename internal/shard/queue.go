@@ -3,6 +3,8 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"math/rand"
+	"sort"
 	"sync"
 	"time"
 )
@@ -14,6 +16,18 @@ import (
 // coordinator's zombie workers can never double-count a shard. Callers
 // match with errors.Is.
 var ErrStaleEpoch = errors.New("completion bears a stale coordinator epoch")
+
+// DefaultMaxAttempts bounds how many distinct executions a shard may be
+// granted before the queue quarantines it instead of re-issuing forever:
+// a shard that crashes every worker it touches (poison work) must not
+// hang its sweep. 0 disables the bound.
+const DefaultMaxAttempts = 5
+
+// maxAuditVotes bounds one shard's audit at this many total executions
+// (the original plus re-runs). An audit that cannot reach a two-vote
+// majority within the bound is abandoned keeping the original result —
+// sampling tighter next time beats wedging the sweep.
+const maxAuditVotes = 5
 
 // Queue is the coordinator's shard state machine. Every shard is pending,
 // leased or done; leases expire, returning their shard to pending, which
@@ -41,9 +55,62 @@ type Queue struct {
 	// counts backup leases issued by SpeculativeLease.
 	fenced     int
 	speculated int
+	// attempts counts distinct executions granted per shard — every
+	// primary and every speculative lease. When maxAttempts > 0, a shard
+	// whose attempts reach the bound is quarantined instead of re-issued
+	// (poison-work containment); the transition fires only on the primary
+	// requeue/lease path, never from SpeculativeLease itself.
+	attempts    []int
+	maxAttempts int
+	// quarantined maps quarantined shard indexes to the last failure
+	// reason; integrityRejects counts completions refused by Verify.
+	quarantined      map[int]string
+	integrityRejects int
+	doneClosed       bool
+	// Audit re-execution state: a sampled fraction (auditFrac) of
+	// completions opens an audit — the shard is re-issued to other
+	// workers and verdict sums are compared. auditsOpen gates Done, so a
+	// wrong original can still be replaced before merge.
+	auditFrac        float64
+	auditRng         *rand.Rand
+	audits           map[int]*audit
+	auditsOpen       int
+	auditsDone       int
+	auditDivergences int
+	// onStrike fires (outside q.mu) once per outvoted audit vote with the
+	// losing worker's name; onReplace fires when an audit overturns the
+	// merged original, with the winning partial.
+	onStrike  func(worker string)
+	onReplace func(p *Partial)
 	// m mirrors lifecycle transitions into the obs registry; nil leaves
 	// the queue uninstrumented (met() substitutes all-no-op handles).
 	m *Metrics
+}
+
+// audit is the open cross-check of one completed shard: the original
+// completion is vote zero, re-executions on other workers append votes,
+// and the first verdict sum held by two votes wins.
+type audit struct {
+	votes    []auditVote
+	lease    string // open audit lease ID, "" when none outstanding
+	lastVote time.Time
+	diverged bool
+}
+
+type auditVote struct {
+	worker string
+	sum    string
+	p      *Partial
+}
+
+// voted reports whether the worker already holds a vote on this audit.
+func (a *audit) voted(worker string) bool {
+	for _, v := range a.votes {
+		if v.worker == worker {
+			return true
+		}
+	}
+	return false
 }
 
 // noMetrics is the all-no-op sink substituted when no Metrics is set.
@@ -70,6 +137,10 @@ const (
 	statePending shardState = iota
 	stateLeased
 	stateDone
+	// stateQuarantined is terminal-failed: the shard exhausted its attempt
+	// bound (poison work) and is withheld from leasing so the sweep can
+	// fail cleanly instead of hanging on infinite re-issue.
+	stateQuarantined
 )
 
 // Lease is one worker's claim on one shard. TTL is the coordinator's
@@ -92,6 +163,10 @@ type Lease struct {
 	// SpeculativeLease, so coordinators can trace and count re-issues
 	// distinctly from first-issue leases.
 	Speculative bool `json:"speculative,omitempty"`
+	// Audit marks a re-execution of an already-completed shard issued by
+	// AuditLease to cross-check the original result. The completion is
+	// recorded as an audit vote, never merged directly.
+	Audit bool `json:"audit,omitempty"`
 	// Sweep is the fp12 of the sweep the shard belongs to, stamped by
 	// sweep.Pool when it grants the lease. Workers thread it through
 	// Executor.ExecuteFor so the shard's simulation spend is attributed
@@ -117,26 +192,70 @@ type Progress struct {
 	// counts straggler backup leases issued. Both are cumulative.
 	Fenced     int `json:"fenced,omitempty"`
 	Speculated int `json:"speculated,omitempty"`
+	// Quarantined counts shards withdrawn after exhausting their attempt
+	// bound; IntegrityRejects counts completions refused on checksum
+	// mismatch. AuditsOpen/Audited/AuditDivergences summarize the audit
+	// re-execution machinery.
+	Quarantined      int `json:"quarantined,omitempty"`
+	IntegrityRejects int `json:"integrity_rejects,omitempty"`
+	AuditsOpen       int `json:"audits_open,omitempty"`
+	Audited          int `json:"audited,omitempty"`
+	AuditDivergences int `json:"audit_divergences,omitempty"`
 }
 
 // NewQueue builds a queue over a planned shard set. ttl is how long a
 // lease lives without being completed before its shard is re-issued.
 func NewQueue(specs []Spec, ttl time.Duration) *Queue {
 	q := &Queue{
-		specs:     specs,
-		state:     make([]shardState, len(specs)),
-		partials:  make([]*Partial, len(specs)),
-		leases:    map[string]*Lease{},
-		byShard:   make([]string, len(specs)),
-		backups:   map[int]string{},
-		ttl:       ttl,
-		remaining: len(specs),
-		doneCh:    make(chan struct{}),
+		specs:       specs,
+		state:       make([]shardState, len(specs)),
+		partials:    make([]*Partial, len(specs)),
+		leases:      map[string]*Lease{},
+		byShard:     make([]string, len(specs)),
+		backups:     map[int]string{},
+		attempts:    make([]int, len(specs)),
+		quarantined: map[int]string{},
+		audits:      map[int]*audit{},
+		ttl:         ttl,
+		remaining:   len(specs),
+		doneCh:      make(chan struct{}),
 	}
 	if q.remaining == 0 {
+		q.doneClosed = true
 		close(q.doneCh)
 	}
 	return q
+}
+
+// SetMaxAttempts bounds distinct executions per shard; a shard reaching
+// the bound without completing is quarantined instead of re-issued.
+// 0 (the zero value) leaves re-issue unbounded.
+func (q *Queue) SetMaxAttempts(n int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.maxAttempts = n
+}
+
+// SetAudit samples the given fraction of completions for audit
+// re-execution on an independent worker. The seeded generator makes the
+// sampling decision sequence deterministic for a given completion order.
+func (q *Queue) SetAudit(frac float64, seed int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.auditFrac = frac
+	q.auditRng = rand.New(rand.NewSource(seed))
+}
+
+// SetAuditHooks installs the audit outcome callbacks. strike fires once
+// per outvoted vote with the losing worker's name — the coordinator's
+// worker-health input. replace fires when the merged original lost its
+// audit, with the majority partial that replaced it, so the coordinator
+// can re-journal the corrected result. Both run outside q.mu.
+func (q *Queue) SetAuditHooks(strike func(worker string), replace func(p *Partial)) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.onStrike = strike
+	q.onReplace = replace
 }
 
 // SetEpoch stamps the coordinator epoch onto every lease granted from now
@@ -180,6 +299,11 @@ func (q *Queue) Lease(worker string, now time.Time) (*Lease, bool) {
 		if st != statePending {
 			continue
 		}
+		if q.maxAttempts > 0 && q.attempts[i] >= q.maxAttempts {
+			q.quarantine(i, fmt.Sprintf("attempt bound reached (%d executions)", q.attempts[i]))
+			continue
+		}
+		q.attempts[i]++
 		q.nextLease++
 		l := &Lease{
 			ID:        fmt.Sprintf("lease-%d-shard-%d", q.nextLease, i),
@@ -235,6 +359,11 @@ func (q *Queue) SpeculativeLease(worker string, now time.Time, factor float64) (
 	if best == -1 {
 		return nil, false
 	}
+	// A backup is a distinct execution, so it counts toward the attempt
+	// bound — but quarantine itself never fires here: only the primary
+	// requeue/lease path withdraws a shard, so speculation alone can
+	// never quarantine work.
+	q.attempts[best]++
 	q.nextLease++
 	l := &Lease{
 		ID:          fmt.Sprintf("lease-%d-shard-%d", q.nextLease, best),
@@ -265,6 +394,14 @@ func (q *Queue) SpeculativeLease(worker string, now time.Time, factor float64) (
 // with ErrStaleEpoch so zombies of a deposed coordinator are visible as
 // such. epoch echoes Lease.Epoch; pass 0 when epochs are not in play.
 func (q *Queue) Complete(leaseID string, epoch uint64, p *Partial, now time.Time) error {
+	// Audit hooks fire after q.mu is released (defers run LIFO), so a
+	// strike/replace callback can safely call back into coordinator state.
+	var fired []func()
+	defer func() {
+		for _, f := range fired {
+			f()
+		}
+	}()
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.expire(now)
@@ -276,8 +413,39 @@ func (q *Queue) Complete(leaseID string, epoch uint64, p *Partial, now time.Time
 		return fmt.Errorf("shard: result for shard %d covers [%d,%d) with %d injections, plan wants [%d,%d)",
 			p.Index, p.Start, p.End, len(p.Injections), sp.Start, sp.End)
 	}
-	if l, ok := q.leases[leaseID]; ok && l.Spec.Index != p.Index {
+	l := q.leases[leaseID]
+	if l != nil && l.Spec.Index != p.Index {
 		return fmt.Errorf("shard: lease %q is for shard %d, result is for shard %d", leaseID, l.Spec.Index, p.Index)
+	}
+	if err := p.Verify(); err != nil {
+		// The bytes were damaged somewhere after the executor stamped
+		// them. Refuse the merge and put the shard back in play: an audit
+		// lease is simply re-issuable, a primary lease requeues its shard.
+		// Corruption degrades to re-simulation, never to wrong output.
+		q.integrityRejects++
+		q.met().IntegrityRejects.Inc()
+		if l != nil {
+			q.dropLease(leaseID, l, now)
+		}
+		return err
+	}
+	if l != nil && l.Audit {
+		delete(q.leases, leaseID)
+		aud := q.audits[p.Index]
+		if aud == nil {
+			return nil // audit settled while this re-run was in flight
+		}
+		if aud.lease == leaseID {
+			aud.lease = ""
+		}
+		sum, err := p.VerdictSum()
+		if err != nil {
+			return err
+		}
+		aud.votes = append(aud.votes, auditVote{worker: l.Worker, sum: sum, p: p})
+		aud.lastVote = now
+		fired = q.settleAudit(p.Index, aud)
+		return nil
 	}
 	if q.state[p.Index] == stateDone {
 		if epoch < q.epoch {
@@ -287,13 +455,218 @@ func (q *Queue) Complete(leaseID string, epoch uint64, p *Partial, now time.Time
 		}
 		return fmt.Errorf("shard: shard %d already completed elsewhere", p.Index)
 	}
-	if l, ok := q.leases[leaseID]; ok {
+	if q.state[p.Index] == stateQuarantined {
+		return fmt.Errorf("shard: shard %d is quarantined", p.Index)
+	}
+	if l != nil {
 		q.durSum += now.Sub(l.granted)
 		q.durN++
 		q.met().observeDur(now.Sub(l.granted))
 	}
+	q.maybeOpenAudit(l, p, now)
 	q.complete(p.Index, p)
 	return nil
+}
+
+// dropLease removes a refused lease and returns its shard to play: a
+// backup or audit lease just vanishes, a primary lease requeues the
+// shard (or hands it to a live backup, mirroring expiry). Callers hold
+// q.mu.
+func (q *Queue) dropLease(leaseID string, l *Lease, now time.Time) {
+	idx := l.Spec.Index
+	delete(q.leases, leaseID)
+	if l.Audit {
+		if aud := q.audits[idx]; aud != nil && aud.lease == leaseID {
+			aud.lease = ""
+		}
+		return
+	}
+	if q.backups[idx] == leaseID {
+		delete(q.backups, idx)
+		return
+	}
+	if q.byShard[idx] != leaseID {
+		return
+	}
+	q.byShard[idx] = ""
+	if bid, ok := q.backups[idx]; ok {
+		if bl := q.leases[bid]; bl != nil && bl.ExpiresAt.After(now) {
+			q.byShard[idx] = bid
+			delete(q.backups, idx)
+			return
+		}
+	}
+	if q.state[idx] == stateLeased {
+		q.state[idx] = statePending
+	}
+}
+
+// maybeOpenAudit samples an accepted completion for audit re-execution.
+// Only completions under a live lease are auditable — a late completion
+// has no attributable worker to vote for. Callers hold q.mu.
+func (q *Queue) maybeOpenAudit(l *Lease, p *Partial, now time.Time) {
+	if l == nil || l.Worker == "" || q.auditFrac <= 0 || q.auditRng == nil {
+		return
+	}
+	if q.audits[p.Index] != nil {
+		return
+	}
+	if q.auditRng.Float64() >= q.auditFrac {
+		return
+	}
+	sum, err := p.VerdictSum()
+	if err != nil {
+		return
+	}
+	q.audits[p.Index] = &audit{
+		votes:    []auditVote{{worker: l.Worker, sum: sum, p: p}},
+		lastVote: now,
+	}
+	q.auditsOpen++
+	q.met().Audits.Inc()
+}
+
+// AuditLease re-issues an already-completed, audit-sampled shard so an
+// independent execution can vote on its verdict sum. A worker that has
+// already voted on an audit is excluded from it while other workers
+// could still claim it: executors cache computed partials, so a repeat
+// vote would just replay the first one — and letting the original
+// worker back in would let a faulty worker second its own wrong verdict
+// into a majority. Repeat voters are only allowed after a full lease
+// TTL of nobody else claiming the audit, so a lone surviving worker can
+// still settle. Callers invoke this only when no pending shard exists,
+// like SpeculativeLease.
+func (q *Queue) AuditLease(worker string, now time.Time) (*Lease, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expire(now)
+	if q.auditsOpen == 0 {
+		return nil, false
+	}
+	idxs := make([]int, 0, len(q.audits))
+	for idx := range q.audits {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		aud := q.audits[idx]
+		if aud.lease != "" || len(aud.votes) >= maxAuditVotes {
+			continue
+		}
+		if aud.voted(worker) && now.Sub(aud.lastVote) < q.ttl {
+			continue
+		}
+		q.nextLease++
+		l := &Lease{
+			ID:        fmt.Sprintf("lease-%d-audit-%d", q.nextLease, idx),
+			Worker:    worker,
+			Spec:      q.specs[idx],
+			ExpiresAt: now.Add(q.ttl),
+			TTL:       q.ttl,
+			Epoch:     q.epoch,
+			Audit:     true,
+			granted:   now,
+		}
+		q.leases[l.ID] = l
+		aud.lease = l.ID
+		q.met().Leases.Inc()
+		return l, true
+	}
+	return nil, false
+}
+
+// settleAudit decides an audit after a new vote: the first verdict sum
+// reaching two votes wins, every vote for another sum strikes its
+// worker, and if the merged original lost, the majority partial replaces
+// it before the sweep can merge. An audit that exhausts maxAuditVotes
+// without a majority is abandoned keeping the original. Returns the
+// strike/replace callbacks to fire once q.mu is released; callers hold
+// q.mu.
+func (q *Queue) settleAudit(idx int, aud *audit) []func() {
+	counts := map[string]int{}
+	for _, v := range aud.votes {
+		counts[v.sum]++
+	}
+	if len(counts) > 1 && !aud.diverged {
+		aud.diverged = true
+		q.auditDivergences++
+		q.met().AuditDivergences.Inc()
+	}
+	winner := ""
+	for sum, n := range counts {
+		if n >= 2 {
+			winner = sum
+			break
+		}
+	}
+	if winner == "" {
+		if len(aud.votes) >= maxAuditVotes {
+			delete(q.audits, idx)
+			q.auditsOpen--
+			q.auditsDone++
+			q.maybeFinish()
+		}
+		return nil
+	}
+	var fired []func()
+	for _, v := range aud.votes {
+		if v.sum != winner && q.onStrike != nil {
+			w := v.worker
+			fired = append(fired, func() { q.onStrike(w) })
+		}
+	}
+	if aud.votes[0].sum != winner {
+		for _, v := range aud.votes {
+			if v.sum == winner {
+				q.partials[idx] = v.p
+				if q.onReplace != nil {
+					wp := v.p
+					fired = append(fired, func() { q.onReplace(wp) })
+				}
+				break
+			}
+		}
+	}
+	delete(q.audits, idx)
+	q.auditsOpen--
+	q.auditsDone++
+	q.maybeFinish()
+	return fired
+}
+
+// Fail resolves a lease with an execution failure report — a worker
+// whose shard panicked posts this instead of letting the lease silently
+// expire. The shard requeues immediately; one that has exhausted its
+// attempt bound is quarantined on the spot with the reported reason.
+func (q *Queue) Fail(leaseID, reason string, now time.Time) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expire(now)
+	l, ok := q.leases[leaseID]
+	if !ok {
+		return fmt.Errorf("shard: lease %q unknown or expired", leaseID)
+	}
+	q.dropLease(leaseID, l, now)
+	idx := l.Spec.Index
+	q.met().Failures.Inc()
+	if !l.Audit && q.state[idx] == statePending && q.maxAttempts > 0 && q.attempts[idx] >= q.maxAttempts {
+		q.quarantine(idx, reason)
+	}
+	return nil
+}
+
+// quarantine withdraws a poison shard from leasing. The sweep's
+// remaining count drops so completion (and its failure surfacing) isn't
+// held hostage by work that can never finish. Callers hold q.mu.
+func (q *Queue) quarantine(idx int, reason string) {
+	if q.state[idx] == stateDone || q.state[idx] == stateQuarantined {
+		return
+	}
+	q.state[idx] = stateQuarantined
+	q.quarantined[idx] = reason
+	q.remaining--
+	q.met().Quarantines.Inc()
+	q.maybeFinish()
 }
 
 // Renew extends a live lease's deadline by a full TTL — the heartbeat a
@@ -317,7 +690,7 @@ func (q *Queue) Renew(leaseID string, now time.Time) (time.Time, error) {
 
 // complete transitions a shard to done. Callers hold q.mu.
 func (q *Queue) complete(idx int, p *Partial) {
-	if q.state[idx] == stateDone {
+	if q.state[idx] == stateDone || q.state[idx] == stateQuarantined {
 		return
 	}
 	if id := q.byShard[idx]; id != "" {
@@ -331,7 +704,16 @@ func (q *Queue) complete(idx int, p *Partial) {
 	q.state[idx] = stateDone
 	q.partials[idx] = p
 	q.remaining--
-	if q.remaining == 0 {
+	q.maybeFinish()
+}
+
+// maybeFinish closes the done channel once nothing remains in play:
+// every shard done or quarantined AND every open audit settled — an
+// audit can still overturn a merged original, so completion must wait
+// for it. Callers hold q.mu.
+func (q *Queue) maybeFinish() {
+	if q.remaining == 0 && q.auditsOpen == 0 && !q.doneClosed {
+		q.doneClosed = true
 		close(q.doneCh)
 	}
 }
@@ -348,6 +730,12 @@ func (q *Queue) expire(now time.Time) {
 		idx := l.Spec.Index
 		delete(q.leases, id)
 		q.met().Expiries.Inc()
+		if l.Audit {
+			if aud := q.audits[idx]; aud != nil && aud.lease == id {
+				aud.lease = ""
+			}
+			continue
+		}
 		if q.backups[idx] == id {
 			delete(q.backups, idx)
 			continue
@@ -368,11 +756,25 @@ func (q *Queue) expire(now time.Time) {
 	}
 }
 
-// Done reports whether every shard has completed.
+// Done reports whether every shard has resolved (completed or
+// quarantined) and every open audit has settled.
 func (q *Queue) Done() bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.remaining == 0
+	return q.remaining == 0 && q.auditsOpen == 0
+}
+
+// QuarantinedShards returns the quarantined shard indexes with their
+// last failure reasons — what the coordinator surfaces when it fails a
+// sweep instead of merging an incomplete tiling.
+func (q *Queue) QuarantinedShards() map[int]string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[int]string, len(q.quarantined))
+	for idx, reason := range q.quarantined {
+		out[idx] = reason
+	}
+	return out
 }
 
 // WaitDone returns a channel closed once every shard has completed.
@@ -401,6 +803,8 @@ func (q *Queue) Progress(now time.Time) Progress {
 			p.Done++
 		case stateLeased:
 			p.Leased++
+		case stateQuarantined:
+			p.Quarantined++
 		default:
 			p.Pending++
 		}
@@ -410,5 +814,9 @@ func (q *Queue) Progress(now time.Time) Progress {
 	}
 	p.Fenced = q.fenced
 	p.Speculated = q.speculated
+	p.IntegrityRejects = q.integrityRejects
+	p.AuditsOpen = q.auditsOpen
+	p.Audited = q.auditsDone
+	p.AuditDivergences = q.auditDivergences
 	return p
 }

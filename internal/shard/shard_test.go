@@ -28,6 +28,17 @@ func mustBuild(t *testing.T, cs CampaignSpec) *Built {
 	return b
 }
 
+// fpOf computes a campaign fingerprint, failing the test on error — the
+// specs tests build are always fingerprintable.
+func fpOf(t *testing.T, cs CampaignSpec) string {
+	t.Helper()
+	fp, err := cs.Fingerprint()
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	return fp
+}
+
 // singleProcess runs the reference un-sharded campaign.
 func singleProcess(t *testing.T, cs CampaignSpec) *inject.Result {
 	t.Helper()
@@ -169,21 +180,21 @@ func TestExecutorEvictsStaleCampaigns(t *testing.T) {
 		cs.Seed = uint64(100 + i)
 		specs = append(specs, cs)
 		// Fake builds: the eviction policy never looks inside them.
-		ex.Adopt(&Built{Spec: cs, Fingerprint: cs.Fingerprint()})
+		ex.Adopt(&Built{Spec: cs, Fingerprint: fpOf(t, cs)})
 	}
 	if len(ex.built) != maxCachedCampaigns {
 		t.Fatalf("executor caches %d campaigns, want at most %d", len(ex.built), maxCachedCampaigns)
 	}
 	// The oldest two are gone, the newest still cached.
-	if _, ok := ex.built[specs[0].Fingerprint()]; ok {
+	if _, ok := ex.built[fpOf(t, specs[0])]; ok {
 		t.Fatal("least-recently-used campaign not evicted")
 	}
-	if _, ok := ex.built[specs[len(specs)-1].Fingerprint()]; !ok {
+	if _, ok := ex.built[fpOf(t, specs[len(specs)-1])]; !ok {
 		t.Fatal("most-recent campaign evicted")
 	}
 	// Re-adopting an evicted campaign makes it most-recent again.
-	ex.Adopt(&Built{Spec: specs[0], Fingerprint: specs[0].Fingerprint()})
-	if _, ok := ex.built[specs[0].Fingerprint()]; !ok {
+	ex.Adopt(&Built{Spec: specs[0], Fingerprint: fpOf(t, specs[0])})
+	if _, ok := ex.built[fpOf(t, specs[0])]; !ok {
 		t.Fatal("re-adopted campaign not cached")
 	}
 }
@@ -242,16 +253,16 @@ func TestPlanValidation(t *testing.T) {
 func TestFingerprintSeparatesCampaigns(t *testing.T) {
 	a := testSpec("EventSim", 0.05)
 	b := a
-	if a.Fingerprint() != b.Fingerprint() {
+	if fpOf(t, a) != fpOf(t, b) {
 		t.Fatal("equal specs produced different fingerprints")
 	}
 	b.Seed++
-	if a.Fingerprint() == b.Fingerprint() {
+	if fpOf(t, a) == fpOf(t, b) {
 		t.Fatal("different seeds share a fingerprint")
 	}
 	c := a
 	c.Engine = "LevelSim"
-	if a.Fingerprint() == c.Fingerprint() {
+	if fpOf(t, a) == fpOf(t, c) {
 		t.Fatal("different engines share a fingerprint")
 	}
 }

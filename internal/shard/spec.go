@@ -172,14 +172,13 @@ func (cs CampaignSpec) Validate() error {
 // encoding of the spec (design + workload + options + seed). The runstore
 // journal and the coordinator/worker protocol key everything on it, so a
 // journal or a worker can never mix shards of different campaigns.
-func (cs CampaignSpec) Fingerprint() string {
+func (cs CampaignSpec) Fingerprint() (string, error) {
 	b, err := json.Marshal(cs)
 	if err != nil {
-		// A CampaignSpec of plain scalars cannot fail to marshal.
-		panic(fmt.Sprintf("shard: marshaling spec: %v", err))
+		return "", fmt.Errorf("shard: marshaling spec: %v", err)
 	}
 	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:])
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // Spec is one shard: a campaign identity plus a half-open injection index
@@ -206,7 +205,10 @@ func Plan(cs CampaignSpec, numShards, totalJobs int) ([]Spec, error) {
 	if numShards > totalJobs {
 		return nil, fmt.Errorf("shard: shard count %d exceeds the campaign's %d planned injections", numShards, totalJobs)
 	}
-	fp := cs.Fingerprint()
+	fp, err := cs.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
 	specs := make([]Spec, numShards)
 	base, rem := totalJobs/numShards, totalJobs%numShards
 	start := 0

@@ -29,9 +29,13 @@ type Grid struct {
 
 // pick resolves one item's merged result by campaign identity.
 func pick(results map[string]*inject.Result, it Item) (*inject.Result, error) {
-	r, ok := results[it.Campaign.Fingerprint()]
+	fp, err := it.Campaign.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	r, ok := results[fp]
 	if !ok || r == nil {
-		return nil, fmt.Errorf("sweep: no merged result for campaign %q (%.12s)", it.Key, it.Campaign.Fingerprint())
+		return nil, fmt.Errorf("sweep: no merged result for campaign %q (%.12s)", it.Key, fp)
 	}
 	return r, nil
 }

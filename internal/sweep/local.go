@@ -47,9 +47,13 @@ func RunLocal(ss SweepSpec, o LocalOptions) (map[string]*inject.Result, error) {
 	}
 	journaled := map[string]map[int]*shard.Partial{}
 	if o.Resume && o.Journal != "" {
+		var dropped int
 		var err error
-		if journaled, err = runstore.LoadAll(o.Journal); err != nil {
+		if journaled, dropped, err = runstore.LoadAll(o.Journal); err != nil {
 			return nil, err
+		}
+		if dropped > 0 {
+			logf("sweep: journal %s: skipped %d record(s) with integrity checksum mismatch; those shards re-simulate", o.Journal, dropped)
 		}
 	}
 	var store *runstore.Store

@@ -54,6 +54,15 @@ type Pool struct {
 	metrics    *shard.Metrics // applied to every queue, current and future
 	obsReg     *obs.Registry  // holds this pool's per-sweep gauges
 	events     *eventLog      // ordered progress stream for watchers
+	// Integrity & quarantine knobs, applied to every queue current and
+	// future like SetMetrics. auditSeed derives each campaign's sampling
+	// stream (seed + campaign index) so the decision sequence is
+	// deterministic per queue.
+	maxAttempts  int
+	auditFrac    float64
+	auditSeed    int64
+	auditStrike  func(worker string)
+	auditReplace func(fingerprint string, p *shard.Partial)
 }
 
 // DefaultSpeculateFactor is the straggler threshold: a leased shard is
@@ -69,9 +78,13 @@ func NewPool(ss SweepSpec, ttl time.Duration) (*Pool, error) {
 	if err := ss.Validate(); err != nil {
 		return nil, err
 	}
+	sweepFP, err := ss.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
 	p := &Pool{
 		name:       ss.Name,
-		sweepFP:    ss.Fingerprint(),
+		sweepFP:    sweepFP,
 		items:      ss.Items,
 		fps:        make([]string, len(ss.Items)),
 		byFP:       make(map[string]int, len(ss.Items)),
@@ -86,8 +99,12 @@ func NewPool(ss SweepSpec, ttl time.Duration) (*Pool, error) {
 		events:     newEventLog(),
 	}
 	for i, it := range ss.Items {
-		p.fps[i] = it.Campaign.Fingerprint()
-		p.byFP[p.fps[i]] = i
+		fp, err := it.Campaign.Fingerprint()
+		if err != nil {
+			return nil, err
+		}
+		p.fps[i] = fp
+		p.byFP[fp] = i
 	}
 	p.emit("submit", "", -1, "")
 	return p, nil
@@ -132,6 +149,65 @@ func (p *Pool) SetMetrics(m *shard.Metrics) {
 	}
 }
 
+// SetMaxAttempts bounds distinct executions per shard on every queue,
+// current and future; a shard reaching the bound is quarantined instead
+// of re-issued forever. 0 disables the bound.
+func (p *Pool) SetMaxAttempts(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.maxAttempts = n
+	for _, q := range p.queues {
+		if q != nil {
+			q.SetMaxAttempts(n)
+		}
+	}
+}
+
+// SetAudit samples frac of every campaign's completions for audit
+// re-execution on an independent worker. Each campaign's queue gets its
+// own deterministic sampling stream derived from seed.
+func (p *Pool) SetAudit(frac float64, seed int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.auditFrac = frac
+	p.auditSeed = seed
+	for i, q := range p.queues {
+		if q != nil {
+			q.SetAudit(frac, seed+int64(i))
+		}
+	}
+}
+
+// SetAuditSink installs the audit outcome callbacks on every queue,
+// current and future. strike fires once per outvoted vote with the
+// losing worker's name; replace fires with the campaign fingerprint and
+// the majority partial whenever an audit overturns a merged original.
+// Both run outside all pool and queue locks' critical callback state —
+// they must not call back into the pool.
+func (p *Pool) SetAuditSink(strike func(worker string), replace func(fingerprint string, partial *shard.Partial)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.auditStrike = strike
+	p.auditReplace = replace
+	for i, q := range p.queues {
+		if q != nil {
+			q.SetAuditHooks(strike, p.replaceHook(i))
+		}
+	}
+}
+
+// replaceHook binds a campaign index into the queue-level replace
+// callback, adding the fingerprint routing the coordinator needs.
+// Callers hold p.mu.
+func (p *Pool) replaceHook(idx int) func(*shard.Partial) {
+	if p.auditReplace == nil {
+		return nil
+	}
+	fp := p.fps[idx]
+	replace := p.auditReplace
+	return func(partial *shard.Partial) { replace(fp, partial) }
+}
+
 // RegisterObs exports this sweep's live progress as scrape-time gauges on
 // r, labeled sweep=<fp12>: campaigns done/total and shard counts summed
 // over the open campaigns. Values are computed per scrape from the same
@@ -147,9 +223,10 @@ func (p *Pool) RegisterObs(r *obs.Registry) {
 	r.NewGaugeFunc("sweep_campaigns_done", "Campaigns fully merged.",
 		count(func(sp SweepProgress) float64 { return float64(sp.CampaignsDone) }), "sweep", fp)
 	for name, pick := range map[string]func(shard.Progress) int{
-		"sweep_shards_pending": func(s shard.Progress) int { return s.Pending },
-		"sweep_shards_leased":  func(s shard.Progress) int { return s.Leased },
-		"sweep_shards_done":    func(s shard.Progress) int { return s.Done },
+		"sweep_shards_pending":     func(s shard.Progress) int { return s.Pending },
+		"sweep_shards_leased":      func(s shard.Progress) int { return s.Leased },
+		"sweep_shards_done":        func(s shard.Progress) int { return s.Done },
+		"sweep_shards_quarantined": func(s shard.Progress) int { return s.Quarantined },
 	} {
 		pick := pick
 		r.NewGaugeFunc(name, "Shard queue depth summed over open campaigns.", count(func(sp SweepProgress) float64 {
@@ -182,6 +259,7 @@ func (p *Pool) UnregisterObs() {
 	for _, name := range []string{
 		"sweep_campaigns_total", "sweep_campaigns_done",
 		"sweep_shards_pending", "sweep_shards_leased", "sweep_shards_done",
+		"sweep_shards_quarantined",
 	} {
 		r.Unregister(name, "sweep", fp)
 	}
@@ -225,6 +303,13 @@ func (p *Pool) Open(idx int, specs []shard.Spec, journaled map[int]*shard.Partia
 	q := shard.NewQueue(specs, p.ttl)
 	q.SetEpoch(p.epoch)
 	q.SetMetrics(p.metrics)
+	q.SetMaxAttempts(p.maxAttempts)
+	if p.auditFrac > 0 {
+		q.SetAudit(p.auditFrac, p.auditSeed+int64(idx))
+	}
+	if p.auditStrike != nil || p.auditReplace != nil {
+		q.SetAuditHooks(p.auditStrike, p.replaceHook(idx))
+	}
 	for _, sp := range specs {
 		if partial, ok := journaled[sp.Index]; ok && partial.Covers(sp) {
 			if err := q.MarkDone(partial); err != nil {
@@ -259,6 +344,8 @@ func (p *Pool) Lease(worker string, now time.Time) (*shard.Lease, bool) {
 		if l, ok := p.queues[idx].Lease(worker, now); ok {
 			return p.granted(l, idx), true
 		}
+		// Leasing may have quarantined the campaign's last shards in play.
+		p.notifyIfDone(idx)
 	}
 	// Load counts both active leases and workers whose last lease was on
 	// the campaign: a worker between leases is invisible to the lease
@@ -285,16 +372,37 @@ func (p *Pool) Lease(worker string, now time.Time) (*shard.Lease, bool) {
 		}
 	}
 	if best == -1 {
+		if l, ok := p.audit(worker, now); ok {
+			return l, true
+		}
 		return p.speculate(worker, now)
 	}
 	l, ok := p.queues[best].Lease(worker, now)
 	if !ok {
-		// Progress said pending; Lease disagreeing means a race we don't
-		// have (single lock) — be defensive anyway.
+		// No grant despite pending shards: either the one race we don't
+		// have (single lock), or leasing just quarantined the last shards
+		// in play — in which case the campaign may have finished.
+		p.notifyIfDone(best)
 		return nil, false
 	}
 	p.affinity[worker] = best
 	return p.granted(l, best), true
+}
+
+// audit hands an idle worker a re-execution of an audit-sampled shard.
+// Audits only run when no first-issue work is pending anywhere — they
+// are a verification tax, never allowed to starve real progress.
+// Callers hold p.mu.
+func (p *Pool) audit(worker string, now time.Time) (*shard.Lease, bool) {
+	for i := range p.queues {
+		if p.queues[i] == nil {
+			continue
+		}
+		if l, ok := p.queues[i].AuditLease(worker, now); ok {
+			return p.granted(l, i), true
+		}
+	}
+	return nil, false
 }
 
 // granted stamps the sweep's identity onto a freshly issued lease — the
@@ -305,6 +413,9 @@ func (p *Pool) granted(l *shard.Lease, idx int) *shard.Lease {
 	typ := "lease"
 	if l.Speculative {
 		typ = "speculate"
+	}
+	if l.Audit {
+		typ = "audit"
 	}
 	p.emit(typ, p.fps[idx], l.Spec.Index, l.Worker)
 	return l
@@ -368,6 +479,42 @@ func (p *Pool) Complete(fingerprint, leaseID string, epoch uint64, partial *shar
 	p.emit("complete", fingerprint, shardIdx, "")
 	p.notifyIfDone(idx)
 	return nil
+}
+
+// Fail resolves a lease with a worker-reported execution failure (a
+// panicking shard), routed like Complete. The shard requeues — or, past
+// its attempt bound, quarantines, which may finish the campaign in the
+// failed state surfaced by Progress.
+func (p *Pool) Fail(fingerprint, leaseID, reason string, now time.Time) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, ok := p.byFP[fingerprint]
+	if !ok {
+		return fmt.Errorf("sweep: failure report names unknown campaign %.12s", fingerprint)
+	}
+	q, err := p.openQueue(idx)
+	if err != nil {
+		return err
+	}
+	if err := q.Fail(leaseID, reason, now); err != nil {
+		return err
+	}
+	p.emit("fail", p.fps[idx], -1, "")
+	p.notifyIfDone(idx)
+	return nil
+}
+
+// Quarantined returns a campaign's quarantined shard indexes with their
+// failure reasons (empty when none) — what the coordinator consults
+// before merging, so a poisoned campaign fails loudly instead of
+// merging an incomplete tiling.
+func (p *Pool) Quarantined(idx int) map[int]string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if idx < 0 || idx >= len(p.queues) || p.queues[idx] == nil {
+		return nil
+	}
+	return p.queues[idx].QuarantinedShards()
 }
 
 // Renew extends a live lease, routed like Complete.
@@ -462,13 +609,13 @@ func (p *Pool) notifyIfDone(idx int) {
 // statistics across fingerprints, because shard size and runtime differ
 // wildly between, say, SoC1 and SoC10.
 type CampaignProgress struct {
-	Key         string         `json:"key"`
-	Fingerprint string         `json:"fingerprint"`
-	SoC         int            `json:"soc"`
-	Engine      string         `json:"engine"`
-	LET         float64        `json:"let"`
-	Opened      bool           `json:"opened"`
-	Done        bool           `json:"done"`
+	Key         string  `json:"key"`
+	Fingerprint string  `json:"fingerprint"`
+	SoC         int     `json:"soc"`
+	Engine      string  `json:"engine"`
+	LET         float64 `json:"let"`
+	Opened      bool    `json:"opened"`
+	Done        bool    `json:"done"`
 	// Restored counts shards answered at Open from prior results — the
 	// coordinator's journal or the artifact lake — instead of simulation.
 	Restored int            `json:"restored,omitempty"`

@@ -139,7 +139,7 @@ func TestPoolIncrementalOpenAndCompletion(t *testing.T) {
 	}
 	// Campaign b opens later, fully covered by journal records.
 	l, ok := p.Lease("w", now)
-	if !ok || l.Spec.Fingerprint != items[0].Campaign.Fingerprint() {
+	if !ok || l.Spec.Fingerprint != cfpOf(t, items[0].Campaign) {
 		t.Fatalf("lease %+v, want campaign a", l)
 	}
 	if err := p.Complete(l.Spec.Fingerprint, l.ID, 0, fakePartial(l.Spec), now); err != nil {

@@ -64,7 +64,10 @@ func (ss SweepSpec) Validate() error {
 		if err := it.Campaign.Validate(); err != nil {
 			return fmt.Errorf("sweep: %q: campaign %q: %v", ss.Name, it.Key, err)
 		}
-		fp := it.Campaign.Fingerprint()
+		fp, err := it.Campaign.Fingerprint()
+		if err != nil {
+			return fmt.Errorf("sweep: %q: campaign %q: %v", ss.Name, it.Key, err)
+		}
 		if prev, ok := fps[fp]; ok {
 			return fmt.Errorf("sweep: %q: campaigns %q and %q are identical (fingerprint %.12s)", ss.Name, prev, it.Key, fp)
 		}
@@ -77,21 +80,29 @@ func (ss SweepSpec) Validate() error {
 // fingerprints in sweep order (keys and name are presentation, not
 // identity). Two sweeps with the same fingerprint lease out exactly the
 // same shard universe.
-func (ss SweepSpec) Fingerprint() string {
+func (ss SweepSpec) Fingerprint() (string, error) {
 	h := sha256.New()
 	for _, it := range ss.Items {
-		h.Write([]byte(it.Campaign.Fingerprint()))
+		fp, err := it.Campaign.Fingerprint()
+		if err != nil {
+			return "", fmt.Errorf("sweep: %q: campaign %q: %v", ss.Name, it.Key, err)
+		}
+		h.Write([]byte(fp))
 		h.Write([]byte{'\n'})
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // Fingerprints returns the member campaign fingerprints as a set — the
 // shape runstore.CountAny consumes.
-func (ss SweepSpec) Fingerprints() map[string]bool {
+func (ss SweepSpec) Fingerprints() (map[string]bool, error) {
 	out := make(map[string]bool, len(ss.Items))
 	for _, it := range ss.Items {
-		out[it.Campaign.Fingerprint()] = true
+		fp, err := it.Campaign.Fingerprint()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %q: campaign %q: %v", ss.Name, it.Key, err)
+		}
+		out[fp] = true
 	}
-	return out
+	return out, nil
 }

@@ -17,6 +17,27 @@ import (
 
 // quickEC is the reduced-sampling experiment config every sweep test
 // grids over; memcpy matches shard.WorkloadProgram("memcpy").
+
+// cfpOf computes a campaign fingerprint, failing the test on error.
+func cfpOf(t *testing.T, cs shard.CampaignSpec) string {
+	t.Helper()
+	fp, err := cs.Fingerprint()
+	if err != nil {
+		t.Fatalf("campaign fingerprint: %v", err)
+	}
+	return fp
+}
+
+// sfpOf computes a sweep fingerprint, failing the test on error.
+func sfpOf(t *testing.T, ss SweepSpec) string {
+	t.Helper()
+	fp, err := ss.Fingerprint()
+	if err != nil {
+		t.Fatalf("sweep fingerprint: %v", err)
+	}
+	return fp
+}
+
 func quickEC() ssresf.ExperimentConfig {
 	return ssresf.DefaultExperimentConfig(true)
 }
@@ -70,21 +91,21 @@ func TestSweepSpecValidate(t *testing.T) {
 func TestSweepFingerprintIdentity(t *testing.T) {
 	a := mustGrid(t)(LETGrid(quickEC(), 1, testLETs, "memcpy")).Spec
 	b := mustGrid(t)(LETGrid(quickEC(), 1, testLETs, "memcpy")).Spec
-	if a.Fingerprint() != b.Fingerprint() {
+	if sfpOf(t, a) != sfpOf(t, b) {
 		t.Fatal("equal grids produced different sweep fingerprints")
 	}
 	// Key/name cosmetics do not change identity; campaign content does.
 	renamed := a
 	renamed.Name = "other"
-	if renamed.Fingerprint() != a.Fingerprint() {
+	if sfpOf(t, renamed) != sfpOf(t, a) {
 		t.Fatal("sweep name leaked into the fingerprint")
 	}
 	c := mustGrid(t)(LETGrid(quickEC(), 1, []float64{1.0, 100.0}, "memcpy")).Spec
-	if a.Fingerprint() == c.Fingerprint() {
+	if sfpOf(t, a) == sfpOf(t, c) {
 		t.Fatal("different LET grids share a sweep fingerprint")
 	}
 	d := mustGrid(t)(LETGrid(quickEC(), 2, testLETs, "memcpy")).Spec
-	if a.Fingerprint() == d.Fingerprint() {
+	if sfpOf(t, a) == sfpOf(t, d) {
 		t.Fatal("different benchmarks share a sweep fingerprint")
 	}
 }
@@ -117,14 +138,14 @@ func TestGridFlagsMatchConstructors(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("let grid: ok=%v err=%v", ok, err)
 	}
-	if want := mustGrid(t)(LETGrid(ec, 1, testLETs, "memcpy")).Spec.Fingerprint(); g.Spec.Fingerprint() != want {
+	if want := sfpOf(t, mustGrid(t)(LETGrid(ec, 1, testLETs, "memcpy")).Spec); sfpOf(t, g.Spec) != want {
 		t.Fatal("flag-built LET grid diverges from the constructor")
 	}
 	g, _, err = parse("-sweep", "table1", "-quick")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := mustGrid(t)(TableIGrid(ec, "memcpy")).Spec.Fingerprint(); g.Spec.Fingerprint() != want {
+	if want := sfpOf(t, mustGrid(t)(TableIGrid(ec, "memcpy")).Spec); sfpOf(t, g.Spec) != want {
 		t.Fatal("flag-built Table I grid diverges from the constructor")
 	}
 	if len(g.Spec.Items) != 10 {
@@ -134,7 +155,7 @@ func TestGridFlagsMatchConstructors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := mustGrid(t)(TableIIIGrid(ec, []float64{4e8, 5e8}, "memcpy")).Spec.Fingerprint(); g.Spec.Fingerprint() != want {
+	if want := sfpOf(t, mustGrid(t)(TableIIIGrid(ec, []float64{4e8, 5e8}, "memcpy")).Spec); sfpOf(t, g.Spec) != want {
 		t.Fatal("flag-built Table III grid diverges from the constructor")
 	}
 	if len(g.Spec.Items) != 5 { // base + 2 fluxes x 2 engines
@@ -287,13 +308,13 @@ func TestSweepDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := runstore.LoadAll(journal)
+	loaded, _, err := runstore.LoadAll(journal)
 	if err != nil {
 		t.Fatal(err)
 	}
 	restored := 0
 	for i, it := range ss.Items {
-		n, err := pool2.Open(i, plans[i], loaded[it.Campaign.Fingerprint()])
+		n, err := pool2.Open(i, plans[i], loaded[cfpOf(t, it.Campaign)])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -397,7 +418,7 @@ func TestRunLocalMatchesInProcess(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, it := range grid.Spec.Items {
-		fp := it.Campaign.Fingerprint()
+		fp := cfpOf(t, it.Campaign)
 		if err := shard.EquivalentResults(results[fp], resumed[fp]); err != nil {
 			t.Fatalf("resumed campaign %q diverges: %v", it.Key, err)
 		}
@@ -443,7 +464,7 @@ func TestGridParamsMatchFlagsAndConstructors(t *testing.T) {
 			if err != nil || !ok {
 				t.Fatalf("flags: ok=%v err=%v", ok, err)
 			}
-			if fromParams.Spec.Fingerprint() != fromFlags.Spec.Fingerprint() {
+			if sfpOf(t, fromParams.Spec) != sfpOf(t, fromFlags.Spec) {
 				t.Fatal("params-built grid diverges from the flag-built grid")
 			}
 		})
@@ -457,7 +478,7 @@ func TestGridParamsMatchFlagsAndConstructors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dflt.Spec.Fingerprint() != explicit.Spec.Fingerprint() {
+	if sfpOf(t, dflt.Spec) != sfpOf(t, explicit.Spec) {
 		t.Fatal("zero-value GridParams diverge from the explicit defaults")
 	}
 	if _, err := (GridParams{Kind: "table9"}).Grid(); err == nil {
